@@ -1,0 +1,88 @@
+//! Criterion timing for the Fig 8 scaling curves: DataPrism-GRD and
+//! DataPrism-GT wall-clock as the number of attributes and the number
+//! of discriminative PVTs grow (synthetic pipelines, pre-built PVTs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataprism::{explain_greedy_with_pvts, explain_group_test_with_pvts, PartitionStrategy};
+use dp_scenarios::synthetic::single_cause;
+
+fn bench_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_attributes");
+    group.sample_size(10);
+    for m in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::new("greedy", m), &m, |b, &m| {
+            b.iter_with_setup(
+                || single_cause(m, m, 11),
+                |mut s| {
+                    explain_greedy_with_pvts(
+                        &mut s.system,
+                        &s.d_fail,
+                        &s.d_pass,
+                        s.pvts.clone(),
+                        &s.config,
+                    )
+                    .expect("resolves")
+                },
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("group_test", m), &m, |b, &m| {
+            b.iter_with_setup(
+                || single_cause(m, m, 11),
+                |mut s| {
+                    explain_group_test_with_pvts(
+                        &mut s.system,
+                        &s.d_fail,
+                        &s.d_pass,
+                        s.pvts.clone(),
+                        &s.config,
+                        PartitionStrategy::MinBisection,
+                    )
+                    .expect("resolves")
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pvts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_pvts");
+    group.sample_size(10);
+    for k in [100usize, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || single_cause(k.div_ceil(2), k, 11),
+                |mut s| {
+                    explain_greedy_with_pvts(
+                        &mut s.system,
+                        &s.d_fail,
+                        &s.d_pass,
+                        s.pvts.clone(),
+                        &s.config,
+                    )
+                    .expect("resolves")
+                },
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("group_test", k), &k, |b, &k| {
+            b.iter_with_setup(
+                || single_cause(k.div_ceil(2), k, 11),
+                |mut s| {
+                    explain_group_test_with_pvts(
+                        &mut s.system,
+                        &s.d_fail,
+                        &s.d_pass,
+                        s.pvts.clone(),
+                        &s.config,
+                        PartitionStrategy::MinBisection,
+                    )
+                    .expect("resolves")
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attributes, bench_pvts);
+criterion_main!(benches);

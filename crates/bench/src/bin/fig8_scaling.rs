@@ -1,0 +1,100 @@
+//! Regenerates the paper's **Fig 8**: execution time of DataPrism-GRD
+//! and DataPrism-GT as the number of attributes (left panel) and the
+//! number of discriminative PVTs (right panel) grow. The paper's
+//! claim is sub-linear growth in both; absolute times differ from the
+//! paper (different hardware and substrate).
+//!
+//! The paper's right panel reaches 300K discriminative PVTs at up to
+//! ~10⁴ seconds per run; this harness defaults to 20K so a full sweep
+//! finishes in minutes (`--full` raises the cap to 100K).
+//!
+//! Usage: `cargo run --release -p dp-bench --bin fig8_scaling [--full]`
+
+use dp_bench::{format_row, run_synthetic, Technique};
+use dp_scenarios::synthetic::single_cause;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let seed = 11;
+
+    println!(
+        "Fig 8 (left) — execution time vs #attributes (one discriminative PVT per attribute)\n"
+    );
+    let widths = [12, 14, 14, 13, 13];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "#attributes".into(),
+                "GRD seconds".into(),
+                "GT seconds".into(),
+                "GRD intervs".into(),
+                "GT intervs".into()
+            ],
+            &widths
+        )
+    );
+    let attr_points: &[usize] = if full {
+        &[10, 50, 100, 200, 400, 800]
+    } else {
+        &[10, 50, 100, 200, 400]
+    };
+    for &m in attr_points {
+        let grd = run_synthetic(single_cause(m, m, seed), Technique::Greedy);
+        let gt = run_synthetic(single_cause(m, m, seed), Technique::GroupTest);
+        println!(
+            "{}",
+            format_row(
+                &[
+                    m.to_string(),
+                    format!("{:.3}", grd.seconds),
+                    format!("{:.3}", gt.seconds),
+                    grd.interventions_cell(),
+                    gt.interventions_cell(),
+                ],
+                &widths
+            )
+        );
+        assert!(grd.resolved && gt.resolved, "scaling runs must resolve");
+    }
+
+    println!("\nFig 8 (right) — execution time vs #discriminative PVTs (2 PVTs per attribute)\n");
+    println!(
+        "{}",
+        format_row(
+            &[
+                "#disc PVTs".into(),
+                "GRD seconds".into(),
+                "GT seconds".into(),
+                "GRD intervs".into(),
+                "GT intervs".into()
+            ],
+            &widths
+        )
+    );
+    let pvt_points: &[usize] = if full {
+        &[10, 100, 1000, 5000, 20_000, 100_000]
+    } else {
+        &[10, 100, 1000, 5000, 20_000]
+    };
+    for &k in pvt_points {
+        let n_attrs = k.div_ceil(2);
+        let grd = run_synthetic(single_cause(n_attrs, k, seed), Technique::Greedy);
+        let gt = run_synthetic(single_cause(n_attrs, k, seed), Technique::GroupTest);
+        println!(
+            "{}",
+            format_row(
+                &[
+                    k.to_string(),
+                    format!("{:.3}", grd.seconds),
+                    format!("{:.3}", gt.seconds),
+                    grd.interventions_cell(),
+                    gt.interventions_cell(),
+                ],
+                &widths
+            )
+        );
+        assert!(grd.resolved && gt.resolved, "scaling runs must resolve");
+    }
+    println!("\npaper reference: both curves grow sub-linearly (their Fig 8, log-log)");
+}

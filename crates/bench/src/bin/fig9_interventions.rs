@@ -1,0 +1,132 @@
+//! Regenerates the paper's **Fig 9(a)–(d)**: average number of
+//! interventions for the five techniques on synthetic pipelines as
+//! four parameters vary:
+//!
+//! - panel (a): number of attributes (4–16), single-PVT root cause;
+//! - panel (b): number of discriminative PVTs (up to ~120);
+//! - panel (c): size of a conjunctive root cause (1–12) with the
+//!   attribute/PVT counts fixed;
+//! - panel (d): size of a disjunctive root cause (1–12).
+//!
+//! Usage:
+//! `cargo run --release -p dp-bench --bin fig9_interventions [-- --panel a|b|c|d] [--seeds N]`
+
+use dp_bench::{format_row, run_synthetic, Technique};
+use dp_scenarios::synthetic::{
+    conjunctive_cause, disjunctive_cause, single_cause, SyntheticScenario,
+};
+
+fn mean_interventions(
+    make: &dyn Fn(u64) -> SyntheticScenario,
+    technique: Technique,
+    seeds: u64,
+) -> String {
+    let mut total = 0usize;
+    let mut n = 0usize;
+    for seed in 0..seeds {
+        let result = run_synthetic(make(seed * 31 + 7), technique);
+        match result.interventions {
+            Some(k) => {
+                total += k;
+                n += 1;
+            }
+            None => return "NA".into(),
+        }
+    }
+    if n == 0 {
+        "NA".into()
+    } else {
+        format!("{:.1}", total as f64 / n as f64)
+    }
+}
+
+fn run_panel(
+    title: &str,
+    x_label: &str,
+    points: &[usize],
+    make: &dyn Fn(usize, u64) -> SyntheticScenario,
+    seeds: u64,
+) {
+    println!("\n{title}\n");
+    let widths = [14, 14, 13, 8, 8, 8];
+    println!(
+        "{}",
+        format_row(
+            &[
+                x_label.into(),
+                "DataPrism-GRD".into(),
+                "DataPrism-GT".into(),
+                "BugDoc".into(),
+                "Anchor".into(),
+                "GrpTest".into(),
+            ],
+            &widths
+        )
+    );
+    for &x in points {
+        let mut cells = vec![x.to_string()];
+        for technique in Technique::all() {
+            cells.push(mean_interventions(&|seed| make(x, seed), technique, seeds));
+        }
+        println!("{}", format_row(&cells, &widths));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("Fig 9 — average #interventions over {seeds} seeds per point");
+
+    if panel == "a" || panel == "all" {
+        run_panel(
+            "Fig 9(a) — varying #attributes (one discriminative PVT per attribute, single cause)",
+            "#attributes",
+            &[4, 6, 8, 10, 12, 14, 16],
+            &|m, seed| single_cause(m, m, seed),
+            seeds,
+        );
+    }
+    if panel == "b" || panel == "all" {
+        run_panel(
+            "Fig 9(b) — varying #discriminative PVTs (2 per attribute, single cause)",
+            "#disc PVTs",
+            &[10, 20, 40, 60, 80, 100, 120],
+            &|k, seed| single_cause(k.div_ceil(2), k, seed),
+            seeds,
+        );
+    }
+    if panel == "c" || panel == "all" {
+        run_panel(
+            "Fig 9(c) — varying conjunctive-cause size (68 attributes, 136 discriminative PVTs)",
+            "|conjunction|",
+            &[1, 2, 4, 6, 8, 10, 12],
+            &|size, seed| conjunctive_cause(68, 136, size, seed),
+            seeds,
+        );
+    }
+    if panel == "d" || panel == "all" {
+        run_panel(
+            "Fig 9(d) — varying disjunctive-cause size (68 attributes, 136 discriminative PVTs)",
+            "|disjunction|",
+            &[1, 2, 4, 6, 8, 10, 12],
+            &|size, seed| disjunctive_cause(68, 136, size, seed),
+            seeds,
+        );
+    }
+    println!(
+        "\npaper reference: GRD < 5 throughout (a)–(c) and orders of magnitude below the\n\
+         baselines; Anchor and group testing grow with disjunction size in (d)"
+    );
+}

@@ -1,0 +1,169 @@
+//! Algorithm 4 (appendix A) — local-search minimum bisection of the
+//! PVT-dependency graph.
+//!
+//! Group testing wants both partitions to keep dependent PVTs (those
+//! sharing attributes) together, so that discarding a useless
+//! partition prunes whole attribute neighborhoods at once. Minimum
+//! bisection is NP-hard; the paper uses the classic local-search
+//! heuristic: start from a random balanced split, then swap PVT pairs
+//! across the cut while the number of cut edges decreases.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::BTreeSet;
+
+/// Partition `items` into two halves whose sizes differ by at most
+/// one, minimizing (locally) the number of `edges` crossing the cut.
+///
+/// `edges` are unordered pairs of item values (ids). Items appearing
+/// in no edge are free movers the search places wherever balance
+/// requires.
+pub fn min_bisection(
+    items: &[usize],
+    edges: &[(usize, usize)],
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = items.len();
+    if n <= 1 {
+        return (items.to_vec(), Vec::new());
+    }
+    // Line 1: random balanced initialization.
+    let mut shuffled = items.to_vec();
+    shuffled.shuffle(rng);
+    let half = n.div_ceil(2);
+    let mut left: Vec<usize> = shuffled[..half].to_vec();
+    let mut right: Vec<usize> = shuffled[half..].to_vec();
+
+    let cut = |l: &[usize], r: &[usize]| -> usize {
+        let ls: BTreeSet<usize> = l.iter().copied().collect();
+        let rs: BTreeSet<usize> = r.iter().copied().collect();
+        edges
+            .iter()
+            .filter(|(a, b)| {
+                (ls.contains(a) && rs.contains(b)) || (rs.contains(a) && ls.contains(b))
+            })
+            .count()
+    };
+
+    // Lines 2–14: swap pairs while the cut shrinks.
+    let mut current = cut(&left, &right);
+    loop {
+        let mut improved = false;
+        'search: for i in 0..left.len() {
+            for j in 0..right.len() {
+                std::mem::swap(&mut left[i], &mut right[j]);
+                let candidate = cut(&left, &right);
+                if candidate < current {
+                    current = candidate;
+                    improved = true;
+                    break 'search;
+                }
+                std::mem::swap(&mut left[i], &mut right[j]);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (left, right)
+}
+
+/// Random balanced bisection — the partitioning used by the `GrpTest`
+/// baseline (traditional adaptive group testing, \[21\]).
+pub fn random_bisection(items: &[usize], rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
+    let mut shuffled = items.to_vec();
+    shuffled.shuffle(rng);
+    let half = shuffled.len().div_ceil(2);
+    let right = shuffled.split_off(half);
+    (shuffled, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn cut_size(l: &[usize], r: &[usize], edges: &[(usize, usize)]) -> usize {
+        let ls: BTreeSet<usize> = l.iter().copied().collect();
+        let rs: BTreeSet<usize> = r.iter().copied().collect();
+        edges
+            .iter()
+            .filter(|(a, b)| {
+                (ls.contains(a) && rs.contains(b)) || (rs.contains(a) && ls.contains(b))
+            })
+            .count()
+    }
+
+    #[test]
+    fn perfect_split_of_two_cliques() {
+        // Two 4-cliques with no inter-clique edges: the optimum cut
+        // is 0, and local search must find it.
+        let items: Vec<usize> = (0..8).collect();
+        let mut edges = Vec::new();
+        for group in [[0, 1, 2, 3], [4, 5, 6, 7]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((group[i], group[j]));
+                }
+            }
+        }
+        let mut r = rng();
+        let (l, rp) = min_bisection(&items, &edges, &mut r);
+        assert_eq!(l.len(), 4);
+        assert_eq!(rp.len(), 4);
+        assert_eq!(cut_size(&l, &rp, &edges), 0, "{l:?} | {rp:?}");
+    }
+
+    #[test]
+    fn paper_fig6_pair_structure() {
+        // Fig 6(a): pairs (X1,X4), (X2,X3), (X5,X7), (X6,X8) are
+        // dependent. Min bisection must never split a pair.
+        let items: Vec<usize> = (1..=8).collect();
+        let edges = vec![(1, 4), (2, 3), (5, 7), (6, 8)];
+        let mut r = rng();
+        let (l, rp) = min_bisection(&items, &edges, &mut r);
+        assert_eq!(cut_size(&l, &rp, &edges), 0);
+        for (a, b) in &edges {
+            let same = (l.contains(a) && l.contains(b)) || (rp.contains(a) && rp.contains(b));
+            assert!(same, "pair ({a},{b}) split across {l:?} | {rp:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_sizes_odd_count() {
+        let items: Vec<usize> = (0..7).collect();
+        let mut r = rng();
+        let (l, rp) = min_bisection(&items, &[], &mut r);
+        assert_eq!(l.len(), 4);
+        assert_eq!(rp.len(), 3);
+        let mut all: Vec<usize> = l.iter().chain(rp.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn random_bisection_is_balanced_partition() {
+        let items: Vec<usize> = (0..9).collect();
+        let mut r = rng();
+        let (l, rp) = random_bisection(&items, &mut r);
+        assert_eq!(l.len(), 5);
+        assert_eq!(rp.len(), 4);
+        let mut all: Vec<usize> = l.iter().chain(rp.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut r = rng();
+        let (l, rp) = min_bisection(&[], &[], &mut r);
+        assert!(l.is_empty() && rp.is_empty());
+        let (l, rp) = min_bisection(&[42], &[], &mut r);
+        assert_eq!(l, vec![42]);
+        assert!(rp.is_empty());
+    }
+}

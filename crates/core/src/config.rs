@@ -1,0 +1,138 @@
+//! Configuration of discovery and diagnosis.
+
+use crate::profile::OutlierSpec;
+
+/// Which PVT classes discovery emits and with what knobs.
+///
+/// The paper's scope assumption (§1 "Scope") is that the *classes* of
+/// candidate profiles are known for the task at hand; this struct is
+/// that knowledge. The defaults enable every Fig 1 row that is cheap
+/// to discover; causal profiles and pairwise selectivity are opt-in
+/// because their candidate spaces are quadratic.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Emit Domain profiles (rows 1–3).
+    pub domains: bool,
+    /// Emit Outlier profiles (row 4) with this detector.
+    pub outliers: Option<OutlierSpec>,
+    /// Emit Missing profiles (row 5).
+    pub missing: bool,
+    /// Emit single-attribute Selectivity profiles (`attr = value`)
+    /// for categorical attributes with at most this many distinct
+    /// values (row 6). `None` disables.
+    pub selectivity_max_domain: Option<usize>,
+    /// Additionally emit pairwise Selectivity profiles
+    /// (`attr = value ∧ target = value`) conjoined with this
+    /// designated attribute — the shape of the paper's
+    /// `gender = F ∧ high_expenditure = yes`.
+    pub selectivity_pair_with: Option<String>,
+    /// Emit χ² Indep profiles for categorical pairs (row 7).
+    pub indep_chi2: bool,
+    /// Emit Pearson Indep profiles for numeric pairs (row 8).
+    pub indep_pearson: bool,
+    /// Emit causal Indep profiles (row 9, expensive).
+    pub indep_causal: bool,
+    /// Categorical attributes with more distinct values than this do
+    /// not get Domain/Indep profiles (they are effectively text).
+    pub max_categorical_domain: usize,
+    /// Discover **conditional profiles** (the paper's §3 extension):
+    /// for each value `v` of this categorical attribute, per-slice
+    /// numeric Domain profiles `⟨attr = v ⟹ Domain(A_j, …)⟩` are
+    /// emitted. `None` disables conditional discovery.
+    pub conditional_domains_on: Option<String>,
+    /// Numeric tolerance when deciding whether two concretized
+    /// profiles are "identical" (step 1 of §4.1).
+    pub param_tolerance: f64,
+    /// Also emit the alternative transformation functions Fig 1
+    /// lists (winsorize for row 2, clamp for row 4, …) as additional
+    /// PVTs sharing the same profile.
+    pub alternative_transforms: bool,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            domains: true,
+            outliers: Some(OutlierSpec::ZScore(3.0)),
+            missing: true,
+            selectivity_max_domain: Some(12),
+            selectivity_pair_with: None,
+            indep_chi2: true,
+            indep_pearson: true,
+            indep_causal: false,
+            max_categorical_domain: 30,
+            conditional_domains_on: None,
+            param_tolerance: 0.02,
+            alternative_transforms: false,
+        }
+    }
+}
+
+/// Top-level configuration for a diagnosis run.
+#[derive(Debug, Clone)]
+pub struct PrismConfig {
+    /// Acceptable-malfunction threshold `τ` (Definition 3).
+    pub threshold: f64,
+    /// RNG seed for randomized transformations and partitioning.
+    pub seed: u64,
+    /// Hard cap on oracle interventions.
+    pub max_interventions: usize,
+    /// Discovery knobs.
+    pub discovery: DiscoveryConfig,
+    /// Run the Make-Minimal post-processing (Algorithm 1 line 20).
+    /// Disable only for ablation studies.
+    pub make_minimal: bool,
+    /// Use benefit scores (observations O2/O3) to rank candidate
+    /// PVTs. When false, candidates rank uniformly (ties broken by
+    /// id) — an ablation of the paper's §4.2 design choice.
+    pub use_benefit: bool,
+    /// Restrict each greedy pick to PVTs adjacent to the
+    /// highest-degree attributes (observation O1). When false, every
+    /// live PVT is eligible — an ablation of the PVT–attribute-graph
+    /// prioritization.
+    pub use_high_degree: bool,
+}
+
+impl Default for PrismConfig {
+    fn default() -> Self {
+        PrismConfig {
+            threshold: 0.2,
+            seed: 0xDA7A,
+            max_interventions: 100_000,
+            discovery: DiscoveryConfig::default(),
+            make_minimal: true,
+            use_benefit: true,
+            use_high_degree: true,
+        }
+    }
+}
+
+impl PrismConfig {
+    /// Config with the given threshold, other fields default.
+    pub fn with_threshold(threshold: f64) -> Self {
+        PrismConfig {
+            threshold,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_cheap_profiles() {
+        let c = DiscoveryConfig::default();
+        assert!(c.domains && c.missing && c.indep_chi2 && c.indep_pearson);
+        assert!(!c.indep_causal, "causal discovery is opt-in");
+        assert!(c.outliers.is_some());
+    }
+
+    #[test]
+    fn with_threshold_sets_tau() {
+        let c = PrismConfig::with_threshold(0.35);
+        assert_eq!(c.threshold, 0.35);
+        assert!(c.make_minimal);
+    }
+}

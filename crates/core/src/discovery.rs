@@ -1,0 +1,506 @@
+//! Profile discovery and discriminative-PVT computation
+//! (paper §3 / Fig 1 column "Discovery over D", and §4.1 step 1).
+
+use crate::config::DiscoveryConfig;
+use crate::profile::{DependenceKind, Profile};
+use crate::pvt::Pvt;
+use crate::transform::{ImputeStrategy, OutlierRepair, Transform};
+use crate::violation::{dependence, violation};
+use dp_frame::{CmpOp, DType, DataFrame, Predicate};
+use dp_stats::Pattern;
+
+/// Discover the concretized profiles a dataset satisfies, per Fig 1.
+///
+/// Every returned profile has zero violation on `df` by construction
+/// (its parameters are read off `df` itself), matching Definition 10's
+/// requirement `X_V(D_pass, X_P) = 0` when called on the passing
+/// dataset.
+pub fn discover_profiles(df: &DataFrame, cfg: &DiscoveryConfig) -> Vec<Profile> {
+    let mut out = Vec::new();
+    let schema = df.schema();
+    let n = df.n_rows();
+    if n == 0 {
+        return out;
+    }
+    // Per-attribute profiles.
+    for field in schema.fields() {
+        let col = df.column(&field.name).expect("schema-listed column");
+        let null_frac = col.null_count() as f64 / n as f64;
+        if cfg.missing {
+            out.push(Profile::Missing {
+                attr: field.name.clone(),
+                theta: null_frac,
+            });
+        }
+        match field.dtype {
+            DType::Int | DType::Float => {
+                if cfg.domains {
+                    if let Some((lb, ub)) = col.min_max() {
+                        out.push(Profile::DomainNumeric {
+                            attr: field.name.clone(),
+                            lb,
+                            ub,
+                        });
+                    }
+                }
+                if let Some(spec) = cfg.outliers {
+                    let values: Vec<f64> = col.f64_values().into_iter().map(|(_, v)| v).collect();
+                    if let Some(det) = spec.fit(&values) {
+                        let frac =
+                            values.iter().filter(|&&v| det.is_outlier(v)).count() as f64 / n as f64;
+                        out.push(Profile::Outlier {
+                            attr: field.name.clone(),
+                            detector: spec,
+                            theta: frac,
+                        });
+                    }
+                }
+            }
+            DType::Categorical => {
+                let counts = col.value_counts();
+                if cfg.domains && counts.len() <= cfg.max_categorical_domain {
+                    out.push(Profile::DomainCategorical {
+                        attr: field.name.clone(),
+                        values: counts.iter().map(|(v, _)| v.clone()).collect(),
+                    });
+                }
+                if let Some(max_dom) = cfg.selectivity_max_domain {
+                    if counts.len() <= max_dom {
+                        for (value, count) in &counts {
+                            out.push(Profile::Selectivity {
+                                predicate: Predicate::cmp(
+                                    field.name.clone(),
+                                    CmpOp::Eq,
+                                    value.clone(),
+                                ),
+                                theta: *count as f64 / n as f64,
+                            });
+                        }
+                        if let Some(pair_attr) = &cfg.selectivity_pair_with {
+                            if pair_attr != &field.name {
+                                discover_pair_selectivity(
+                                    df,
+                                    &field.name,
+                                    &counts,
+                                    pair_attr,
+                                    max_dom,
+                                    &mut out,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            DType::Text => {
+                if cfg.domains {
+                    let values: Vec<&str> = col.str_values().into_iter().map(|(_, s)| s).collect();
+                    let pattern = Pattern::learn(&values).or_else(|| Pattern::length_only(&values));
+                    if let Some(pattern) = pattern {
+                        out.push(Profile::DomainText {
+                            attr: field.name.clone(),
+                            pattern,
+                        });
+                    }
+                }
+            }
+            DType::Bool => {}
+        }
+    }
+    // Conditional profiles (§3 extension): per-slice numeric domains.
+    if let Some(cond_attr) = &cfg.conditional_domains_on {
+        if let Ok(cond_col) = df.column(cond_attr) {
+            let values = cond_col.value_counts();
+            if values.len() <= cfg.max_categorical_domain {
+                for (value, count) in values {
+                    if count < 2 {
+                        continue; // single-tuple slices over-fit
+                    }
+                    let pred = Predicate::cmp(cond_attr.clone(), CmpOp::Eq, value.clone());
+                    let Ok(subset) = df.filter_by(&pred) else {
+                        continue;
+                    };
+                    for field in schema.fields() {
+                        if !field.dtype.is_numeric() || &field.name == cond_attr {
+                            continue;
+                        }
+                        let Ok(col) = subset.column(&field.name) else {
+                            continue;
+                        };
+                        if let Some((lb, ub)) = col.min_max() {
+                            out.push(Profile::Conditional {
+                                condition: pred.clone(),
+                                inner: Box::new(Profile::DomainNumeric {
+                                    attr: field.name.clone(),
+                                    lb,
+                                    ub,
+                                }),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Pairwise independence profiles (rows 7–9).
+    let fields = schema.fields();
+    for i in 0..fields.len() {
+        for j in (i + 1)..fields.len() {
+            let (fa, fb) = (&fields[i], &fields[j]);
+            let cat = |f: &dp_frame::Field| {
+                matches!(f.dtype, DType::Categorical | DType::Bool)
+                    && df
+                        .column(&f.name)
+                        .map(|c| c.value_counts().len() <= cfg.max_categorical_domain)
+                        .unwrap_or(false)
+            };
+            let num = |f: &dp_frame::Field| f.dtype.is_numeric();
+            if cfg.indep_chi2 && cat(fa) && cat(fb) {
+                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Chi2);
+                out.push(Profile::Indep {
+                    a: fa.name.clone(),
+                    b: fb.name.clone(),
+                    alpha,
+                    kind: DependenceKind::Chi2,
+                });
+            }
+            if cfg.indep_pearson && num(fa) && num(fb) {
+                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Pearson);
+                out.push(Profile::Indep {
+                    a: fa.name.clone(),
+                    b: fb.name.clone(),
+                    alpha,
+                    kind: DependenceKind::Pearson,
+                });
+            }
+            if cfg.indep_causal && (num(fa) || cat(fa)) && (num(fb) || cat(fb)) {
+                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Causal);
+                out.push(Profile::Indep {
+                    a: fa.name.clone(),
+                    b: fb.name.clone(),
+                    alpha,
+                    kind: DependenceKind::Causal,
+                });
+            }
+            // Mixed categorical/numeric pairs: χ² over the coded pair
+            // is covered by the causal profile when enabled.
+        }
+    }
+    out
+}
+
+fn discover_pair_selectivity(
+    df: &DataFrame,
+    attr: &str,
+    counts: &[(String, usize)],
+    pair_attr: &str,
+    max_dom: usize,
+    out: &mut Vec<Profile>,
+) {
+    let Ok(pair_col) = df.column(pair_attr) else {
+        return;
+    };
+    let pair_counts = pair_col.value_counts();
+    if pair_counts.len() > max_dom {
+        return;
+    }
+    let n = df.n_rows() as f64;
+    for (v1, _) in counts {
+        for (v2, _) in &pair_counts {
+            let pred = Predicate::cmp(attr, CmpOp::Eq, v1.clone()).and(Predicate::cmp(
+                pair_attr,
+                CmpOp::Eq,
+                v2.clone(),
+            ));
+            if let Ok(sel) = df.selectivity(&pred) {
+                // Skip empty cells: a never-seen combination is not a
+                // meaningful selectivity expectation.
+                if sel * n >= 1.0 {
+                    out.push(Profile::Selectivity {
+                        predicate: pred,
+                        theta: sel,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The primary transformation for a profile (Fig 1's first listed
+/// alternative), plus the extra alternatives when requested.
+pub fn transforms_for(profile: &Profile, alternatives: bool) -> Vec<Transform> {
+    let mut out = Vec::new();
+    match profile {
+        Profile::DomainCategorical { attr, values } => {
+            out.push(Transform::MapToDomain {
+                attr: attr.clone(),
+                values: values.clone(),
+            });
+        }
+        Profile::DomainNumeric { attr, lb, ub } => {
+            out.push(Transform::LinearRescale {
+                attr: attr.clone(),
+                lb: *lb,
+                ub: *ub,
+            });
+            if alternatives {
+                out.push(Transform::Winsorize {
+                    attr: attr.clone(),
+                    lb: *lb,
+                    ub: *ub,
+                });
+            }
+        }
+        Profile::DomainText { attr, pattern } => {
+            out.push(Transform::RepairText {
+                attr: attr.clone(),
+                pattern: pattern.clone(),
+            });
+        }
+        Profile::Outlier { attr, detector, .. } => {
+            out.push(Transform::ReplaceOutliers {
+                attr: attr.clone(),
+                detector: *detector,
+                strategy: OutlierRepair::Mean,
+            });
+            if alternatives {
+                out.push(Transform::ReplaceOutliers {
+                    attr: attr.clone(),
+                    detector: *detector,
+                    strategy: OutlierRepair::Clamp,
+                });
+            }
+        }
+        Profile::Missing { attr, .. } => {
+            out.push(Transform::Impute {
+                attr: attr.clone(),
+                strategy: ImputeStrategy::Central,
+            });
+        }
+        Profile::Selectivity { predicate, theta } => {
+            out.push(Transform::ResampleSelectivity {
+                predicate: predicate.clone(),
+                theta: *theta,
+            });
+        }
+        Profile::Conditional { condition, inner } => {
+            for t in transforms_for(inner, alternatives) {
+                // Global inner transforms cannot be row-scoped; only
+                // local repairs are lifted into the condition.
+                if !t.is_global() {
+                    out.push(Transform::Conditional {
+                        condition: condition.clone(),
+                        inner: Box::new(t),
+                    });
+                }
+            }
+        }
+        Profile::Indep { a, b, alpha, kind } => match kind {
+            DependenceKind::Chi2 => out.push(Transform::BreakDependenceShuffle {
+                a: a.clone(),
+                b: b.clone(),
+                alpha: *alpha,
+            }),
+            DependenceKind::Pearson => out.push(Transform::DecorrelateNoise {
+                a: a.clone(),
+                b: b.clone(),
+                alpha: *alpha,
+            }),
+            DependenceKind::Causal => out.push(Transform::Residualize {
+                a: a.clone(),
+                b: b.clone(),
+            }),
+        },
+    }
+    out
+}
+
+/// Step 1 of the paper's §4.1: discover PVTs over both datasets and
+/// keep the *discriminative* ones — profiles of the passing dataset
+/// whose parameter values differ over the failing dataset (or that
+/// the failing dataset does not exhibit at all), filtered to those
+/// the failing dataset actually violates (Definition 10 condition 5).
+pub fn discriminative_pvts(
+    d_pass: &DataFrame,
+    d_fail: &DataFrame,
+    cfg: &DiscoveryConfig,
+) -> Vec<Pvt> {
+    let pass_profiles = discover_profiles(d_pass, cfg);
+    let fail_profiles = discover_profiles(d_fail, cfg);
+    let mut pvts = Vec::new();
+    let mut id = 0;
+    for profile in pass_profiles {
+        let key = profile.template_key();
+        let identical = fail_profiles.iter().any(|fp| {
+            fp.template_key() == key && fp.same_parameters(&profile, cfg.param_tolerance)
+        });
+        if identical {
+            continue;
+        }
+        if violation(d_fail, &profile) <= 0.0 {
+            continue;
+        }
+        for transform in transforms_for(&profile, cfg.alternative_transforms) {
+            pvts.push(Pvt {
+                id,
+                profile: profile.clone(),
+                transform,
+            });
+            id += 1;
+        }
+    }
+    pvts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::Column;
+
+    fn cat(name: &str, vals: &[&str]) -> Column {
+        Column::from_strings(
+            name,
+            DType::Categorical,
+            vals.iter().map(|s| Some(s.to_string())).collect(),
+        )
+    }
+
+    fn sentiment_pair() -> (DataFrame, DataFrame) {
+        let pass = DataFrame::from_columns(vec![
+            cat("target", &["-1", "1", "1", "-1", "1", "-1"]),
+            Column::from_ints(
+                "len",
+                vec![
+                    Some(100),
+                    Some(150),
+                    Some(120),
+                    Some(90),
+                    Some(140),
+                    Some(100),
+                ],
+            ),
+        ])
+        .unwrap();
+        let fail = DataFrame::from_columns(vec![
+            cat("target", &["0", "4", "4", "0", "4", "0"]),
+            Column::from_ints(
+                "len",
+                vec![Some(20), Some(25), Some(22), Some(18), Some(24), Some(21)],
+            ),
+        ])
+        .unwrap();
+        (pass, fail)
+    }
+
+    #[test]
+    fn discovers_fig1_profiles() {
+        let (pass, _) = sentiment_pair();
+        let profiles = discover_profiles(&pass, &DiscoveryConfig::default());
+        let keys: Vec<String> = profiles.iter().map(|p| p.template_key()).collect();
+        assert!(keys.contains(&"domain_cat(target)".to_string()), "{keys:?}");
+        assert!(keys.contains(&"domain_num(len)".to_string()));
+        assert!(keys.contains(&"missing(target)".to_string()));
+        assert!(keys.contains(&"missing(len)".to_string()));
+        assert!(keys.iter().any(|k| k.starts_with("selectivity")));
+    }
+
+    #[test]
+    fn discovered_profiles_have_zero_self_violation() {
+        let (pass, _) = sentiment_pair();
+        for p in discover_profiles(&pass, &DiscoveryConfig::default()) {
+            assert!(
+                violation(&pass, &p) < 1e-9,
+                "self-violation of {p} was {}",
+                violation(&pass, &p)
+            );
+        }
+    }
+
+    #[test]
+    fn discriminative_pvts_capture_the_sentiment_mismatch() {
+        let (pass, fail) = sentiment_pair();
+        let pvts = discriminative_pvts(&pass, &fail, &DiscoveryConfig::default());
+        assert!(!pvts.is_empty());
+        // The Domain profile on target must be among them.
+        assert!(
+            pvts.iter()
+                .any(|p| p.profile.template_key() == "domain_cat(target)"),
+            "{:?}",
+            pvts.iter()
+                .map(|p| p.profile.template_key())
+                .collect::<Vec<_>>()
+        );
+        // Every discriminative PVT is violated by the failing data and
+        // satisfied by the passing data (Definition 10).
+        for p in &pvts {
+            assert!(p.violation(&fail) > 0.0, "{}", p.profile);
+            assert!(p.violation(&pass) < 1e-9, "{}", p.profile);
+        }
+        // Ids are sequential.
+        for (i, p) in pvts.iter().enumerate() {
+            assert_eq!(p.id, i);
+        }
+    }
+
+    #[test]
+    fn identical_datasets_yield_no_discriminative_pvts() {
+        let (pass, _) = sentiment_pair();
+        let pvts = discriminative_pvts(&pass, &pass.clone(), &DiscoveryConfig::default());
+        assert!(pvts.is_empty());
+    }
+
+    #[test]
+    fn pair_selectivity_discovery() {
+        let df = DataFrame::from_columns(vec![
+            cat("gender", &["F", "F", "M", "M", "M", "M"]),
+            cat("high", &["yes", "no", "yes", "yes", "no", "yes"]),
+        ])
+        .unwrap();
+        let cfg = DiscoveryConfig {
+            selectivity_pair_with: Some("high".into()),
+            ..Default::default()
+        };
+        let profiles = discover_profiles(&df, &cfg);
+        let pair = profiles.iter().any(|p| {
+            matches!(p, Profile::Selectivity { predicate, .. }
+                if predicate.to_string().contains('∧'))
+        });
+        assert!(pair, "conjunctive selectivity profile discovered");
+    }
+
+    #[test]
+    fn alternative_transforms_flag() {
+        let profile = Profile::DomainNumeric {
+            attr: "x".into(),
+            lb: 0.0,
+            ub: 1.0,
+        };
+        assert_eq!(transforms_for(&profile, false).len(), 1);
+        assert_eq!(transforms_for(&profile, true).len(), 2);
+    }
+
+    #[test]
+    fn indep_profiles_for_planted_dependence() {
+        // pass: independent; fail: perfectly dependent.
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        let mut fa = Vec::new();
+        let mut fb = Vec::new();
+        for i in 0..80 {
+            pa.push(if i % 2 == 0 { "x" } else { "y" });
+            pb.push(if (i / 2) % 2 == 0 { "p" } else { "q" });
+            fa.push(if i % 2 == 0 { "x" } else { "y" });
+            fb.push(if i % 2 == 0 { "p" } else { "q" });
+        }
+        let pass = DataFrame::from_columns(vec![cat("a", &pa), cat("b", &pb)]).unwrap();
+        let fail = DataFrame::from_columns(vec![cat("a", &fa), cat("b", &fb)]).unwrap();
+        let pvts = discriminative_pvts(&pass, &fail, &DiscoveryConfig::default());
+        assert!(
+            pvts.iter()
+                .any(|p| p.profile.template_key() == "indep_chi2(a,b)"),
+            "{:?}",
+            pvts.iter()
+                .map(|p| p.profile.template_key())
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the DataPrism framework.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PrismError>;
+
+/// Errors surfaced by discovery and diagnosis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrismError {
+    /// A dataframe operation failed.
+    Frame(dp_frame::FrameError),
+    /// The passing dataset does not actually pass (`m_S(D_pass) > τ`)
+    /// or the failing dataset does not fail. Payload describes which.
+    BadInput(String),
+    /// No discriminative PVTs were found between the two datasets, so
+    /// assumption A1 cannot hold and there is nothing to intervene on.
+    NoDiscriminativePvts,
+    /// Group testing detected a violation of assumption A3 (the
+    /// composition of all candidate transformations does not reduce
+    /// the malfunction score) and is therefore not applicable — the
+    /// "NA" cells of the paper's Fig 7.
+    AssumptionViolated(String),
+    /// The intervention budget was exhausted before the malfunction
+    /// score dropped below the threshold.
+    BudgetExhausted {
+        /// Interventions performed.
+        used: usize,
+        /// Best malfunction score reached.
+        best_score: f64,
+    },
+}
+
+impl fmt::Display for PrismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrismError::Frame(e) => write!(f, "dataframe error: {e}"),
+            PrismError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            PrismError::NoDiscriminativePvts => {
+                write!(f, "no discriminative PVTs between the datasets")
+            }
+            PrismError::AssumptionViolated(msg) => {
+                write!(
+                    f,
+                    "assumption violated (group testing not applicable): {msg}"
+                )
+            }
+            PrismError::BudgetExhausted { used, best_score } => write!(
+                f,
+                "intervention budget exhausted after {used} interventions (best score {best_score})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrismError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrismError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dp_frame::FrameError> for PrismError {
+    fn from(e: dp_frame::FrameError) -> Self {
+        PrismError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: PrismError = dp_frame::FrameError::ColumnNotFound("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = PrismError::AssumptionViolated("A3".into());
+        assert!(e.to_string().contains("A3"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Diagnosis results: the explanation of a system malfunction
+//! (Definition 10/11) plus an audit trail.
+
+use crate::pvt::Pvt;
+use dp_frame::DataFrame;
+use std::fmt;
+
+/// One event of the diagnosis trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Discovery finished with this many discriminative PVTs.
+    Discovered {
+        /// Number of discriminative PVTs.
+        n_pvts: usize,
+    },
+    /// An intervention was performed.
+    Intervention {
+        /// Ids of the PVTs whose transformations were applied
+        /// (singleton for the greedy algorithm, a partition for group
+        /// testing).
+        pvt_ids: Vec<usize>,
+        /// Malfunction score before.
+        before: f64,
+        /// Malfunction score after.
+        after: f64,
+        /// Whether the intervention was kept (reduced malfunction).
+        kept: bool,
+    },
+    /// Make-Minimal dropped a redundant PVT.
+    MinimalityDropped {
+        /// Id of the dropped PVT.
+        pvt_id: usize,
+    },
+}
+
+/// The output of a diagnosis: the minimal explanation (causes and
+/// fixes), the interventions spent finding it, and the repaired
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The explanation set `X*`: failing to satisfy these profiles is
+    /// the cause; their transformations are the fix.
+    pub pvts: Vec<Pvt>,
+    /// Oracle interventions performed.
+    pub interventions: usize,
+    /// `m_S(D_fail)` before any intervention.
+    pub initial_score: f64,
+    /// Malfunction score of the repaired dataset.
+    pub final_score: f64,
+    /// Whether the final score is at or below the threshold `τ`. When
+    /// false, `pvts` is a best-effort partial explanation.
+    pub resolved: bool,
+    /// The repaired failing dataset
+    /// `(∘_{X ∈ X*} X_T)(D_fail)`.
+    pub repaired: DataFrame,
+    /// Ordered audit trail of the run.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl Explanation {
+    /// Ids of the explanation PVTs, ascending.
+    pub fn pvt_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.pvts.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether a PVT whose profile has this template key is part of
+    /// the explanation — convenient for asserting that a planted
+    /// ground-truth cause was found.
+    pub fn contains_template(&self, template_key: &str) -> bool {
+        self.pvts
+            .iter()
+            .any(|p| p.profile.template_key() == template_key)
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Explanation ({} PVT{}, {} intervention{}, malfunction {:.3} → {:.3}, {}):",
+            self.pvts.len(),
+            if self.pvts.len() == 1 { "" } else { "s" },
+            self.interventions,
+            if self.interventions == 1 { "" } else { "s" },
+            self.initial_score,
+            self.final_score,
+            if self.resolved {
+                "resolved"
+            } else {
+                "UNRESOLVED"
+            },
+        )?;
+        for pvt in &self.pvts {
+            writeln!(f, "  cause: {}", pvt.profile)?;
+            writeln!(f, "    fix: {}", pvt.transform)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::transform::{ImputeStrategy, Transform};
+
+    fn dummy() -> Explanation {
+        Explanation {
+            pvts: vec![Pvt {
+                id: 3,
+                profile: Profile::Missing {
+                    attr: "zip".into(),
+                    theta: 0.1,
+                },
+                transform: Transform::Impute {
+                    attr: "zip".into(),
+                    strategy: ImputeStrategy::Central,
+                },
+            }],
+            interventions: 2,
+            initial_score: 0.75,
+            final_score: 0.15,
+            resolved: true,
+            repaired: DataFrame::new(),
+            trace: vec![TraceEvent::Discovered { n_pvts: 4 }],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = dummy();
+        assert_eq!(e.pvt_ids(), vec![3]);
+        assert!(e.contains_template("missing(zip)"));
+        assert!(!e.contains_template("missing(age)"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = dummy().to_string();
+        assert!(s.contains("1 PVT"));
+        assert!(s.contains("2 interventions"));
+        assert!(s.contains("resolved"));
+        assert!(s.contains("cause") && s.contains("fix"));
+    }
+}

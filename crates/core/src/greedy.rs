@@ -1,0 +1,376 @@
+//! Algorithm 1 — `DataPrism-GRD`, the greedy intervention algorithm
+//! (the paper's `DataExposerGRD`).
+//!
+//! One discriminative PVT is intervened on at a time, prioritized by
+//! (1) adjacency to the highest-degree attributes of the
+//! PVT–attribute graph (observation O1) and (2) benefit score
+//! (observations O2/O3). Interventions that reduce the malfunction
+//! score are kept and composed; the accumulated explanation is
+//! post-processed by Make-Minimal (Definition 11).
+
+use crate::benefit::benefit_scores;
+use crate::config::PrismConfig;
+use crate::discovery::discriminative_pvts;
+use crate::error::{PrismError, Result};
+use crate::explanation::{Explanation, TraceEvent};
+use crate::graph::PvtAttributeGraph;
+use crate::oracle::{Oracle, System};
+use crate::pvt::{apply_composition, Pvt};
+use dp_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Validate the problem inputs (Definition 10 items 3–4): the passing
+/// dataset must pass and the failing dataset must fail.
+pub(crate) fn validate_inputs(
+    oracle: &mut Oracle<'_>,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+) -> Result<f64> {
+    let pass_score = oracle.baseline(d_pass);
+    if !oracle.passes(pass_score) {
+        return Err(PrismError::BadInput(format!(
+            "passing dataset has malfunction {pass_score:.3} > τ = {:.3}",
+            oracle.threshold
+        )));
+    }
+    let fail_score = oracle.baseline(d_fail);
+    if oracle.passes(fail_score) {
+        return Err(PrismError::BadInput(format!(
+            "failing dataset has malfunction {fail_score:.3} ≤ τ = {:.3}",
+            oracle.threshold
+        )));
+    }
+    Ok(fail_score)
+}
+
+/// Make-Minimal (Alg 1 line 20): drop PVTs one at a time; keep the
+/// drop whenever the remaining composition still brings the
+/// malfunction below τ. Returns the minimal set, the repaired frame,
+/// and its score.
+pub(crate) fn make_minimal(
+    oracle: &mut Oracle<'_>,
+    d_fail: &DataFrame,
+    mut selected: Vec<Pvt>,
+    repaired: DataFrame,
+    score: f64,
+    seed: u64,
+    trace: &mut Vec<TraceEvent>,
+) -> Result<(Vec<Pvt>, DataFrame, f64)> {
+    let mut best = (repaired, score);
+    let mut i = 0;
+    while selected.len() > 1 && i < selected.len() {
+        let mut candidate = selected.clone();
+        let dropped = candidate.remove(i);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let refs: Vec<&Pvt> = candidate.iter().collect();
+        let (transformed, _) = apply_composition(&refs, d_fail, &mut rng)?;
+        let s = oracle.intervene(&transformed);
+        if oracle.passes(s) {
+            trace.push(TraceEvent::MinimalityDropped { pvt_id: dropped.id });
+            selected = candidate;
+            best = (transformed, s);
+            // Restart the scan: minimality must hold for every strict
+            // subset of the final set.
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    Ok((selected, best.0, best.1))
+}
+
+/// Run `DataPrism-GRD` (Algorithm 1).
+///
+/// Returns the (minimal, when resolved) explanation of why `system`
+/// malfunctions on `d_fail` but not on `d_pass`.
+pub fn explain_greedy(
+    system: &mut dyn System,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    config: &PrismConfig,
+) -> Result<Explanation> {
+    // Lines 1–4: discriminative PVTs.
+    let pvts = discriminative_pvts(d_pass, d_fail, &config.discovery);
+    explain_greedy_with_pvts(system, d_fail, d_pass, pvts, config)
+}
+
+/// Algorithm 1 with a caller-supplied discriminative PVT set.
+///
+/// The synthetic-pipeline experiments (§5.2, Figs 8–9) control the
+/// number of discriminative PVTs directly; this entry point skips
+/// rediscovery and runs lines 5–21 on the given candidates.
+pub fn explain_greedy_with_pvts(
+    system: &mut dyn System,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvts: Vec<Pvt>,
+    config: &PrismConfig,
+) -> Result<Explanation> {
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass)?;
+    if pvts.is_empty() {
+        return Err(PrismError::NoDiscriminativePvts);
+    }
+    let mut trace = vec![TraceEvent::Discovered { n_pvts: pvts.len() }];
+
+    // Lines 5–6: PVT–attribute graph and benefit scores.
+    let mut graph = PvtAttributeGraph::new(&pvts);
+    let mut benefits = benefit_scores(&pvts, d_fail);
+
+    // Lines 7–8.
+    let mut selected: Vec<Pvt> = Vec::new();
+    let mut current = d_fail.clone();
+    let mut score = initial_score;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Line 9: intervene until acceptable.
+    while !oracle.passes(score) && !graph.is_empty() && !oracle.exhausted() {
+        // Line 10: PVTs adjacent to the highest-degree attributes
+        // (ablatable: O1 off considers every live PVT).
+        let hda = if config.use_high_degree {
+            graph.high_degree_pvts()
+        } else {
+            graph.pvt_ids()
+        };
+        // Line 11: maximum benefit among them (ablatable: O2/O3 off
+        // ranks in a seed-dependent arbitrary order — a Knuth-hash of
+        // the id, so the ablation measures uninformed search rather
+        // than a lucky id ordering).
+        let key = |id: usize| -> f64 {
+            if config.use_benefit {
+                benefits.get(&id).copied().unwrap_or(0.0)
+            } else {
+                (id as u64)
+                    .wrapping_add(config.seed)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15) as f64
+            }
+        };
+        let Some(&chosen_id) = hda.iter().max_by(|&&a, &&b| key(a).total_cmp(&key(b))) else {
+            break;
+        };
+        let pvt = pvts
+            .iter()
+            .find(|p| p.id == chosen_id)
+            .expect("graph only holds known ids");
+
+        // Line 12: malfunction reduction under this transformation.
+        let (transformed, _) = pvt.apply(&current, &mut rng)?;
+        let new_score = oracle.intervene(&transformed);
+        let delta = score - new_score;
+
+        // Line 13: mark explored.
+        graph.remove(chosen_id);
+        benefits.remove(&chosen_id);
+        trace.push(TraceEvent::Intervention {
+            pvt_ids: vec![chosen_id],
+            before: score,
+            after: new_score,
+            kept: delta > 0.0,
+        });
+
+        // Lines 14–19.
+        if delta > 0.0 {
+            current = transformed;
+            score = new_score;
+            selected.push(pvt.clone());
+            // Line 17: refresh benefits against the updated dataset.
+            let live = graph.pvt_ids();
+            crate::benefit::update_benefits(&mut benefits, &pvts, &live, &current);
+        }
+    }
+
+    let resolved_before_minimal = oracle.passes(score);
+
+    // Line 20: Make-Minimal.
+    let (selected, current, score) = if resolved_before_minimal && config.make_minimal {
+        make_minimal(
+            &mut oracle,
+            d_fail,
+            selected,
+            current,
+            score,
+            config.seed,
+            &mut trace,
+        )?
+    } else {
+        (selected, current, score)
+    };
+
+    if !oracle.passes(score) && oracle.exhausted() {
+        return Err(PrismError::BudgetExhausted {
+            used: oracle.interventions,
+            best_score: score,
+        });
+    }
+
+    Ok(Explanation {
+        pvts: selected,
+        interventions: oracle.interventions,
+        initial_score,
+        final_score: score,
+        resolved: oracle.passes(score),
+        repaired: current,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrismConfig;
+    use crate::violation::violation;
+    use dp_frame::{Column, DType, DataFrame};
+
+    fn cat(name: &str, vals: &[&str]) -> Column {
+        Column::from_strings(
+            name,
+            DType::Categorical,
+            vals.iter().map(|s| Some(s.to_string())).collect(),
+        )
+    }
+
+    /// A miniature sentiment-style scenario: the system expects
+    /// target ∈ {-1, 1}; malfunction = fraction of labels outside
+    /// that domain (as if every such row were misclassified).
+    fn label_domain_system(df: &DataFrame) -> f64 {
+        let col = df.column("target").unwrap();
+        let bad = col
+            .str_values()
+            .iter()
+            .filter(|(_, s)| *s != "-1" && *s != "1")
+            .count();
+        bad as f64 / df.n_rows().max(1) as f64
+    }
+
+    fn pass_fail() -> (DataFrame, DataFrame) {
+        let pass = DataFrame::from_columns(vec![
+            cat("target", &["-1", "1", "1", "-1", "1", "-1", "1", "-1"]),
+            Column::from_ints(
+                "len",
+                vec![
+                    Some(100),
+                    Some(150),
+                    Some(120),
+                    Some(90),
+                    Some(140),
+                    Some(100),
+                    Some(130),
+                    Some(95),
+                ],
+            ),
+        ])
+        .unwrap();
+        let fail = DataFrame::from_columns(vec![
+            cat("target", &["0", "4", "4", "0", "4", "0", "4", "0"]),
+            Column::from_ints(
+                "len",
+                vec![
+                    Some(20),
+                    Some(25),
+                    Some(22),
+                    Some(18),
+                    Some(24),
+                    Some(21),
+                    Some(23),
+                    Some(19),
+                ],
+            ),
+        ])
+        .unwrap();
+        (pass, fail)
+    }
+
+    #[test]
+    fn finds_the_domain_root_cause() {
+        let (pass, fail) = pass_fail();
+        let mut system = label_domain_system;
+        let config = PrismConfig::with_threshold(0.2);
+        let exp = explain_greedy(&mut system, &fail, &pass, &config).unwrap();
+        assert!(exp.resolved);
+        assert_eq!(exp.pvts.len(), 1, "minimal explanation: {exp}");
+        assert!(exp.contains_template("domain_cat(target)"));
+        assert!(
+            exp.interventions <= 5,
+            "took {} interventions",
+            exp.interventions
+        );
+        assert_eq!(exp.final_score, 0.0);
+        // The repaired dataset satisfies the cause profile.
+        assert_eq!(violation(&exp.repaired, &exp.pvts[0].profile), 0.0);
+        assert_eq!(exp.initial_score, 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (pass, fail) = pass_fail();
+        let mut system = label_domain_system;
+        let config = PrismConfig::with_threshold(0.2);
+        // Swapped inputs: "failing" dataset passes.
+        let err = explain_greedy(&mut system, &pass, &fail, &config).unwrap_err();
+        assert!(matches!(err, PrismError::BadInput(_)));
+    }
+
+    #[test]
+    fn no_discriminative_pvts_reported() {
+        let (pass, _) = pass_fail();
+        // A system that fails on the "failing" copy only via row
+        // count (not profile-expressible): use an identical dataset
+        // so no PVT is discriminative, with a threshold placing one
+        // dataset on each side.
+        let mut calls = 0usize;
+        let mut system = move |_: &DataFrame| {
+            calls += 1;
+            if calls == 1 {
+                0.1 // first query: D_pass
+            } else {
+                0.9 // second query: D_fail (same content? no-cache different fingerprint needed)
+            }
+        };
+        // Use two structurally identical but distinct frames: the
+        // oracle fingerprints content, so make one cell differ in a
+        // way discovery tolerates (same profiles).
+        let mut fail = pass.clone();
+        fail.column_mut("len").unwrap().set(0, 101.into()).unwrap();
+        let err = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
+            .unwrap_err();
+        assert!(matches!(err, PrismError::NoDiscriminativePvts), "{err}");
+    }
+
+    #[test]
+    fn trace_records_interventions() {
+        let (pass, fail) = pass_fail();
+        let mut system = label_domain_system;
+        let exp =
+            explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2)).unwrap();
+        assert!(matches!(exp.trace[0], TraceEvent::Discovered { n_pvts } if n_pvts > 0));
+        let kept: Vec<bool> = exp
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Intervention { kept, .. } => Some(*kept),
+                _ => None,
+            })
+            .collect();
+        assert!(kept.iter().any(|&k| k), "at least one kept intervention");
+    }
+
+    #[test]
+    fn unresolvable_returns_best_effort() {
+        let (pass, fail) = pass_fail();
+        // System that always fails badly no matter the data — except
+        // on the exact passing dataset (so validation succeeds).
+        let pass_fp = crate::oracle::fingerprint(&pass);
+        let mut system = move |df: &DataFrame| {
+            if crate::oracle::fingerprint(df) == pass_fp {
+                0.0
+            } else {
+                0.9
+            }
+        };
+        let exp =
+            explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2)).unwrap();
+        assert!(!exp.resolved);
+        assert!(exp.pvts.is_empty(), "nothing reduced the malfunction");
+    }
+}

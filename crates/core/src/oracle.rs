@@ -1,0 +1,242 @@
+//! The system under diagnosis and the intervention-counting oracle.
+//!
+//! A [`System`] computes the malfunction score `m_S(D) ∈ [0, 1]`
+//! (Definition 3). The [`Oracle`] wraps it with the bookkeeping the
+//! paper's evaluation reports: every malfunction evaluation of a
+//! *transformed* dataset is an **intervention**, the currency of
+//! Fig 7 and Fig 9. Identical datasets are content-fingerprinted so a
+//! repeated query (e.g. during Make-Minimal) does not double count.
+
+use dp_frame::{DataFrame, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A (possibly stateful) data-driven system with a malfunction score.
+///
+/// Implementations retrain models, run pipelines, etc. They must be
+/// deterministic functions of the dataset for the diagnosis to be
+/// meaningful (seed your models).
+pub trait System {
+    /// Malfunction score of the system over `df`, in `[0, 1]`
+    /// (0 = functions properly).
+    fn malfunction(&mut self, df: &DataFrame) -> f64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "system"
+    }
+}
+
+impl<F: FnMut(&DataFrame) -> f64> System for F {
+    fn malfunction(&mut self, df: &DataFrame) -> f64 {
+        self(df)
+    }
+}
+
+/// Content fingerprint of a dataframe: hashes schema and every cell.
+/// Collisions would only merge two intervention cache entries, never
+/// corrupt correctness-critical state.
+pub fn fingerprint(df: &DataFrame) -> u64 {
+    let mut h = DefaultHasher::new();
+    for col in df.columns() {
+        col.name().hash(&mut h);
+        format!("{:?}", col.dtype()).hash(&mut h);
+        for i in 0..col.len() {
+            match col.get(i) {
+                Value::Null => 0u8.hash(&mut h),
+                Value::Int(v) => {
+                    1u8.hash(&mut h);
+                    v.hash(&mut h);
+                }
+                Value::Float(v) => {
+                    2u8.hash(&mut h);
+                    v.to_bits().hash(&mut h);
+                }
+                Value::Bool(v) => {
+                    3u8.hash(&mut h);
+                    v.hash(&mut h);
+                }
+                Value::Str(v) => {
+                    4u8.hash(&mut h);
+                    v.hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Clamp a malfunction score into `[0, 1]`; a NaN (a crashed or
+/// undefined measurement) is treated as extreme malfunction so it can
+/// never masquerade as "passes" (NaN comparisons are all false, which
+/// would otherwise poison the `m ≤ τ` checks).
+fn sanitize(score: f64) -> f64 {
+    if score.is_nan() {
+        1.0
+    } else {
+        score.clamp(0.0, 1.0)
+    }
+}
+
+/// Intervention-counting, caching wrapper around a [`System`].
+pub struct Oracle<'a> {
+    system: &'a mut dyn System,
+    /// Acceptable-malfunction threshold `τ`.
+    pub threshold: f64,
+    /// Interventions performed. Every [`Oracle::intervene`] query
+    /// counts — even when the content cache spares the recomputation
+    /// — because an intervention is the *act of asking the oracle*
+    /// about a transformed dataset (the metric of the paper's Fig 7
+    /// and Fig 9). Only the two problem-input baselines are free.
+    pub interventions: usize,
+    /// Hard cap; exceeding it surfaces as
+    /// [`crate::PrismError::BudgetExhausted`] in the algorithms.
+    pub budget: usize,
+    cache: HashMap<u64, f64>,
+    free: std::collections::HashSet<u64>,
+}
+
+impl<'a> Oracle<'a> {
+    /// Wrap `system` with threshold `τ` and an intervention budget.
+    pub fn new(system: &'a mut dyn System, threshold: f64, budget: usize) -> Self {
+        Oracle {
+            system,
+            threshold,
+            interventions: 0,
+            budget,
+            cache: HashMap::new(),
+            free: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Malfunction score of a *baseline* dataset (`D_pass`/`D_fail`
+    /// as given). Never counted as an intervention — the problem
+    /// definition assumes these two scores are known — and future
+    /// queries of the identical dataset stay free.
+    pub fn baseline(&mut self, df: &DataFrame) -> f64 {
+        let fp = fingerprint(df);
+        self.free.insert(fp);
+        if let Some(&score) = self.cache.get(&fp) {
+            return score;
+        }
+        let score = sanitize(self.system.malfunction(df));
+        self.cache.insert(fp, score);
+        score
+    }
+
+    /// Malfunction score of a transformed dataset: one intervention
+    /// (the system itself is only re-run when the exact dataset has
+    /// not been scored before).
+    pub fn intervene(&mut self, df: &DataFrame) -> f64 {
+        let fp = fingerprint(df);
+        if !self.free.contains(&fp) {
+            self.interventions += 1;
+        }
+        if let Some(&score) = self.cache.get(&fp) {
+            return score;
+        }
+        let score = sanitize(self.system.malfunction(df));
+        self.cache.insert(fp, score);
+        score
+    }
+
+    /// Whether a score is acceptable (`m ≤ τ`).
+    pub fn passes(&self, score: f64) -> bool {
+        score <= self.threshold
+    }
+
+    /// Whether the intervention budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.interventions >= self.budget
+    }
+
+    /// Name of the wrapped system.
+    pub fn system_name(&self) -> String {
+        self.system.name().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::Column;
+
+    fn df(vals: &[i64]) -> DataFrame {
+        DataFrame::from_columns(vec![Column::from_ints(
+            "x",
+            vals.iter().map(|&v| Some(v)).collect(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn every_query_counts_but_computation_is_cached() {
+        let mut calls = 0usize;
+        let mut system = |_: &DataFrame| {
+            calls += 1;
+            0.5
+        };
+        let mut oracle = Oracle::new(&mut system, 0.2, 100);
+        let a = df(&[1, 2, 3]);
+        let b = df(&[4, 5, 6]);
+        assert_eq!(oracle.intervene(&a), 0.5);
+        assert_eq!(oracle.intervene(&a), 0.5, "cached result, counted query");
+        assert_eq!(oracle.intervene(&b), 0.5);
+        assert_eq!(oracle.interventions, 3);
+        drop(oracle);
+        assert_eq!(calls, 2, "system invoked once per unique dataset");
+    }
+
+    #[test]
+    fn baseline_is_free_forever() {
+        let mut system = |_: &DataFrame| 0.9;
+        let mut oracle = Oracle::new(&mut system, 0.2, 100);
+        let d = df(&[1]);
+        oracle.baseline(&d);
+        assert_eq!(oracle.interventions, 0);
+        // Re-querying the exact baseline dataset stays free.
+        oracle.intervene(&d);
+        assert_eq!(oracle.interventions, 0);
+        // A genuinely different dataset counts.
+        oracle.intervene(&df(&[2]));
+        assert_eq!(oracle.interventions, 1);
+    }
+
+    #[test]
+    fn passes_and_budget() {
+        let mut system = |_: &DataFrame| 0.1;
+        let mut oracle = Oracle::new(&mut system, 0.2, 1);
+        assert!(oracle.passes(0.2));
+        assert!(!oracle.passes(0.21));
+        assert!(!oracle.exhausted());
+        oracle.intervene(&df(&[1]));
+        assert!(oracle.exhausted());
+    }
+
+    #[test]
+    fn fingerprints_differ_on_content_and_schema() {
+        let a = df(&[1, 2]);
+        let b = df(&[2, 1]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let c =
+            DataFrame::from_columns(vec![Column::from_ints("y", vec![Some(1), Some(2)])]).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&c), "column name matters");
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn scores_clamped_and_nan_is_extreme() {
+        let mut system = |_: &DataFrame| 7.5;
+        let mut oracle = Oracle::new(&mut system, 0.2, 10);
+        assert_eq!(oracle.intervene(&df(&[1])), 1.0);
+        // Failure injection: a system returning NaN (crashed
+        // measurement) must read as extreme malfunction, not as a
+        // vacuous pass.
+        let mut nan_system = |_: &DataFrame| f64::NAN;
+        let mut oracle = Oracle::new(&mut nan_system, 0.2, 10);
+        let score = oracle.intervene(&df(&[2]));
+        assert_eq!(score, 1.0);
+        assert!(!oracle.passes(score));
+    }
+}

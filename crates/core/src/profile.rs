@@ -1,0 +1,456 @@
+//! Data profiles — the `P` of a PVT triplet (paper §2.2.1, Fig 1).
+//!
+//! A profile denotes a property that the tuples of a dataset
+//! (collectively) satisfy. The nine templates below are exactly the
+//! rows of the paper's Fig 1; each carries the concrete parameters
+//! filled in by discovery over a dataset.
+
+use dp_frame::Predicate;
+use dp_stats::Pattern;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Specification of an outlier-detection function `O` (Fig 1 row 4).
+/// Parameters are kept symbolic and refit on whichever dataset a
+/// violation is computed over — Fig 1's violation applies
+/// `O(D.A_j, t.A_j)`, i.e. the detector is relative to the evaluated
+/// attribute's own distribution, while the tolerated fraction `θ`
+/// stays frozen from discovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierSpec {
+    /// Mean ± k·σ (the paper's `O_k`).
+    ZScore(f64),
+    /// Tukey fences with multiplier k.
+    Iqr(f64),
+    /// Median ± k·1.4826·MAD.
+    Mad(f64),
+}
+
+impl OutlierSpec {
+    /// Build the corresponding fitted detector for `values`.
+    /// `None` if the data is degenerate (constant / empty).
+    pub fn fit(&self, values: &[f64]) -> Option<Box<dyn dp_stats::OutlierDetector>> {
+        use dp_stats::{IqrDetector, MadDetector, OutlierDetector, ZScoreDetector};
+        let mut det: Box<dyn OutlierDetector> = match self {
+            OutlierSpec::ZScore(k) => Box::new(ZScoreDetector::new(*k)),
+            OutlierSpec::Iqr(k) => Box::new(IqrDetector::new(*k)),
+            OutlierSpec::Mad(k) => Box::new(MadDetector::new(*k)),
+        };
+        det.fit(values).then_some(det)
+    }
+}
+
+impl fmt::Display for OutlierSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutlierSpec::ZScore(k) => write!(f, "O_zscore({k})"),
+            OutlierSpec::Iqr(k) => write!(f, "O_iqr({k})"),
+            OutlierSpec::Mad(k) => write!(f, "O_mad({k})"),
+        }
+    }
+}
+
+/// Which kind of dependence an `Indep` profile measures (Fig 1 rows
+/// 7–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependenceKind {
+    /// χ² statistic between categorical attributes (row 7). Because
+    /// the raw statistic scales with `n`, the profile stores and
+    /// compares Cramér's V alongside it.
+    Chi2,
+    /// Pearson correlation between numeric attributes (row 8).
+    Pearson,
+    /// Linear-SEM causal coefficient (row 9, TETRAD substitute).
+    Causal,
+}
+
+impl fmt::Display for DependenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependenceKind::Chi2 => write!(f, "chi2"),
+            DependenceKind::Pearson => write!(f, "pcc"),
+            DependenceKind::Causal => write!(f, "causal"),
+        }
+    }
+}
+
+/// A concretized data profile (Fig 1, one variant per row family).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Profile {
+    /// Row 1 — `⟨Domain, A_j, S⟩` over categorical data: values are
+    /// drawn from the set `S`.
+    DomainCategorical {
+        /// Attribute name.
+        attr: String,
+        /// The allowed value set.
+        values: BTreeSet<String>,
+    },
+    /// Row 2 — `⟨Domain, A_j, [lb, ub]⟩` over numeric data.
+    DomainNumeric {
+        /// Attribute name.
+        attr: String,
+        /// Inclusive lower bound.
+        lb: f64,
+        /// Inclusive upper bound.
+        ub: f64,
+    },
+    /// Row 3 — `⟨Domain, A_j, S⟩` over text: values satisfy a learned
+    /// pattern (with length bounds).
+    DomainText {
+        /// Attribute name.
+        attr: String,
+        /// The learned pattern.
+        pattern: Pattern,
+    },
+    /// Row 4 — `⟨Outlier, A_j, O, θ⟩`: the outlier fraction under `O`
+    /// does not exceed `θ`.
+    Outlier {
+        /// Attribute name.
+        attr: String,
+        /// The detection function.
+        detector: OutlierSpec,
+        /// Tolerated outlier fraction.
+        theta: f64,
+    },
+    /// Row 5 — `⟨Missing, A_j, θ⟩`: the NULL fraction does not
+    /// exceed `θ`.
+    Missing {
+        /// Attribute name.
+        attr: String,
+        /// Tolerated missing fraction.
+        theta: f64,
+    },
+    /// Row 6 — `⟨Selectivity, P, θ⟩`: the fraction of tuples
+    /// satisfying `P` equals `θ` (see `violation` for the two-sided
+    /// semantics this implementation uses).
+    Selectivity {
+        /// The selection predicate.
+        predicate: Predicate,
+        /// Expected selectivity.
+        theta: f64,
+    },
+    /// Rows 7–9 — `⟨Indep, A_j, A_k, α⟩`: dependence between the two
+    /// attributes does not exceed `α`.
+    Indep {
+        /// First attribute.
+        a: String,
+        /// Second attribute.
+        b: String,
+        /// Dependence bound: |Pearson r|, Cramér's V, or |SEM
+        /// coefficient| depending on `kind` — all scale-free values
+        /// in `[0, 1]`.
+        alpha: f64,
+        /// How dependence is measured.
+        kind: DependenceKind,
+    },
+    /// The paper's §3 extension: **conditional profiles**, "where
+    /// only a subset of the data is required to satisfy the
+    /// profiles" (analogous to conditional functional dependencies).
+    /// The inner profile must hold on the tuples selected by the
+    /// condition; the rest of the data is unconstrained.
+    Conditional {
+        /// The tuples the inner profile applies to.
+        condition: Predicate,
+        /// The profile those tuples must satisfy.
+        inner: Box<Profile>,
+    },
+}
+
+impl Profile {
+    /// Attributes this profile is defined over — the edges it
+    /// contributes to the PVT–attribute graph (paper §4, Fig 4).
+    pub fn attributes(&self) -> Vec<String> {
+        match self {
+            Profile::DomainCategorical { attr, .. }
+            | Profile::DomainNumeric { attr, .. }
+            | Profile::DomainText { attr, .. }
+            | Profile::Outlier { attr, .. }
+            | Profile::Missing { attr, .. } => vec![attr.clone()],
+            Profile::Selectivity { predicate, .. } => predicate.columns(),
+            Profile::Indep { a, b, .. } => vec![a.clone(), b.clone()],
+            Profile::Conditional { condition, inner } => {
+                let mut attrs = condition.columns();
+                for a in inner.attributes() {
+                    if !attrs.contains(&a) {
+                        attrs.push(a);
+                    }
+                }
+                attrs
+            }
+        }
+    }
+
+    /// Coarse template identity: two profiles are the "same template"
+    /// when they instantiate the same Fig 1 row over the same
+    /// attributes (ignoring parameter values). Discriminative-PVT
+    /// computation pairs up profiles of the two datasets by this key.
+    pub fn template_key(&self) -> String {
+        match self {
+            Profile::DomainCategorical { attr, .. } => format!("domain_cat({attr})"),
+            Profile::DomainNumeric { attr, .. } => format!("domain_num({attr})"),
+            Profile::DomainText { attr, .. } => format!("domain_text({attr})"),
+            Profile::Outlier { attr, detector, .. } => format!("outlier({attr},{detector})"),
+            Profile::Missing { attr, .. } => format!("missing({attr})"),
+            Profile::Selectivity { predicate, .. } => format!("selectivity({predicate})"),
+            Profile::Indep { a, b, kind, .. } => format!("indep_{kind}({a},{b})"),
+            Profile::Conditional { condition, inner } => {
+                format!("conditional({condition})[{}]", inner.template_key())
+            }
+        }
+    }
+
+    /// Whether two concretized profiles have (approximately) the same
+    /// parameter values — the paper's step 1 "discards the identical
+    /// ones". Numeric parameters compare within `tol` (absolute for
+    /// values already in `[0,1]`, relative for unbounded bounds).
+    pub fn same_parameters(&self, other: &Profile, tol: f64) -> bool {
+        use Profile::*;
+        match (self, other) {
+            (
+                DomainCategorical {
+                    attr: a1,
+                    values: v1,
+                },
+                DomainCategorical {
+                    attr: a2,
+                    values: v2,
+                },
+            ) => a1 == a2 && v1 == v2,
+            (
+                DomainNumeric {
+                    attr: a1,
+                    lb: l1,
+                    ub: u1,
+                },
+                DomainNumeric {
+                    attr: a2,
+                    lb: l2,
+                    ub: u2,
+                },
+            ) => a1 == a2 && approx_rel(*l1, *l2, tol) && approx_rel(*u1, *u2, tol),
+            (
+                DomainText {
+                    attr: a1,
+                    pattern: p1,
+                },
+                DomainText {
+                    attr: a2,
+                    pattern: p2,
+                },
+            ) => a1 == a2 && p1 == p2,
+            (
+                Outlier {
+                    attr: a1,
+                    detector: d1,
+                    theta: t1,
+                },
+                Outlier {
+                    attr: a2,
+                    detector: d2,
+                    theta: t2,
+                },
+            ) => a1 == a2 && d1 == d2 && (t1 - t2).abs() <= tol,
+            (
+                Missing {
+                    attr: a1,
+                    theta: t1,
+                },
+                Missing {
+                    attr: a2,
+                    theta: t2,
+                },
+            ) => a1 == a2 && (t1 - t2).abs() <= tol,
+            (
+                Selectivity {
+                    predicate: p1,
+                    theta: t1,
+                },
+                Selectivity {
+                    predicate: p2,
+                    theta: t2,
+                },
+            ) => p1 == p2 && (t1 - t2).abs() <= tol,
+            (
+                Indep {
+                    a: a1,
+                    b: b1,
+                    alpha: x1,
+                    kind: k1,
+                },
+                Indep {
+                    a: a2,
+                    b: b2,
+                    alpha: x2,
+                    kind: k2,
+                },
+            ) => a1 == a2 && b1 == b2 && k1 == k2 && (x1 - x2).abs() <= tol,
+            (
+                Conditional {
+                    condition: c1,
+                    inner: i1,
+                },
+                Conditional {
+                    condition: c2,
+                    inner: i2,
+                },
+            ) => c1 == c2 && i1.same_parameters(i2, tol),
+            _ => false,
+        }
+    }
+}
+
+/// Relative comparison for unbounded numeric parameters.
+fn approx_rel(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Profile::DomainCategorical { attr, values } => {
+                let vs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+                write!(f, "⟨Domain, {attr}, {{{}}}⟩", vs.join(", "))
+            }
+            Profile::DomainNumeric { attr, lb, ub } => {
+                write!(f, "⟨Domain, {attr}, [{lb:.4}, {ub:.4}]⟩")
+            }
+            Profile::DomainText { attr, pattern } => {
+                write!(f, "⟨Domain, {attr}, /{pattern}/⟩")
+            }
+            Profile::Outlier {
+                attr,
+                detector,
+                theta,
+            } => {
+                write!(f, "⟨Outlier, {attr}, {detector}, {theta:.4}⟩")
+            }
+            Profile::Missing { attr, theta } => {
+                write!(f, "⟨Missing, {attr}, {theta:.4}⟩")
+            }
+            Profile::Selectivity { predicate, theta } => {
+                write!(f, "⟨Selectivity, {predicate}, {theta:.4}⟩")
+            }
+            Profile::Indep { a, b, alpha, kind } => {
+                write!(f, "⟨Indep[{kind}], {a}, {b}, {alpha:.4}⟩")
+            }
+            Profile::Conditional { condition, inner } => {
+                write!(f, "⟨{condition} ⟹ {inner}⟩")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::CmpOp;
+
+    fn domain_cat(attr: &str, vals: &[&str]) -> Profile {
+        Profile::DomainCategorical {
+            attr: attr.into(),
+            values: vals.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn attributes_cover_graph_edges() {
+        assert_eq!(
+            domain_cat("gender", &["F", "M"]).attributes(),
+            vec!["gender"]
+        );
+        let sel = Profile::Selectivity {
+            predicate: Predicate::cmp("gender", CmpOp::Eq, "F").and(Predicate::cmp(
+                "high_expenditure",
+                CmpOp::Eq,
+                "yes",
+            )),
+            theta: 0.44,
+        };
+        assert_eq!(sel.attributes(), vec!["gender", "high_expenditure"]);
+        let indep = Profile::Indep {
+            a: "race".into(),
+            b: "high_expenditure".into(),
+            alpha: 0.04,
+            kind: DependenceKind::Chi2,
+        };
+        assert_eq!(indep.attributes(), vec!["race", "high_expenditure"]);
+    }
+
+    #[test]
+    fn template_keys_ignore_parameters() {
+        let p1 = domain_cat("target", &["-1", "1"]);
+        let p2 = domain_cat("target", &["0", "4"]);
+        assert_eq!(p1.template_key(), p2.template_key());
+        assert_ne!(
+            p1.template_key(),
+            domain_cat("other", &["x"]).template_key()
+        );
+    }
+
+    #[test]
+    fn same_parameters_detects_discrimination() {
+        // The Sentiment case's discriminative Domain profile.
+        let pass = domain_cat("target", &["-1", "1"]);
+        let fail = domain_cat("target", &["0", "4"]);
+        assert!(!pass.same_parameters(&fail, 0.01));
+        assert!(pass.same_parameters(&pass.clone(), 0.01));
+
+        let a = Profile::DomainNumeric {
+            attr: "age".into(),
+            lb: 22.0,
+            ub: 51.0,
+        };
+        let b = Profile::DomainNumeric {
+            attr: "age".into(),
+            lb: 20.0,
+            ub: 60.0,
+        };
+        assert!(!a.same_parameters(&b, 0.01));
+        let close = Profile::DomainNumeric {
+            attr: "age".into(),
+            lb: 22.05,
+            ub: 51.1,
+        };
+        assert!(a.same_parameters(&close, 0.01), "within relative tolerance");
+    }
+
+    #[test]
+    fn indep_kinds_are_distinct_templates() {
+        let chi = Profile::Indep {
+            a: "x".into(),
+            b: "y".into(),
+            alpha: 0.1,
+            kind: DependenceKind::Chi2,
+        };
+        let pcc = Profile::Indep {
+            a: "x".into(),
+            b: "y".into(),
+            alpha: 0.1,
+            kind: DependenceKind::Pearson,
+        };
+        assert_ne!(chi.template_key(), pcc.template_key());
+        assert!(!chi.same_parameters(&pcc, 0.5));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = domain_cat("gender", &["F", "M"]);
+        assert_eq!(p.to_string(), "⟨Domain, gender, {F, M}⟩");
+        let m = Profile::Missing {
+            attr: "zip_code".into(),
+            theta: 0.11,
+        };
+        assert_eq!(m.to_string(), "⟨Missing, zip_code, 0.1100⟩");
+    }
+
+    #[test]
+    fn outlier_spec_fit_roundtrip() {
+        let spec = OutlierSpec::ZScore(1.5);
+        let ages = [45.0, 40.0, 60.0, 22.0, 41.0, 32.0, 25.0, 35.0, 25.0, 20.0];
+        let det = spec.fit(&ages).unwrap();
+        assert!(det.is_outlier(60.0));
+        assert!(!det.is_outlier(45.0));
+        assert!(spec.fit(&[1.0, 1.0]).is_none(), "degenerate data");
+    }
+}

@@ -1,0 +1,175 @@
+//! Human-readable diagnosis reports.
+//!
+//! Renders an [`Explanation`] — together with the datasets it was
+//! derived from — as a markdown document: the malfunction summary,
+//! the cause/fix table, a Fig 5-style discriminative-profile listing
+//! with per-dataset parameters, and the intervention trace.
+
+use crate::discovery::discriminative_pvts;
+use crate::explanation::{Explanation, TraceEvent};
+use crate::violation::violation;
+use crate::DiscoveryConfig;
+use dp_frame::DataFrame;
+use std::fmt::Write as _;
+
+/// Render a full markdown report of a diagnosis.
+///
+/// `threshold` is the τ the diagnosis ran with; `discovery` the
+/// config used (so the Fig 5-style table lists the same profiles the
+/// algorithms saw).
+pub fn markdown_report(
+    explanation: &Explanation,
+    d_pass: &DataFrame,
+    d_fail: &DataFrame,
+    threshold: f64,
+    discovery: &DiscoveryConfig,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# DataPrism diagnosis report\n");
+    let _ = writeln!(
+        out,
+        "- malfunction: **{:.3} → {:.3}** (threshold τ = {:.3}, {})",
+        explanation.initial_score,
+        explanation.final_score,
+        threshold,
+        if explanation.resolved {
+            "resolved"
+        } else {
+            "UNRESOLVED"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "- interventions: **{}**\n- explanation size: **{}**\n",
+        explanation.interventions,
+        explanation.pvts.len()
+    );
+
+    let _ = writeln!(out, "## Causes and fixes\n");
+    if explanation.pvts.is_empty() {
+        let _ = writeln!(out, "_No repairing PVT was found._\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "| # | cause (profile) | fix (transformation) | violation on D_fail |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|");
+        for (i, pvt) in explanation.pvts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.3} |",
+                i + 1,
+                pvt.profile,
+                pvt.transform,
+                violation(d_fail, &pvt.profile),
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "## Discriminative profiles (Fig 5 style)\n");
+    let pvts = discriminative_pvts(d_pass, d_fail, discovery);
+    let _ = writeln!(
+        out,
+        "| profile (parameters from D_pass) | violation by D_fail | in explanation |"
+    );
+    let _ = writeln!(out, "|---|---|---|");
+    for pvt in &pvts {
+        let in_explanation = explanation.pvts.iter().any(|p| p.profile == pvt.profile);
+        let _ = writeln!(
+            out,
+            "| {} | {:.3} | {} |",
+            pvt.profile,
+            violation(d_fail, &pvt.profile),
+            if in_explanation { "**yes**" } else { "" },
+        );
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Intervention trace\n");
+    for event in &explanation.trace {
+        match event {
+            TraceEvent::Discovered { n_pvts } => {
+                let _ = writeln!(out, "- discovered {n_pvts} discriminative PVTs");
+            }
+            TraceEvent::Intervention {
+                pvt_ids,
+                before,
+                after,
+                kept,
+            } => {
+                let ids = if pvt_ids.len() > 8 {
+                    format!("{} PVTs", pvt_ids.len())
+                } else {
+                    format!("{pvt_ids:?}")
+                };
+                let _ = writeln!(
+                    out,
+                    "- intervened on {ids}: {before:.3} → {after:.3} ({})",
+                    if *kept { "kept" } else { "discarded" }
+                );
+            }
+            TraceEvent::MinimalityDropped { pvt_id } => {
+                let _ = writeln!(out, "- Make-Minimal dropped PVT {pvt_id}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explain_greedy, PrismConfig};
+    use dp_frame::{Column, DType};
+
+    fn cat(name: &str, vals: &[&str]) -> Column {
+        Column::from_strings(
+            name,
+            DType::Categorical,
+            vals.iter().map(|s| Some(s.to_string())).collect(),
+        )
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let pass = DataFrame::from_columns(vec![cat("target", &["-1", "1", "1", "-1"])]).unwrap();
+        let fail = DataFrame::from_columns(vec![cat("target", &["0", "4", "4", "0"])]).unwrap();
+        let mut system = |df: &DataFrame| {
+            let col = df.column("target").unwrap();
+            col.str_values()
+                .iter()
+                .filter(|(_, s)| *s != "-1" && *s != "1")
+                .count() as f64
+                / df.n_rows().max(1) as f64
+        };
+        let config = PrismConfig::with_threshold(0.2);
+        let exp = explain_greedy(&mut system, &fail, &pass, &config).unwrap();
+        let report = markdown_report(&exp, &pass, &fail, 0.2, &config.discovery);
+        assert!(report.contains("# DataPrism diagnosis report"));
+        assert!(report.contains("## Causes and fixes"));
+        assert!(report.contains("⟨Domain, target"));
+        assert!(report.contains("## Discriminative profiles"));
+        assert!(report.contains("## Intervention trace"));
+        assert!(report.contains("resolved"));
+        assert!(report.contains("**yes**"), "explanation row flagged");
+    }
+
+    #[test]
+    fn empty_explanation_renders_gracefully() {
+        let pass = DataFrame::from_columns(vec![cat("target", &["-1", "1"])]).unwrap();
+        let fail = DataFrame::from_columns(vec![cat("target", &["0", "4"])]).unwrap();
+        let exp = Explanation {
+            pvts: Vec::new(),
+            interventions: 0,
+            initial_score: 1.0,
+            final_score: 1.0,
+            resolved: false,
+            repaired: fail.clone(),
+            trace: Vec::new(),
+        };
+        let report = markdown_report(&exp, &pass, &fail, 0.2, &DiscoveryConfig::default());
+        assert!(report.contains("UNRESOLVED"));
+        assert!(report.contains("No repairing PVT"));
+    }
+}

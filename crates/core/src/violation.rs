@@ -1,0 +1,413 @@
+//! Profile violation functions — the `V` of a PVT triplet
+//! (paper §2.2.2, Fig 1 column "Violation by D").
+//!
+//! `violation(D, P) ∈ [0, 1]`; 0 means `D` fully complies with `P`.
+//! The formulas follow Fig 1 exactly, with two documented choices:
+//!
+//! 1. **Selectivity is two-sided.** Fig 1 row 6 penalizes only
+//!    selectivity *above* `θ`, but the paper's own running example
+//!    blames the failing dataset for selectivity *below* `θ` (0.1 vs
+//!    0.44 for `gender=F ∧ high_expenditure=yes`, fixed by
+//!    **over**sampling). We therefore use
+//!    `|sel(D) − θ| / max(θ, 1−θ)`, which is 0 exactly when the
+//!    selectivity matches and normalizes to `[0, 1]`.
+//! 2. **Dependence parameters are scale-free.** Row 7's raw χ²
+//!    statistic grows with `|D|`, which would make the violation of a
+//!    large failing dataset against a small passing dataset's `α`
+//!    meaningless; we store Cramér's V (in `[0,1]`) as `α` and use
+//!    `max(0, (V(D) − α) / (1 − α))`, the same shape as rows 8–9.
+
+use crate::profile::{DependenceKind, Profile};
+use dp_frame::groupby::ContingencyTable;
+use dp_frame::{DType, DataFrame};
+use dp_stats::causal::sem_coefficient;
+use dp_stats::{chi_squared, pearson};
+
+/// How much `df` violates `profile`, in `[0, 1]`.
+///
+/// Degenerate situations (missing column, empty frame, non-numeric
+/// data for a numeric profile) yield 0 — a dataset cannot violate a
+/// profile it has no data for, and discovery never produces such
+/// pairings in the first place.
+pub fn violation(df: &DataFrame, profile: &Profile) -> f64 {
+    match profile {
+        Profile::DomainCategorical { attr, values } => {
+            let Ok(col) = df.column(attr) else { return 0.0 };
+            let total = col.len();
+            if total == 0 {
+                return 0.0;
+            }
+            let out = col
+                .str_values()
+                .iter()
+                .filter(|(_, s)| !values.contains(*s))
+                .count();
+            out as f64 / total as f64
+        }
+        Profile::DomainNumeric { attr, lb, ub } => {
+            let Ok(col) = df.column(attr) else { return 0.0 };
+            let total = col.len();
+            if total == 0 {
+                return 0.0;
+            }
+            let out = col
+                .f64_values()
+                .iter()
+                .filter(|(_, v)| *v < *lb || *v > *ub)
+                .count();
+            out as f64 / total as f64
+        }
+        Profile::DomainText { attr, pattern } => {
+            let Ok(col) = df.column(attr) else { return 0.0 };
+            let total = col.len();
+            if total == 0 {
+                return 0.0;
+            }
+            let out = col
+                .str_values()
+                .iter()
+                .filter(|(_, s)| !pattern.matches(s))
+                .count();
+            out as f64 / total as f64
+        }
+        Profile::Outlier {
+            attr,
+            detector,
+            theta,
+        } => {
+            let Ok(col) = df.column(attr) else { return 0.0 };
+            let total = col.len();
+            if total == 0 {
+                return 0.0;
+            }
+            let values: Vec<f64> = col.f64_values().into_iter().map(|(_, v)| v).collect();
+            let Some(det) = detector.fit(&values) else {
+                return 0.0;
+            };
+            let outliers = values.iter().filter(|&&v| det.is_outlier(v)).count();
+            threshold_excess(outliers as f64 / total as f64, *theta)
+        }
+        Profile::Missing { attr, theta } => {
+            let Ok(col) = df.column(attr) else { return 0.0 };
+            let total = col.len();
+            if total == 0 {
+                return 0.0;
+            }
+            threshold_excess(col.null_count() as f64 / total as f64, *theta)
+        }
+        Profile::Selectivity { predicate, theta } => {
+            let Ok(sel) = df.selectivity(predicate) else {
+                return 0.0;
+            };
+            let denom = theta.max(1.0 - theta);
+            if denom == 0.0 {
+                0.0
+            } else {
+                ((sel - theta).abs() / denom).clamp(0.0, 1.0)
+            }
+        }
+        Profile::Indep { a, b, alpha, kind } => {
+            let dep = dependence(df, a, b, *kind);
+            parameter_excess(dep, *alpha)
+        }
+        Profile::Conditional { condition, inner } => {
+            // §3 extension: the inner profile is evaluated on the
+            // selected subset only.
+            match df.filter_by(condition) {
+                Ok(subset) if !subset.is_empty() => violation(&subset, inner),
+                _ => 0.0,
+            }
+        }
+    }
+}
+
+/// Fig 1's "thresholded by data coverage" shape:
+/// `max(0, (fraction − θ) / (1 − θ))`.
+fn threshold_excess(fraction: f64, theta: f64) -> f64 {
+    if theta >= 1.0 {
+        return 0.0;
+    }
+    ((fraction - theta) / (1.0 - theta)).clamp(0.0, 1.0)
+}
+
+/// Fig 1's "thresholded by parameter" shape:
+/// `max(0, (|value| − α) / (1 − α))`.
+fn parameter_excess(value: f64, alpha: f64) -> f64 {
+    let alpha = alpha.abs().min(1.0);
+    if alpha >= 1.0 {
+        return 0.0;
+    }
+    ((value.abs() - alpha) / (1.0 - alpha)).clamp(0.0, 1.0)
+}
+
+/// Scale-free dependence measurement between two attributes of `df`:
+/// Cramér's V (χ²), |Pearson r|, or |SEM coefficient|, all in
+/// `[0, 1]`. Returns 0 for missing columns or degenerate data.
+pub fn dependence(df: &DataFrame, a: &str, b: &str, kind: DependenceKind) -> f64 {
+    match kind {
+        DependenceKind::Chi2 => {
+            let Ok(table) = ContingencyTable::from_frame(df, a, b) else {
+                return 0.0;
+            };
+            let res = chi_squared(&table);
+            if res.significant(0.05) {
+                res.cramers_v
+            } else {
+                0.0
+            }
+        }
+        DependenceKind::Pearson => {
+            let Some((xs, ys)) = paired_numeric(df, a, b) else {
+                return 0.0;
+            };
+            let c = pearson(&xs, &ys);
+            if c.significant(0.05) {
+                c.r.abs()
+            } else {
+                0.0
+            }
+        }
+        DependenceKind::Causal => {
+            let Some((xs, ys)) = paired_numeric(df, a, b) else {
+                return 0.0;
+            };
+            sem_coefficient(&xs, &ys, &[]).abs()
+        }
+    }
+}
+
+/// Aligned non-NULL numeric pairs from two columns. Categorical and
+/// boolean columns are numerically coded by their sorted distinct
+/// value index so mixed-type dependence (Fig 1 row 9 supports
+/// "categorical, numerical") is measurable.
+pub fn paired_numeric(df: &DataFrame, a: &str, b: &str) -> Option<(Vec<f64>, Vec<f64>)> {
+    let ca = df.column(a).ok()?;
+    let cb = df.column(b).ok()?;
+    let code = |col: &dp_frame::Column, i: usize| -> Option<f64> {
+        if col.is_null(i) {
+            return None;
+        }
+        if col.dtype().is_numeric() || col.dtype() == DType::Bool {
+            col.get(i).as_f64()
+        } else {
+            // Stable integer coding of categorical values.
+            let v = col.get(i).to_string();
+            let values = col.value_counts();
+            values.iter().position(|(s, _)| *s == v).map(|p| p as f64)
+        }
+    };
+    // Precompute categorical codings once (value_counts per row would
+    // be quadratic).
+    let coded = |col: &dp_frame::Column| -> Vec<Option<f64>> {
+        if col.dtype().is_numeric() || col.dtype() == DType::Bool {
+            (0..col.len()).map(|i| code(col, i)).collect()
+        } else {
+            let values = col.value_counts();
+            (0..col.len())
+                .map(|i| {
+                    if col.is_null(i) {
+                        None
+                    } else {
+                        let v = col.get(i).to_string();
+                        values.iter().position(|(s, _)| *s == v).map(|p| p as f64)
+                    }
+                })
+                .collect()
+        }
+    };
+    let xa = coded(ca);
+    let xb = coded(cb);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (va, vb) in xa.into_iter().zip(xb) {
+        if let (Some(x), Some(y)) = (va, vb) {
+            xs.push(x);
+            ys.push(y);
+        }
+    }
+    if xs.len() < 2 {
+        None
+    } else {
+        Some((xs, ys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::OutlierSpec;
+    use dp_frame::{CmpOp, Column, Predicate};
+
+    fn cat(name: &str, vals: &[&str]) -> Column {
+        Column::from_strings(
+            name,
+            DType::Categorical,
+            vals.iter().map(|s| Some(s.to_string())).collect(),
+        )
+    }
+
+    #[test]
+    fn domain_categorical_fraction_outside() {
+        // Sentiment case: target ∈ {0,4} vs pass domain {-1,1}.
+        let df = DataFrame::from_columns(vec![cat("target", &["0", "4", "4", "0"])]).unwrap();
+        let profile = Profile::DomainCategorical {
+            attr: "target".into(),
+            values: ["-1", "1"].iter().map(|s| s.to_string()).collect(),
+        };
+        assert_eq!(violation(&df, &profile), 1.0);
+        let ok = DataFrame::from_columns(vec![cat("target", &["-1", "1", "1", "-1"])]).unwrap();
+        assert_eq!(violation(&ok, &profile), 0.0);
+    }
+
+    #[test]
+    fn domain_numeric_unit_mismatch() {
+        // Cardio case: heights in inches all fall outside the cm range.
+        let heights: Vec<Option<f64>> = vec![Some(65.0), Some(70.0), Some(72.0)];
+        let df = DataFrame::from_columns(vec![Column::from_floats("height", heights)]).unwrap();
+        let profile = Profile::DomainNumeric {
+            attr: "height".into(),
+            lb: 150.0,
+            ub: 195.0,
+        };
+        assert_eq!(violation(&df, &profile), 1.0);
+    }
+
+    #[test]
+    fn missing_threshold_excess() {
+        let df = DataFrame::from_columns(vec![Column::from_ints(
+            "zip",
+            vec![Some(1), None, None, None, Some(2)],
+        )])
+        .unwrap();
+        // 60% missing vs θ = 0.2: (0.6 - 0.2) / 0.8 = 0.5.
+        let profile = Profile::Missing {
+            attr: "zip".into(),
+            theta: 0.2,
+        };
+        assert!((violation(&df, &profile) - 0.5).abs() < 1e-12);
+        // Below threshold: zero.
+        let profile = Profile::Missing {
+            attr: "zip".into(),
+            theta: 0.7,
+        };
+        assert_eq!(violation(&df, &profile), 0.0);
+    }
+
+    #[test]
+    fn outlier_refits_on_evaluated_data() {
+        let values: Vec<Option<f64>> = (0..99)
+            .map(|i| Some((i % 10) as f64))
+            .chain(std::iter::once(Some(1000.0)))
+            .collect();
+        let df = DataFrame::from_columns(vec![Column::from_floats("x", values)]).unwrap();
+        let profile = Profile::Outlier {
+            attr: "x".into(),
+            detector: OutlierSpec::ZScore(3.0),
+            theta: 0.0,
+        };
+        let v = violation(&df, &profile);
+        assert!(
+            (v - 0.01).abs() < 1e-9,
+            "one of 100 values is an outlier, got {v}"
+        );
+    }
+
+    #[test]
+    fn selectivity_is_two_sided() {
+        let df = DataFrame::from_columns(vec![cat(
+            "gender",
+            &["F", "M", "M", "M", "M", "M", "M", "M", "M", "M"],
+        )])
+        .unwrap();
+        let pred = Predicate::cmp("gender", CmpOp::Eq, "F");
+        // Observed selectivity 0.1 vs θ = 0.44 (the paper example's
+        // under-representation direction): |0.1-0.44|/0.56 ≈ 0.607.
+        let profile = Profile::Selectivity {
+            predicate: pred.clone(),
+            theta: 0.44,
+        };
+        let v = violation(&df, &profile);
+        assert!((v - 0.34 / 0.56).abs() < 1e-9, "got {v}");
+        // Exact match: zero violation.
+        let profile = Profile::Selectivity {
+            predicate: pred,
+            theta: 0.1,
+        };
+        assert!(violation(&df, &profile).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indep_chi2_detects_planted_dependence() {
+        // race perfectly determines high_expenditure.
+        let mut race = Vec::new();
+        let mut high = Vec::new();
+        for _ in 0..30 {
+            race.push("A");
+            high.push("no");
+            race.push("W");
+            high.push("yes");
+        }
+        let df = DataFrame::from_columns(vec![cat("race", &race), cat("high", &high)]).unwrap();
+        let profile = Profile::Indep {
+            a: "race".into(),
+            b: "high".into(),
+            alpha: 0.04,
+            kind: DependenceKind::Chi2,
+        };
+        let v = violation(&df, &profile);
+        assert!(v > 0.9, "perfect dependence vs tiny alpha, got {v}");
+        // Independent data: no violation.
+        let mut race = Vec::new();
+        let mut high = Vec::new();
+        for i in 0..40 {
+            race.push(if i % 2 == 0 { "A" } else { "W" });
+            high.push(if (i / 2) % 2 == 0 { "no" } else { "yes" });
+        }
+        let df = DataFrame::from_columns(vec![cat("race", &race), cat("high", &high)]).unwrap();
+        assert_eq!(violation(&df, &profile), 0.0);
+    }
+
+    #[test]
+    fn indep_pearson_and_causal() {
+        let xs: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
+        let ys: Vec<Option<f64>> = (0..100).map(|i| Some(2.0 * i as f64 + 1.0)).collect();
+        let df = DataFrame::from_columns(vec![
+            Column::from_floats("x", xs),
+            Column::from_floats("y", ys),
+        ])
+        .unwrap();
+        for kind in [DependenceKind::Pearson, DependenceKind::Causal] {
+            let profile = Profile::Indep {
+                a: "x".into(),
+                b: "y".into(),
+                alpha: 0.1,
+                kind,
+            };
+            let v = violation(&df, &profile);
+            assert!(v > 0.95, "{kind:?} violation was {v}");
+        }
+    }
+
+    #[test]
+    fn missing_column_cannot_violate() {
+        let df = DataFrame::from_columns(vec![cat("a", &["x"])]).unwrap();
+        let profile = Profile::Missing {
+            attr: "nope".into(),
+            theta: 0.0,
+        };
+        assert_eq!(violation(&df, &profile), 0.0);
+    }
+
+    #[test]
+    fn paired_numeric_codes_categoricals() {
+        let df = DataFrame::from_columns(vec![
+            cat("g", &["F", "M", "F", "M"]),
+            Column::from_ints("y", vec![Some(0), Some(1), Some(0), None]),
+        ])
+        .unwrap();
+        let (xs, ys) = paired_numeric(&df, "g", "y").unwrap();
+        assert_eq!(xs.len(), 3, "NULL row dropped");
+        assert_eq!(xs, vec![0.0, 1.0, 0.0], "F=0, M=1 by sorted order");
+        assert_eq!(ys, vec![0.0, 1.0, 0.0]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Validity bitmap: one bit per row, packed into `u64` words.
+
+/// A growable bitmap used as a column validity mask (1 = valid,
+/// 0 = NULL) and as a row-selection mask for filtering.
+///
+/// Packed storage keeps per-row NULL tracking at one bit instead of a
+/// byte and makes `count_ones` (needed by the `Missing` profile's
+/// violation function, Fig 1 row 5) a word-wise popcount.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bitmap of `len` bits, all set to `value`.
+    pub fn with_value(len: usize, value: bool) -> Self {
+        let n_words = len.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![fill; n_words],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `index`. Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bitmap index {index} out of {}", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Set bit at `index`. Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bitmap index {index} out of {}", self.len);
+        let (w, b) = (index / 64, index % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if value {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of unset bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Iterator over bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Keep only bits at positions where `keep[i]` is true, compacting.
+    /// Used when filtering rows out of a column.
+    pub fn retain_by(&self, keep: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, keep.len, "mask length mismatch");
+        let mut out = Bitmap::new();
+        for i in 0..self.len {
+            if keep.get(i) {
+                out.push(self.get(i));
+            }
+        }
+        out
+    }
+
+    /// Collect from a bool iterator.
+    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
+    }
+
+    /// Zero any bits beyond `len` in the last word (keeps
+    /// `count_ones` exact after bulk fills).
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_value_counts_exactly() {
+        let bm = Bitmap::with_value(100, true);
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_ones(), 100);
+        assert_eq!(bm.count_zeros(), 0);
+        let bm = Bitmap::with_value(65, false);
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.count_zeros(), 65);
+    }
+
+    #[test]
+    fn push_get_set_across_word_boundary() {
+        let mut bm = Bitmap::new();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(64, true);
+        bm.set(63, false);
+        assert!(bm.get(64));
+        assert!(!bm.get(63));
+    }
+
+    #[test]
+    fn ones_iterates_set_indices() {
+        let bm = Bitmap::from_iter([false, true, true, false, true]);
+        let idx: Vec<usize> = bm.ones().collect();
+        assert_eq!(idx, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn retain_by_compacts() {
+        let data = Bitmap::from_iter([true, false, true, true]);
+        let keep = Bitmap::from_iter([true, true, false, true]);
+        let out = data.retain_by(&keep);
+        assert_eq!(out.len(), 3);
+        let bits: Vec<bool> = out.iter().collect();
+        assert_eq!(bits, vec![true, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn get_out_of_bounds_panics() {
+        let bm = Bitmap::with_value(3, true);
+        bm.get(3);
+    }
+}

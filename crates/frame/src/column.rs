@@ -1,0 +1,561 @@
+//! Typed column storage with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::dtype::DType;
+use crate::error::{FrameError, Result};
+use crate::value::Value;
+
+/// Physical storage of one column. Slots masked out by the validity
+/// bitmap hold an arbitrary placeholder (0 / 0.0 / false / "").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// `Int` columns.
+    Int(Vec<i64>),
+    /// `Float` columns.
+    Float(Vec<f64>),
+    /// `Bool` columns.
+    Bool(Vec<bool>),
+    /// `Categorical` and `Text` columns.
+    Str(Vec<String>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+}
+
+/// A named, typed column: `D.A_j` in the paper's notation — the
+/// multiset of values all tuples take for attribute `A_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    dtype: DType,
+    data: ColumnData,
+    validity: Bitmap,
+}
+
+impl Column {
+    /// Build an `Int` column; `None` entries become NULL.
+    pub fn from_ints<S: Into<String>>(name: S, values: Vec<Option<i64>>) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let data = values.into_iter().map(|v| v.unwrap_or(0)).collect();
+        Column {
+            name: name.into(),
+            dtype: DType::Int,
+            data: ColumnData::Int(data),
+            validity,
+        }
+    }
+
+    /// Build a `Float` column; `None` and NaN entries become NULL.
+    pub fn from_floats<S: Into<String>>(name: S, values: Vec<Option<f64>>) -> Self {
+        let validity =
+            Bitmap::from_iter(values.iter().map(|v| matches!(v, Some(x) if !x.is_nan())));
+        let data = values
+            .into_iter()
+            .map(|v| match v {
+                Some(x) if !x.is_nan() => x,
+                _ => 0.0,
+            })
+            .collect();
+        Column {
+            name: name.into(),
+            dtype: DType::Float,
+            data: ColumnData::Float(data),
+            validity,
+        }
+    }
+
+    /// Build a `Bool` column; `None` entries become NULL.
+    pub fn from_bools<S: Into<String>>(name: S, values: Vec<Option<bool>>) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let data = values.into_iter().map(|v| v.unwrap_or(false)).collect();
+        Column {
+            name: name.into(),
+            dtype: DType::Bool,
+            data: ColumnData::Bool(data),
+            validity,
+        }
+    }
+
+    /// Build a string-backed column (`Categorical` or `Text`).
+    pub fn from_strings<S: Into<String>>(
+        name: S,
+        dtype: DType,
+        values: Vec<Option<String>>,
+    ) -> Self {
+        assert!(dtype.is_string(), "from_strings requires a string dtype");
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let data = values.into_iter().map(|v| v.unwrap_or_default()).collect();
+        Column {
+            name: name.into(),
+            dtype,
+            data: ColumnData::Str(data),
+            validity,
+        }
+    }
+
+    /// Build a column of `dtype` from dynamically typed values.
+    ///
+    /// Fails with [`FrameError::TypeMismatch`] on any value the dtype
+    /// does not admit. `Int` values widen into `Float` columns.
+    pub fn from_values<S: Into<String>>(name: S, dtype: DType, values: Vec<Value>) -> Result<Self> {
+        let name = name.into();
+        let mut col = Column::empty(name, dtype);
+        for v in values {
+            col.push(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Empty column of the given type.
+    pub fn empty<S: Into<String>>(name: S, dtype: DType) -> Self {
+        let data = match dtype {
+            DType::Int => ColumnData::Int(Vec::new()),
+            DType::Float => ColumnData::Float(Vec::new()),
+            DType::Bool => ColumnData::Bool(Vec::new()),
+            DType::Categorical | DType::Text => ColumnData::Str(Vec::new()),
+        };
+        Column {
+            name: name.into(),
+            dtype,
+            data,
+            validity: Bitmap::new(),
+        }
+    }
+
+    /// Column name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the column in place.
+    pub fn set_name<S: Into<String>>(&mut self, name: S) {
+        self.name = name.into();
+    }
+
+    /// Logical type.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Re-tag a string column between `Categorical` and `Text`
+    /// (identical storage, different profile semantics).
+    pub fn retag(&mut self, dtype: DType) -> Result<()> {
+        if self.dtype.is_string() && dtype.is_string() {
+            self.dtype = dtype;
+            Ok(())
+        } else {
+            Err(FrameError::TypeMismatch {
+                column: self.name.clone(),
+                expected: "a string dtype".into(),
+                found: format!("{} -> {}", self.dtype, dtype),
+            })
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        self.validity.count_zeros()
+    }
+
+    /// Whether row `index` is NULL.
+    #[inline]
+    pub fn is_null(&self, index: usize) -> bool {
+        !self.validity.get(index)
+    }
+
+    /// Value at `index` as a dynamically typed [`Value`].
+    pub fn get(&self, index: usize) -> Value {
+        if !self.validity.get(index) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[index]),
+            ColumnData::Float(v) => Value::Float(v[index]),
+            ColumnData::Bool(v) => Value::Bool(v[index]),
+            ColumnData::Str(v) => Value::Str(v[index].clone()),
+        }
+    }
+
+    /// Append a value, checking it against the dtype.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        if !self.dtype.admits(&value) {
+            return Err(FrameError::TypeMismatch {
+                column: self.name.clone(),
+                expected: self.dtype.to_string(),
+                found: value.type_name().to_string(),
+            });
+        }
+        match (&mut self.data, value) {
+            (_, Value::Null) => {
+                match &mut self.data {
+                    ColumnData::Int(v) => v.push(0),
+                    ColumnData::Float(v) => v.push(0.0),
+                    ColumnData::Bool(v) => v.push(false),
+                    ColumnData::Str(v) => v.push(String::new()),
+                }
+                self.validity.push(false);
+            }
+            (ColumnData::Int(v), Value::Int(i)) => {
+                v.push(i);
+                self.validity.push(true);
+            }
+            (ColumnData::Float(v), Value::Float(x)) => {
+                v.push(x);
+                self.validity.push(true);
+            }
+            (ColumnData::Float(v), Value::Int(i)) => {
+                v.push(i as f64);
+                self.validity.push(true);
+            }
+            (ColumnData::Bool(v), Value::Bool(b)) => {
+                v.push(b);
+                self.validity.push(true);
+            }
+            (ColumnData::Str(v), Value::Str(s)) => {
+                v.push(s);
+                self.validity.push(true);
+            }
+            _ => unreachable!("admits() already filtered mismatches"),
+        }
+        Ok(())
+    }
+
+    /// Overwrite the value at `index` (same type rules as [`push`](Self::push)).
+    pub fn set(&mut self, index: usize, value: Value) -> Result<()> {
+        if index >= self.len() {
+            return Err(FrameError::RowOutOfBounds {
+                index,
+                len: self.len(),
+            });
+        }
+        if !self.dtype.admits(&value) {
+            return Err(FrameError::TypeMismatch {
+                column: self.name.clone(),
+                expected: self.dtype.to_string(),
+                found: value.type_name().to_string(),
+            });
+        }
+        match (&mut self.data, value) {
+            (_, Value::Null) => self.validity.set(index, false),
+            (ColumnData::Int(v), Value::Int(i)) => {
+                v[index] = i;
+                self.validity.set(index, true);
+            }
+            (ColumnData::Float(v), Value::Float(x)) => {
+                v[index] = x;
+                self.validity.set(index, true);
+            }
+            (ColumnData::Float(v), Value::Int(i)) => {
+                v[index] = i as f64;
+                self.validity.set(index, true);
+            }
+            (ColumnData::Bool(v), Value::Bool(b)) => {
+                v[index] = b;
+                self.validity.set(index, true);
+            }
+            (ColumnData::Str(v), Value::Str(s)) => {
+                v[index] = s;
+                self.validity.set(index, true);
+            }
+            _ => unreachable!("admits() already filtered mismatches"),
+        }
+        Ok(())
+    }
+
+    /// Iterator over values as [`Value`]s (allocates for strings).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Non-NULL values as `f64`, paired with their row indices.
+    /// Empty for non-numeric columns.
+    pub fn f64_values(&self) -> Vec<(usize, f64)> {
+        match &self.data {
+            ColumnData::Int(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.validity.get(*i))
+                .map(|(i, &x)| (i, x as f64))
+                .collect(),
+            ColumnData::Float(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.validity.get(*i))
+                .map(|(i, &x)| (i, x))
+                .collect(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.validity.get(*i))
+                .map(|(i, &b)| (i, b as u8 as f64))
+                .collect(),
+            ColumnData::Str(_) => Vec::new(),
+        }
+    }
+
+    /// Non-NULL string values paired with row indices; empty for
+    /// non-string columns.
+    pub fn str_values(&self) -> Vec<(usize, &str)> {
+        match &self.data {
+            ColumnData::Str(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.validity.get(*i))
+                .map(|(i, s)| (i, s.as_str()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Map every non-NULL numeric value through `f` in place.
+    /// Returns the number of values changed (for transformation
+    /// coverage accounting). No-op on non-numeric columns.
+    pub fn map_numeric_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) -> usize {
+        let mut changed = 0;
+        match &mut self.data {
+            ColumnData::Float(v) => {
+                for (i, x) in v.iter_mut().enumerate() {
+                    if self.validity.get(i) {
+                        let y = f(*x);
+                        if y != *x {
+                            *x = y;
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+            ColumnData::Int(v) => {
+                for (i, x) in v.iter_mut().enumerate() {
+                    if self.validity.get(i) {
+                        let y = f(*x as f64).round() as i64;
+                        if y != *x {
+                            *x = y;
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        changed
+    }
+
+    /// Map every non-NULL string value through `f` in place; returns
+    /// how many changed. No-op on non-string columns.
+    pub fn map_str_in_place<F: FnMut(&str) -> Option<String>>(&mut self, mut f: F) -> usize {
+        let mut changed = 0;
+        if let ColumnData::Str(v) = &mut self.data {
+            for (i, s) in v.iter_mut().enumerate() {
+                if self.validity.get(i) {
+                    if let Some(new) = f(s) {
+                        if new != *s {
+                            *s = new;
+                            changed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// New column keeping only rows where `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Column {
+        assert_eq!(mask.len(), self.len(), "mask length mismatch");
+        let mut out = Column::empty(self.name.clone(), self.dtype);
+        for i in mask.ones() {
+            out.push(self.get(i)).expect("same dtype");
+        }
+        out
+    }
+
+    /// New column with rows gathered at `indices` (repeats allowed —
+    /// used by over/undersampling transformations).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let mut out = Column::empty(self.name.clone(), self.dtype);
+        for &i in indices {
+            out.push(self.get(i)).expect("same dtype");
+        }
+        out
+    }
+
+    /// Distinct non-NULL values (as display strings) with counts,
+    /// sorted by value. Backs categorical domain discovery.
+    pub fn value_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for i in 0..self.len() {
+            if !self.is_null(i) {
+                *counts.entry(self.get(i).to_string()).or_insert(0) += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Min and max over non-NULL numeric values.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        let vals = self.f64_values();
+        if vals.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, x) in vals {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_roundtrip_with_nulls() {
+        let col = Column::from_ints("age", vec![Some(1), None, Some(3)]);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.get(0), Value::Int(1));
+        assert_eq!(col.get(1), Value::Null);
+        assert_eq!(col.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn float_column_nan_is_null() {
+        let col = Column::from_floats("x", vec![Some(1.0), Some(f64::NAN), None]);
+        assert_eq!(col.null_count(), 2);
+        assert_eq!(col.get(1), Value::Null);
+    }
+
+    #[test]
+    fn push_type_checks() {
+        let mut col = Column::empty("c", DType::Int);
+        assert!(col.push(Value::Int(1)).is_ok());
+        assert!(col.push(Value::Null).is_ok());
+        let err = col.push(Value::Str("x".into())).unwrap_err();
+        assert!(matches!(err, FrameError::TypeMismatch { .. }));
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut col = Column::empty("c", DType::Float);
+        col.push(Value::Int(3)).unwrap();
+        assert_eq!(col.get(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn set_overwrites_and_updates_validity() {
+        let mut col = Column::from_ints("c", vec![Some(1), None]);
+        col.set(1, Value::Int(9)).unwrap();
+        assert_eq!(col.get(1), Value::Int(9));
+        col.set(0, Value::Null).unwrap();
+        assert!(col.is_null(0));
+        assert!(matches!(
+            col.set(5, Value::Int(0)),
+            Err(FrameError::RowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn map_numeric_counts_changes_and_skips_nulls() {
+        let mut col = Column::from_floats("h", vec![Some(100.0), None, Some(50.0)]);
+        let changed = col.map_numeric_in_place(|x| x / 2.54);
+        assert_eq!(changed, 2);
+        assert!(col.is_null(1));
+        assert!((col.get(0).as_f64().unwrap() - 100.0 / 2.54).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_numeric_rounds_for_int_columns() {
+        let mut col = Column::from_ints("h", vec![Some(100)]);
+        col.map_numeric_in_place(|x| x * 2.54);
+        assert_eq!(col.get(0), Value::Int(254));
+    }
+
+    #[test]
+    fn map_str_in_place_replaces() {
+        let mut col = Column::from_strings(
+            "g",
+            DType::Categorical,
+            vec![Some("4".into()), Some("0".into()), None],
+        );
+        let changed = col.map_str_in_place(|s| match s {
+            "4" => Some("1".into()),
+            "0" => Some("-1".into()),
+            _ => None,
+        });
+        assert_eq!(changed, 2);
+        assert_eq!(col.get(0), Value::Str("1".into()));
+        assert_eq!(col.get(1), Value::Str("-1".into()));
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let col = Column::from_ints("c", vec![Some(10), Some(20), Some(30)]);
+        let mask = Bitmap::from_iter([true, false, true]);
+        let f = col.filter(&mask);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1), Value::Int(30));
+        let t = col.take(&[2, 2, 0]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), Value::Int(30));
+        assert_eq!(t.get(2), Value::Int(10));
+    }
+
+    #[test]
+    fn value_counts_and_min_max() {
+        let col = Column::from_strings(
+            "g",
+            DType::Categorical,
+            vec![Some("M".into()), Some("F".into()), Some("M".into()), None],
+        );
+        assert_eq!(
+            col.value_counts(),
+            vec![("F".to_string(), 1), ("M".to_string(), 2)]
+        );
+        let num = Column::from_ints("a", vec![Some(5), Some(-2), None, Some(7)]);
+        assert_eq!(num.min_max(), Some((-2.0, 7.0)));
+        let empty = Column::empty("e", DType::Float);
+        assert_eq!(empty.min_max(), None);
+    }
+
+    #[test]
+    fn retag_between_string_types_only() {
+        let mut col = Column::from_strings("t", DType::Text, vec![Some("a".into())]);
+        assert!(col.retag(DType::Categorical).is_ok());
+        assert_eq!(col.dtype(), DType::Categorical);
+        let mut num = Column::from_ints("n", vec![Some(1)]);
+        assert!(num.retag(DType::Text).is_err());
+    }
+
+    #[test]
+    fn f64_values_includes_bools() {
+        let col = Column::from_bools("b", vec![Some(true), None, Some(false)]);
+        let vals = col.f64_values();
+        assert_eq!(vals, vec![(0, 1.0), (2, 0.0)]);
+    }
+}

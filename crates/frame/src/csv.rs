@@ -1,0 +1,339 @@
+//! Minimal CSV reader/writer with type inference.
+//!
+//! Examples write generated scenario datasets to disk so users can
+//! inspect the passing/failing data the framework reasons about, and
+//! read datasets back in. The dialect is RFC-4180-ish: comma
+//! separator, double-quote quoting with `""` escapes, `\n`/`\r\n`
+//! records; empty fields are NULL.
+
+use crate::builder::DataFrameBuilder;
+use crate::column::Column;
+use crate::dtype::DType;
+use crate::error::{FrameError, Result};
+use crate::frame::DataFrame;
+use crate::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Split one CSV record into fields, honoring quotes.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(FrameError::Csv(format!(
+                            "line {line_no}: quote inside unquoted field"
+                        )));
+                    }
+                }
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(FrameError::Csv(format!("line {line_no}: unclosed quote")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Infer a column dtype from raw string fields (empty = NULL).
+///
+/// Ints that all parse stay `Int`; otherwise floats; otherwise
+/// `true`/`false` booleans; string columns become `Categorical` when
+/// the distinct-value count is small relative to the data, `Text`
+/// otherwise.
+fn infer_dtype(raw: &[Option<&str>]) -> DType {
+    let present: Vec<&str> = raw.iter().flatten().copied().collect();
+    if present.is_empty() {
+        return DType::Text;
+    }
+    if present.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return DType::Int;
+    }
+    if present.iter().all(|s| s.parse::<f64>().is_ok()) {
+        return DType::Float;
+    }
+    if present
+        .iter()
+        .all(|s| s.eq_ignore_ascii_case("true") || s.eq_ignore_ascii_case("false"))
+    {
+        return DType::Bool;
+    }
+    let distinct: std::collections::HashSet<&str> = present.iter().copied().collect();
+    // Heuristic mirroring common profilers: low cardinality => category.
+    if distinct.len() <= 20 || distinct.len() * 2 <= present.len() {
+        DType::Categorical
+    } else {
+        DType::Text
+    }
+}
+
+fn parse_value(raw: Option<&str>, dtype: DType, column: &str) -> Result<Value> {
+    let Some(s) = raw else { return Ok(Value::Null) };
+    match dtype {
+        DType::Int => s
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| FrameError::TypeMismatch {
+                column: column.to_string(),
+                expected: "Int".into(),
+                found: s.to_string(),
+            }),
+        DType::Float => s
+            .parse::<f64>()
+            .map(Value::from)
+            .map_err(|_| FrameError::TypeMismatch {
+                column: column.to_string(),
+                expected: "Float".into(),
+                found: s.to_string(),
+            }),
+        DType::Bool => {
+            if s.eq_ignore_ascii_case("true") {
+                Ok(Value::Bool(true))
+            } else if s.eq_ignore_ascii_case("false") {
+                Ok(Value::Bool(false))
+            } else {
+                Err(FrameError::TypeMismatch {
+                    column: column.to_string(),
+                    expected: "Bool".into(),
+                    found: s.to_string(),
+                })
+            }
+        }
+        DType::Categorical | DType::Text => Ok(Value::Str(s.to_string())),
+    }
+}
+
+/// Read a CSV document (header row required) with dtype inference.
+pub fn read_csv<R: Read>(reader: R) -> Result<DataFrame> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        if !line.is_empty() {
+            lines.push(line);
+        }
+    }
+    if lines.is_empty() {
+        return Err(FrameError::Csv("empty document".into()));
+    }
+    let header = split_record(&lines[0], 1)?;
+    let n_cols = header.len();
+    let mut raw_rows: Vec<Vec<Option<String>>> = Vec::with_capacity(lines.len() - 1);
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let fields = split_record(line, i + 1)?;
+        if fields.len() != n_cols {
+            return Err(FrameError::Csv(format!(
+                "line {}: expected {} fields, found {}",
+                i + 1,
+                n_cols,
+                fields.len()
+            )));
+        }
+        raw_rows.push(
+            fields
+                .into_iter()
+                .map(|f| if f.is_empty() { None } else { Some(f) })
+                .collect(),
+        );
+    }
+    let mut dtypes = Vec::with_capacity(n_cols);
+    for j in 0..n_cols {
+        let col_raw: Vec<Option<&str>> = raw_rows.iter().map(|r| r[j].as_deref()).collect();
+        dtypes.push(infer_dtype(&col_raw));
+    }
+    let fields: Vec<(&str, DType)> = header
+        .iter()
+        .map(|h| h.as_str())
+        .zip(dtypes.iter().copied())
+        .collect();
+    let mut builder = DataFrameBuilder::with_fields(&fields);
+    for (i, raw) in raw_rows.iter().enumerate() {
+        let mut row = Vec::with_capacity(n_cols);
+        for (j, cell) in raw.iter().enumerate() {
+            row.push(
+                parse_value(cell.as_deref(), dtypes[j], &header[j])
+                    .map_err(|e| FrameError::Csv(format!("line {}: {e}", i + 2)))?,
+            );
+        }
+        builder.push_row(row)?;
+    }
+    Ok(builder.build())
+}
+
+/// Read a CSV file from a path.
+pub fn read_csv_path<P: AsRef<Path>>(path: P) -> Result<DataFrame> {
+    let file = std::fs::File::open(path)?;
+    read_csv(file)
+}
+
+/// Write a frame as CSV (header + rows; NULL as empty field).
+pub fn write_csv<W: Write>(df: &DataFrame, mut writer: W) -> Result<()> {
+    let names: Vec<String> = df.columns().iter().map(|c| quote_field(c.name())).collect();
+    writeln!(writer, "{}", names.join(","))?;
+    for i in 0..df.n_rows() {
+        let row: Vec<String> = df
+            .columns()
+            .iter()
+            .map(|c| {
+                let v = c.get(i);
+                if v.is_null() {
+                    String::new()
+                } else {
+                    quote_field(&v.to_string())
+                }
+            })
+            .collect();
+        writeln!(writer, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a frame as a CSV file at `path`.
+pub fn write_csv_path<P: AsRef<Path>>(df: &DataFrame, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv(df, std::io::BufWriter::new(file))
+}
+
+/// Explicit-schema variant of [`read_csv`] that skips inference. The
+/// `(name, dtype)` list must match the header.
+pub fn read_csv_with_schema<R: Read>(reader: R, fields: &[(&str, DType)]) -> Result<DataFrame> {
+    let df = read_csv(reader)?;
+    if df.n_cols() != fields.len() {
+        return Err(FrameError::Csv(format!(
+            "schema has {} columns, file has {}",
+            fields.len(),
+            df.n_cols()
+        )));
+    }
+    let mut cols: Vec<Column> = Vec::with_capacity(fields.len());
+    for (col, (name, dtype)) in df.columns().iter().zip(fields) {
+        if col.name() != *name {
+            return Err(FrameError::Csv(format!(
+                "expected column {name:?}, file has {:?}",
+                col.name()
+            )));
+        }
+        let values: Vec<Value> = col
+            .iter()
+            .map(|v| match (v, dtype) {
+                (Value::Null, _) => Value::Null,
+                (v, DType::Categorical | DType::Text) => Value::Str(v.to_string()),
+                (Value::Int(i), DType::Float) => Value::Float(i as f64),
+                (Value::Str(s), DType::Int) => {
+                    s.parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+                }
+                (Value::Str(s), DType::Float) => {
+                    s.parse::<f64>().map(Value::from).unwrap_or(Value::Null)
+                }
+                (v, _) => v,
+            })
+            .collect();
+        cols.push(Column::from_values(*name, *dtype, values)?);
+    }
+    DataFrame::from_columns(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_nulls_and_quotes() {
+        let mut df = DataFrame::new();
+        df.add_column(Column::from_ints("age", vec![Some(30), None]))
+            .unwrap();
+        df.add_column(Column::from_strings(
+            "note",
+            DType::Text,
+            vec![Some("hello, \"world\"".into()), Some("plain".into())],
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&df, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("\"hello, \"\"world\"\"\""));
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.cell(0, "age").unwrap(), Value::Int(30));
+        assert!(back.cell(1, "age").unwrap().is_null());
+        assert_eq!(
+            back.cell(0, "note").unwrap(),
+            Value::Str("hello, \"world\"".into())
+        );
+    }
+
+    #[test]
+    fn infers_types() {
+        let csv = "a,b,c,d\n1,1.5,true,x\n2,2.5,false,y\n3,,true,x\n";
+        let df = read_csv(csv.as_bytes()).unwrap();
+        let schema = df.schema();
+        assert_eq!(schema.field("a").unwrap().dtype, DType::Int);
+        assert_eq!(schema.field("b").unwrap().dtype, DType::Float);
+        assert_eq!(schema.field("c").unwrap().dtype, DType::Bool);
+        assert_eq!(schema.field("d").unwrap().dtype, DType::Categorical);
+        assert!(df.cell(2, "b").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_quotes() {
+        assert!(read_csv("a,b\n1\n".as_bytes()).is_err());
+        assert!(read_csv("a\n\"unclosed\n".as_bytes()).is_err());
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn explicit_schema_overrides_inference() {
+        // One distinct value would infer Categorical; force Text.
+        let csv = "id,tag\n1,aaa\n2,aaa\n";
+        let df = read_csv_with_schema(
+            csv.as_bytes(),
+            &[("id", DType::Float), ("tag", DType::Text)],
+        )
+        .unwrap();
+        assert_eq!(df.schema().field("id").unwrap().dtype, DType::Float);
+        assert_eq!(df.schema().field("tag").unwrap().dtype, DType::Text);
+        assert_eq!(df.cell(0, "id").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let dir = std::env::temp_dir().join("dp_frame_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let df =
+            DataFrame::from_columns(vec![Column::from_ints("x", vec![Some(1), Some(2)])]).unwrap();
+        write_csv_path(&df, &path).unwrap();
+        let back = read_csv_path(&path).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

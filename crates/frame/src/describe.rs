@@ -1,0 +1,207 @@
+//! Dataset summaries: `describe()` and sorting.
+//!
+//! Diagnosis sessions start with "what does this data look like";
+//! these utilities give examples and reports a compact way to show
+//! it. Kept out of `frame.rs` so the core relation type stays lean.
+
+use crate::column::Column;
+use crate::dtype::DType;
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Per-column summary of a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DType,
+    /// Row count.
+    pub len: usize,
+    /// NULL count.
+    pub nulls: usize,
+    /// Distinct non-NULL values (rendered).
+    pub distinct: usize,
+    /// Min/max for numeric columns.
+    pub min_max: Option<(f64, f64)>,
+    /// Mean for numeric columns.
+    pub mean: Option<f64>,
+    /// Most frequent rendered value and its count.
+    pub mode: Option<(String, usize)>,
+}
+
+/// Summarize every column of `df`.
+pub fn describe(df: &DataFrame) -> Vec<ColumnSummary> {
+    df.columns().iter().map(summarize_column).collect()
+}
+
+fn summarize_column(col: &Column) -> ColumnSummary {
+    let counts = col.value_counts();
+    let distinct = counts.len();
+    let mode = counts.into_iter().max_by_key(|(_, c)| *c);
+    let numeric: Vec<f64> = col.f64_values().into_iter().map(|(_, v)| v).collect();
+    let mean = if numeric.is_empty() {
+        None
+    } else {
+        Some(numeric.iter().sum::<f64>() / numeric.len() as f64)
+    };
+    ColumnSummary {
+        name: col.name().to_string(),
+        dtype: col.dtype(),
+        len: col.len(),
+        nulls: col.null_count(),
+        distinct,
+        min_max: col.min_max(),
+        mean,
+        mode,
+    }
+}
+
+/// Render the summaries as an aligned text table.
+pub fn describe_table(df: &DataFrame) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<12} {:>6} {:>6} {:>8} {:>22} {:>10}\n",
+        "column", "dtype", "rows", "nulls", "distinct", "range", "mean"
+    ));
+    for s in describe(df) {
+        let range = s
+            .min_max
+            .map(|(lo, hi)| format!("[{lo:.3}, {hi:.3}]"))
+            .unwrap_or_default();
+        let mean = s.mean.map(|m| format!("{m:.3}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{:<20} {:<12} {:>6} {:>6} {:>8} {:>22} {:>10}\n",
+            s.name,
+            s.dtype.to_string(),
+            s.len,
+            s.nulls,
+            s.distinct,
+            range,
+            mean
+        ));
+    }
+    out
+}
+
+/// Row indices of `df` sorted by the given column (NULLs first,
+/// ascending by [`Value::total_cmp`]; stable).
+pub fn sort_indices(df: &DataFrame, column: &str, descending: bool) -> Result<Vec<usize>> {
+    let col = df.column(column)?;
+    let mut idx: Vec<usize> = (0..df.n_rows()).collect();
+    idx.sort_by(|&a, &b| {
+        let ord = col.get(a).total_cmp(&col.get(b));
+        if descending {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    Ok(idx)
+}
+
+/// A copy of `df` sorted by the given column.
+pub fn sort_by(df: &DataFrame, column: &str, descending: bool) -> Result<DataFrame> {
+    let idx = sort_indices(df, column, descending)?;
+    df.take(&idx)
+}
+
+/// Top-`k` rows by a column (descending).
+pub fn top_k(df: &DataFrame, column: &str, k: usize) -> Result<DataFrame> {
+    let idx = sort_indices(df, column, true)?;
+    df.take(&idx[..idx.len().min(k)])
+}
+
+/// Rendered distinct-value histogram of one column (counts,
+/// descending), capped at `max_rows` lines.
+pub fn value_histogram(df: &DataFrame, column: &str, max_rows: usize) -> Result<String> {
+    let col = df.column(column)?;
+    let mut counts = col.value_counts();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let total: usize = counts.iter().map(|(_, c)| c).sum();
+    let mut out = String::new();
+    for (value, count) in counts.into_iter().take(max_rows) {
+        let frac = count as f64 / total.max(1) as f64;
+        let bar = "#".repeat((frac * 40.0).round() as usize);
+        out.push_str(&format!("{value:<16} {count:>6} {bar}\n"));
+    }
+    if col.null_count() > 0 {
+        out.push_str(&format!("{:<16} {:>6} (NULL)\n", "∅", col.null_count()));
+    }
+    let _ = Value::Null; // Value is part of this module's contract
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_ints("age", vec![Some(40), Some(20), None, Some(30)]),
+            Column::from_strings(
+                "city",
+                DType::Categorical,
+                vec![
+                    Some("b".into()),
+                    Some("a".into()),
+                    Some("a".into()),
+                    Some("c".into()),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn describe_summarizes_each_column() {
+        let s = describe(&frame());
+        assert_eq!(s.len(), 2);
+        let age = &s[0];
+        assert_eq!(age.name, "age");
+        assert_eq!(age.nulls, 1);
+        assert_eq!(age.distinct, 3);
+        assert_eq!(age.min_max, Some((20.0, 40.0)));
+        assert!((age.mean.unwrap() - 30.0).abs() < 1e-12);
+        let city = &s[1];
+        assert_eq!(city.mode, Some(("a".to_string(), 2)));
+        assert!(city.min_max.is_none());
+    }
+
+    #[test]
+    fn describe_table_renders() {
+        let t = describe_table(&frame());
+        assert!(t.contains("age"));
+        assert!(t.contains("city"));
+        assert!(t.contains("[20.000, 40.000]"));
+    }
+
+    #[test]
+    fn sorting_is_stable_with_nulls_first() {
+        let sorted = sort_by(&frame(), "age", false).unwrap();
+        let ages: Vec<String> = (0..4)
+            .map(|i| sorted.cell(i, "age").unwrap().to_string())
+            .collect();
+        assert_eq!(ages, vec!["", "20", "30", "40"]);
+        let desc = sort_by(&frame(), "age", true).unwrap();
+        assert_eq!(desc.cell(0, "age").unwrap().to_string(), "40");
+    }
+
+    #[test]
+    fn top_k_takes_largest() {
+        let top = top_k(&frame(), "age", 2).unwrap();
+        assert_eq!(top.n_rows(), 2);
+        assert_eq!(top.cell(0, "age").unwrap().to_string(), "40");
+        assert_eq!(top.cell(1, "age").unwrap().to_string(), "30");
+    }
+
+    #[test]
+    fn histogram_orders_by_count() {
+        let h = value_histogram(&frame(), "city", 10).unwrap();
+        let first = h.lines().next().unwrap();
+        assert!(first.starts_with('a'), "{h}");
+        let h = value_histogram(&frame(), "age", 10).unwrap();
+        assert!(h.contains("(NULL)"));
+    }
+}

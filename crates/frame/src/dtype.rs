@@ -1,0 +1,101 @@
+//! Logical column types.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Logical type of a column.
+///
+/// The distinction between [`DType::Categorical`] and [`DType::Text`]
+/// matters downstream: Fig 1 of the paper discovers a *domain set* for
+/// categorical attributes (row 1) but a *learned pattern / length
+/// bound* for text attributes (row 3), and χ²-based independence
+/// profiles (row 7) only apply to categorical data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Booleans.
+    Bool,
+    /// Low-cardinality string data (domains, codes, labels).
+    Categorical,
+    /// Free-form string data (reviews, names, phone numbers).
+    Text,
+}
+
+impl DType {
+    /// True for `Int` and `Float`.
+    #[inline]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DType::Int | DType::Float)
+    }
+
+    /// True for `Categorical` and `Text` (string-backed storage).
+    #[inline]
+    pub fn is_string(&self) -> bool {
+        matches!(self, DType::Categorical | DType::Text)
+    }
+
+    /// Whether a [`Value`] is admissible in a column of this type.
+    /// NULL is admissible everywhere.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (DType::Int, Value::Int(_)) => true,
+            (DType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (DType::Bool, Value::Bool(_)) => true,
+            (DType::Categorical | DType::Text, Value::Str(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::Int => "Int",
+            DType::Float => "Float",
+            DType::Bool => "Bool",
+            DType::Categorical => "Categorical",
+            DType::Text => "Text",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_matching_values() {
+        assert!(DType::Int.admits(&Value::Int(1)));
+        assert!(!DType::Int.admits(&Value::Float(1.0)));
+        assert!(DType::Float.admits(&Value::Int(1)), "ints widen to float");
+        assert!(DType::Categorical.admits(&Value::Str("a".into())));
+        assert!(DType::Text.admits(&Value::Str("a".into())));
+        assert!(!DType::Bool.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    fn null_admissible_everywhere() {
+        for dt in [
+            DType::Int,
+            DType::Float,
+            DType::Bool,
+            DType::Categorical,
+            DType::Text,
+        ] {
+            assert!(dt.admits(&Value::Null));
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(DType::Int.is_numeric() && DType::Float.is_numeric());
+        assert!(!DType::Categorical.is_numeric());
+        assert!(DType::Text.is_string() && DType::Categorical.is_string());
+        assert!(!DType::Bool.is_string());
+    }
+}

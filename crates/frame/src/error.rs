@@ -1,0 +1,101 @@
+//! Error type shared by all dataframe operations.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, FrameError>;
+
+/// Errors produced by dataframe construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// A referenced column does not exist in the frame.
+    ColumnNotFound(String),
+    /// A column with this name already exists.
+    DuplicateColumn(String),
+    /// Columns in a frame (or a row being appended) disagree in length
+    /// or arity. The payload describes the mismatch.
+    LengthMismatch(String),
+    /// A value's runtime type does not match the column's [`crate::DType`].
+    TypeMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Expected logical type.
+        expected: String,
+        /// What was actually supplied.
+        found: String,
+    },
+    /// A row index is out of bounds.
+    RowOutOfBounds {
+        /// Requested row index.
+        index: usize,
+        /// Number of rows in the frame.
+        len: usize,
+    },
+    /// CSV parsing failed; payload holds line number and description.
+    Csv(String),
+    /// An I/O error occurred (message-only to keep the error `Clone`).
+    Io(String),
+    /// An operation received invalid arguments (empty frame, bad
+    /// fraction, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            FrameError::DuplicateColumn(name) => write!(f, "duplicate column: {name:?}"),
+            FrameError::LengthMismatch(msg) => write!(f, "length mismatch: {msg}"),
+            FrameError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in column {column:?}: expected {expected}, found {found}"
+            ),
+            FrameError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for frame of {len} rows")
+            }
+            FrameError::Csv(msg) => write!(f, "csv error: {msg}"),
+            FrameError::Io(msg) => write!(f, "io error: {msg}"),
+            FrameError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_descriptive() {
+        let e = FrameError::ColumnNotFound("age".into());
+        assert!(e.to_string().contains("age"));
+        let e = FrameError::TypeMismatch {
+            column: "age".into(),
+            expected: "Int".into(),
+            found: "Str".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains("Int") && s.contains("Str"));
+        let e = FrameError::RowOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FrameError = io.into();
+        assert!(matches!(e, FrameError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Group-by counting and contingency tables.
+//!
+//! χ²-based independence profiles (Fig 1 row 7) need the contingency
+//! table of two categorical attributes; selectivity discovery needs
+//! grouped counts. Both are provided here without a general
+//! aggregation engine, which the paper does not require.
+
+use crate::error::Result;
+use crate::frame::DataFrame;
+use std::collections::BTreeMap;
+
+/// A two-way contingency table over the distinct values of two
+/// columns. NULL cells are excluded (pairwise deletion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    /// Distinct values of the first attribute (row labels), sorted.
+    pub rows: Vec<String>,
+    /// Distinct values of the second attribute (column labels), sorted.
+    pub cols: Vec<String>,
+    /// `counts[i][j]` = number of tuples whose first attribute equals
+    /// `rows[i]` and second equals `cols[j]`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl ContingencyTable {
+    /// Build from two columns of `df`.
+    pub fn from_frame(df: &DataFrame, a: &str, b: &str) -> Result<ContingencyTable> {
+        let ca = df.column(a)?;
+        let cb = df.column(b)?;
+        let mut cells: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut row_set = std::collections::BTreeSet::new();
+        let mut col_set = std::collections::BTreeSet::new();
+        for i in 0..df.n_rows() {
+            if ca.is_null(i) || cb.is_null(i) {
+                continue;
+            }
+            let va = ca.get(i).to_string();
+            let vb = cb.get(i).to_string();
+            row_set.insert(va.clone());
+            col_set.insert(vb.clone());
+            *cells.entry((va, vb)).or_insert(0) += 1;
+        }
+        let rows: Vec<String> = row_set.into_iter().collect();
+        let cols: Vec<String> = col_set.into_iter().collect();
+        let mut counts = vec![vec![0u64; cols.len()]; rows.len()];
+        for ((va, vb), n) in cells {
+            let i = rows.binary_search(&va).expect("value in row set");
+            let j = cols.binary_search(&vb).expect("value in col set");
+            counts[i][j] = n;
+        }
+        Ok(ContingencyTable { rows, cols, counts })
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Row marginals.
+    pub fn row_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column marginals.
+    pub fn col_totals(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.cols.len()];
+        for row in &self.counts {
+            for (j, &c) in row.iter().enumerate() {
+                out[j] += c;
+            }
+        }
+        out
+    }
+}
+
+/// Counts of each distinct (non-NULL) value of one column, sorted by
+/// value.
+pub fn group_counts(df: &DataFrame, column: &str) -> Result<Vec<(String, usize)>> {
+    Ok(df.column(column)?.value_counts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::dtype::DType;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_strings(
+                "race",
+                DType::Categorical,
+                vec![
+                    Some("A".into()),
+                    Some("A".into()),
+                    Some("W".into()),
+                    Some("W".into()),
+                    Some("W".into()),
+                    None,
+                ],
+            ),
+            Column::from_strings(
+                "high",
+                DType::Categorical,
+                vec![
+                    Some("no".into()),
+                    Some("no".into()),
+                    Some("yes".into()),
+                    Some("yes".into()),
+                    Some("no".into()),
+                    Some("yes".into()),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn contingency_counts_and_marginals() {
+        let t = ContingencyTable::from_frame(&df(), "race", "high").unwrap();
+        assert_eq!(t.rows, vec!["A", "W"]);
+        assert_eq!(t.cols, vec!["no", "yes"]);
+        assert_eq!(t.counts, vec![vec![2, 0], vec![1, 2]]);
+        assert_eq!(t.total(), 5, "NULL rows excluded");
+        assert_eq!(t.row_totals(), vec![2, 3]);
+        assert_eq!(t.col_totals(), vec![3, 2]);
+    }
+
+    #[test]
+    fn group_counts_sorted() {
+        let counts = group_counts(&df(), "high").unwrap();
+        assert_eq!(counts, vec![("no".to_string(), 3), ("yes".to_string(), 3)]);
+    }
+
+    #[test]
+    fn numeric_columns_group_by_rendered_value() {
+        let d = DataFrame::from_columns(vec![Column::from_ints(
+            "k",
+            vec![Some(2), Some(1), Some(2)],
+        )])
+        .unwrap();
+        let t = ContingencyTable::from_frame(&d, "k", "k").unwrap();
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.counts[0][0] + t.counts[1][1], 3, "diagonal only");
+    }
+}

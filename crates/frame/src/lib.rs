@@ -1,0 +1,51 @@
+//! # dp-frame — columnar dataframe substrate
+//!
+//! A small, self-contained, columnar dataframe engine built for the
+//! DataPrism reproduction. The paper's framework treats datasets as
+//! relations `D ⊆ Dom^m` over a schema `R(A_1, …, A_m)`; this crate
+//! provides that relation abstraction:
+//!
+//! - [`Value`] — a dynamically typed cell value (`Null`, `Int`, `Float`,
+//!   `Bool`, `Str`).
+//! - [`DType`] — logical column types. `Categorical` and `Text` are both
+//!   string-backed but drive different profile-discovery semantics in
+//!   the `dataprism` crate (domain sets vs learned patterns, Fig 1 of
+//!   the paper).
+//! - [`Column`] — typed storage plus a validity [`Bitmap`] for NULLs.
+//! - [`DataFrame`] — named columns of equal length, with row access,
+//!   filtering, projection, sampling, and group-by counting.
+//! - [`Predicate`] — a small boolean expression AST over columns used
+//!   for `Selectivity` profiles (Fig 1 row 6).
+//! - [`csv`] — CSV reader/writer with type inference, used by examples
+//!   so generated scenario data can be inspected on disk.
+//!
+//! The engine is deliberately eager and in-memory: the paper's
+//! interventions repeatedly *transform whole columns* of the failing
+//! dataset, so mutable typed vectors are the right storage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod builder;
+pub mod column;
+pub mod csv;
+pub mod describe;
+pub mod dtype;
+pub mod error;
+pub mod frame;
+pub mod groupby;
+pub mod predicate;
+pub mod sample;
+pub mod schema;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use builder::DataFrameBuilder;
+pub use column::{Column, ColumnData};
+pub use dtype::DType;
+pub use error::{FrameError, Result};
+pub use frame::DataFrame;
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{Field, Schema};
+pub use value::Value;

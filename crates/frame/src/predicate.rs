@@ -1,0 +1,306 @@
+//! Boolean predicate AST for selections (`σ_P`).
+//!
+//! Selectivity profiles (Fig 1 row 6) are parameterized by a selection
+//! predicate `P`, e.g. `gender = F ∧ high_expenditure = yes` in the
+//! paper's running example. This module provides that predicate
+//! language and a vectorized evaluator producing a row mask.
+
+use crate::bitmap::Bitmap;
+use crate::error::Result;
+use crate::frame::DataFrame;
+use crate::value::Value;
+use std::fmt;
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality (loose across numeric types).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(&self, cell: &Value, rhs: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        // SQL semantics: comparisons involving NULL are false, except
+        // explicit IS NULL handled by Predicate::IsNull.
+        if cell.is_null() || rhs.is_null() {
+            return false;
+        }
+        let ord = cell.total_cmp(rhs);
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A boolean expression over one tuple, evaluated row-wise against a
+/// [`DataFrame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column op literal`.
+    Cmp {
+        /// Attribute name.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal right-hand side.
+        value: Value,
+    },
+    /// `column IS NULL`.
+    IsNull(String),
+    /// `column IS NOT NULL`.
+    IsNotNull(String),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Constant truth (useful as a fold identity).
+    True,
+}
+
+impl Predicate {
+    /// Convenience constructor for an atomic comparison.
+    pub fn cmp<S: Into<String>, V: Into<Value>>(column: S, op: CmpOp, value: V) -> Predicate {
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Names of all attributes this predicate references (with
+    /// duplicates removed, in first-mention order). The PVT–attribute
+    /// graph uses this to connect Selectivity PVTs to attributes.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::Cmp { column, .. }
+            | Predicate::IsNull(column)
+            | Predicate::IsNotNull(column) => {
+                if !out.iter().any(|c| c == column) {
+                    out.push(column.clone());
+                }
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::True => {}
+        }
+    }
+
+    /// Evaluate against every row, producing a selection mask.
+    pub fn evaluate(&self, df: &DataFrame) -> Result<Bitmap> {
+        let n = df.n_rows();
+        match self {
+            Predicate::True => Ok(Bitmap::with_value(n, true)),
+            Predicate::Cmp { column, op, value } => {
+                let col = df.column(column)?;
+                Ok(Bitmap::from_iter(
+                    (0..n).map(|i| op.apply(&col.get(i), value)),
+                ))
+            }
+            Predicate::IsNull(column) => {
+                let col = df.column(column)?;
+                Ok(Bitmap::from_iter((0..n).map(|i| col.is_null(i))))
+            }
+            Predicate::IsNotNull(column) => {
+                let col = df.column(column)?;
+                Ok(Bitmap::from_iter((0..n).map(|i| !col.is_null(i))))
+            }
+            Predicate::And(a, b) => {
+                let ma = a.evaluate(df)?;
+                let mb = b.evaluate(df)?;
+                Ok(Bitmap::from_iter((0..n).map(|i| ma.get(i) && mb.get(i))))
+            }
+            Predicate::Or(a, b) => {
+                let ma = a.evaluate(df)?;
+                let mb = b.evaluate(df)?;
+                Ok(Bitmap::from_iter((0..n).map(|i| ma.get(i) || mb.get(i))))
+            }
+            Predicate::Not(p) => {
+                let m = p.evaluate(df)?;
+                Ok(Bitmap::from_iter((0..n).map(|i| !m.get(i))))
+            }
+        }
+    }
+
+    /// Evaluate for a single row.
+    pub fn matches_row(&self, df: &DataFrame, row: usize) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Cmp { column, op, value } => {
+                Ok(op.apply(&df.column(column)?.get(row), value))
+            }
+            Predicate::IsNull(column) => Ok(df.column(column)?.is_null(row)),
+            Predicate::IsNotNull(column) => Ok(!df.column(column)?.is_null(row)),
+            Predicate::And(a, b) => Ok(a.matches_row(df, row)? && b.matches_row(df, row)?),
+            Predicate::Or(a, b) => Ok(a.matches_row(df, row)? || b.matches_row(df, row)?),
+            Predicate::Not(p) => Ok(!p.matches_row(df, row)?),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::IsNull(c) => write!(f, "{c} IS NULL"),
+            Predicate::IsNotNull(c) => write!(f, "{c} IS NOT NULL"),
+            Predicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Predicate::Not(p) => write!(f, "¬({p})"),
+            Predicate::True => write!(f, "TRUE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::dtype::DType;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_ints("age", vec![Some(45), Some(22), None, Some(60)]),
+            Column::from_strings(
+                "gender",
+                DType::Categorical,
+                vec![
+                    Some("F".into()),
+                    Some("M".into()),
+                    Some("F".into()),
+                    Some("M".into()),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn atomic_comparisons() {
+        let d = df();
+        let m = Predicate::cmp("age", CmpOp::Ge, 45).evaluate(&d).unwrap();
+        let bits: Vec<bool> = m.iter().collect();
+        assert_eq!(bits, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let d = df();
+        // NULL age row never matches < or >= comparisons.
+        let lt = Predicate::cmp("age", CmpOp::Lt, 1000).evaluate(&d).unwrap();
+        assert!(!lt.get(2));
+        let ge = Predicate::cmp("age", CmpOp::Ge, 0).evaluate(&d).unwrap();
+        assert!(!ge.get(2));
+        // but IS NULL does.
+        let isnull = Predicate::IsNull("age".into()).evaluate(&d).unwrap();
+        assert_eq!(isnull.count_ones(), 1);
+        assert!(isnull.get(2));
+    }
+
+    #[test]
+    fn conjunction_matches_paper_example() {
+        // gender = F ∧ age >= 40, the shape of the paper's Selectivity
+        // predicate.
+        let d = df();
+        let p = Predicate::cmp("gender", CmpOp::Eq, "F").and(Predicate::cmp("age", CmpOp::Ge, 40));
+        let m = p.evaluate(&d).unwrap();
+        assert_eq!(m.count_ones(), 1);
+        assert!(m.get(0));
+    }
+
+    #[test]
+    fn disjunction_and_negation() {
+        let d = df();
+        let p = Predicate::cmp("age", CmpOp::Lt, 30)
+            .or(Predicate::cmp("age", CmpOp::Gt, 50))
+            .not();
+        let m = p.evaluate(&d).unwrap();
+        let bits: Vec<bool> = m.iter().collect();
+        assert_eq!(bits, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn columns_deduplicated() {
+        let p = Predicate::cmp("a", CmpOp::Eq, 1)
+            .and(Predicate::cmp("b", CmpOp::Eq, 2).or(Predicate::cmp("a", CmpOp::Gt, 0)));
+        assert_eq!(p.columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn matches_row_agrees_with_evaluate() {
+        let d = df();
+        let p = Predicate::cmp("gender", CmpOp::Eq, "M");
+        let m = p.evaluate(&d).unwrap();
+        for i in 0..d.n_rows() {
+            assert_eq!(p.matches_row(&d, i).unwrap(), m.get(i));
+        }
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let d = df();
+        assert!(Predicate::cmp("zip", CmpOp::Eq, 1).evaluate(&d).is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = Predicate::cmp("gender", CmpOp::Eq, "F").and(Predicate::cmp("age", CmpOp::Ge, 40));
+        assert_eq!(p.to_string(), "(gender = F ∧ age >= 40)");
+    }
+}

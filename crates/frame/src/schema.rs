@@ -1,0 +1,121 @@
+//! Schema: ordered, named, typed fields.
+
+use crate::dtype::DType;
+use crate::error::{FrameError, Result};
+use std::fmt;
+
+/// One attribute `A_j` of the relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new<S: Into<String>>(name: S, dtype: DType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// The relation schema `R(A_1, …, A_m)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if !seen.insert(f.name.as_str()) {
+                return Err(FrameError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Number of attributes (`m`).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = Schema::new(vec![
+            Field::new("a", DType::Int),
+            Field::new("a", DType::Float),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, FrameError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            Field::new("age", DType::Int),
+            Field::new("name", DType::Text),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("zip"), None);
+        assert_eq!(s.field("age").unwrap().dtype, DType::Int);
+        assert_eq!(s.names(), vec!["age", "name"]);
+    }
+
+    #[test]
+    fn display_is_relational() {
+        let s = Schema::new(vec![Field::new("age", DType::Int)]).unwrap();
+        assert_eq!(s.to_string(), "R(age: Int)");
+    }
+}

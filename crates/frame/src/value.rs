@@ -1,0 +1,210 @@
+//! Dynamically typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell of a dataset: `t.A_j` in the paper's notation.
+///
+/// `Value` is the dynamically typed interchange currency between the
+/// typed columnar storage and row-oriented consumers (builders, CSV,
+/// predicates, transformations).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL-style NULL / missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` is normalized to [`Value::Null`] at column
+    /// boundaries so that profile arithmetic never sees NaN.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string (backs both `Categorical` and `Text` columns).
+    Str(String),
+}
+
+impl Value {
+    /// True iff this is [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: `Int` and `Float` (and `Bool` as 0/1) coerce to
+    /// `f64`; everything else is `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact; floats are not silently truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Int(_) => "Int",
+            Value::Float(_) => "Float",
+            Value::Bool(_) => "Bool",
+            Value::Str(_) => "Str",
+        }
+    }
+
+    /// Total comparison used by predicates and sorting.
+    ///
+    /// NULL sorts before everything; numeric types compare by value
+    /// across `Int`/`Float`/`Bool`; strings compare lexicographically;
+    /// values of incomparable types order by type name so the ordering
+    /// is still total (needed for deterministic group-by keys).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => a.type_name().cmp(b.type_name()),
+            },
+        }
+    }
+
+    /// Equality for predicate evaluation: numeric cross-type equality
+    /// (`Int(2) == Float(2.0)`), NULL equal only to NULL.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert_eq!(Value::Int(1).total_cmp(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Bool(true).total_cmp(&Value::Int(1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn null_sorts_first_and_only_equals_null() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(-100)), Ordering::Less);
+        assert!(Value::Null.loose_eq(&Value::Null));
+        assert!(!Value::Null.loose_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn nan_floats_become_null() {
+        let v: Value = f64::NAN.into();
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn option_conversion() {
+        let v: Value = Option::<i64>::None.into();
+        assert!(v.is_null());
+        let v: Value = Some(3i64).into();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Str("ab".into()).to_string(), "ab");
+    }
+}

@@ -1,0 +1,149 @@
+//! AdaBoost (discrete SAMME) over decision stumps.
+
+use crate::matrix::Matrix;
+use crate::tree::DecisionTree;
+use crate::Classifier;
+
+/// AdaBoost binary classifier (the §5.1 Cardiovascular system's
+/// model), boosting depth-`stump_depth` CART trees with the discrete
+/// SAMME weight update (for two classes, classic AdaBoost.M1).
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// Number of boosting rounds.
+    pub n_rounds: usize,
+    /// Depth of each weak learner (1 = stump).
+    pub stump_depth: usize,
+    learners: Vec<(DecisionTree, f64)>,
+}
+
+impl AdaBoost {
+    /// Untrained booster.
+    pub fn new(n_rounds: usize, stump_depth: usize) -> Self {
+        AdaBoost {
+            n_rounds,
+            stump_depth,
+            learners: Vec::new(),
+        }
+    }
+
+    /// Train on `x`/`y` (labels 0/1). Panics on empty data.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        assert_eq!(x.rows(), y.len(), "sample count mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        let n = x.rows();
+        let mut w = vec![1.0 / n as f64; n];
+        self.learners.clear();
+        for _ in 0..self.n_rounds {
+            let mut tree = DecisionTree::new(self.stump_depth);
+            tree.fit_weighted(x, y, &w, None);
+            let preds = tree.predict_all(x);
+            let err: f64 = preds
+                .iter()
+                .zip(y)
+                .zip(&w)
+                .filter(|((p, t), _)| p != t)
+                .map(|(_, wi)| *wi)
+                .sum();
+            if err >= 0.5 {
+                // Weak learner no better than chance: stop boosting.
+                if self.learners.is_empty() {
+                    self.learners.push((tree, 1.0));
+                }
+                break;
+            }
+            let err = err.max(1e-12);
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            // Reweight: up-weight mistakes, down-weight hits.
+            for ((wi, p), t) in w.iter_mut().zip(&preds).zip(y) {
+                let sign = if p == t { -1.0 } else { 1.0 };
+                *wi *= (sign * alpha).exp();
+            }
+            let total: f64 = w.iter().sum();
+            w.iter_mut().for_each(|wi| *wi /= total);
+            self.learners.push((tree, alpha));
+            if err <= 1e-12 {
+                break; // perfect learner; further rounds are no-ops
+            }
+        }
+    }
+
+    /// Signed ensemble margin (positive favors class 1).
+    pub fn decision_function(&self, row: &[f64]) -> f64 {
+        self.learners
+            .iter()
+            .map(|(t, alpha)| {
+                let vote = if t.predict(row) == 1 { 1.0 } else { -1.0 };
+                alpha * vote
+            })
+            .sum()
+    }
+
+    /// Number of fitted rounds (may be fewer than `n_rounds` if
+    /// boosting stopped early).
+    pub fn len(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// True before `fit`.
+    pub fn is_empty(&self) -> bool {
+        self.learners.is_empty()
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.learners.is_empty(), "predict before fit");
+        usize::from(self.decision_function(row) > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn boosting_beats_a_single_stump_on_stripes() {
+        // Alternating stripes on one feature need several thresholds.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let v = i as f64 / 10.0;
+            rows.push(vec![v]);
+            y.push(usize::from((v as i64) % 2 == 0));
+        }
+        let x = Matrix::from_rows(rows);
+        let mut stump = DecisionTree::new(1);
+        stump.fit(&x, &y);
+        let stump_acc = accuracy(&y, &stump.predict_all(&x));
+        let mut ada = AdaBoost::new(40, 1);
+        ada.fit(&x, &y);
+        let ada_acc = accuracy(&y, &ada.predict_all(&x));
+        assert!(
+            ada_acc > stump_acc + 0.1,
+            "ada {ada_acc} vs stump {stump_acc}"
+        );
+    }
+
+    #[test]
+    fn perfect_learner_short_circuits() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0, 0, 1, 1];
+        let mut ada = AdaBoost::new(50, 1);
+        ada.fit(&x, &y);
+        assert_eq!(ada.len(), 1, "first stump is perfect");
+        assert_eq!(ada.predict_all(&x), y);
+    }
+
+    #[test]
+    fn decision_function_sign_matches_prediction() {
+        let x = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![0, 1, 0, 1];
+        let mut ada = AdaBoost::new(10, 1);
+        ada.fit(&x, &y);
+        for row in [[0.0], [3.0]] {
+            let df = ada.decision_function(&row);
+            assert_eq!(usize::from(df > 0.0), ada.predict(&row));
+        }
+    }
+}

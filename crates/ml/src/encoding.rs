@@ -1,0 +1,180 @@
+//! `DataFrame` → feature-matrix encoding.
+//!
+//! The case-study systems are pipelines: encode the dataset, train a
+//! model, evaluate a malfunction score. This module is the encoding
+//! stage. Numeric columns pass through with mean imputation for
+//! NULLs; categorical columns are one-hot encoded (NULL = all zeros);
+//! `Text` columns are skipped (the sentiment pipeline handles text
+//! separately). The label column is extracted by matching its
+//! rendered values against a caller-provided positive set.
+
+use crate::matrix::Matrix;
+use dp_frame::{DType, DataFrame, FrameError};
+
+/// The result of encoding a frame: a feature matrix plus provenance.
+#[derive(Debug, Clone)]
+pub struct EncodedData {
+    /// Feature matrix, one row per tuple.
+    pub x: Matrix,
+    /// Human-readable feature names (`col` or `col=value` for one-hot
+    /// indicators), aligned with matrix columns.
+    pub feature_names: Vec<String>,
+}
+
+/// Encode all columns of `df` except those named in `exclude`.
+///
+/// This mirrors the paper's Example 1 pre-processing, where the data
+/// scientist drops the sensitive attributes before training.
+pub fn encode_features(df: &DataFrame, exclude: &[&str]) -> Result<EncodedData, FrameError> {
+    let n = df.n_rows();
+    let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
+    for col in df.columns() {
+        if exclude.contains(&col.name()) {
+            continue;
+        }
+        match col.dtype() {
+            DType::Int | DType::Float | DType::Bool => {
+                let present = col.f64_values();
+                let mean = if present.is_empty() {
+                    0.0
+                } else {
+                    present.iter().map(|(_, v)| v).sum::<f64>() / present.len() as f64
+                };
+                let mut vals = vec![mean; n];
+                for (i, v) in present {
+                    vals[i] = v;
+                }
+                columns.push((col.name().to_string(), vals));
+            }
+            DType::Categorical => {
+                for (value, _) in col.value_counts() {
+                    let mut indicator = vec![0.0; n];
+                    for i in 0..n {
+                        if !col.is_null(i) && col.get(i).to_string() == value {
+                            indicator[i] = 1.0;
+                        }
+                    }
+                    columns.push((format!("{}={}", col.name(), value), indicator));
+                }
+            }
+            DType::Text => {} // handled by text-specific pipelines
+        }
+    }
+    let feature_names: Vec<String> = columns.iter().map(|(n, _)| n.clone()).collect();
+    let cols = columns.len();
+    let mut x = Matrix::zeros(n, cols);
+    for (j, (_, vals)) in columns.into_iter().enumerate() {
+        for (i, v) in vals.into_iter().enumerate() {
+            x.set(i, j, v);
+        }
+    }
+    Ok(EncodedData { x, feature_names })
+}
+
+/// Extract binary labels from `df[label]`: 1 when the rendered value
+/// is in `positive_values`, else 0 (NULL renders as the empty
+/// string, so NULL labels become 0 unless "" is listed).
+pub fn extract_labels(
+    df: &DataFrame,
+    label: &str,
+    positive_values: &[&str],
+) -> Result<Vec<usize>, FrameError> {
+    let col = df.column(label)?;
+    Ok((0..df.n_rows())
+        .map(|i| {
+            let rendered = col.get(i).to_string();
+            usize::from(positive_values.contains(&rendered.as_str()))
+        })
+        .collect())
+}
+
+/// Standardize matrix columns in place to zero mean / unit variance
+/// (constant columns are left untouched). Returns the per-column
+/// `(mean, std)` so test data can reuse the training scaling.
+pub fn standardize_columns(x: &mut Matrix) -> Vec<(f64, f64)> {
+    let mut params = Vec::with_capacity(x.cols());
+    for j in 0..x.cols() {
+        let col = x.col(j);
+        let n = col.len() as f64;
+        let mean = col.iter().sum::<f64>() / n;
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        if std > 0.0 {
+            for i in 0..x.rows() {
+                let v = (x.get(i, j) - mean) / std;
+                x.set(i, j, v);
+            }
+        }
+        params.push((mean, std));
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::Column;
+
+    fn df() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_ints("age", vec![Some(30), None, Some(50)]),
+            Column::from_strings(
+                "race",
+                DType::Categorical,
+                vec![Some("A".into()), Some("W".into()), Some("W".into())],
+            ),
+            Column::from_strings(
+                "review",
+                DType::Text,
+                vec![Some("good".into()), Some("bad".into()), None],
+            ),
+            Column::from_strings(
+                "target",
+                DType::Categorical,
+                vec![Some("yes".into()), Some("no".into()), Some("yes".into())],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn one_hot_and_imputation() {
+        let enc = encode_features(&df(), &["target"]).unwrap();
+        assert_eq!(
+            enc.feature_names,
+            vec!["age", "race=A", "race=W"],
+            "text skipped, target excluded"
+        );
+        // NULL age imputed to mean of (30, 50) = 40.
+        assert_eq!(enc.x.get(1, 0), 40.0);
+        // One-hot rows.
+        assert_eq!(enc.x.row(0), &[30.0, 1.0, 0.0]);
+        assert_eq!(enc.x.row(2), &[50.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn labels_from_positive_set() {
+        let y = extract_labels(&df(), "target", &["yes"]).unwrap();
+        assert_eq!(y, vec![1, 0, 1]);
+        assert!(extract_labels(&df(), "missing", &["yes"]).is_err());
+    }
+
+    #[test]
+    fn exclusion_drops_sensitive_attributes() {
+        // Example 1: drop race before training.
+        let enc = encode_features(&df(), &["target", "race"]).unwrap();
+        assert_eq!(enc.feature_names, vec!["age"]);
+    }
+
+    #[test]
+    fn standardize_centers_and_scales() {
+        let mut x = Matrix::from_rows(vec![vec![1.0, 5.0], vec![3.0, 5.0], vec![5.0, 5.0]]);
+        let params = standardize_columns(&mut x);
+        assert!((x.col(0).iter().sum::<f64>()).abs() < 1e-12);
+        let var: f64 = x.col(0).iter().map(|v| v * v).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+        // Constant column untouched.
+        assert_eq!(x.col(1), vec![5.0, 5.0, 5.0]);
+        assert_eq!(params[1].1, 0.0);
+    }
+}

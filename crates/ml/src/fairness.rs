@@ -1,0 +1,183 @@
+//! Fairness metrics: disparate impact and statistical parity.
+//!
+//! Example 5 of the paper uses disparate impact — "the ratio between
+//! the number of tuples with favorable outcomes within the
+//! unprivileged and the privileged groups" — as the malfunction
+//! score for fair classification, and the §5.1 Income system returns
+//! the *normalized* disparate impact w.r.t. the protected attribute.
+
+/// Group assignment for fairness computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Member of the unprivileged (protected) group.
+    Unprivileged,
+    /// Member of the privileged group.
+    Privileged,
+}
+
+/// Favorable-outcome rate per group: `(unprivileged, privileged)`.
+///
+/// Returns `None` if either group is empty.
+pub fn favorable_rates(preds: &[usize], groups: &[Group]) -> Option<(f64, f64)> {
+    assert_eq!(preds.len(), groups.len(), "length mismatch");
+    let mut up_fav = 0usize;
+    let mut up_n = 0usize;
+    let mut pr_fav = 0usize;
+    let mut pr_n = 0usize;
+    for (&p, &g) in preds.iter().zip(groups) {
+        match g {
+            Group::Unprivileged => {
+                up_n += 1;
+                up_fav += p;
+            }
+            Group::Privileged => {
+                pr_n += 1;
+                pr_fav += p;
+            }
+        }
+    }
+    if up_n == 0 || pr_n == 0 {
+        return None;
+    }
+    Some((up_fav as f64 / up_n as f64, pr_fav as f64 / pr_n as f64))
+}
+
+/// Disparate impact: `P(fav | unprivileged) / P(fav | privileged)`.
+///
+/// 1.0 is perfectly fair; values below 0.8 violate the usual
+/// four-fifths rule. Conventions for degenerate cases: both rates
+/// zero → 1.0 (trivially balanced); privileged rate zero with a
+/// nonzero unprivileged rate → `f64::INFINITY` (reverse disparity);
+/// missing group → `None`.
+pub fn disparate_impact(preds: &[usize], groups: &[Group]) -> Option<f64> {
+    let (up, pr) = favorable_rates(preds, groups)?;
+    if pr == 0.0 {
+        return Some(if up == 0.0 { 1.0 } else { f64::INFINITY });
+    }
+    Some(up / pr)
+}
+
+/// Normalized disparate impact as a malfunction score in `[0, 1]`:
+/// `1 - min(DI, 1/DI)`. Zero means perfectly fair; one means one
+/// group never receives the favorable outcome. This is the §5.1
+/// Income system's malfunction score.
+pub fn normalized_disparate_impact(preds: &[usize], groups: &[Group]) -> Option<f64> {
+    let di = disparate_impact(preds, groups)?;
+    if di == 0.0 || di.is_infinite() {
+        return Some(1.0);
+    }
+    Some(1.0 - di.min(1.0 / di))
+}
+
+/// Add-one (Laplace) smoothed variant of
+/// [`normalized_disparate_impact`]: group rates are computed as
+/// `(fav + 1) / (n + 2)`. With very few favorable predictions the raw
+/// ratio is knife-edged (3 favorable males and 0 females gives DI = 0
+/// exactly); smoothing keeps the malfunction score stable, which
+/// interventional diagnosis needs from its oracle.
+pub fn normalized_disparate_impact_smoothed(preds: &[usize], groups: &[Group]) -> Option<f64> {
+    assert_eq!(preds.len(), groups.len(), "length mismatch");
+    let mut up_fav = 0usize;
+    let mut up_n = 0usize;
+    let mut pr_fav = 0usize;
+    let mut pr_n = 0usize;
+    for (&p, &g) in preds.iter().zip(groups) {
+        match g {
+            Group::Unprivileged => {
+                up_n += 1;
+                up_fav += p;
+            }
+            Group::Privileged => {
+                pr_n += 1;
+                pr_fav += p;
+            }
+        }
+    }
+    if up_n == 0 || pr_n == 0 {
+        return None;
+    }
+    let up = (up_fav + 1) as f64 / (up_n + 2) as f64;
+    let pr = (pr_fav + 1) as f64 / (pr_n + 2) as f64;
+    let di = up / pr;
+    Some(1.0 - di.min(1.0 / di))
+}
+
+/// Statistical parity difference:
+/// `P(fav | unprivileged) - P(fav | privileged)` in `[-1, 1]`.
+pub fn statistical_parity_difference(preds: &[usize], groups: &[Group]) -> Option<f64> {
+    let (up, pr) = favorable_rates(preds, groups)?;
+    Some(up - pr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Group::{Privileged as P, Unprivileged as U};
+
+    #[test]
+    fn fair_predictions_have_di_one() {
+        let preds = [1, 0, 1, 0];
+        let groups = [U, U, P, P];
+        assert!((disparate_impact(&preds, &groups).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(normalized_disparate_impact(&preds, &groups).unwrap(), 0.0);
+        assert_eq!(statistical_parity_difference(&preds, &groups).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn biased_predictions_scored() {
+        // Unprivileged favorable rate 0.25, privileged 0.75.
+        let preds = [1, 0, 0, 0, 1, 1, 1, 0];
+        let groups = [U, U, U, U, P, P, P, P];
+        let di = disparate_impact(&preds, &groups).unwrap();
+        assert!((di - 1.0 / 3.0).abs() < 1e-12);
+        let m = normalized_disparate_impact(&preds, &groups).unwrap();
+        assert!((m - 2.0 / 3.0).abs() < 1e-12);
+        let spd = statistical_parity_difference(&preds, &groups).unwrap();
+        assert!((spd + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // No favorable outcomes anywhere: fair by convention.
+        assert_eq!(disparate_impact(&[0, 0], &[U, P]).unwrap(), 1.0);
+        // Reverse disparity: privileged never favored.
+        assert_eq!(disparate_impact(&[1, 0], &[U, P]).unwrap(), f64::INFINITY);
+        assert_eq!(normalized_disparate_impact(&[1, 0], &[U, P]).unwrap(), 1.0);
+        // Missing a group entirely.
+        assert!(disparate_impact(&[1, 0], &[U, U]).is_none());
+    }
+
+    #[test]
+    fn smoothed_di_is_stable_on_tiny_counts() {
+        // 1 favorable male out of 50, 0 of 50 females: raw normalized
+        // DI saturates at 1.0; smoothed stays moderate.
+        let mut preds = vec![0usize; 100];
+        preds[99] = 1;
+        let groups: Vec<Group> = (0..100).map(|i| if i < 50 { U } else { P }).collect();
+        assert_eq!(normalized_disparate_impact(&preds, &groups).unwrap(), 1.0);
+        let smoothed = normalized_disparate_impact_smoothed(&preds, &groups).unwrap();
+        assert!((0.3..0.7).contains(&smoothed), "{smoothed}");
+        // With balanced strong signals the two agree closely.
+        let preds: Vec<usize> = (0..100).map(|i| usize::from(i % 2 == 0)).collect();
+        let raw = normalized_disparate_impact(&preds, &groups).unwrap();
+        let sm = normalized_disparate_impact_smoothed(&preds, &groups).unwrap();
+        assert!((raw - sm).abs() < 0.05);
+    }
+
+    #[test]
+    fn normalized_di_is_symmetric() {
+        // Swapping group roles must not change the normalized score.
+        let preds = [1, 0, 0, 0, 1, 1, 1, 0];
+        let groups = [U, U, U, U, P, P, P, P];
+        let swapped: Vec<Group> = groups
+            .iter()
+            .map(|g| match g {
+                U => P,
+                P => U,
+            })
+            .collect();
+        let a = normalized_disparate_impact(&preds, &groups).unwrap();
+        let b = normalized_disparate_impact(&preds, &swapped).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! # dp-ml — machine-learning substrate
+//!
+//! The paper's case studies use off-the-shelf Python models as the
+//! black-box systems under diagnosis: a pre-trained flair sentiment
+//! model (§5.1 Sentiment), a scikit-learn `RandomForestClassifier`
+//! (§5.1 Income), an `AdaBoostClassifier` (§5.1 Cardiovascular), and
+//! a logistic regression in the running example (Example 1). None of
+//! those exist in this environment, so this crate implements the
+//! whole model zoo from scratch:
+//!
+//! - [`matrix::Matrix`] — dense row-major feature matrix.
+//! - [`encoding`] — `DataFrame` → feature matrix (one-hot categorical
+//!   encoding, numeric passthrough with mean imputation, label
+//!   extraction).
+//! - [`logistic`] — binary logistic regression (gradient descent).
+//! - [`tree`] — CART decision trees (Gini impurity).
+//! - [`forest`] — bagged random forests with feature subsampling.
+//! - [`adaboost`] — SAMME AdaBoost over depth-1 stumps.
+//! - [`naive_bayes`] — multinomial naive Bayes over token counts.
+//! - [`sentiment`] — a lexicon + naive-Bayes sentiment classifier
+//!   standing in for flair (see DESIGN.md, substitution 1).
+//! - [`metrics`] — accuracy / precision / recall / F1 / confusion.
+//! - [`fairness`] — disparate impact and statistical parity, the
+//!   malfunction scores of the fairness case studies (Example 5,
+//!   §5.1 Income).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaboost;
+pub mod encoding;
+pub mod fairness;
+pub mod forest;
+pub mod gaussian_nb;
+pub mod logistic;
+pub mod matrix;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod sentiment;
+pub mod tree;
+pub mod validate;
+
+pub use adaboost::AdaBoost;
+pub use encoding::{encode_features, extract_labels, EncodedData};
+pub use forest::RandomForest;
+pub use gaussian_nb::GaussianNb;
+pub use logistic::LogisticRegression;
+pub use matrix::Matrix;
+pub use naive_bayes::MultinomialNb;
+pub use sentiment::SentimentModel;
+pub use tree::DecisionTree;
+
+/// A fitted binary classifier: predicts class 0 or 1 for a feature
+/// row. All models in this crate implement it so systems under
+/// diagnosis can swap models freely.
+pub trait Classifier {
+    /// Predict the class of one feature row.
+    fn predict(&self, row: &[f64]) -> usize;
+
+    /// Predict classes for every row of a matrix.
+    fn predict_all(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|i| self.predict(x.row(i))).collect()
+    }
+}

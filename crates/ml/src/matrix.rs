@@ -1,0 +1,136 @@
+//! Dense row-major feature matrix.
+
+/// A dense `rows × cols` matrix of `f64` features, stored row-major.
+///
+/// Kept deliberately minimal: the models in this crate only need row
+/// access, column iteration, and construction — no BLAS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Build from a flat row-major buffer. Panics if the buffer size
+    /// is not `rows * cols`.
+    pub fn new(data: Vec<f64>, rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { data, rows, cols }
+    }
+
+    /// Build from nested rows. Panics on ragged input.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend(r);
+        }
+        Matrix {
+            data,
+            rows: n_rows,
+            cols: n_cols,
+        }
+    }
+
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Cell accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Cell mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// New matrix with the rows at `indices` (repeats allowed).
+    pub fn take_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            data,
+            rows: indices.len(),
+            cols: self.cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 7.0);
+        m.row_mut(1)[0] = 3.0;
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn take_rows_repeats() {
+        let m = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let t = m.take_rows(&[1, 1, 0]);
+        assert_eq!(t.col(0), vec![2.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        Matrix::from_rows(vec![vec![1.0], vec![2.0, 3.0]]);
+    }
+}

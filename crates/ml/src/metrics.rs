@@ -1,0 +1,133 @@
+//! Classification metrics.
+//!
+//! The paper's malfunction scores are built from these: the Sentiment
+//! system uses the misclassification rate (Example 4), Cardiovascular
+//! uses `1 - recall` on the positive class (§5.1).
+
+/// Confusion counts for binary classification (class 1 = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels. Panics on length mismatch.
+    pub fn from_predictions(truth: &[usize], preds: &[usize]) -> Confusion {
+        assert_eq!(truth.len(), preds.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&t, &p) in truth.iter().zip(preds) {
+            match (t, p) {
+                (1, 1) => c.tp += 1,
+                (0, 1) => c.fp += 1,
+                (0, 0) => c.tn += 1,
+                (1, 0) => c.fn_ += 1,
+                _ => panic!("labels must be 0 or 1, got ({t}, {p})"),
+            }
+        }
+        c
+    }
+
+    /// Fraction correct. 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// `tp / (tp + fp)`. 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`. 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Fraction of matching predictions. 0 on empty input.
+pub fn accuracy(truth: &[usize], preds: &[usize]) -> f64 {
+    assert_eq!(truth.len(), preds.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(preds).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
+}
+
+/// `1 - accuracy`: the Sentiment system's malfunction score
+/// (Example 4 of the paper).
+pub fn misclassification_rate(truth: &[usize], preds: &[usize]) -> f64 {
+    1.0 - accuracy(truth, preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let truth = [1, 1, 0, 0, 1];
+        let preds = [1, 0, 0, 1, 1];
+        let c = Confusion::from_predictions(&truth, &preds);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn misclassification_complements_accuracy() {
+        let truth = [1, 0, 1, 0];
+        let preds = [1, 1, 1, 1];
+        assert!((accuracy(&truth, &preds) - 0.5).abs() < 1e-12);
+        assert!((misclassification_rate(&truth, &preds) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn nonbinary_labels_panic() {
+        Confusion::from_predictions(&[2], &[0]);
+    }
+}

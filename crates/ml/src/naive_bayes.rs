@@ -1,0 +1,146 @@
+//! Multinomial naive Bayes over token counts.
+
+use std::collections::HashMap;
+
+/// Tokenize text: lowercase alphanumeric runs.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Multinomial naive Bayes text classifier with Laplace smoothing.
+///
+/// Backs the [`crate::sentiment::SentimentModel`] flair substitute:
+/// trained once on a fixed lexicon-derived corpus, then used as a
+/// frozen "pre-trained" model by the Sentiment case study.
+#[derive(Debug, Clone, Default)]
+pub struct MultinomialNb {
+    /// log P(class).
+    log_prior: [f64; 2],
+    /// Per-class token log-likelihoods.
+    log_likelihood: [HashMap<String, f64>; 2],
+    /// Per-class log-likelihood of an unseen token.
+    log_unseen: [f64; 2],
+    fitted: bool,
+}
+
+impl MultinomialNb {
+    /// Untrained model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Train on `(document, label)` pairs with labels 0/1. Panics on
+    /// empty input or if a class is absent.
+    pub fn fit<S: AsRef<str>>(&mut self, docs: &[S], labels: &[usize]) {
+        assert_eq!(docs.len(), labels.len(), "length mismatch");
+        assert!(!docs.is_empty(), "cannot fit on empty corpus");
+        let mut class_docs = [0usize; 2];
+        let mut counts: [HashMap<String, usize>; 2] = [HashMap::new(), HashMap::new()];
+        let mut totals = [0usize; 2];
+        let mut vocab = std::collections::HashSet::new();
+        for (doc, &label) in docs.iter().zip(labels) {
+            assert!(label < 2, "labels must be 0 or 1");
+            class_docs[label] += 1;
+            for tok in tokenize(doc.as_ref()) {
+                vocab.insert(tok.clone());
+                *counts[label].entry(tok).or_insert(0) += 1;
+                totals[label] += 1;
+            }
+        }
+        assert!(
+            class_docs[0] > 0 && class_docs[1] > 0,
+            "both classes required"
+        );
+        let n = docs.len() as f64;
+        let v = vocab.len() as f64;
+        for c in 0..2 {
+            self.log_prior[c] = (class_docs[c] as f64 / n).ln();
+            let denom = totals[c] as f64 + v + 1.0;
+            self.log_unseen[c] = (1.0 / denom).ln();
+            self.log_likelihood[c] = counts[c]
+                .iter()
+                .map(|(tok, &cnt)| (tok.clone(), ((cnt as f64 + 1.0) / denom).ln()))
+                .collect();
+        }
+        self.fitted = true;
+    }
+
+    /// Log-probability scores `[class 0, class 1]` for a document.
+    pub fn scores(&self, doc: &str) -> [f64; 2] {
+        assert!(self.fitted, "predict before fit");
+        let mut s = self.log_prior;
+        for tok in tokenize(doc) {
+            for c in 0..2 {
+                s[c] += self.log_likelihood[c]
+                    .get(&tok)
+                    .copied()
+                    .unwrap_or(self.log_unseen[c]);
+            }
+        }
+        s
+    }
+
+    /// Predicted class for a document.
+    pub fn predict(&self, doc: &str) -> usize {
+        let s = self.scores(doc);
+        usize::from(s[1] > s[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Great movie! 10/10, LOVED it."),
+            vec!["great", "movie", "10", "10", "loved", "it"]
+        );
+        assert!(tokenize("  ...  ").is_empty());
+    }
+
+    #[test]
+    fn separates_simple_sentiment() {
+        let docs = [
+            "great wonderful excellent",
+            "superb great loved",
+            "terrible awful bad",
+            "bad horrible waste",
+        ];
+        let labels = [1, 1, 0, 0];
+        let mut nb = MultinomialNb::new();
+        nb.fit(&docs, &labels);
+        assert_eq!(nb.predict("what a great excellent film"), 1);
+        assert_eq!(nb.predict("awful horrible mess"), 0);
+    }
+
+    #[test]
+    fn unseen_tokens_fall_back_to_prior() {
+        let docs = ["good", "good", "good", "bad"];
+        let labels = [1, 1, 1, 0];
+        let mut nb = MultinomialNb::new();
+        nb.fit(&docs, &labels);
+        // Document of only unseen tokens: prior dominates (class 1).
+        assert_eq!(nb.predict("zxqwv"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes required")]
+    fn single_class_corpus_panics() {
+        let mut nb = MultinomialNb::new();
+        nb.fit(&["a", "b"], &[1, 1]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Pre-trained sentiment classifier — the flair substitute.
+//!
+//! The paper's Sentiment system uses flair, a pre-trained neural
+//! sentiment model, as a frozen black box that maps text to a
+//! sentiment in `{-1, +1}` and compares against the dataset's
+//! `target` attribute. What matters to the case study is *not* model
+//! quality but the frozen label convention: the system assumes
+//! `target ∈ {-1, +1}`, while the failing (twitter-like) dataset
+//! encodes sentiment as `{0, 4}` — so every prediction "mismatches"
+//! and the malfunction score is 1.0 until the Domain profile of
+//! `target` is repaired.
+//!
+//! [`SentimentModel::pretrained`] builds the frozen model: a
+//! sentiment lexicon plus a multinomial naive Bayes trained on a
+//! small built-in corpus generated from that lexicon. It is
+//! deterministic and never retrained by the case study.
+
+use crate::naive_bayes::{tokenize, MultinomialNb};
+
+/// Positive-sentiment lexicon (a compact subset of standard opinion
+/// lexicons).
+pub const POSITIVE_WORDS: &[&str] = &[
+    "good",
+    "great",
+    "excellent",
+    "wonderful",
+    "amazing",
+    "superb",
+    "loved",
+    "love",
+    "fantastic",
+    "brilliant",
+    "delightful",
+    "enjoyable",
+    "masterpiece",
+    "perfect",
+    "beautiful",
+    "charming",
+    "impressive",
+    "stunning",
+    "best",
+    "awesome",
+    "happy",
+    "fun",
+    "glad",
+    "recommend",
+    "favorite",
+    "touching",
+    "compelling",
+    "remarkable",
+];
+
+/// Negative-sentiment lexicon.
+pub const NEGATIVE_WORDS: &[&str] = &[
+    "bad",
+    "terrible",
+    "awful",
+    "horrible",
+    "boring",
+    "waste",
+    "poor",
+    "worst",
+    "hate",
+    "hated",
+    "dull",
+    "disappointing",
+    "disappointed",
+    "mess",
+    "annoying",
+    "stupid",
+    "painful",
+    "unwatchable",
+    "mediocre",
+    "weak",
+    "sad",
+    "angry",
+    "avoid",
+    "ridiculous",
+    "lame",
+    "pathetic",
+    "tedious",
+    "cliched",
+];
+
+/// A frozen sentiment model mapping text to `-1` (negative) or `+1`
+/// (positive).
+#[derive(Debug, Clone)]
+pub struct SentimentModel {
+    nb: MultinomialNb,
+}
+
+impl SentimentModel {
+    /// The "pre-trained" model: naive Bayes fitted on a deterministic
+    /// lexicon-derived corpus (each lexicon word in several template
+    /// contexts).
+    pub fn pretrained() -> SentimentModel {
+        let templates = [
+            "this movie was {}",
+            "really {} experience overall",
+            "i found it {} from start to finish",
+            "what a {} film",
+            "{} acting and {} plot",
+        ];
+        let mut docs = Vec::new();
+        let mut labels = Vec::new();
+        for (words, label) in [(POSITIVE_WORDS, 1usize), (NEGATIVE_WORDS, 0usize)] {
+            for w in words {
+                for t in &templates {
+                    docs.push(t.replace("{}", w));
+                    labels.push(label);
+                }
+            }
+        }
+        let mut nb = MultinomialNb::new();
+        nb.fit(&docs, &labels);
+        SentimentModel { nb }
+    }
+
+    /// Predict sentiment: `+1` positive, `-1` negative.
+    ///
+    /// Lexicon counting decides when it is unambiguous (this keeps
+    /// behavior interpretable for tests); the naive Bayes breaks
+    /// ties and handles texts with no lexicon hits.
+    pub fn predict(&self, text: &str) -> i64 {
+        let mut pos = 0i64;
+        let mut neg = 0i64;
+        for tok in tokenize(text) {
+            if POSITIVE_WORDS.contains(&tok.as_str()) {
+                pos += 1;
+            }
+            if NEGATIVE_WORDS.contains(&tok.as_str()) {
+                neg += 1;
+            }
+        }
+        if pos != neg {
+            return if pos > neg { 1 } else { -1 };
+        }
+        if self.nb.predict(text) == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Default for SentimentModel {
+    fn default() -> Self {
+        Self::pretrained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicon_hits_dominate() {
+        let m = SentimentModel::pretrained();
+        assert_eq!(m.predict("A wonderful, brilliant masterpiece."), 1);
+        assert_eq!(m.predict("Terrible plot, awful acting, total waste."), -1);
+        assert_eq!(
+            m.predict("great start but a horrible boring ending"),
+            -1,
+            "2 negative vs 1 positive"
+        );
+    }
+
+    #[test]
+    fn predictions_are_in_the_frozen_domain() {
+        let m = SentimentModel::pretrained();
+        for text in ["meh", "", "the 42 clouds", "good bad"] {
+            let p = m.predict(text);
+            assert!(p == 1 || p == -1, "prediction {p} outside {{-1, 1}}");
+        }
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let a = SentimentModel::pretrained();
+        let b = SentimentModel::pretrained();
+        for text in ["loved it", "hated it", "it exists"] {
+            assert_eq!(a.predict(text), b.predict(text));
+        }
+    }
+}

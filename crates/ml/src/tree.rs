@@ -1,0 +1,291 @@
+//! CART decision trees with Gini impurity.
+
+use crate::matrix::Matrix;
+use crate::Classifier;
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Predict the stored class.
+    Leaf(usize),
+    /// Route: `row[feature] <= threshold` goes left, else right.
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A binary CART classifier (greedy Gini splits).
+///
+/// Used directly in the Cardiovascular study (as the AdaBoost weak
+/// learner) and inside [`crate::forest::RandomForest`].
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth (1 = a stump).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    /// Untrained tree with the given depth cap.
+    pub fn new(max_depth: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            root: None,
+        }
+    }
+
+    /// Train on `x`/`y` with uniform sample weights.
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) {
+        let w = vec![1.0; y.len()];
+        self.fit_weighted(x, y, &w, None);
+    }
+
+    /// Train with per-sample weights (AdaBoost) and an optional
+    /// feature whitelist (random forests). Panics on empty data or
+    /// length mismatches.
+    pub fn fit_weighted(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: &[f64],
+        features: Option<&[usize]>,
+    ) {
+        assert_eq!(x.rows(), y.len(), "sample count mismatch");
+        assert_eq!(y.len(), weights.len(), "weight count mismatch");
+        assert!(x.rows() > 0, "cannot fit on empty data");
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let all_features: Vec<usize>;
+        let feats = match features {
+            Some(f) => f,
+            None => {
+                all_features = (0..x.cols()).collect();
+                &all_features
+            }
+        };
+        self.root = Some(self.build(x, y, weights, &idx, feats, 0));
+    }
+
+    fn build(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        w: &[f64],
+        idx: &[usize],
+        feats: &[usize],
+        depth: usize,
+    ) -> Node {
+        let majority = weighted_majority(y, w, idx);
+        if depth >= self.max_depth || idx.len() < self.min_samples_split || is_pure(y, idx) {
+            return Node::Leaf(majority);
+        }
+        let Some((feature, threshold)) = best_split(x, y, w, idx, feats) else {
+            return Node::Leaf(majority);
+        };
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x.get(i, feature) <= threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return Node::Leaf(majority);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, w, &left_idx, feats, depth + 1)),
+            right: Box::new(self.build(x, y, w, &right_idx, feats, depth + 1)),
+        }
+    }
+}
+
+fn is_pure(y: &[usize], idx: &[usize]) -> bool {
+    idx.windows(2).all(|p| y[p[0]] == y[p[1]])
+}
+
+fn weighted_majority(y: &[usize], w: &[f64], idx: &[usize]) -> usize {
+    let mut pos = 0.0;
+    let mut neg = 0.0;
+    for &i in idx {
+        if y[i] == 1 {
+            pos += w[i];
+        } else {
+            neg += w[i];
+        }
+    }
+    usize::from(pos > neg)
+}
+
+/// Weighted Gini impurity of a (pos, neg) weight split.
+fn gini(pos: f64, neg: f64) -> f64 {
+    let total = pos + neg;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+/// Exhaustive best split over candidate features: sort by feature
+/// value, sweep thresholds between distinct values, minimize the
+/// weighted child Gini.
+fn best_split(
+    x: &Matrix,
+    y: &[usize],
+    w: &[f64],
+    idx: &[usize],
+    feats: &[usize],
+) -> Option<(usize, f64)> {
+    let mut total_pos = 0.0;
+    let mut total_neg = 0.0;
+    for &i in idx {
+        if y[i] == 1 {
+            total_pos += w[i];
+        } else {
+            total_neg += w[i];
+        }
+    }
+    let parent = gini(total_pos, total_neg);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    let mut order: Vec<usize> = Vec::with_capacity(idx.len());
+    for &f in feats {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| x.get(a, f).total_cmp(&x.get(b, f)));
+        let mut left_pos = 0.0;
+        let mut left_neg = 0.0;
+        for k in 0..order.len() - 1 {
+            let i = order[k];
+            if y[i] == 1 {
+                left_pos += w[i];
+            } else {
+                left_neg += w[i];
+            }
+            let v = x.get(i, f);
+            let v_next = x.get(order[k + 1], f);
+            if v == v_next {
+                continue; // threshold must separate distinct values
+            }
+            let right_pos = total_pos - left_pos;
+            let right_neg = total_neg - left_neg;
+            let lw = left_pos + left_neg;
+            let rw = right_pos + right_neg;
+            let total = lw + rw;
+            let score = (lw * gini(left_pos, left_neg) + rw * gini(right_pos, right_neg)) / total;
+            // Allow zero-gain splits (score == parent): XOR-like
+            // targets need a first split that does not reduce
+            // impurity by itself. Depth bounds recursion.
+            if score <= parent + 1e-12 && best.is_none_or(|(_, _, s)| score < s) {
+                best = Some((f, (v + v_next) / 2.0, score));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, row: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("predict before fit");
+        loop {
+            match node {
+                Node::Leaf(class) => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn stump_finds_single_threshold() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![10.0],
+            vec![11.0],
+            vec![12.0],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut tree = DecisionTree::new(1);
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&[2.5]), 0);
+        assert_eq!(tree.predict(&[10.5]), 1);
+        assert_eq!(tree.predict_all(&x), y);
+    }
+
+    #[test]
+    fn deeper_tree_learns_xor() {
+        let x = Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![0, 1, 1, 0];
+        let mut stump = DecisionTree::new(1);
+        stump.fit(&x, &y);
+        assert!(
+            accuracy(&y, &stump.predict_all(&x)) < 1.0,
+            "stump cannot do XOR"
+        );
+        let mut tree = DecisionTree::new(3);
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict_all(&x), y, "depth 3 solves XOR");
+    }
+
+    #[test]
+    fn pure_data_yields_constant_leaf() {
+        let x = Matrix::from_rows(vec![vec![1.0], vec![2.0]]);
+        let mut tree = DecisionTree::new(5);
+        tree.fit(&x, &[1, 1]);
+        assert_eq!(tree.predict(&[-100.0]), 1);
+        assert_eq!(tree.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    fn sample_weights_steer_the_split() {
+        // Unweighted majority is 0, but a huge weight on the single
+        // positive flips the constant prediction.
+        let x = Matrix::from_rows(vec![vec![0.0], vec![0.0], vec![0.0]]);
+        let y = vec![0, 0, 1];
+        let mut tree = DecisionTree::new(1);
+        tree.fit_weighted(&x, &y, &[1.0, 1.0, 10.0], None);
+        assert_eq!(tree.predict(&[0.0]), 1);
+    }
+
+    #[test]
+    fn feature_whitelist_restricts_splits() {
+        // Feature 0 is perfectly predictive, feature 1 is noise; with
+        // only feature 1 allowed the tree cannot do better than
+        // majority.
+        let x = Matrix::from_rows(vec![
+            vec![0.0, 5.0],
+            vec![0.0, 5.0],
+            vec![1.0, 5.0],
+            vec![1.0, 5.0],
+        ]);
+        let y = vec![0, 0, 1, 1];
+        let mut tree = DecisionTree::new(3);
+        tree.fit_weighted(&x, &y, &[1.0; 4], Some(&[1]));
+        let preds = tree.predict_all(&x);
+        assert!(preds.iter().all(|&p| p == preds[0]), "constant prediction");
+    }
+}

@@ -1,0 +1,368 @@
+//! §5.1 Cardiovascular Disease Prediction case study.
+//!
+//! The paper: an AdaBoost classifier predicts cardiovascular disease
+//! from patient records; the pipeline returns `1 − recall` over the
+//! diseased patients (the goal is recall > 0.70). The failing dataset
+//! is the same data with **height converted from centimeters to
+//! inches**: the `Domain` profile of `height` is the ground truth and
+//! a monotonic linear transformation the fix (malfunction 0.71 →
+//! 0.30). Group testing is **not applicable** here because
+//! assumption A3 fails: "adding noise to intervene with respect to
+//! the Indep PVT worsens the classifier performance".
+//!
+//! The generator reproduces all three behaviors:
+//!
+//! 1. The pipeline cleans heights outside the plausible adult cm
+//!    range `[100, 230]` by clamping (the unit assumption baked into
+//!    the system). Inch-valued heights all clamp to 100, destroying
+//!    the BMI signal the disease depends on, so recall collapses.
+//! 2. The pipeline *validates* blood pressure: if more than 5% of
+//!    `ap_hi`/`ap_lo` readings are outside `[30, 220]` it aborts
+//!    (malfunction 1.0) — medical pipelines reject physically
+//!    impossible vitals. The failing dataset plants a stronger
+//!    `ap_hi ↔ ap_lo` correlation than the passing one, so a
+//!    discriminative Pearson `Indep` PVT exists whose noise
+//!    transformation pushes readings out of range → the full
+//!    composition scores 1.0 → the A3 check fires (Fig 7's "NA").
+//! 3. With the Indep PVTs removed from the candidate set, group
+//!    testing works (the paper's "if we remove PVTs that violate
+//!    this assumption" remark) — exercised by the benchmarks.
+
+use crate::scenario::Scenario;
+use dataprism::{DiscoveryConfig, PrismConfig, System};
+use dp_frame::{DType, DataFrame, DataFrameBuilder, Value};
+use dp_ml::encoding::extract_labels;
+use dp_ml::{AdaBoost, Classifier, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+fn logistic(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Generate a patients dataset (heights in cm).
+fn build_patients(rng: &mut StdRng, n: usize) -> DataFrame {
+    let mut b = DataFrameBuilder::with_fields(&[
+        ("age", DType::Int),
+        ("height", DType::Float),
+        ("weight", DType::Float),
+        ("ap_hi", DType::Float),
+        ("ap_lo", DType::Float),
+        ("cholesterol", DType::Categorical),
+        ("smoke", DType::Categorical),
+        ("cardio", DType::Categorical),
+    ]);
+    for _ in 0..n {
+        let age = rng.gen_range(35..=70i64);
+        let height = (170.0 + 10.0 * gaussian(rng)).clamp(150.0, 195.0);
+        let weight = (76.0 + 9.0 * gaussian(rng)).clamp(45.0, 140.0);
+        let ap_hi = (128.0 + 14.0 * gaussian(rng)).clamp(90.0, 185.0);
+        let ap_lo = (82.0 + 0.1 * (ap_hi - 128.0) + 7.0 * gaussian(rng)).clamp(50.0, 120.0);
+        let chol = rng.gen_range(1..=3i64);
+        let smoke = rng.gen_bool(0.2);
+        let bmi = weight / (height / 100.0) / (height / 100.0);
+        // Disease risk is dominated by BMI (which needs a correct
+        // height), with blood pressure / cholesterol / age terms.
+        let z = 0.6 * (bmi - 26.5) - 0.20 * (height - 170.0)
+            + 0.08 * (ap_hi - 128.0)
+            + 0.08 * (ap_lo - 81.0)
+            + 0.6 * (chol - 1) as f64
+            + 0.04 * (age - 52) as f64
+            + if smoke { 0.4 } else { 0.0 }
+            - 0.4;
+        let diseased = rng.gen_bool(logistic(z).clamp(0.02, 0.98));
+        b.push_row(vec![
+            Value::Int(age),
+            Value::Float(height),
+            Value::Float(weight),
+            Value::Float(ap_hi),
+            Value::Float(ap_lo),
+            Value::Str(chol.to_string()),
+            Value::Str(if smoke { "yes" } else { "no" }.to_string()),
+            Value::Str(if diseased { "1" } else { "0" }.to_string()),
+        ])
+        .expect("schema-conforming row");
+    }
+    b.build()
+}
+
+/// Convert the height column of a patients frame to inches (the
+/// failing dataset's corruption).
+pub fn convert_height_to_inches(df: &mut DataFrame) {
+    df.column_mut("height")
+        .expect("height column")
+        .map_numeric_in_place(|cm| cm / 2.54);
+}
+
+/// Plant the failing dataset's second profile difference: tighten
+/// the `ap_hi ↔ ap_lo` correlation by mixing `ap_lo` toward `ap_hi`,
+/// then linearly remap onto the original `ap_lo` range so the
+/// marginal `Domain`/`Outlier` profiles stay identical (correlation
+/// is invariant under the final linear map).
+pub fn tighten_ap_correlation(df: &mut DataFrame) {
+    let hi: Vec<f64> = df
+        .column("ap_hi")
+        .expect("ap_hi column")
+        .f64_values()
+        .into_iter()
+        .map(|(_, v)| v)
+        .collect();
+    let col = df.column_mut("ap_lo").expect("ap_lo column");
+    let (old_min, old_max) = col.min_max().expect("non-empty");
+    let mut i = 0usize;
+    col.map_numeric_in_place(|lo| {
+        let mixed = 0.35 * lo + 0.55 * (hi[i] - 128.0 + 82.0);
+        i += 1;
+        mixed
+    });
+    let (new_min, new_max) = col.min_max().expect("non-empty");
+    if new_max > new_min {
+        let scale = (old_max - old_min) / (new_max - new_min);
+        col.map_numeric_in_place(|v| old_min + (v - new_min) * scale);
+    }
+}
+
+/// The cardio pipeline: validate vitals, clean heights under the cm
+/// assumption, derive BMI, train AdaBoost, report `1 − recall` on
+/// the diseased class.
+pub struct CardioSystem {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Weak-learner depth.
+    pub depth: usize,
+}
+
+impl Default for CardioSystem {
+    fn default() -> Self {
+        CardioSystem {
+            n_rounds: 40,
+            depth: 3,
+        }
+    }
+}
+
+impl System for CardioSystem {
+    fn malfunction(&mut self, df: &DataFrame) -> f64 {
+        let n = df.n_rows();
+        if n < 10 {
+            return 1.0;
+        }
+        // Step 1: validate blood pressure. Medically impossible
+        // readings mean corrupted input; the pipeline aborts.
+        for ap in ["ap_hi", "ap_lo"] {
+            let Ok(col) = df.column(ap) else { return 1.0 };
+            let bad = col
+                .f64_values()
+                .iter()
+                .filter(|(_, v)| !(30.0..=220.0).contains(v))
+                .count();
+            if bad as f64 > 0.05 * n as f64 {
+                return 1.0;
+            }
+        }
+        // Step 2: clean heights under the centimeter assumption.
+        let Ok(height_col) = df.column("height") else {
+            return 1.0;
+        };
+        let heights: Vec<f64> = (0..n)
+            .map(|i| {
+                height_col
+                    .get(i)
+                    .as_f64()
+                    .map(|h| h.clamp(100.0, 230.0))
+                    .unwrap_or(170.0)
+            })
+            .collect();
+        // Step 3: features with derived BMI.
+        let mut rows = Vec::with_capacity(n);
+        let numeric = |name: &str, i: usize, default: f64| -> f64 {
+            df.column(name)
+                .ok()
+                .and_then(|c| c.get(i).as_f64())
+                .unwrap_or(default)
+        };
+        let cat_num = |name: &str, i: usize| -> f64 {
+            df.column(name)
+                .ok()
+                .map(|c| c.get(i).to_string())
+                .and_then(|s| s.parse::<f64>().ok())
+                .unwrap_or(0.0)
+        };
+        for i in 0..n {
+            let weight = numeric("weight", i, 76.0);
+            let h_m = heights[i] / 100.0;
+            let bmi = weight / (h_m * h_m);
+            rows.push(vec![
+                numeric("age", i, 52.0),
+                bmi,
+                heights[i],
+                numeric("ap_hi", i, 128.0),
+                numeric("ap_lo", i, 81.0),
+                cat_num("cholesterol", i),
+                f64::from(
+                    df.column("smoke")
+                        .ok()
+                        .map(|c| c.get(i).to_string() == "yes")
+                        .unwrap_or(false),
+                ),
+            ]);
+        }
+        let x = Matrix::from_rows(rows);
+        let Ok(y) = extract_labels(df, "cardio", &["1"]) else {
+            return 1.0;
+        };
+        if y.iter().sum::<usize>() == 0 {
+            return 1.0;
+        }
+        // Step 4: train/test split, boost, score recall on test.
+        let split = (n * 7) / 10;
+        let train_idx: Vec<usize> = (0..split).collect();
+        let test_idx: Vec<usize> = (split..n).collect();
+        let x_train = x.take_rows(&train_idx);
+        let y_train: Vec<usize> = train_idx.iter().map(|&i| y[i]).collect();
+        if y_train.iter().sum::<usize>() == 0 || y_train.iter().sum::<usize>() == y_train.len() {
+            return 1.0;
+        }
+        let mut model = AdaBoost::new(self.n_rounds, self.depth);
+        model.fit(&x_train, &y_train);
+        let mut tp = 0usize;
+        let mut fn_ = 0usize;
+        for &i in &test_idx {
+            if y[i] == 1 {
+                if model.predict(x.row(i)) == 1 {
+                    tp += 1;
+                } else {
+                    fn_ += 1;
+                }
+            }
+        }
+        if tp + fn_ == 0 {
+            return 1.0;
+        }
+        1.0 - tp as f64 / (tp + fn_) as f64
+    }
+
+    fn name(&self) -> &str {
+        "cardiovascular-prediction"
+    }
+}
+
+/// Build the Cardiovascular scenario with `n` rows per dataset.
+pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d_pass = build_patients(&mut rng, n);
+    // The failing dataset is the same selection of records (as in the
+    // paper, both datasets come from one source) with only the
+    // planted differences: inch-valued heights and the tightened
+    // blood-pressure correlation.
+    let mut d_fail = d_pass.clone();
+    convert_height_to_inches(&mut d_fail);
+    tighten_ap_correlation(&mut d_fail);
+    let config = PrismConfig {
+        threshold: 0.30,
+        discovery: DiscoveryConfig::default(),
+        ..Default::default()
+    };
+    Scenario {
+        name: "Cardiovascular Disease Prediction",
+        system: Box::new(CardioSystem::default()),
+        d_pass,
+        d_fail,
+        config,
+        ground_truth: vec!["domain_num(height)".to_string()],
+    }
+}
+
+/// Default-size Cardio scenario.
+pub fn scenario(seed: u64) -> Scenario {
+    scenario_with_size(900, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_fails_separated() {
+        let mut s = scenario_with_size(700, 5);
+        let pass_score = s.system.malfunction(&s.d_pass);
+        let fail_score = s.system.malfunction(&s.d_fail);
+        assert!(
+            pass_score < s.config.threshold,
+            "cm heights must pass, got {pass_score}"
+        );
+        assert!(
+            fail_score > s.config.threshold,
+            "inch heights must fail, got {fail_score}"
+        );
+    }
+
+    #[test]
+    fn linear_rescale_repairs_recall() {
+        let mut s = scenario_with_size(700, 5);
+        let mut fixed = s.d_fail.clone();
+        // The Fig 1 row 2 fix: monotonic linear map onto the passing
+        // range.
+        let (lo, hi) = fixed.column("height").unwrap().min_max().unwrap();
+        let (plo, phi) = s.d_pass.column("height").unwrap().min_max().unwrap();
+        fixed
+            .column_mut("height")
+            .unwrap()
+            .map_numeric_in_place(|h| plo + (h - lo) / (hi - lo) * (phi - plo));
+        let score = s.system.malfunction(&fixed);
+        assert!(
+            score < s.config.threshold,
+            "rescaled heights must pass, got {score}"
+        );
+    }
+
+    #[test]
+    fn ap_noise_triggers_validation_abort() {
+        let mut s = scenario_with_size(700, 5);
+        let mut noisy = s.d_fail.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        noisy
+            .column_mut("ap_lo")
+            .unwrap()
+            .map_numeric_in_place(|v| v + 120.0 * gaussian(&mut rng));
+        let score = s.system.malfunction(&noisy);
+        assert_eq!(score, 1.0, "implausible vitals abort the pipeline");
+    }
+
+    #[test]
+    fn planted_ap_correlation_differs() {
+        use dp_stats::pearson;
+        let s = scenario_with_size(700, 5);
+        let corr = |df: &DataFrame| {
+            let hi: Vec<f64> = df
+                .column("ap_hi")
+                .unwrap()
+                .f64_values()
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            let lo: Vec<f64> = df
+                .column("ap_lo")
+                .unwrap()
+                .f64_values()
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            pearson(&hi, &lo).r
+        };
+        let pass_r = corr(&s.d_pass);
+        let fail_r = corr(&s.d_fail);
+        assert!(fail_r > pass_r + 0.3, "pass {pass_r}, fail {fail_r}");
+    }
+
+    #[test]
+    fn heights_are_inch_valued_in_fail() {
+        let s = scenario_with_size(200, 5);
+        let (lo, hi) = s.d_fail.column("height").unwrap().min_max().unwrap();
+        assert!(lo > 50.0 && hi < 80.0, "[{lo}, {hi}]");
+    }
+}

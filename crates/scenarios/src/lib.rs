@@ -1,0 +1,33 @@
+//! # dp-scenarios — the paper's evaluation scenarios
+//!
+//! Generators for the three real-world case studies of §5.1 —
+//! [`sentiment`], [`income`], [`cardio`] — and the synthetic
+//! pipelines of §5.2 / appendix D ([`synthetic`]), including the
+//! Fig 6 toy ([`synthetic::toy_fig6`]) and the rank-54 adversarial
+//! pipeline ([`synthetic::adversarial_rank`]).
+//!
+//! Each case study returns a [`Scenario`]: a passing dataset, a
+//! failing dataset, a black-box [`dataprism::System`], the
+//! malfunction threshold, and the ground-truth cause (as profile
+//! template keys) so tests and benchmarks can verify that the
+//! diagnosis found the planted root cause.
+//!
+//! The original datasets (IMDb, Sentiment140, UCI Adult, Kaggle
+//! cardiovascular) and models (flair, scikit-learn) are not
+//! available in this environment; DESIGN.md documents how each
+//! generator preserves the behavior the paper's evaluation depends
+//! on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cardio;
+pub mod example1;
+pub mod ezgo;
+pub mod income;
+pub mod scenario;
+pub mod sensors;
+pub mod sentiment;
+pub mod synthetic;
+
+pub use scenario::Scenario;

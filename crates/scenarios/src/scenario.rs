@@ -1,0 +1,100 @@
+//! The common shape of an evaluation scenario.
+
+use dataprism::{PrismConfig, System};
+use dp_frame::DataFrame;
+
+/// A ready-to-diagnose case: system + passing/failing data +
+/// threshold + ground truth.
+pub struct Scenario {
+    /// Human-readable name ("Sentiment Prediction", …).
+    pub name: &'static str,
+    /// The black-box system under diagnosis.
+    pub system: Box<dyn System>,
+    /// Dataset the system functions properly on.
+    pub d_pass: DataFrame,
+    /// Dataset the system malfunctions on.
+    pub d_fail: DataFrame,
+    /// Diagnosis configuration (threshold τ, discovery knobs, seed).
+    pub config: PrismConfig,
+    /// Template-key patterns (see `Profile::template_key`) of the
+    /// profiles that constitute the planted ground-truth cause; `*`
+    /// matches any substring (so `indep_chi2(*,target)` accepts a
+    /// shuffle of `target` w.r.t. any attribute — they are all the
+    /// same fix). An explanation is "correct" when it contains at
+    /// least one matching profile.
+    pub ground_truth: Vec<String>,
+}
+
+/// Glob-lite match: `*` in `pattern` matches any (possibly empty)
+/// substring.
+pub fn key_matches(pattern: &str, key: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('*').collect();
+    if parts.len() == 1 {
+        return pattern == key;
+    }
+    let mut rest = key;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        match rest.find(part) {
+            Some(pos) => {
+                if i == 0 && pos != 0 {
+                    return false;
+                }
+                rest = &rest[pos + part.len()..];
+            }
+            None => return false,
+        }
+    }
+    parts.last().map(|p| p.is_empty()).unwrap_or(true) || key.ends_with(parts.last().unwrap())
+}
+
+impl Scenario {
+    /// Whether an explanation found the planted cause.
+    pub fn explains_ground_truth(&self, explanation: &dataprism::Explanation) -> bool {
+        self.ground_truth.iter().any(|pattern| {
+            explanation
+                .pvts
+                .iter()
+                .any(|p| key_matches(pattern, &p.profile.template_key()))
+        })
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("n_pass_rows", &self.d_pass.n_rows())
+            .field("n_fail_rows", &self.d_fail.n_rows())
+            .field("threshold", &self.config.threshold)
+            .field("ground_truth", &self.ground_truth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::key_matches;
+
+    #[test]
+    fn glob_lite_matching() {
+        assert!(key_matches("domain_cat(target)", "domain_cat(target)"));
+        assert!(!key_matches("domain_cat(target)", "domain_cat(other)"));
+        assert!(key_matches(
+            "indep_chi2(*,target)",
+            "indep_chi2(sex,target)"
+        ));
+        assert!(key_matches(
+            "indep_chi2(*,target)",
+            "indep_chi2(occupation,target)"
+        ));
+        assert!(!key_matches(
+            "indep_chi2(*,target)",
+            "indep_chi2(target,sex)"
+        ));
+        assert!(!key_matches("indep_chi2(*,target)", "indep_pcc(a,target)"));
+        assert!(key_matches("*height*", "domain_num(height)"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Causal-coefficient estimation — a TETRAD substitute.
+//!
+//! Fig 1 row 9 parameterizes the causal `Indep` profile with a
+//! coefficient learned by TETRAD \[66\]. TETRAD (a Java toolkit) is not
+//! available; we substitute the two standard building blocks it uses
+//! for linear-Gaussian data:
+//!
+//! 1. **Standardized linear-SEM coefficients** — the regression
+//!    coefficient of a standardized target on standardized parents,
+//!    solved by ordinary least squares via normal equations. With a
+//!    single parent this is exactly the Pearson correlation; with
+//!    multiple parents it is the path coefficient of a linear SEM.
+//! 2. **PC-style skeleton search** — remove the edge `(i, j)` when
+//!    some conditioning set of size ≤ `max_cond` renders the partial
+//!    correlation insignificant.
+//!
+//! The substitution preserves what the profile needs: a per-pair
+//! `coeff(A_j, A_k)` in `[-1, 1]` whose magnitude shrinks when noise
+//! is injected into either attribute (the row-9 transformation).
+
+use crate::correlation::{partial_correlation, pearson};
+use crate::descriptive::{mean, std_dev};
+use crate::distributions::normal_cdf;
+
+/// Standardize to zero mean, unit variance. Constant data maps to
+/// all-zeros; "constant up to float noise" (σ below a relative
+/// epsilon of the data scale) is treated as constant too, so that
+/// residualized columns do not amplify 1e-13 rounding error into
+/// spurious unit-variance signals.
+pub fn standardize(xs: &[f64]) -> Vec<f64> {
+    let (Some(m), Some(s)) = (mean(xs), std_dev(xs)) else {
+        return vec![0.0; xs.len()];
+    };
+    let scale = xs.iter().fold(0.0f64, |a, x| a.max(x.abs())).max(1.0);
+    if s <= 1e-10 * scale {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - m) / s).collect()
+}
+
+/// Solve the OLS normal equations `(XᵀX) β = Xᵀy` by Gaussian
+/// elimination with partial pivoting. `xs` holds the predictor
+/// columns. Returns `None` when the system is singular.
+pub fn ols(xs: &[&[f64]], y: &[f64]) -> Option<Vec<f64>> {
+    let p = xs.len();
+    if p == 0 {
+        return Some(Vec::new());
+    }
+    let n = y.len();
+    for col in xs {
+        assert_eq!(col.len(), n, "predictor length mismatch");
+    }
+    // Build XtX (p x p) and Xty (p).
+    let mut a = vec![vec![0.0f64; p + 1]; p];
+    for i in 0..p {
+        for j in 0..p {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += xs[i][k] * xs[j][k];
+            }
+            a[i][j] = s;
+        }
+        let mut s = 0.0;
+        for k in 0..n {
+            s += xs[i][k] * y[k];
+        }
+        a[i][p] = s;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..p {
+        let pivot = (col..p).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        for row in 0..p {
+            if row != col {
+                let f = a[row][col] / a[col][col];
+                for k in col..=p {
+                    a[row][k] -= f * a[col][k];
+                }
+            }
+        }
+    }
+    Some((0..p).map(|i| a[i][p] / a[i][i]).collect())
+}
+
+/// Standardized linear-SEM path coefficient of `cause → effect`,
+/// controlling for the given covariates. All series are standardized
+/// first, so the result is scale-free and equals Pearson's r when
+/// `covariates` is empty. Returns 0.0 for degenerate inputs.
+pub fn sem_coefficient(cause: &[f64], effect: &[f64], covariates: &[&[f64]]) -> f64 {
+    let zc = standardize(cause);
+    let ze = standardize(effect);
+    let zcov: Vec<Vec<f64>> = covariates.iter().map(|c| standardize(c)).collect();
+    let mut preds: Vec<&[f64]> = vec![&zc];
+    preds.extend(zcov.iter().map(|v| v.as_slice()));
+    match ols(&preds, &ze) {
+        Some(beta) if !beta.is_empty() => beta[0].clamp(-1.0, 1.0),
+        _ => 0.0,
+    }
+}
+
+/// Fisher-z significance test for a (partial) correlation: returns the
+/// two-sided p-value. `cond` is the size of the conditioning set.
+pub fn fisher_z_p_value(r: f64, n: usize, cond: usize) -> f64 {
+    if n <= cond + 3 {
+        return 1.0;
+    }
+    let r = r.clamp(-0.999_999, 0.999_999);
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln();
+    let se = 1.0 / ((n - cond - 3) as f64).sqrt();
+    let stat = (z / se).abs();
+    (2.0 * (1.0 - normal_cdf(stat))).clamp(0.0, 1.0)
+}
+
+/// Undirected skeleton over `vars` learned PC-style: an edge `(i, j)`
+/// survives iff no conditioning set of size ≤ `max_cond` (drawn from
+/// the other variables) makes the partial correlation insignificant
+/// at `alpha`.
+pub fn pc_skeleton(vars: &[&[f64]], alpha: f64, max_cond: usize) -> Vec<(usize, usize)> {
+    let m = vars.len();
+    let n = vars.first().map_or(0, |v| v.len());
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let mut independent = false;
+            // Size-0 test.
+            let r0 = pearson(vars[i], vars[j]).r;
+            if fisher_z_p_value(r0, n, 0) > alpha {
+                independent = true;
+            }
+            // Size-1..=max_cond tests over single conditioning
+            // variables and pairs (sufficient for the profile use
+            // case; full PC enumerates all subsets).
+            if !independent && max_cond >= 1 {
+                'outer: for k in 0..m {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    let r1 = partial_correlation(vars[i], vars[j], &[vars[k]]);
+                    if fisher_z_p_value(r1, n, 1) > alpha {
+                        independent = true;
+                        break;
+                    }
+                    if max_cond >= 2 {
+                        for l in (k + 1)..m {
+                            if l == i || l == j {
+                                continue;
+                            }
+                            let r2 = partial_correlation(vars[i], vars[j], &[vars[k], vars[l]]);
+                            if fisher_z_p_value(r2, n, 2) > alpha {
+                                independent = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            if !independent {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(rng: &mut StdRng, scale: f64) -> f64 {
+        // Irwin–Hall approximate Gaussian.
+        let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        s * scale
+    }
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        let x1: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let x2: Vec<f64> = (0..50).map(|i| ((i * 7) % 13) as f64).collect();
+        let y: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let beta = ols(&[&x1, &x2], &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ols_detects_singularity() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x_dup = x.clone();
+        let y = x.clone();
+        assert!(ols(&[&x, &x_dup], &y).is_none());
+    }
+
+    #[test]
+    fn sem_coefficient_equals_pearson_without_covariates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..300).map(|_| noise(&mut rng, 1.0)).collect();
+        let y: Vec<f64> = x.iter().map(|v| 0.7 * v + noise(&mut rng, 0.3)).collect();
+        let coeff = sem_coefficient(&x, &y, &[]);
+        let r = pearson(&x, &y).r;
+        assert!((coeff - r).abs() < 1e-9);
+        assert!(coeff > 0.8);
+    }
+
+    #[test]
+    fn sem_coefficient_controls_for_confounder() {
+        // z -> x, z -> y, no direct edge: controlling for z should
+        // shrink the coefficient toward zero.
+        let mut rng = StdRng::seed_from_u64(2);
+        let z: Vec<f64> = (0..500).map(|_| noise(&mut rng, 1.0)).collect();
+        let x: Vec<f64> = z.iter().map(|v| v + noise(&mut rng, 0.2)).collect();
+        let y: Vec<f64> = z.iter().map(|v| -v + noise(&mut rng, 0.2)).collect();
+        let marginal = sem_coefficient(&x, &y, &[]).abs();
+        let controlled = sem_coefficient(&x, &y, &[&z]).abs();
+        assert!(marginal > 0.8);
+        assert!(controlled < 0.25, "controlled was {controlled}");
+    }
+
+    #[test]
+    fn degenerate_sem_inputs_are_zero() {
+        assert_eq!(
+            sem_coefficient(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], &[]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn pc_skeleton_recovers_chain() {
+        // x -> y -> w: the x–w edge must be removed by conditioning
+        // on y.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f64> = (0..800).map(|_| noise(&mut rng, 1.0)).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + noise(&mut rng, 0.4)).collect();
+        let w: Vec<f64> = y.iter().map(|v| v + noise(&mut rng, 0.4)).collect();
+        let edges = pc_skeleton(&[&x, &y, &w], 0.01, 1);
+        assert!(edges.contains(&(0, 1)), "{edges:?}");
+        assert!(edges.contains(&(1, 2)), "{edges:?}");
+        assert!(
+            !edges.contains(&(0, 2)),
+            "chain edge must vanish: {edges:?}"
+        );
+    }
+
+    #[test]
+    fn fisher_z_small_samples_insignificant() {
+        assert_eq!(fisher_z_p_value(0.9, 4, 1), 1.0);
+        assert!(fisher_z_p_value(0.9, 100, 0) < 1e-6);
+        assert!(fisher_z_p_value(0.05, 50, 0) > 0.5);
+    }
+}

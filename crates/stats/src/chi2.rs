@@ -1,0 +1,156 @@
+//! Pearson χ² test of independence over contingency tables.
+//!
+//! Fig 1 row 7 parameterizes the categorical `Indep` profile with the
+//! χ² statistic between `D.A_j` and `D.A_k`, requiring `p ≤ 0.05`.
+
+use crate::distributions::chi2_sf;
+use dp_frame::groupby::ContingencyTable;
+
+/// Result of a χ² independence test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Upper-tail p-value with `(r-1)(c-1)` degrees of freedom.
+    pub p_value: f64,
+    /// Degrees of freedom.
+    pub df: usize,
+    /// Cramér's V effect size in `[0, 1]` (scale-free version of the
+    /// statistic; useful for comparing tables of different sizes).
+    pub cramers_v: f64,
+}
+
+impl Chi2Result {
+    /// Whether the dependence is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Pearson χ² statistic for a contingency table.
+///
+/// Degenerate tables (any dimension < 2, or zero total) return a zero
+/// statistic with p-value 1 — attributes with a single observed value
+/// cannot exhibit dependence.
+pub fn chi_squared(table: &ContingencyTable) -> Chi2Result {
+    let r = table.rows.len();
+    let c = table.cols.len();
+    let n = table.total() as f64;
+    if r < 2 || c < 2 || n == 0.0 {
+        return Chi2Result {
+            statistic: 0.0,
+            p_value: 1.0,
+            df: 0,
+            cramers_v: 0.0,
+        };
+    }
+    let row_totals = table.row_totals();
+    let col_totals = table.col_totals();
+    let mut stat = 0.0;
+    for i in 0..r {
+        for j in 0..c {
+            let expected = row_totals[i] as f64 * col_totals[j] as f64 / n;
+            if expected > 0.0 {
+                let diff = table.counts[i][j] as f64 - expected;
+                stat += diff * diff / expected;
+            }
+        }
+    }
+    let df = (r - 1) * (c - 1);
+    let p_value = chi2_sf(stat, df as f64);
+    let k = (r.min(c) - 1) as f64;
+    let cramers_v = if k > 0.0 {
+        (stat / (n * k)).sqrt().min(1.0)
+    } else {
+        0.0
+    };
+    Chi2Result {
+        statistic: stat,
+        p_value,
+        df,
+        cramers_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::column::Column;
+    use dp_frame::dtype::DType;
+    use dp_frame::frame::DataFrame;
+
+    fn table(a: &[&str], b: &[&str]) -> ContingencyTable {
+        let df = DataFrame::from_columns(vec![
+            Column::from_strings(
+                "a",
+                DType::Categorical,
+                a.iter().map(|s| Some(s.to_string())).collect(),
+            ),
+            Column::from_strings(
+                "b",
+                DType::Categorical,
+                b.iter().map(|s| Some(s.to_string())).collect(),
+            ),
+        ])
+        .unwrap();
+        ContingencyTable::from_frame(&df, "a", "b").unwrap()
+    }
+
+    #[test]
+    fn independent_table_has_zero_statistic() {
+        // Perfectly balanced 2x2: counts all equal.
+        let a = ["x", "x", "y", "y"];
+        let b = ["p", "q", "p", "q"];
+        let res = chi_squared(&table(&a, &b));
+        assert!(res.statistic.abs() < 1e-12);
+        assert!((res.p_value - 1.0).abs() < 1e-9);
+        assert_eq!(res.df, 1);
+    }
+
+    #[test]
+    fn perfectly_dependent_table() {
+        // a determines b exactly; χ² = n for a 2x2, Cramér's V = 1.
+        let a = ["x", "x", "x", "y", "y", "y"];
+        let b = ["p", "p", "p", "q", "q", "q"];
+        let res = chi_squared(&table(&a, &b));
+        assert!((res.statistic - 6.0).abs() < 1e-9);
+        assert!((res.cramers_v - 1.0).abs() < 1e-9);
+        assert!(res.p_value < 0.05);
+        assert!(res.significant(0.05));
+    }
+
+    #[test]
+    fn reference_value_2x2() {
+        // Table [[10, 20], [30, 5]], n = 65. Hand computation:
+        // expected = [[18.4615, 11.5385], [21.5385, 13.4615]],
+        // chi2 = 8.4615^2 * (1/18.4615 + 1/11.5385 + 1/21.5385
+        //        + 1/13.4615) ≈ 18.7266, p ≈ 1.5e-5.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (count, (va, vb)) in [
+            (10, ("x", "p")),
+            (20, ("x", "q")),
+            (30, ("y", "p")),
+            (5, ("y", "q")),
+        ] {
+            for _ in 0..count {
+                a.push(va);
+                b.push(vb);
+            }
+        }
+        let res = chi_squared(&table(&a, &b));
+        assert!((res.statistic - 18.7266).abs() < 1e-3, "{}", res.statistic);
+        assert!(res.p_value < 1e-4 && res.p_value > 1e-6, "{}", res.p_value);
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        // Single-valued attribute: no dependence measurable.
+        let a = ["x", "x", "x"];
+        let b = ["p", "q", "p"];
+        let res = chi_squared(&table(&a, &b));
+        assert_eq!(res.statistic, 0.0);
+        assert_eq!(res.p_value, 1.0);
+        assert!(!res.significant(0.05));
+    }
+}

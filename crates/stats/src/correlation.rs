@@ -1,0 +1,198 @@
+//! Correlation coefficients with significance tests.
+//!
+//! Fig 1 row 8 parameterizes the numeric `Indep` profile with the
+//! Pearson correlation coefficient and requires a p-value ≤ 0.05 for
+//! a dependence to count as discovered.
+
+use crate::distributions::t_sf_two_sided;
+
+/// A correlation estimate with its significance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// The coefficient in `[-1, 1]`.
+    pub r: f64,
+    /// Two-sided p-value under the null of zero correlation
+    /// (t-distribution with `n - 2` df). `1.0` when `n < 3` or the
+    /// coefficient is undefined.
+    pub p_value: f64,
+    /// Number of paired observations used.
+    pub n: usize,
+}
+
+impl Correlation {
+    /// Whether the dependence is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Pearson product-moment correlation between paired slices.
+///
+/// Returns `r = 0, p = 1` for degenerate inputs (fewer than 2 pairs or
+/// zero variance) — profile discovery treats those as "no dependence".
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Correlation {
+    assert_eq!(xs.len(), ys.len(), "paired observations required");
+    let n = xs.len();
+    if n < 2 {
+        return Correlation {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Correlation {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
+    }
+    let r = (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0);
+    let p_value = if n < 3 {
+        1.0
+    } else if r.abs() >= 1.0 {
+        0.0
+    } else {
+        let df = (n - 2) as f64;
+        let t = r * (df / (1.0 - r * r)).sqrt();
+        t_sf_two_sided(t, df)
+    };
+    Correlation { r, p_value, n }
+}
+
+/// Average ranks (ties share the mean rank), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on average ranks), with the
+/// same t-approximation p-value.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Correlation {
+    assert_eq!(xs.len(), ys.len(), "paired observations required");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Partial Pearson correlation of `x` and `y` controlling for a set
+/// of variables `zs` (recursively, via the first-order recursion).
+/// Used by the PC-skeleton search in [`crate::causal`].
+pub fn partial_correlation(x: &[f64], y: &[f64], zs: &[&[f64]]) -> f64 {
+    match zs.split_first() {
+        None => pearson(x, y).r,
+        Some((z, rest)) => {
+            let rxy = partial_correlation(x, y, rest);
+            let rxz = partial_correlation(x, z, rest);
+            let ryz = partial_correlation(y, z, rest);
+            let denom = ((1.0 - rxz * rxz) * (1.0 - ryz * ryz)).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                ((rxy - rxz * ryz) / denom).clamp(-1.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let c = pearson(&xs, &ys);
+        assert!((c.r - 1.0).abs() < 1e-12);
+        assert!(c.p_value < 1e-9);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_value() {
+        // r = 0.8 exactly; t = 0.8·sqrt(3/0.36) ≈ 2.3094 with 3 df,
+        // two-sided p ≈ 0.104 (just above the 0.10 critical t of
+        // 2.3534).
+        let c = pearson(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 2.0, 5.0, 4.0]);
+        assert!((c.r - 0.8).abs() < 1e-12);
+        assert!((c.p_value - 0.104).abs() < 1e-3, "{}", c.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_independent() {
+        let c = pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(c.r, 0.0);
+        assert_eq!(c.p_value, 1.0);
+        let c = pearson(&[1.0], &[2.0]);
+        assert_eq!(c.r, 0.0);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| x.exp()).collect();
+        let c = spearman(&xs, &ys);
+        assert!((c.r - 1.0).abs() < 1e-12);
+        // Pearson on the same data is < 1.
+        assert!(pearson(&xs, &ys).r < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn partial_correlation_removes_confounder() {
+        // x and y both driven by z; conditioning on z should collapse
+        // the correlation.
+        let z: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let x: Vec<f64> = z.iter().map(|v| 2.0 * v + (v * 7.0).sin()).collect();
+        let y: Vec<f64> = z.iter().map(|v| -1.5 * v + (v * 13.0).cos()).collect();
+        let marginal = pearson(&x, &y).r.abs();
+        let partial = partial_correlation(&x, &y, &[&z]).abs();
+        assert!(marginal > 0.99);
+        assert!(partial < 0.2, "partial was {partial}");
+    }
+
+    #[test]
+    fn significance_threshold() {
+        let c = Correlation {
+            r: 0.5,
+            p_value: 0.04,
+            n: 20,
+        };
+        assert!(c.significant(0.05));
+        assert!(!c.significant(0.01));
+    }
+}

@@ -1,0 +1,174 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! All functions ignore nothing: callers are expected to pass the
+//! non-NULL values only (e.g. via `Column::f64_values`). Empty input
+//! yields `None` so profile discovery can skip all-NULL attributes.
+
+/// Arithmetic mean. `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance (divides by `n`). `None` on empty input.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`). `None` when `n < 2`.
+pub fn sample_variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Minimum. `None` on empty input.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum. `None` on empty input.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Quantile by linear interpolation of the sorted order statistics
+/// (type-7, the numpy default). `q` is clamped to `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median (`quantile(0.5)`).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation (raw, not scaled by 1.4826).
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let med = median(xs)?;
+    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&devs)
+}
+
+/// Most frequent value among the inputs (ties broken by smaller
+/// value). Uses exact bit patterns, so intended for discrete-valued
+/// float data (label columns, ints widened to float).
+pub fn mode(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut counts: std::collections::BTreeMap<u64, (usize, f64)> = Default::default();
+    for &x in xs {
+        let e = counts.entry(x.to_bits()).or_insert((0, x));
+        e.0 += 1;
+    }
+    counts
+        .into_values()
+        .max_by(|a, b| a.0.cmp(&b.0).then(b.1.total_cmp(&a.1)))
+        .map(|(_, v)| v)
+}
+
+/// Skewness (Fisher-Pearson, population). `None` when `n < 2` or the
+/// data is constant.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let s = std_dev(xs)?;
+    if s == 0.0 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    Some(xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < EPS);
+        assert!((variance(&xs).unwrap() - 4.0).abs() < EPS);
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < EPS);
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(mean(&[]).is_none());
+        assert!(variance(&[]).is_none());
+        assert!(median(&[]).is_none());
+        assert!(mode(&[]).is_none());
+        assert!(sample_variance(&[1.0]).is_none());
+        assert!(min(&[]).is_none() && max(&[]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((median(&xs).unwrap() - 2.5).abs() < EPS);
+        assert!((quantile(&xs, 0.0).unwrap() - 1.0).abs() < EPS);
+        assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < EPS);
+        assert!((quantile(&xs, 0.25).unwrap() - 1.75).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_example_age_stats() {
+        // People_fail ages from Fig 2: mean 34.5, std ~11.78, and t3's
+        // age 60 exceeds mean + 1.5σ = 52.17.
+        let ages = [45.0, 40.0, 60.0, 22.0, 41.0, 32.0, 25.0, 35.0, 25.0, 20.0];
+        let m = mean(&ages).unwrap();
+        let s = std_dev(&ages).unwrap();
+        assert!((m - 34.5).abs() < EPS);
+        assert!((s - 11.78).abs() < 0.01);
+        assert!(60.0 > m + 1.5 * s);
+        assert!(45.0 < m + 1.5 * s);
+    }
+
+    #[test]
+    fn mad_is_robust() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 1000.0];
+        assert!((mad(&xs).unwrap() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mode_breaks_ties_low() {
+        assert_eq!(mode(&[1.0, 2.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(mode(&[3.0, 1.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        let left = [-10.0, -2.0, -1.0, -1.0, -1.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+        assert!(skewness(&[5.0, 5.0, 5.0]).is_none(), "constant data");
+    }
+}

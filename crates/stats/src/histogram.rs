@@ -1,0 +1,144 @@
+//! Equi-width histograms and distribution distances.
+//!
+//! Used by the synthetic scenarios to plant and verify distribution
+//! skew (cf. the paper's Example 2, where a skewed batch distribution
+//! causes timeouts) and by tests to compare pre/post-transformation
+//! distributions.
+
+/// An equi-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin (the max value itself is
+    /// folded into the last bin).
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub n: u64,
+}
+
+impl Histogram {
+    /// Build with `bins` equal-width buckets spanning the data range.
+    /// Returns `None` for empty data or `bins == 0`. Constant data
+    /// produces a single fully-loaded bin.
+    pub fn fit(values: &[f64], bins: usize) -> Option<Histogram> {
+        if values.is_empty() || bins == 0 {
+            return None;
+        }
+        let lo = values.iter().copied().reduce(f64::min)?;
+        let hi = values.iter().copied().reduce(f64::max)?;
+        let mut counts = vec![0u64; bins];
+        if hi == lo {
+            counts[0] = values.len() as u64;
+            return Some(Histogram {
+                lo,
+                hi,
+                counts,
+                n: values.len() as u64,
+            });
+        }
+        let width = (hi - lo) / bins as f64;
+        for &v in values {
+            let mut b = ((v - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1;
+            }
+            counts[b] += 1;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts,
+            n: values.len() as u64,
+        })
+    }
+
+    /// Normalized bin probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.n == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.n as f64)
+            .collect()
+    }
+}
+
+/// Total variation distance between two discrete distributions
+/// (half L1). Panics on length mismatch.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must align");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF gap).
+pub fn ks_statistic(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.is_empty() || ys.is_empty() {
+        return 0.0;
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|x, y| x.total_cmp(y));
+    b.sort_by(|x, y| x.total_cmp(y));
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut d: f64 = 0.0;
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d.max(1.0 - (i.min(a.len()) as f64 / na).min(j as f64 / nb))
+        .min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_cover_range() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::fit(&values, 10).unwrap();
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert!(h.counts.iter().all(|&c| c == 10), "{:?}", h.counts);
+        let p = h.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_degenerate_cases() {
+        assert!(Histogram::fit(&[], 5).is_none());
+        assert!(Histogram::fit(&[1.0], 0).is_none());
+        let h = Histogram::fit(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.counts, vec![3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::fit(&[0.0, 1.0, 2.0], 2).unwrap();
+        assert_eq!(h.counts, vec![1, 2]);
+    }
+
+    #[test]
+    fn tv_distance_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((total_variation(&[0.5, 0.5], &[0.25, 0.75]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_shift() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        assert!(ks_statistic(&a, &b) > 0.45);
+        assert!(ks_statistic(&a, &a) < 0.01);
+        assert_eq!(ks_statistic(&[], &a), 0.0);
+    }
+}

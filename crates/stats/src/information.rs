@@ -1,0 +1,138 @@
+//! Information-theoretic dependence measures and the KS test's
+//! asymptotic p-value — companions to the χ²/Pearson measures used by
+//! the `Indep` profiles, useful when extending the framework with
+//! custom dependence kinds.
+
+use dp_frame::groupby::ContingencyTable;
+
+/// Shannon entropy (nats) of a count vector.
+pub fn entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (nats) of a contingency table:
+/// `I(X;Y) = H(X) + H(Y) − H(X,Y)`. Zero for degenerate tables.
+pub fn mutual_information(table: &ContingencyTable) -> f64 {
+    let joint: Vec<u64> = table.counts.iter().flatten().copied().collect();
+    let hx = entropy(&table.row_totals());
+    let hy = entropy(&table.col_totals());
+    let hxy = entropy(&joint);
+    (hx + hy - hxy).max(0.0)
+}
+
+/// Normalized mutual information in `[0, 1]`:
+/// `I(X;Y) / min(H(X), H(Y))`. Zero when either marginal is constant.
+pub fn normalized_mutual_information(table: &ContingencyTable) -> f64 {
+    let hx = entropy(&table.row_totals());
+    let hy = entropy(&table.col_totals());
+    let denom = hx.min(hy);
+    if denom <= 0.0 {
+        0.0
+    } else {
+        (mutual_information(table) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Asymptotic p-value of a two-sample Kolmogorov–Smirnov statistic
+/// `d` with sample sizes `n` and `m` (the Kolmogorov distribution's
+/// series, as in Numerical Recipes `probks`).
+pub fn ks_p_value(d: f64, n: usize, m: usize) -> f64 {
+    if n == 0 || m == 0 {
+        return 1.0;
+    }
+    let ne = (n * m) as f64 / (n + m) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut term_prev = f64::INFINITY;
+    for j in 1..=100 {
+        let term = 2.0 * sign * (-2.0 * lambda * lambda * (j * j) as f64).exp();
+        sum += term;
+        if term.abs() < 1e-12 || term.abs() < 1e-8 * term_prev {
+            break;
+        }
+        term_prev = term.abs();
+        sign = -sign;
+    }
+    sum.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::ks_statistic;
+    use dp_frame::{Column, DType, DataFrame};
+
+    fn table(a: &[&str], b: &[&str]) -> ContingencyTable {
+        let df = DataFrame::from_columns(vec![
+            Column::from_strings(
+                "a",
+                DType::Categorical,
+                a.iter().map(|s| Some(s.to_string())).collect(),
+            ),
+            Column::from_strings(
+                "b",
+                DType::Categorical,
+                b.iter().map(|s| Some(s.to_string())).collect(),
+            ),
+        ])
+        .unwrap();
+        ContingencyTable::from_frame(&df, "a", "b").unwrap()
+    }
+
+    #[test]
+    fn entropy_reference_values() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[10]), 0.0, "deterministic");
+        assert!((entropy(&[5, 5]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 4f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_zero_for_independence_max_for_identity() {
+        // Independent balanced 2x2.
+        let t = table(&["x", "x", "y", "y"], &["p", "q", "p", "q"]);
+        assert!(mutual_information(&t).abs() < 1e-12);
+        assert_eq!(normalized_mutual_information(&t), 0.0);
+        // Perfect dependence: NMI = 1.
+        let t = table(&["x", "x", "y", "y"], &["p", "p", "q", "q"]);
+        assert!((normalized_mutual_information(&t) - 1.0).abs() < 1e-12);
+        assert!((mutual_information(&t) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_degenerate_marginal_is_zero() {
+        let t = table(&["x", "x", "x"], &["p", "q", "p"]);
+        assert_eq!(normalized_mutual_information(&t), 0.0);
+    }
+
+    #[test]
+    fn ks_p_value_behaviour() {
+        // Identical large samples: d ≈ 0, p ≈ 1.
+        let a: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let d = ks_statistic(&a, &a);
+        assert!(ks_p_value(d, 400, 400) > 0.99);
+        // Disjoint samples: d = 1, p ≈ 0.
+        let b: Vec<f64> = (0..400).map(|i| 1000.0 + i as f64).collect();
+        let d = ks_statistic(&a, &b);
+        assert!(ks_p_value(d, 400, 400) < 1e-6);
+        // Monotone in d.
+        assert!(ks_p_value(0.05, 100, 100) > ks_p_value(0.2, 100, 100));
+        assert_eq!(ks_p_value(0.5, 0, 10), 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # dp-stats — statistics substrate
+//!
+//! Everything in Fig 1 of the DataPrism paper that is statistical
+//! lives here, built from scratch:
+//!
+//! - [`descriptive`] — means, variances, quantiles, modes.
+//! - [`distributions`] — erf/normal, regularized incomplete gamma
+//!   (χ² CDF), and a Student-t CDF, so correlation and χ² profile
+//!   discovery can attach p-values (Fig 1 rows 7–8 require
+//!   `p ≤ 0.05`).
+//! - [`correlation`] — Pearson (row 8) and Spearman coefficients with
+//!   significance tests.
+//! - [`chi2`] — χ² independence statistic over contingency tables
+//!   (row 7).
+//! - [`outlier`] — z-score / IQR / MAD detectors (row 4's `O`
+//!   functions; the paper's example `O_1.5` is
+//!   [`outlier::ZScoreDetector`] with `k = 1.5`).
+//! - [`histogram`] — equi-width histograms and distribution distances
+//!   used by tests and the synthetic scenarios.
+//! - [`pattern`] — a Rexpy-style pattern learner for text domains
+//!   (row 3's "regex over `D.A_j` learned via pattern discovery").
+//! - [`causal`] — a TETRAD substitute: standardized linear-SEM
+//!   coefficients and a partial-correlation PC skeleton (row 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod chi2;
+pub mod correlation;
+pub mod descriptive;
+pub mod distributions;
+pub mod histogram;
+pub mod information;
+pub mod outlier;
+pub mod pattern;
+
+pub use chi2::{chi_squared, Chi2Result};
+pub use correlation::{pearson, spearman, Correlation};
+pub use outlier::{IqrDetector, MadDetector, OutlierDetector, ZScoreDetector};
+pub use pattern::Pattern;

@@ -1,0 +1,253 @@
+//! Outlier detection functions.
+//!
+//! Fig 1 row 4's `Outlier` profile is parameterized by a detection
+//! function `O(A, a) → {True, False}` "learned from `D.A_j`'s
+//! distribution". We provide the standard parametric and robust
+//! detectors; the paper's worked example `O_1.5` (flag values more
+//! than 1.5σ from the mean) is [`ZScoreDetector`] with `k = 1.5`.
+
+use crate::descriptive::{mad, mean, median, quantile, std_dev};
+use std::fmt;
+
+/// A fitted outlier detector: decides whether a single value is an
+/// outlier with respect to the attribute it was fitted on.
+pub trait OutlierDetector: fmt::Debug {
+    /// Fit the detector to the attribute's (non-NULL) values.
+    /// Returns false (no-op detector) if the data is degenerate.
+    fn fit(&mut self, values: &[f64]) -> bool;
+    /// Whether `value` is an outlier under the fitted parameters.
+    fn is_outlier(&self, value: f64) -> bool;
+    /// Inclusive range `[lo, hi]` of non-outlying values, when the
+    /// detector is interval-shaped (all provided ones are). Used by
+    /// clamping transformations.
+    fn bounds(&self) -> Option<(f64, f64)>;
+    /// Short name used in profile rendering.
+    fn name(&self) -> String;
+}
+
+/// Mean ± k·σ detector (the paper's `O_k`).
+#[derive(Debug, Clone)]
+pub struct ZScoreDetector {
+    /// Number of standard deviations tolerated.
+    pub k: f64,
+    mean: f64,
+    std: f64,
+    fitted: bool,
+}
+
+impl ZScoreDetector {
+    /// Unfitted detector flagging values beyond `k` standard
+    /// deviations.
+    pub fn new(k: f64) -> Self {
+        ZScoreDetector {
+            k,
+            mean: 0.0,
+            std: 0.0,
+            fitted: false,
+        }
+    }
+}
+
+impl OutlierDetector for ZScoreDetector {
+    fn fit(&mut self, values: &[f64]) -> bool {
+        match (mean(values), std_dev(values)) {
+            (Some(m), Some(s)) if s > 0.0 => {
+                self.mean = m;
+                self.std = s;
+                self.fitted = true;
+                true
+            }
+            _ => {
+                self.fitted = false;
+                false
+            }
+        }
+    }
+
+    fn is_outlier(&self, value: f64) -> bool {
+        self.fitted && (value - self.mean).abs() > self.k * self.std
+    }
+
+    fn bounds(&self) -> Option<(f64, f64)> {
+        self.fitted
+            .then_some((self.mean - self.k * self.std, self.mean + self.k * self.std))
+    }
+
+    fn name(&self) -> String {
+        format!("zscore(k={})", self.k)
+    }
+}
+
+/// Tukey fences: outside `[Q1 - k·IQR, Q3 + k·IQR]` (k = 1.5
+/// conventionally).
+#[derive(Debug, Clone)]
+pub struct IqrDetector {
+    /// Fence multiplier.
+    pub k: f64,
+    lo: f64,
+    hi: f64,
+    fitted: bool,
+}
+
+impl IqrDetector {
+    /// Unfitted Tukey-fence detector.
+    pub fn new(k: f64) -> Self {
+        IqrDetector {
+            k,
+            lo: 0.0,
+            hi: 0.0,
+            fitted: false,
+        }
+    }
+}
+
+impl OutlierDetector for IqrDetector {
+    fn fit(&mut self, values: &[f64]) -> bool {
+        let (Some(q1), Some(q3)) = (quantile(values, 0.25), quantile(values, 0.75)) else {
+            self.fitted = false;
+            return false;
+        };
+        let iqr = q3 - q1;
+        self.lo = q1 - self.k * iqr;
+        self.hi = q3 + self.k * iqr;
+        self.fitted = true;
+        true
+    }
+
+    fn is_outlier(&self, value: f64) -> bool {
+        self.fitted && (value < self.lo || value > self.hi)
+    }
+
+    fn bounds(&self) -> Option<(f64, f64)> {
+        self.fitted.then_some((self.lo, self.hi))
+    }
+
+    fn name(&self) -> String {
+        format!("iqr(k={})", self.k)
+    }
+}
+
+/// Median ± k·MAD robust detector (MAD scaled by 1.4826 to be a
+/// consistent σ estimator under normality).
+#[derive(Debug, Clone)]
+pub struct MadDetector {
+    /// Number of scaled MADs tolerated.
+    pub k: f64,
+    median: f64,
+    scaled_mad: f64,
+    fitted: bool,
+}
+
+impl MadDetector {
+    /// Unfitted MAD detector.
+    pub fn new(k: f64) -> Self {
+        MadDetector {
+            k,
+            median: 0.0,
+            scaled_mad: 0.0,
+            fitted: false,
+        }
+    }
+}
+
+impl OutlierDetector for MadDetector {
+    fn fit(&mut self, values: &[f64]) -> bool {
+        match (median(values), mad(values)) {
+            (Some(m), Some(d)) if d > 0.0 => {
+                self.median = m;
+                self.scaled_mad = 1.4826 * d;
+                self.fitted = true;
+                true
+            }
+            _ => {
+                self.fitted = false;
+                false
+            }
+        }
+    }
+
+    fn is_outlier(&self, value: f64) -> bool {
+        self.fitted && (value - self.median).abs() > self.k * self.scaled_mad
+    }
+
+    fn bounds(&self) -> Option<(f64, f64)> {
+        self.fitted.then_some({
+            (
+                self.median - self.k * self.scaled_mad,
+                self.median + self.k * self.scaled_mad,
+            )
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("mad(k={})", self.k)
+    }
+}
+
+/// Fraction of `values` flagged by a fitted detector.
+pub fn outlier_fraction(detector: &dyn OutlierDetector, values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| detector.is_outlier(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_matches_paper_example() {
+        // People_fail ages (Fig 2): only 60 is an outlier under O_1.5.
+        let ages = [45.0, 40.0, 60.0, 22.0, 41.0, 32.0, 25.0, 35.0, 25.0, 20.0];
+        let mut det = ZScoreDetector::new(1.5);
+        assert!(det.fit(&ages));
+        let outliers: Vec<f64> = ages
+            .iter()
+            .copied()
+            .filter(|&a| det.is_outlier(a))
+            .collect();
+        assert_eq!(outliers, vec![60.0]);
+        assert!((outlier_fraction(&det, &ages) - 0.1).abs() < 1e-12);
+        let (lo, hi) = det.bounds().unwrap();
+        assert!(lo < 20.0 && (hi - 52.17).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_fit_flags_nothing() {
+        let mut det = ZScoreDetector::new(2.0);
+        assert!(!det.fit(&[5.0, 5.0, 5.0]), "zero variance");
+        assert!(!det.is_outlier(1e9));
+        assert!(det.bounds().is_none());
+        let mut det = MadDetector::new(2.0);
+        assert!(!det.fit(&[]));
+    }
+
+    #[test]
+    fn iqr_detector_flags_extremes() {
+        let mut values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        values.push(1000.0);
+        let mut det = IqrDetector::new(1.5);
+        assert!(det.fit(&values));
+        assert!(det.is_outlier(1000.0));
+        assert!(!det.is_outlier(50.0));
+    }
+
+    #[test]
+    fn mad_detector_is_robust_to_contamination() {
+        // 10% huge contamination barely moves median/MAD.
+        let mut values: Vec<f64> = (0..90).map(|i| (i % 10) as f64).collect();
+        values.extend(std::iter::repeat_n(1e6, 10));
+        let mut det = MadDetector::new(3.0);
+        assert!(det.fit(&values));
+        assert!(det.is_outlier(1e6));
+        assert!(!det.is_outlier(5.0));
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(ZScoreDetector::new(1.5).name(), "zscore(k=1.5)");
+        assert_eq!(IqrDetector::new(3.0).name(), "iqr(k=3)");
+        assert_eq!(MadDetector::new(2.5).name(), "mad(k=2.5)");
+    }
+}

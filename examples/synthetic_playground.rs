@@ -1,0 +1,145 @@
+//! Build your own diagnosis problem: plant corruptions, choose a
+//! (possibly conjunctive/disjunctive) root cause, and watch all five
+//! techniques race.
+//!
+//! The pipeline here has 24 discriminative PVTs over 12 attributes;
+//! the cause is the conjunction of PVTs 0 and 1 (a domain shift on
+//! `a0` *and* missing values on `a1` must both be repaired).
+//!
+//! Note: several PVTs share attributes, so an algorithm may resolve
+//! the malfunction through *different* PVT ids whose transformations
+//! have the same effect (the paper's footnote 1: altering an
+//! attribute w.r.t. one PVT passively repairs other PVTs on it). The
+//! `cause?` column checks the planted ids specifically, so a `false`
+//! next to `resolved = true` is exactly that aliasing.
+//!
+//! Run: `cargo run --release --example synthetic_playground`
+
+use dataprism::baselines::anchor::{explain_anchor, AnchorConfig};
+use dataprism::baselines::bugdoc::explain_bugdoc;
+use dataprism::{explain_greedy_with_pvts, explain_group_test_with_pvts, PartitionStrategy};
+use dp_scenarios::synthetic::{build, Plant, PlantKind, SyntheticSpec};
+
+fn main() {
+    let mut plants = vec![
+        Plant {
+            attr: 0,
+            kind: PlantKind::Domain { severity: 1.0 },
+        },
+        Plant {
+            attr: 1,
+            kind: PlantKind::Missing { severity: 0.9 },
+        },
+    ];
+    for i in 2..24 {
+        plants.push(Plant {
+            attr: i % 12,
+            kind: if i % 2 == 0 {
+                PlantKind::Domain { severity: 0.3 }
+            } else {
+                PlantKind::Missing { severity: 0.3 }
+            },
+        });
+    }
+    let spec = SyntheticSpec {
+        n_rows: 150,
+        n_attributes: 12,
+        plants,
+        cause: vec![vec![0, 1]],
+        seed: 99,
+    };
+
+    println!("planted cause: fix PVT 0 (domain of a0) AND PVT 1 (missing in a1)\n");
+    let header = format!(
+        "{:<16} {:>13} {:>9} {:>13} {:>6}",
+        "technique", "interventions", "resolved", "explanation", "cause?"
+    );
+    println!("{header}");
+
+    let report = |name: &str, result: dataprism::Result<dataprism::Explanation>, covers: bool| {
+        match result {
+            Ok(exp) => println!(
+                "{:<16} {:>13} {:>9} {:>13} {:>6}",
+                name,
+                exp.interventions,
+                exp.resolved,
+                format!("{:?}", exp.pvt_ids()),
+                covers
+            ),
+            Err(e) => println!("{name:<16} {e}"),
+        }
+    };
+
+    let mut s = build(&spec);
+    let r = explain_greedy_with_pvts(
+        &mut s.system,
+        &s.d_fail,
+        &s.d_pass,
+        s.pvts.clone(),
+        &s.config,
+    );
+    let covers = r
+        .as_ref()
+        .map(|e| s.covers_cause(&e.pvt_ids()))
+        .unwrap_or(false);
+    report("DataPrism-GRD", r, covers);
+
+    let mut s = build(&spec);
+    let r = explain_group_test_with_pvts(
+        &mut s.system,
+        &s.d_fail,
+        &s.d_pass,
+        s.pvts.clone(),
+        &s.config,
+        PartitionStrategy::MinBisection,
+    );
+    let covers = r
+        .as_ref()
+        .map(|e| s.covers_cause(&e.pvt_ids()))
+        .unwrap_or(false);
+    report("DataPrism-GT", r, covers);
+
+    let mut s = build(&spec);
+    let r = explain_group_test_with_pvts(
+        &mut s.system,
+        &s.d_fail,
+        &s.d_pass,
+        s.pvts.clone(),
+        &s.config,
+        PartitionStrategy::Random,
+    );
+    let covers = r
+        .as_ref()
+        .map(|e| s.covers_cause(&e.pvt_ids()))
+        .unwrap_or(false);
+    report("GrpTest", r, covers);
+
+    let mut s = build(&spec);
+    let r = explain_bugdoc(
+        &mut s.system,
+        &s.d_fail,
+        &s.d_pass,
+        &s.pvts.clone(),
+        &s.config,
+    );
+    let covers = r
+        .as_ref()
+        .map(|e| s.covers_cause(&e.pvt_ids()))
+        .unwrap_or(false);
+    report("BugDoc", r, covers);
+
+    let mut s = build(&spec);
+    let r = explain_anchor(
+        &mut s.system,
+        &s.d_fail,
+        &s.d_pass,
+        &s.pvts.clone(),
+        &s.config,
+        &AnchorConfig::default(),
+    );
+    let covers = r
+        .as_ref()
+        .map(|e| s.covers_cause(&e.pvt_ids()))
+        .unwrap_or(false);
+    report("Anchor", r, covers);
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the DataPrism reproduction workspace.
+//!
+//! This crate exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. The actual
+//! functionality lives in the member crates:
+//!
+//! - [`dp_frame`] — columnar dataframe substrate
+//! - [`dp_stats`] — statistics, pattern learning, causal discovery
+//! - [`dp_ml`] — from-scratch ML models and fairness metrics
+//! - [`dataprism`] — the paper's contribution: PVT framework and
+//!   intervention algorithms
+//! - [`dp_scenarios`] — case studies and synthetic pipelines
+
+pub use dataprism;
+pub use dp_frame;
+pub use dp_ml;
+pub use dp_scenarios;
+pub use dp_stats;

@@ -1,0 +1,175 @@
+//! Edge-case and failure-injection integration tests: degenerate
+//! datasets, hostile systems, and tiny budgets through the full
+//! diagnosis pipeline.
+
+use dataprism::{explain_greedy, DataPrism, PrismConfig, PrismError};
+use dp_frame::{Column, DType, DataFrame, Value};
+
+fn cat(name: &str, vals: &[&str]) -> Column {
+    Column::from_strings(
+        name,
+        DType::Categorical,
+        vals.iter().map(|s| Some(s.to_string())).collect(),
+    )
+}
+
+#[test]
+fn single_row_datasets_diagnose() {
+    let pass = DataFrame::from_columns(vec![cat("target", &["1"])]).unwrap();
+    let fail = DataFrame::from_columns(vec![cat("target", &["4"])]).unwrap();
+    let mut system = |df: &DataFrame| {
+        let col = df.column("target").unwrap();
+        col.str_values()
+            .iter()
+            .filter(|(_, s)| *s != "-1" && *s != "1")
+            .count() as f64
+            / df.n_rows().max(1) as f64
+    };
+    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
+        .expect("single-row diagnosis runs");
+    assert!(exp.resolved);
+    assert_eq!(exp.repaired.cell(0, "target").unwrap(), Value::Str("1".into()));
+}
+
+#[test]
+fn all_null_column_does_not_crash_discovery() {
+    let pass = DataFrame::from_columns(vec![
+        cat("target", &["1", "-1", "1"]),
+        Column::from_floats("ghost", vec![None, None, None]),
+    ])
+    .unwrap();
+    let fail = DataFrame::from_columns(vec![
+        cat("target", &["4", "0", "4"]),
+        Column::from_floats("ghost", vec![None, None, None]),
+    ])
+    .unwrap();
+    let mut system = |df: &DataFrame| {
+        let col = df.column("target").unwrap();
+        col.str_values()
+            .iter()
+            .filter(|(_, s)| *s != "-1" && *s != "1")
+            .count() as f64
+            / df.n_rows().max(1) as f64
+    };
+    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
+        .expect("all-NULL columns are tolerated");
+    assert!(exp.resolved);
+}
+
+#[test]
+fn nan_returning_system_is_treated_as_failing() {
+    // Failure injection: the system "crashes" (NaN) on every
+    // transformed dataset. Diagnosis must terminate (candidates
+    // exhausted) without resolving, never looping or passing.
+    // Different row counts so no repair can coincide byte-for-byte
+    // with the passing dataset (which would legitimately pass).
+    let pass = DataFrame::from_columns(vec![cat("target", &["1", "-1", "1"])]).unwrap();
+    let fail = DataFrame::from_columns(vec![cat("target", &["4", "0"])]).unwrap();
+    let pass_fp = dataprism::oracle::fingerprint(&pass);
+    let fail_fp = dataprism::oracle::fingerprint(&fail);
+    let mut system = move |df: &DataFrame| {
+        let fp = dataprism::oracle::fingerprint(df);
+        if fp == pass_fp {
+            0.0
+        } else if fp == fail_fp {
+            0.9
+        } else {
+            f64::NAN // everything else crashes
+        }
+    };
+    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
+        .expect("terminates despite NaN scores");
+    assert!(!exp.resolved);
+    assert!(exp.pvts.is_empty(), "no NaN-scored intervention is kept");
+}
+
+#[test]
+fn adversarial_oscillating_system_terminates() {
+    // A system whose score jumps around arbitrarily per dataset:
+    // diagnosis must still terminate within the candidate set and
+    // never report an unverified success.
+    let pass = DataFrame::from_columns(vec![
+        cat("target", &["1", "-1", "1", "-1"]),
+        Column::from_ints("x", vec![Some(1), Some(2), Some(3), Some(4)]),
+    ])
+    .unwrap();
+    let fail = DataFrame::from_columns(vec![
+        cat("target", &["4", "0", "4", "0"]),
+        Column::from_ints("x", vec![Some(7), Some(8), Some(9), Some(10)]),
+    ])
+    .unwrap();
+    let pass_fp = dataprism::oracle::fingerprint(&pass);
+    let mut flip = false;
+    let mut system = move |df: &DataFrame| {
+        if dataprism::oracle::fingerprint(df) == pass_fp {
+            return 0.0;
+        }
+        flip = !flip;
+        if flip {
+            0.95
+        } else {
+            0.55
+        }
+    };
+    let config = PrismConfig::with_threshold(0.2);
+    let result = explain_greedy(&mut system, &fail, &pass, &config);
+    match result {
+        Ok(exp) => assert!(!exp.resolved || exp.final_score <= config.threshold),
+        Err(PrismError::BudgetExhausted { .. }) => {}
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn facade_rejects_swapped_inputs() {
+    let pass = DataFrame::from_columns(vec![cat("target", &["1", "-1"])]).unwrap();
+    let fail = DataFrame::from_columns(vec![cat("target", &["4", "0"])]).unwrap();
+    let mut system = |df: &DataFrame| {
+        let col = df.column("target").unwrap();
+        col.str_values()
+            .iter()
+            .filter(|(_, s)| *s != "-1" && *s != "1")
+            .count() as f64
+            / df.n_rows().max(1) as f64
+    };
+    let prism = DataPrism::with_threshold(0.2);
+    // Swapped: "failing" passes, "passing" fails.
+    let err = prism.diagnose(&mut system, &pass, &fail).unwrap_err();
+    assert!(matches!(err, PrismError::BadInput(_)), "{err}");
+}
+
+#[test]
+fn identical_rows_with_extreme_duplication_diagnose() {
+    // 1000 copies of two distinct rows — duplication must not break
+    // discovery statistics or transformations.
+    let mut pass_vals = Vec::new();
+    let mut fail_vals = Vec::new();
+    for i in 0..1000 {
+        pass_vals.push(Some(if i % 2 == 0 { "1" } else { "-1" }.to_string()));
+        fail_vals.push(Some(if i % 2 == 0 { "4" } else { "0" }.to_string()));
+    }
+    let pass = DataFrame::from_columns(vec![Column::from_strings(
+        "target",
+        DType::Categorical,
+        pass_vals,
+    )])
+    .unwrap();
+    let fail = DataFrame::from_columns(vec![Column::from_strings(
+        "target",
+        DType::Categorical,
+        fail_vals,
+    )])
+    .unwrap();
+    let mut system = |df: &DataFrame| {
+        let col = df.column("target").unwrap();
+        col.str_values()
+            .iter()
+            .filter(|(_, s)| *s != "-1" && *s != "1")
+            .count() as f64
+            / df.n_rows().max(1) as f64
+    };
+    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
+        .unwrap();
+    assert!(exp.resolved);
+    assert_eq!(exp.repaired.n_rows(), 1000);
+}

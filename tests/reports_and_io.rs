@@ -1,0 +1,83 @@
+//! Integration tests of the user-facing surfaces around a diagnosis:
+//! the markdown report, CSV round-trips of scenario data, the
+//! `DataPrism` facade, and the frame-description utilities — the
+//! pieces a downstream user touches right after the algorithms.
+
+use dataprism::DataPrism;
+use dp_frame::csv::{read_csv, write_csv};
+use dp_frame::describe::{describe, describe_table, sort_by, top_k, value_histogram};
+use dp_scenarios::{ezgo, sentiment};
+
+#[test]
+fn facade_report_covers_a_real_case_study() {
+    let mut scenario = sentiment::scenario_with_size(300, 11);
+    let prism = DataPrism::new(scenario.config.clone());
+    let exp = prism
+        .diagnose(scenario.system.as_mut(), &scenario.d_fail, &scenario.d_pass)
+        .unwrap();
+    assert!(exp.resolved);
+    let report = prism.report(&exp, &scenario.d_pass, &scenario.d_fail);
+    assert!(report.contains("# DataPrism diagnosis report"));
+    assert!(report.contains("⟨Domain, target"));
+    assert!(report.contains("**yes**"), "the cause row is flagged");
+    assert!(report.contains("Intervention trace"));
+}
+
+#[test]
+fn auto_strategy_resolves_case_studies() {
+    let mut scenario = ezgo::scenario_with_size(600, 2);
+    let prism = DataPrism::new(scenario.config.clone());
+    let exp = prism
+        .diagnose_auto(scenario.system.as_mut(), &scenario.d_fail, &scenario.d_pass)
+        .unwrap();
+    assert!(exp.resolved, "{exp}");
+}
+
+#[test]
+fn scenario_data_roundtrips_through_csv() {
+    let scenario = ezgo::scenario_with_size(120, 2);
+    let mut buf = Vec::new();
+    write_csv(&scenario.d_fail, &mut buf).unwrap();
+    let back = read_csv(&buf[..]).unwrap();
+    assert_eq!(back.n_rows(), scenario.d_fail.n_rows());
+    assert_eq!(back.n_cols(), scenario.d_fail.n_cols());
+    // Cell-level fidelity for a few sampled positions.
+    for row in [0usize, 17, 119] {
+        for col in ["has_toll_pass", "plate_color", "axles"] {
+            assert_eq!(
+                back.cell(row, col).unwrap().to_string(),
+                scenario.d_fail.cell(row, col).unwrap().to_string(),
+                "row {row} col {col}"
+            );
+        }
+    }
+}
+
+#[test]
+fn describe_utilities_work_on_scenario_frames() {
+    let scenario = sentiment::scenario_with_size(150, 3);
+    let summaries = describe(&scenario.d_fail);
+    assert_eq!(summaries.len(), scenario.d_fail.n_cols());
+    let target = summaries.iter().find(|s| s.name == "target").unwrap();
+    assert_eq!(target.distinct, 2, "labels are {{0, 4}}");
+    assert_eq!(target.nulls, 0);
+
+    let table = describe_table(&scenario.d_fail);
+    assert!(table.contains("target") && table.contains("retweets"));
+
+    let sorted = sort_by(&scenario.d_fail, "retweets", true).unwrap();
+    let first = sorted.cell(0, "retweets").unwrap().as_i64().unwrap();
+    let last = sorted
+        .cell(sorted.n_rows() - 1, "retweets")
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert!(first >= last);
+
+    let top = top_k(&scenario.d_fail, "retweets", 5).unwrap();
+    assert_eq!(top.n_rows(), 5);
+    assert_eq!(top.cell(0, "retweets").unwrap().as_i64().unwrap(), first);
+
+    let hist = value_histogram(&scenario.d_fail, "target", 5).unwrap();
+    assert!(hist.contains('0') && hist.contains('4'));
+}
