@@ -11,7 +11,9 @@ use dataprism::discovery::discriminative_pvts;
 use dataprism::{explain_greedy, explain_group_test, PartitionStrategy};
 use dp_scenarios::{cardio, income, sentiment, Scenario};
 
-fn scenario_factories() -> Vec<(&'static str, fn() -> Scenario)> {
+type ScenarioMaker = fn() -> Scenario;
+
+fn scenario_factories() -> Vec<(&'static str, ScenarioMaker)> {
     vec![
         ("sentiment", || sentiment::scenario_with_size(400, 42)),
         ("income", || income::scenario_with_size(300, 42)),

@@ -18,7 +18,8 @@ fn main() {
     };
     let seed = 42;
 
-    let studies: Vec<(&str, Box<dyn Fn() -> Scenario>)> = vec![
+    type ScenarioMaker = Box<dyn Fn() -> Scenario>;
+    let studies: Vec<(&str, ScenarioMaker)> = vec![
         (
             "Sentiment",
             Box::new(move || sentiment::scenario_with_size(n_sent, seed)),

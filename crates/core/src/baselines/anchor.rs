@@ -95,7 +95,7 @@ pub fn explain_anchor(
     let mut trace = vec![TraceEvent::Discovered {
         n_pvts: candidates.len(),
     }];
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA2C4_07);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x00A2_C407);
     let all_ids: Vec<usize> = candidates.iter().map(|p| p.id).collect();
     let max_queries = anchor_cfg.max_queries.min(config.max_interventions);
 
@@ -248,6 +248,7 @@ pub fn explain_anchor(
     Ok(Explanation {
         pvts,
         interventions: oracle.interventions,
+        cache: oracle.cache_stats(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

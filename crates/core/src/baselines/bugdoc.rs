@@ -51,7 +51,7 @@ pub fn explain_bugdoc(
     let mut trace = vec![TraceEvent::Discovered {
         n_pvts: candidates.len(),
     }];
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB06D_0C);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x00B0_6D0C);
 
     let apply = |ids: &BTreeSet<usize>, rng: &mut StdRng| -> Result<DataFrame> {
         let refs: Vec<&Pvt> = candidates.iter().filter(|p| ids.contains(&p.id)).collect();
@@ -125,6 +125,7 @@ pub fn explain_bugdoc(
         return Ok(Explanation {
             pvts: Vec::new(),
             interventions: oracle.interventions,
+            cache: oracle.cache_stats(),
             initial_score,
             final_score: initial_score,
             resolved: false,
@@ -187,6 +188,7 @@ pub fn explain_bugdoc(
     Ok(Explanation {
         pvts,
         interventions: oracle.interventions,
+        cache: oracle.cache_stats(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

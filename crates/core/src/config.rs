@@ -91,6 +91,13 @@ pub struct PrismConfig {
     /// live PVT is eligible — an ablation of the PVT–attribute-graph
     /// prioritization.
     pub use_high_degree: bool,
+    /// Worker threads for the parallel intervention runtime
+    /// ([`crate::runtime`]) and parallel discovery. `1` runs fully
+    /// serially; any value produces bit-for-bit identical
+    /// explanations and intervention counts — parallelism only warms
+    /// the oracle's fingerprint cache speculatively. Defaults to the
+    /// machine's available parallelism.
+    pub num_threads: usize,
 }
 
 impl Default for PrismConfig {
@@ -103,6 +110,9 @@ impl Default for PrismConfig {
             make_minimal: true,
             use_benefit: true,
             use_high_degree: true,
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }

@@ -256,6 +256,7 @@ pub fn explain_with_decision_tree(
                 return Ok(Explanation {
                     pvts: selected,
                     interventions: oracle.interventions,
+                    cache: oracle.cache_stats(),
                     initial_score,
                     final_score,
                     resolved: true,
@@ -282,6 +283,7 @@ pub fn explain_with_decision_tree(
     Ok(Explanation {
         pvts: Vec::new(),
         interventions: oracle.interventions,
+        cache: oracle.cache_stats(),
         initial_score,
         final_score: initial_score,
         resolved: false,

@@ -16,6 +16,18 @@ use dp_stats::Pattern;
 /// requirement `X_V(D_pass, X_P) = 0` when called on the passing
 /// dataset.
 pub fn discover_profiles(df: &DataFrame, cfg: &DiscoveryConfig) -> Vec<Profile> {
+    discover_profiles_par(df, cfg, 1)
+}
+
+/// [`discover_profiles`] with per-attribute (and per-attribute-pair)
+/// fan-out over up to `num_threads` scoped worker threads. Results
+/// are collected in schema order, so the output is identical for any
+/// thread count.
+pub fn discover_profiles_par(
+    df: &DataFrame,
+    cfg: &DiscoveryConfig,
+    num_threads: usize,
+) -> Vec<Profile> {
     let mut out = Vec::new();
     let schema = df.schema();
     let n = df.n_rows();
@@ -23,89 +35,11 @@ pub fn discover_profiles(df: &DataFrame, cfg: &DiscoveryConfig) -> Vec<Profile> 
         return out;
     }
     // Per-attribute profiles.
-    for field in schema.fields() {
-        let col = df.column(&field.name).expect("schema-listed column");
-        let null_frac = col.null_count() as f64 / n as f64;
-        if cfg.missing {
-            out.push(Profile::Missing {
-                attr: field.name.clone(),
-                theta: null_frac,
-            });
-        }
-        match field.dtype {
-            DType::Int | DType::Float => {
-                if cfg.domains {
-                    if let Some((lb, ub)) = col.min_max() {
-                        out.push(Profile::DomainNumeric {
-                            attr: field.name.clone(),
-                            lb,
-                            ub,
-                        });
-                    }
-                }
-                if let Some(spec) = cfg.outliers {
-                    let values: Vec<f64> = col.f64_values().into_iter().map(|(_, v)| v).collect();
-                    if let Some(det) = spec.fit(&values) {
-                        let frac =
-                            values.iter().filter(|&&v| det.is_outlier(v)).count() as f64 / n as f64;
-                        out.push(Profile::Outlier {
-                            attr: field.name.clone(),
-                            detector: spec,
-                            theta: frac,
-                        });
-                    }
-                }
-            }
-            DType::Categorical => {
-                let counts = col.value_counts();
-                if cfg.domains && counts.len() <= cfg.max_categorical_domain {
-                    out.push(Profile::DomainCategorical {
-                        attr: field.name.clone(),
-                        values: counts.iter().map(|(v, _)| v.clone()).collect(),
-                    });
-                }
-                if let Some(max_dom) = cfg.selectivity_max_domain {
-                    if counts.len() <= max_dom {
-                        for (value, count) in &counts {
-                            out.push(Profile::Selectivity {
-                                predicate: Predicate::cmp(
-                                    field.name.clone(),
-                                    CmpOp::Eq,
-                                    value.clone(),
-                                ),
-                                theta: *count as f64 / n as f64,
-                            });
-                        }
-                        if let Some(pair_attr) = &cfg.selectivity_pair_with {
-                            if pair_attr != &field.name {
-                                discover_pair_selectivity(
-                                    df,
-                                    &field.name,
-                                    &counts,
-                                    pair_attr,
-                                    max_dom,
-                                    &mut out,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-            DType::Text => {
-                if cfg.domains {
-                    let values: Vec<&str> = col.str_values().into_iter().map(|(_, s)| s).collect();
-                    let pattern = Pattern::learn(&values).or_else(|| Pattern::length_only(&values));
-                    if let Some(pattern) = pattern {
-                        out.push(Profile::DomainText {
-                            attr: field.name.clone(),
-                            pattern,
-                        });
-                    }
-                }
-            }
-            DType::Bool => {}
-        }
-    }
+    let field_indices: Vec<usize> = (0..schema.fields().len()).collect();
+    let per_field = crate::runtime::par_map(field_indices, num_threads, |i| {
+        field_profiles(df, &schema.fields()[i], n, cfg)
+    });
+    out.extend(per_field.into_iter().flatten());
     // Conditional profiles (§3 extension): per-slice numeric domains.
     if let Some(cond_attr) = &cfg.conditional_domains_on {
         if let Ok(cond_col) = df.column(cond_attr) {
@@ -141,49 +75,146 @@ pub fn discover_profiles(df: &DataFrame, cfg: &DiscoveryConfig) -> Vec<Profile> 
             }
         }
     }
-    // Pairwise independence profiles (rows 7–9).
+    // Pairwise independence profiles (rows 7–9), fanned out per pair.
     let fields = schema.fields();
+    let mut pairs = Vec::new();
     for i in 0..fields.len() {
         for j in (i + 1)..fields.len() {
-            let (fa, fb) = (&fields[i], &fields[j]);
-            let cat = |f: &dp_frame::Field| {
-                matches!(f.dtype, DType::Categorical | DType::Bool)
-                    && df
-                        .column(&f.name)
-                        .map(|c| c.value_counts().len() <= cfg.max_categorical_domain)
-                        .unwrap_or(false)
-            };
-            let num = |f: &dp_frame::Field| f.dtype.is_numeric();
-            if cfg.indep_chi2 && cat(fa) && cat(fb) {
-                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Chi2);
-                out.push(Profile::Indep {
-                    a: fa.name.clone(),
-                    b: fb.name.clone(),
-                    alpha,
-                    kind: DependenceKind::Chi2,
-                });
-            }
-            if cfg.indep_pearson && num(fa) && num(fb) {
-                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Pearson);
-                out.push(Profile::Indep {
-                    a: fa.name.clone(),
-                    b: fb.name.clone(),
-                    alpha,
-                    kind: DependenceKind::Pearson,
-                });
-            }
-            if cfg.indep_causal && (num(fa) || cat(fa)) && (num(fb) || cat(fb)) {
-                let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Causal);
-                out.push(Profile::Indep {
-                    a: fa.name.clone(),
-                    b: fb.name.clone(),
-                    alpha,
-                    kind: DependenceKind::Causal,
-                });
-            }
-            // Mixed categorical/numeric pairs: χ² over the coded pair
-            // is covered by the causal profile when enabled.
+            pairs.push((i, j));
         }
+    }
+    let per_pair = crate::runtime::par_map(pairs, num_threads, |(i, j)| {
+        let (fa, fb) = (&fields[i], &fields[j]);
+        let mut found = Vec::new();
+        let cat = |f: &dp_frame::Field| {
+            matches!(f.dtype, DType::Categorical | DType::Bool)
+                && df
+                    .column(&f.name)
+                    .map(|c| c.value_counts().len() <= cfg.max_categorical_domain)
+                    .unwrap_or(false)
+        };
+        let num = |f: &dp_frame::Field| f.dtype.is_numeric();
+        if cfg.indep_chi2 && cat(fa) && cat(fb) {
+            let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Chi2);
+            found.push(Profile::Indep {
+                a: fa.name.clone(),
+                b: fb.name.clone(),
+                alpha,
+                kind: DependenceKind::Chi2,
+            });
+        }
+        if cfg.indep_pearson && num(fa) && num(fb) {
+            let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Pearson);
+            found.push(Profile::Indep {
+                a: fa.name.clone(),
+                b: fb.name.clone(),
+                alpha,
+                kind: DependenceKind::Pearson,
+            });
+        }
+        if cfg.indep_causal && (num(fa) || cat(fa)) && (num(fb) || cat(fb)) {
+            let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Causal);
+            found.push(Profile::Indep {
+                a: fa.name.clone(),
+                b: fb.name.clone(),
+                alpha,
+                kind: DependenceKind::Causal,
+            });
+        }
+        // Mixed categorical/numeric pairs: χ² over the coded pair
+        // is covered by the causal profile when enabled.
+        found
+    });
+    out.extend(per_pair.into_iter().flatten());
+    out
+}
+
+/// All single-attribute profiles of one field (the body of the
+/// per-attribute discovery loop, extracted so the parallel variant
+/// can fan it out per field).
+fn field_profiles(
+    df: &DataFrame,
+    field: &dp_frame::Field,
+    n: usize,
+    cfg: &DiscoveryConfig,
+) -> Vec<Profile> {
+    let mut out = Vec::new();
+    let col = df.column(&field.name).expect("schema-listed column");
+    let null_frac = col.null_count() as f64 / n as f64;
+    if cfg.missing {
+        out.push(Profile::Missing {
+            attr: field.name.clone(),
+            theta: null_frac,
+        });
+    }
+    match field.dtype {
+        DType::Int | DType::Float => {
+            if cfg.domains {
+                if let Some((lb, ub)) = col.min_max() {
+                    out.push(Profile::DomainNumeric {
+                        attr: field.name.clone(),
+                        lb,
+                        ub,
+                    });
+                }
+            }
+            if let Some(spec) = cfg.outliers {
+                let values: Vec<f64> = col.f64_values().into_iter().map(|(_, v)| v).collect();
+                if let Some(det) = spec.fit(&values) {
+                    let frac =
+                        values.iter().filter(|&&v| det.is_outlier(v)).count() as f64 / n as f64;
+                    out.push(Profile::Outlier {
+                        attr: field.name.clone(),
+                        detector: spec,
+                        theta: frac,
+                    });
+                }
+            }
+        }
+        DType::Categorical => {
+            let counts = col.value_counts();
+            if cfg.domains && counts.len() <= cfg.max_categorical_domain {
+                out.push(Profile::DomainCategorical {
+                    attr: field.name.clone(),
+                    values: counts.iter().map(|(v, _)| v.clone()).collect(),
+                });
+            }
+            if let Some(max_dom) = cfg.selectivity_max_domain {
+                if counts.len() <= max_dom {
+                    for (value, count) in &counts {
+                        out.push(Profile::Selectivity {
+                            predicate: Predicate::cmp(field.name.clone(), CmpOp::Eq, value.clone()),
+                            theta: *count as f64 / n as f64,
+                        });
+                    }
+                    if let Some(pair_attr) = &cfg.selectivity_pair_with {
+                        if pair_attr != &field.name {
+                            discover_pair_selectivity(
+                                df,
+                                &field.name,
+                                &counts,
+                                pair_attr,
+                                max_dom,
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        DType::Text => {
+            if cfg.domains {
+                let values: Vec<&str> = col.str_values().into_iter().map(|(_, s)| s).collect();
+                let pattern = Pattern::learn(&values).or_else(|| Pattern::length_only(&values));
+                if let Some(pattern) = pattern {
+                    out.push(Profile::DomainText {
+                        attr: field.name.clone(),
+                        pattern,
+                    });
+                }
+            }
+        }
+        DType::Bool => {}
     }
     out
 }
@@ -324,8 +355,33 @@ pub fn discriminative_pvts(
     d_fail: &DataFrame,
     cfg: &DiscoveryConfig,
 ) -> Vec<Pvt> {
-    let pass_profiles = discover_profiles(d_pass, cfg);
-    let fail_profiles = discover_profiles(d_fail, cfg);
+    discriminative_pvts_par(d_pass, d_fail, cfg, 1)
+}
+
+/// [`discriminative_pvts`] with profile discovery fanned out over up
+/// to `num_threads` worker threads (both datasets concurrently, each
+/// per attribute). Output is identical for any thread count.
+pub fn discriminative_pvts_par(
+    d_pass: &DataFrame,
+    d_fail: &DataFrame,
+    cfg: &DiscoveryConfig,
+    num_threads: usize,
+) -> Vec<Pvt> {
+    // Split the workers across the two datasets; each side fans out
+    // per attribute with its share.
+    let mut results = if num_threads > 1 {
+        let side_threads = (num_threads / 2).max(1);
+        crate::runtime::par_map(vec![d_pass, d_fail], 2, |df| {
+            discover_profiles_par(df, cfg, side_threads)
+        })
+    } else {
+        vec![
+            discover_profiles(d_pass, cfg),
+            discover_profiles(d_fail, cfg),
+        ]
+    };
+    let fail_profiles = results.pop().expect("two datasets mapped");
+    let pass_profiles = results.pop().expect("two datasets mapped");
     let mut pvts = Vec::new();
     let mut id = 0;
     for profile in pass_profiles {

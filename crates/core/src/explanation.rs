@@ -1,6 +1,7 @@
 //! Diagnosis results: the explanation of a system malfunction
 //! (Definition 10/11) plus an audit trail.
 
+use crate::oracle::CacheStats;
 use crate::pvt::Pvt;
 use dp_frame::DataFrame;
 use std::fmt;
@@ -55,6 +56,12 @@ pub struct Explanation {
     pub repaired: DataFrame,
     /// Ordered audit trail of the run.
     pub trace: Vec<TraceEvent>,
+    /// Oracle cache counters: how the fingerprint cache (and, in
+    /// parallel runs, speculative worker evaluations) served the
+    /// charged interventions. Unlike every other field, these vary
+    /// with `num_threads` — scheduling decides which queries become
+    /// hits.
+    pub cache: CacheStats,
 }
 
 impl Explanation {
@@ -125,6 +132,7 @@ mod tests {
             resolved: true,
             repaired: DataFrame::new(),
             trace: vec![TraceEvent::Discovered { n_pvts: 4 }],
+            cache: CacheStats::default(),
         }
     }
 

@@ -9,7 +9,7 @@ use crate::config::PrismConfig;
 use crate::error::Result;
 use crate::explanation::Explanation;
 use crate::group_test::PartitionStrategy;
-use crate::oracle::System;
+use crate::oracle::{System, SystemFactory};
 use crate::report::markdown_report;
 use dp_frame::DataFrame;
 
@@ -115,6 +115,56 @@ impl DataPrism {
         }
     }
 
+    /// [`DataPrism::diagnose`] on the parallel runtime: candidate
+    /// interventions are speculatively scored on
+    /// `config.num_threads` worker systems built by `factory`. The
+    /// explanation (PVTs, scores, intervention counts, trace) is
+    /// bit-for-bit identical to the serial [`DataPrism::diagnose`]
+    /// for every thread count.
+    pub fn diagnose_parallel(
+        &self,
+        factory: &dyn SystemFactory,
+        d_fail: &DataFrame,
+        d_pass: &DataFrame,
+    ) -> Result<Explanation> {
+        crate::explain_greedy_parallel(factory, d_fail, d_pass, &self.config)
+    }
+
+    /// [`DataPrism::diagnose_group_test`] on the parallel runtime:
+    /// both halves of every bisection probe are evaluated
+    /// concurrently. Results are bit-for-bit identical to the serial
+    /// path for every thread count.
+    pub fn diagnose_group_test_parallel(
+        &self,
+        factory: &dyn SystemFactory,
+        d_fail: &DataFrame,
+        d_pass: &DataFrame,
+    ) -> Result<Explanation> {
+        crate::explain_group_test_parallel(
+            factory,
+            d_fail,
+            d_pass,
+            &self.config,
+            PartitionStrategy::MinBisection,
+        )
+    }
+
+    /// [`DataPrism::diagnose_auto`] on the parallel runtime: group
+    /// testing first, greedy fallback when assumption A3 is violated.
+    pub fn diagnose_auto_parallel(
+        &self,
+        factory: &dyn SystemFactory,
+        d_fail: &DataFrame,
+        d_pass: &DataFrame,
+    ) -> Result<Explanation> {
+        match self.diagnose_group_test_parallel(factory, d_fail, d_pass) {
+            Err(crate::PrismError::AssumptionViolated(_)) => {
+                self.diagnose_parallel(factory, d_fail, d_pass)
+            }
+            other => other,
+        }
+    }
+
     /// Render a markdown report for an explanation produced by this
     /// session.
     pub fn report(
@@ -213,6 +263,23 @@ mod tests {
         ));
         let exp = prism.diagnose_auto(&mut system, &fail, &pass).unwrap();
         assert!(exp.resolved, "{exp}");
+    }
+
+    #[test]
+    fn parallel_facade_matches_serial() {
+        let (pass, fail) = scenario();
+        let mut prism = DataPrism::with_threshold(0.2);
+        let mut system = label_system;
+        let serial = prism.diagnose(&mut system, &fail, &pass).unwrap();
+        for threads in [1, 4] {
+            prism.config_mut().num_threads = threads;
+            let factory = || label_system;
+            let par = prism.diagnose_parallel(&factory, &fail, &pass).unwrap();
+            assert_eq!(par.pvt_ids(), serial.pvt_ids());
+            assert_eq!(par.interventions, serial.interventions);
+            assert_eq!(par.final_score, serial.final_score);
+            assert_eq!(par.trace, serial.trace);
+        }
     }
 
     #[test]

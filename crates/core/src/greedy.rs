@@ -7,15 +7,26 @@
 //! (observations O2/O3). Interventions that reduce the malfunction
 //! score are kept and composed; the accumulated explanation is
 //! post-processed by Make-Minimal (Definition 11).
+//!
+//! The algorithm runs over an [`InterventionRuntime`]: the serial
+//! [`Oracle`] or the speculative [`crate::runtime::ParOracle`]. With
+//! a parallel runtime, each round plans the next `width` serial picks
+//! (by simulating the pick sequence under the all-rejected
+//! hypothesis — a rejection only removes the candidate from the
+//! graph), scores them concurrently as cache warming, and then
+//! charges interventions for exactly the prefix a serial run would
+//! consume. Results and intervention counts are identical for any
+//! thread count.
 
 use crate::benefit::benefit_scores;
 use crate::config::PrismConfig;
-use crate::discovery::discriminative_pvts;
+use crate::discovery::{discriminative_pvts, discriminative_pvts_par};
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
-use crate::oracle::{Oracle, System};
-use crate::pvt::{apply_composition, Pvt};
+use crate::oracle::{Oracle, System, SystemFactory};
+use crate::pvt::Pvt;
+use crate::runtime::{InterventionRuntime, ParOracle, Speculation};
 use dp_frame::DataFrame;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,22 +34,22 @@ use rand::SeedableRng;
 /// Validate the problem inputs (Definition 10 items 3–4): the passing
 /// dataset must pass and the failing dataset must fail.
 pub(crate) fn validate_inputs(
-    oracle: &mut Oracle<'_>,
+    rt: &mut dyn InterventionRuntime,
     d_fail: &DataFrame,
     d_pass: &DataFrame,
 ) -> Result<f64> {
-    let pass_score = oracle.baseline(d_pass);
-    if !oracle.passes(pass_score) {
+    let pass_score = rt.baseline(d_pass);
+    if !rt.passes(pass_score) {
         return Err(PrismError::BadInput(format!(
             "passing dataset has malfunction {pass_score:.3} > τ = {:.3}",
-            oracle.threshold
+            rt.threshold()
         )));
     }
-    let fail_score = oracle.baseline(d_fail);
-    if oracle.passes(fail_score) {
+    let fail_score = rt.baseline(d_fail);
+    if rt.passes(fail_score) {
         return Err(PrismError::BadInput(format!(
             "failing dataset has malfunction {fail_score:.3} ≤ τ = {:.3}",
-            oracle.threshold
+            rt.threshold()
         )));
     }
     Ok(fail_score)
@@ -48,8 +59,14 @@ pub(crate) fn validate_inputs(
 /// drop whenever the remaining composition still brings the
 /// malfunction below τ. Returns the minimal set, the repaired frame,
 /// and its score.
+///
+/// Every drop-candidate reruns the remaining composition on a fresh,
+/// stream-independent RNG, so whole scan windows can be materialized
+/// and scored speculatively; interventions are still charged one by
+/// one in scan order, and a successful drop discards the rest of its
+/// window uncharged — exactly the serial consumption.
 pub(crate) fn make_minimal(
-    oracle: &mut Oracle<'_>,
+    rt: &mut dyn InterventionRuntime,
     d_fail: &DataFrame,
     mut selected: Vec<Pvt>,
     repaired: DataFrame,
@@ -58,23 +75,42 @@ pub(crate) fn make_minimal(
     trace: &mut Vec<TraceEvent>,
 ) -> Result<(Vec<Pvt>, DataFrame, f64)> {
     let mut best = (repaired, score);
+    let width = rt.speculation_width().max(1);
     let mut i = 0;
     while selected.len() > 1 && i < selected.len() {
-        let mut candidate = selected.clone();
-        let dropped = candidate.remove(i);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
-        let refs: Vec<&Pvt> = candidate.iter().collect();
-        let (transformed, _) = apply_composition(&refs, d_fail, &mut rng)?;
-        let s = oracle.intervene(&transformed);
-        if oracle.passes(s) {
-            trace.push(TraceEvent::MinimalityDropped { pvt_id: dropped.id });
-            selected = candidate;
-            best = (transformed, s);
-            // Restart the scan: minimality must hold for every strict
-            // subset of the final set.
-            i = 0;
-        } else {
-            i += 1;
+        let window_end = (i + width).min(selected.len());
+        let jobs: Vec<Speculation<'_>> = (i..window_end)
+            .map(|j| Speculation::Apply {
+                pvts: selected
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != j)
+                    .map(|(_, p)| p)
+                    .collect(),
+                base: d_fail,
+                rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9),
+            })
+            .collect();
+        let spec = rt.speculate(jobs)?;
+        let mut dropped = false;
+        for (offset, speculated) in spec.into_iter().enumerate() {
+            let j = i + offset;
+            let s = rt.intervene(&speculated.frame);
+            if rt.passes(s) {
+                trace.push(TraceEvent::MinimalityDropped {
+                    pvt_id: selected[j].id,
+                });
+                selected.remove(j);
+                best = (speculated.frame, s);
+                // Restart the scan: minimality must hold for every
+                // strict subset of the final set.
+                i = 0;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            i = window_end;
         }
     }
     Ok((selected, best.0, best.1))
@@ -108,7 +144,49 @@ pub fn explain_greedy_with_pvts(
     config: &PrismConfig,
 ) -> Result<Explanation> {
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass)?;
+    run_greedy(&mut oracle, d_fail, d_pass, pvts, config)
+}
+
+/// [`explain_greedy`] on the parallel runtime: profile discovery
+/// fans out per attribute and candidate interventions are scored
+/// speculatively by `config.num_threads` workers. The explanation is
+/// bit-for-bit identical to the serial one.
+pub fn explain_greedy_parallel(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    config: &PrismConfig,
+) -> Result<Explanation> {
+    let pvts = discriminative_pvts_par(d_pass, d_fail, &config.discovery, config.num_threads);
+    explain_greedy_parallel_with_pvts(factory, d_fail, d_pass, pvts, config)
+}
+
+/// [`explain_greedy_with_pvts`] on the parallel runtime.
+pub fn explain_greedy_parallel_with_pvts(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvts: Vec<Pvt>,
+    config: &PrismConfig,
+) -> Result<Explanation> {
+    let mut rt = ParOracle::new(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+    );
+    run_greedy(&mut rt, d_fail, d_pass, pvts, config)
+}
+
+/// Algorithm 1 lines 5–21 over an abstract runtime.
+pub(crate) fn run_greedy(
+    rt: &mut dyn InterventionRuntime,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvts: Vec<Pvt>,
+    config: &PrismConfig,
+) -> Result<Explanation> {
+    let initial_score = validate_inputs(rt, d_fail, d_pass)?;
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -123,69 +201,127 @@ pub fn explain_greedy_with_pvts(
     let mut current = d_fail.clone();
     let mut score = initial_score;
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let width = rt.speculation_width().max(1);
 
     // Line 9: intervene until acceptable.
-    while !oracle.passes(score) && !graph.is_empty() && !oracle.exhausted() {
-        // Line 10: PVTs adjacent to the highest-degree attributes
-        // (ablatable: O1 off considers every live PVT).
-        let hda = if config.use_high_degree {
-            graph.high_degree_pvts()
-        } else {
-            graph.pvt_ids()
-        };
-        // Line 11: maximum benefit among them (ablatable: O2/O3 off
-        // ranks in a seed-dependent arbitrary order — a Knuth-hash of
-        // the id, so the ablation measures uninformed search rather
-        // than a lucky id ordering).
+    while !rt.passes(score) && !graph.is_empty() && !rt.exhausted() {
+        // Lines 10–11, planned `width` picks ahead: simulate the
+        // serial pick sequence under the hypothesis that every
+        // candidate is rejected — a rejection removes the pick from
+        // the graph but changes neither the dataset, the score, nor
+        // the benefit map, so removals on a clone reproduce the
+        // serial choices (including high-degree re-ranking and
+        // `max_by` tie-breaking) exactly.
         let key = |id: usize| -> f64 {
             if config.use_benefit {
                 benefits.get(&id).copied().unwrap_or(0.0)
             } else {
+                // Ablation: O2/O3 off ranks in a seed-dependent
+                // arbitrary order — a Knuth-hash of the id, so the
+                // ablation measures uninformed search rather than a
+                // lucky id ordering.
                 (id as u64)
                     .wrapping_add(config.seed)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15) as f64
             }
         };
-        let Some(&chosen_id) = hda.iter().max_by(|&&a, &&b| key(a).total_cmp(&key(b))) else {
+        let mut sim_graph = graph.clone();
+        let mut plan: Vec<usize> = Vec::new();
+        while plan.len() < width && !sim_graph.is_empty() {
+            let hda = if config.use_high_degree {
+                sim_graph.high_degree_pvts()
+            } else {
+                sim_graph.pvt_ids()
+            };
+            let Some(&chosen_id) = hda.iter().max_by(|&&a, &&b| key(a).total_cmp(&key(b))) else {
+                break;
+            };
+            plan.push(chosen_id);
+            sim_graph.remove(chosen_id);
+        }
+        if plan.is_empty() {
             break;
-        };
-        let pvt = pvts
-            .iter()
-            .find(|p| p.id == chosen_id)
-            .expect("graph only holds known ids");
+        }
 
-        // Line 12: malfunction reduction under this transformation.
-        let (transformed, _) = pvt.apply(&current, &mut rng)?;
-        let new_score = oracle.intervene(&transformed);
-        let delta = score - new_score;
+        // Line 12, batched: materialize each candidate against the
+        // *current* dataset with the exact RNG state a serial run
+        // would hold. Stochastic transformations consume the stream
+        // and must advance it on the main thread; deterministic ones
+        // never touch it and are deferred to the runtime's workers.
+        let mut plan_rng = rng.clone();
+        let mut jobs: Vec<Speculation<'_>> = Vec::with_capacity(plan.len());
+        let mut rng_states: Vec<StdRng> = Vec::with_capacity(plan.len());
+        for &id in &plan {
+            let pvt = pvts
+                .iter()
+                .find(|p| p.id == id)
+                .expect("graph only holds known ids");
+            if pvt.transform.is_deterministic() {
+                jobs.push(Speculation::Apply {
+                    pvts: vec![pvt],
+                    base: &current,
+                    rng: plan_rng.clone(),
+                });
+            } else {
+                let (frame, _) = pvt.apply(&current, &mut plan_rng)?;
+                jobs.push(Speculation::Ready(frame));
+            }
+            // RNG state after applying candidates 0..=i — the state
+            // the serial run holds once candidate i is processed,
+            // kept or not.
+            rng_states.push(plan_rng.clone());
+        }
+        let spec = rt.speculate(jobs)?;
 
-        // Line 13: mark explored.
-        graph.remove(chosen_id);
-        benefits.remove(&chosen_id);
-        trace.push(TraceEvent::Intervention {
-            pvt_ids: vec![chosen_id],
-            before: score,
-            after: new_score,
-            kept: delta > 0.0,
-        });
+        // Decision pass: replay the serial loop, charging exactly the
+        // prefix a serial run would consume. A kept candidate changes
+        // the dataset and the benefit map, so the rest of the batch
+        // is discarded unscored and uncharged.
+        for (i, speculated) in spec.into_iter().enumerate() {
+            if i > 0 && rt.exhausted() {
+                break;
+            }
+            let chosen_id = plan[i];
+            let transformed = speculated.frame;
+            let new_score = rt.intervene(&transformed);
+            let delta = score - new_score;
 
-        // Lines 14–19.
-        if delta > 0.0 {
-            current = transformed;
-            score = new_score;
-            selected.push(pvt.clone());
-            // Line 17: refresh benefits against the updated dataset.
-            let live = graph.pvt_ids();
-            crate::benefit::update_benefits(&mut benefits, &pvts, &live, &current);
+            // Line 13: mark explored.
+            graph.remove(chosen_id);
+            benefits.remove(&chosen_id);
+            trace.push(TraceEvent::Intervention {
+                pvt_ids: vec![chosen_id],
+                before: score,
+                after: new_score,
+                kept: delta > 0.0,
+            });
+            rng = rng_states[i].clone();
+
+            // Lines 14–19.
+            if delta > 0.0 {
+                current = transformed;
+                score = new_score;
+                selected.push(
+                    pvts.iter()
+                        .find(|p| p.id == chosen_id)
+                        .expect("graph only holds known ids")
+                        .clone(),
+                );
+                // Line 17: refresh benefits against the updated
+                // dataset.
+                let live = graph.pvt_ids();
+                crate::benefit::update_benefits(&mut benefits, &pvts, &live, &current);
+                break;
+            }
         }
     }
 
-    let resolved_before_minimal = oracle.passes(score);
+    let resolved_before_minimal = rt.passes(score);
 
     // Line 20: Make-Minimal.
     let (selected, current, score) = if resolved_before_minimal && config.make_minimal {
         make_minimal(
-            &mut oracle,
+            rt,
             d_fail,
             selected,
             current,
@@ -197,21 +333,22 @@ pub fn explain_greedy_with_pvts(
         (selected, current, score)
     };
 
-    if !oracle.passes(score) && oracle.exhausted() {
+    if !rt.passes(score) && rt.exhausted() {
         return Err(PrismError::BudgetExhausted {
-            used: oracle.interventions,
+            used: rt.interventions(),
             best_score: score,
         });
     }
 
     Ok(Explanation {
         pvts: selected,
-        interventions: oracle.interventions,
+        interventions: rt.interventions(),
         initial_score,
         final_score: score,
-        resolved: oracle.passes(score),
+        resolved: rt.passes(score),
         repaired: current,
         trace,
+        cache: rt.cache_stats(),
     })
 }
 
@@ -299,6 +436,30 @@ mod tests {
         // The repaired dataset satisfies the cause profile.
         assert_eq!(violation(&exp.repaired, &exp.pvts[0].profile), 0.0);
         assert_eq!(exp.initial_score, 1.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let (pass, fail) = pass_fail();
+        let mut system = label_domain_system;
+        let config = PrismConfig::with_threshold(0.2);
+        let serial = explain_greedy(&mut system, &fail, &pass, &config).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = PrismConfig {
+                num_threads: threads,
+                ..PrismConfig::with_threshold(0.2)
+            };
+            let factory = || label_domain_system;
+            let par = explain_greedy_parallel(&factory, &fail, &pass, &cfg).unwrap();
+            assert_eq!(par.pvt_ids(), serial.pvt_ids(), "{threads} threads");
+            assert_eq!(par.interventions, serial.interventions);
+            assert_eq!(par.final_score, serial.final_score);
+            assert_eq!(par.trace, serial.trace);
+            assert_eq!(
+                crate::oracle::fingerprint(&par.repaired),
+                crate::oracle::fingerprint(&serial.repaired)
+            );
+        }
     }
 
     #[test]

@@ -23,13 +23,14 @@
 use crate::benefit::benefit_scores;
 use crate::bisection::{min_bisection, random_bisection};
 use crate::config::PrismConfig;
-use crate::discovery::discriminative_pvts;
+use crate::discovery::{discriminative_pvts, discriminative_pvts_par};
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
 use crate::greedy::{make_minimal, validate_inputs};
-use crate::oracle::{Oracle, System};
+use crate::oracle::{Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
+use crate::runtime::{InterventionRuntime, ParOracle, Speculation};
 use dp_frame::DataFrame;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,10 +45,10 @@ pub enum PartitionStrategy {
     Random,
 }
 
-struct GtCtx<'o, 'p, 's> {
+struct GtCtx<'o, 'p> {
     pvts: &'p BTreeMap<usize, &'p Pvt>,
     graph: &'p PvtAttributeGraph,
-    oracle: &'o mut Oracle<'s>,
+    rt: &'o mut dyn InterventionRuntime,
     strategy: PartitionStrategy,
     seed_order: Vec<usize>,
 }
@@ -76,7 +77,54 @@ pub fn explain_group_test_with_pvts(
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass)?;
+    run_group_test(&mut oracle, d_fail, d_pass, pvt_vec, config, strategy)
+}
+
+/// [`explain_group_test`] on the parallel runtime: the two halves of
+/// every bisection probe are materialized and scored concurrently
+/// (the second half's score becomes a cache hit only if the serial
+/// decision path actually asks for it), and discovery fans out per
+/// attribute. Explanations and intervention counts are bit-for-bit
+/// identical to the serial run.
+pub fn explain_group_test_parallel(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    config: &PrismConfig,
+    strategy: PartitionStrategy,
+) -> Result<Explanation> {
+    let pvt_vec = discriminative_pvts_par(d_pass, d_fail, &config.discovery, config.num_threads);
+    explain_group_test_parallel_with_pvts(factory, d_fail, d_pass, pvt_vec, config, strategy)
+}
+
+/// [`explain_group_test_with_pvts`] on the parallel runtime.
+pub fn explain_group_test_parallel_with_pvts(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvt_vec: Vec<Pvt>,
+    config: &PrismConfig,
+    strategy: PartitionStrategy,
+) -> Result<Explanation> {
+    let mut rt = ParOracle::new(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+    );
+    run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy)
+}
+
+/// Algorithm 2 over an abstract runtime.
+fn run_group_test(
+    rt: &mut dyn InterventionRuntime,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvt_vec: Vec<Pvt>,
+    config: &PrismConfig,
+    strategy: PartitionStrategy,
+) -> Result<Explanation> {
+    let initial_score = validate_inputs(rt, d_fail, d_pass)?;
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -91,7 +139,7 @@ pub fn explain_group_test_with_pvts(
     // malfunction (see module docs).
     let all_ids: Vec<usize> = pvts.keys().copied().collect();
     let (full, _) = apply_ids(&pvts, &all_ids, d_fail, &mut rng)?;
-    let full_score = oracle.intervene(&full);
+    let full_score = rt.intervene(&full);
     trace.push(TraceEvent::Intervention {
         pvt_ids: all_ids.clone(),
         before: initial_score,
@@ -116,7 +164,7 @@ pub fn explain_group_test_with_pvts(
     let mut ctx = GtCtx {
         pvts: &pvts,
         graph: &graph,
-        oracle: &mut oracle,
+        rt: &mut *rt,
         strategy,
         seed_order,
     };
@@ -128,7 +176,7 @@ pub fn explain_group_test_with_pvts(
         &mut rng,
         &mut trace,
     )?;
-    let score = ctx.oracle.intervene(&repaired);
+    let score = ctx.rt.intervene(&repaired);
 
     let selected: Vec<Pvt> = selected_ids
         .iter()
@@ -136,9 +184,9 @@ pub fn explain_group_test_with_pvts(
         .collect();
 
     // Line 7 of Alg 2: Make-Minimal.
-    let (selected, repaired, score) = if oracle.passes(score) && config.make_minimal {
+    let (selected, repaired, score) = if rt.passes(score) && config.make_minimal {
         make_minimal(
-            &mut oracle,
+            rt,
             d_fail,
             selected,
             repaired,
@@ -150,21 +198,22 @@ pub fn explain_group_test_with_pvts(
         (selected, repaired, score)
     };
 
-    if !oracle.passes(score) && oracle.exhausted() {
+    if !rt.passes(score) && rt.exhausted() {
         return Err(PrismError::BudgetExhausted {
-            used: oracle.interventions,
+            used: rt.interventions(),
             best_score: score,
         });
     }
 
     Ok(Explanation {
         pvts: selected,
-        interventions: oracle.interventions,
+        interventions: rt.interventions(),
         initial_score,
         final_score: score,
-        resolved: oracle.passes(score),
+        resolved: rt.passes(score),
         repaired,
         trace,
+        cache: rt.cache_stats(),
     })
 }
 
@@ -190,7 +239,7 @@ fn apply_ids(
 /// passing it down avoids charging a redundant intervention for a
 /// dataset whose score the algorithm just observed).
 fn group_test_rec(
-    ctx: &mut GtCtx<'_, '_, '_>,
+    ctx: &mut GtCtx<'_, '_>,
     candidates: &[usize],
     d: DataFrame,
     score: Option<f64>,
@@ -202,7 +251,7 @@ fn group_test_rec(
         let (transformed, _) = apply_ids(ctx.pvts, candidates, &d, rng)?;
         return Ok((transformed, candidates.to_vec()));
     }
-    if candidates.is_empty() || ctx.oracle.exhausted() {
+    if candidates.is_empty() || ctx.rt.exhausted() {
         return Ok((d, Vec::new()));
     }
 
@@ -212,12 +261,40 @@ fn group_test_rec(
     // Line 5: current malfunction.
     let m = match score {
         Some(s) => s,
-        None => ctx.oracle.intervene(&d),
+        None => ctx.rt.intervene(&d),
     };
 
-    // Line 6: intervene with all of X1.
+    // Line 6: intervene with all of X1, applied on the main thread so
+    // the RNG stream advances exactly as in a serial run.
     let (d1, _) = apply_ids(ctx.pvts, &x1, &d, rng)?;
-    let s1 = ctx.oracle.intervene(&d1);
+    // On a parallel runtime, materialize and score X2's half
+    // concurrently with X1's scoring: if X1 turns out to pass, the
+    // serial run never asks about X2 — its speculative score is
+    // surplus cache warmth, uncharged, and the RNG stream is left
+    // exactly where the serial run would leave it (X2 unapplied).
+    let (d1, x2_speculated) = if ctx.rt.speculation_width() > 1 && !x2.is_empty() {
+        let mut sorted2 = x2.clone();
+        sorted2.sort_unstable();
+        let refs2: Vec<&Pvt> = sorted2
+            .iter()
+            .filter_map(|id| ctx.pvts.get(id).copied())
+            .collect();
+        let jobs = vec![
+            Speculation::Ready(d1),
+            Speculation::Apply {
+                pvts: refs2,
+                base: &d,
+                rng: rng.clone(),
+            },
+        ];
+        let mut spec = ctx.rt.speculate(jobs)?;
+        let job2 = spec.pop().expect("two jobs queued");
+        let job1 = spec.pop().expect("two jobs queued");
+        (job1.frame, Some(job2))
+    } else {
+        (d1, None)
+    };
+    let s1 = ctx.rt.intervene(&d1);
     let delta1 = m - s1;
     trace.push(TraceEvent::Intervention {
         pvt_ids: x1.clone(),
@@ -229,9 +306,19 @@ fn group_test_rec(
     // Lines 7–8: X1 insufficient → also probe X2.
     let mut delta2 = 0.0;
     let mut s2 = f64::INFINITY;
-    if !ctx.oracle.passes(s1) {
-        let (d2, _) = apply_ids(ctx.pvts, &x2, &d, rng)?;
-        s2 = ctx.oracle.intervene(&d2);
+    if !ctx.rt.passes(s1) {
+        let d2 = match x2_speculated {
+            Some(job2) => {
+                // Adopt the RNG state the deferred application
+                // consumed — identical to applying X2 here.
+                if let Some(rng_after) = job2.rng_after {
+                    *rng = rng_after;
+                }
+                job2.frame
+            }
+            None => apply_ids(ctx.pvts, &x2, &d, rng)?.0,
+        };
+        s2 = ctx.rt.intervene(&d2);
         delta2 = m - s2;
         trace.push(TraceEvent::Intervention {
             pvt_ids: x2.clone(),
@@ -246,11 +333,11 @@ fn group_test_rec(
 
     // Lines 9–13: recurse into X1 when it is sufficient alone, or
     // when it helps and X2 alone is insufficient.
-    if ctx.oracle.passes(s1) || (delta1 > 0.0 && !ctx.oracle.passes(s2)) {
+    if ctx.rt.passes(s1) || (delta1 > 0.0 && !ctx.rt.passes(s2)) {
         let (d_next, mut found) = group_test_rec(ctx, &x1, current, Some(m), rng, trace)?;
         current = d_next;
         selected.append(&mut found);
-        if ctx.oracle.passes(s1) {
+        if ctx.rt.passes(s1) {
             // Line 13: no need to check X2.
             return Ok((current, selected));
         }
@@ -276,7 +363,7 @@ fn group_test_rec(
 const LOCAL_SEARCH_LIMIT: usize = 64;
 
 fn partition(
-    ctx: &GtCtx<'_, '_, '_>,
+    ctx: &GtCtx<'_, '_>,
     candidates: &[usize],
     rng: &mut StdRng,
 ) -> (Vec<usize>, Vec<usize>) {
@@ -312,7 +399,7 @@ fn partition(
 /// the smaller half group by group (largest groups first). Halves may
 /// differ by more than one element when groups are lumpy — acceptable
 /// for the adaptive recursion, which only needs both halves nonempty.
-fn grouped_bisection(ctx: &GtCtx<'_, '_, '_>, candidates: &[usize]) -> (Vec<usize>, Vec<usize>) {
+fn grouped_bisection(ctx: &GtCtx<'_, '_>, candidates: &[usize]) -> (Vec<usize>, Vec<usize>) {
     use std::collections::BTreeMap;
     let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for &id in candidates {

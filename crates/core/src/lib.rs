@@ -78,6 +78,7 @@ pub mod oracle;
 pub mod profile;
 pub mod pvt;
 pub mod report;
+pub mod runtime;
 pub mod transform;
 pub mod violation;
 
@@ -85,10 +86,17 @@ pub use config::{DiscoveryConfig, PrismConfig};
 pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;
-pub use greedy::{explain_greedy, explain_greedy_with_pvts};
-pub use group_test::{explain_group_test, explain_group_test_with_pvts, PartitionStrategy};
-pub use oracle::{Oracle, System};
+pub use greedy::{
+    explain_greedy, explain_greedy_parallel, explain_greedy_parallel_with_pvts,
+    explain_greedy_with_pvts,
+};
+pub use group_test::{
+    explain_group_test, explain_group_test_parallel, explain_group_test_parallel_with_pvts,
+    explain_group_test_with_pvts, PartitionStrategy,
+};
+pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};
 pub use profile::{DependenceKind, OutlierSpec, Profile};
 pub use pvt::Pvt;
+pub use runtime::{InterventionRuntime, ParOracle, Speculated, Speculation};
 pub use transform::Transform;
 pub use violation::violation;

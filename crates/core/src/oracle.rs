@@ -6,8 +6,13 @@
 //! *transformed* dataset is an **intervention**, the currency of
 //! Fig 7 and Fig 9. Identical datasets are content-fingerprinted so a
 //! repeated query (e.g. during Make-Minimal) does not double count.
+//!
+//! [`SystemFactory`] extends the abstraction for the parallel runtime
+//! (see [`crate::runtime`]): it builds independent `Send` system
+//! instances so worker threads can score speculative candidate
+//! datasets concurrently into a shared fingerprint cache.
 
-use dp_frame::{DataFrame, Value};
+use dp_frame::{Bitmap, ColumnData, DataFrame, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -34,10 +39,95 @@ impl<F: FnMut(&DataFrame) -> f64> System for F {
     }
 }
 
-/// Content fingerprint of a dataframe: hashes schema and every cell.
-/// Collisions would only merge two intervention cache entries, never
-/// corrupt correctness-critical state.
+/// Builds independent instances of the system under diagnosis so the
+/// parallel runtime can hand one to each worker thread.
+///
+/// Instances must be *observationally identical*: `malfunction` must
+/// return the same score for the same dataset on every instance
+/// (deterministic systems satisfy this trivially). Implemented via a
+/// blanket impl for any `Fn() -> S` constructor closure, so
+/// `&|| MySystem::new(...)` is a ready-made factory.
+pub trait SystemFactory: Sync {
+    /// Build one fresh system instance.
+    fn build(&self) -> Box<dyn System + Send>;
+
+    /// Human-readable name for reports (defaults to a probe
+    /// instance's name).
+    fn name(&self) -> String {
+        self.build().name().to_string()
+    }
+}
+
+impl<S, F> SystemFactory for F
+where
+    S: System + Send + 'static,
+    F: Fn() -> S + Sync,
+{
+    fn build(&self) -> Box<dyn System + Send> {
+        Box::new(self())
+    }
+}
+
+fn hash_valid_slots<T: Hash>(h: &mut DefaultHasher, tag: u8, values: &[T], validity: &Bitmap) {
+    tag.hash(h);
+    if validity.count_zeros() == 0 {
+        // Fast path: no NULLs, the buffer is canonical as-is.
+        values.hash(h);
+        return;
+    }
+    // Slots masked out by the validity bitmap hold stale placeholders
+    // (`Column::set(i, Null)` only clears the bit), so only valid
+    // slots may contribute to the fingerprint.
+    for (i, v) in values.iter().enumerate() {
+        if validity.get(i) {
+            v.hash(h);
+        }
+    }
+}
+
+/// Content fingerprint of a dataframe, hashing the raw typed column
+/// buffers and validity bitmaps directly — no per-cell [`Value`]
+/// boxing or string formatting. Collisions would only merge two
+/// intervention cache entries, never corrupt correctness-critical
+/// state.
 pub fn fingerprint(df: &DataFrame) -> u64 {
+    let mut h = DefaultHasher::new();
+    for col in df.columns() {
+        col.name().hash(&mut h);
+        col.dtype().hash(&mut h);
+        col.len().hash(&mut h);
+        // The bitmap's tail bits past `len` are canonically zero, so
+        // the word slice is safe to hash directly; it distinguishes
+        // NULL layouts that the value stream alone cannot.
+        col.validity().words().hash(&mut h);
+        match col.data() {
+            ColumnData::Int(v) => hash_valid_slots(&mut h, 1, v, col.validity()),
+            ColumnData::Bool(v) => hash_valid_slots(&mut h, 3, v, col.validity()),
+            ColumnData::Str(v) => hash_valid_slots(&mut h, 4, v, col.validity()),
+            ColumnData::Float(v) => {
+                2u8.hash(&mut h);
+                if col.validity().count_zeros() == 0 {
+                    for x in v {
+                        x.to_bits().hash(&mut h);
+                    }
+                } else {
+                    for (i, x) in v.iter().enumerate() {
+                        if col.validity().get(i) {
+                            x.to_bits().hash(&mut h);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Original per-cell fingerprint, kept as a differential-testing
+/// reference for the buffer-level [`fingerprint`]: both walk the same
+/// logical content, so they must agree on equality/inequality of any
+/// two frames (the hash values themselves differ).
+pub fn fingerprint_reference(df: &DataFrame) -> u64 {
     let mut h = DefaultHasher::new();
     for col in df.columns() {
         col.name().hash(&mut h);
@@ -71,12 +161,34 @@ pub fn fingerprint(df: &DataFrame) -> u64 {
 /// undefined measurement) is treated as extreme malfunction so it can
 /// never masquerade as "passes" (NaN comparisons are all false, which
 /// would otherwise poison the `m ≤ τ` checks).
-fn sanitize(score: f64) -> f64 {
+pub(crate) fn sanitize(score: f64) -> f64 {
     if score.is_nan() {
         1.0
     } else {
         score.clamp(0.0, 1.0)
     }
+}
+
+/// Oracle cache counters surfaced in [`crate::Explanation`] and the
+/// markdown report.
+///
+/// `interventions` is the paper's Fig 7/Fig 9 currency and is
+/// invariant under the thread count; `hits`/`misses`/`speculative`
+/// describe how the fingerprint cache served those queries and *do*
+/// vary with scheduling (a speculative worker may turn a would-be
+/// miss into a hit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Charged oracle queries answered from the fingerprint cache.
+    pub hits: usize,
+    /// Charged oracle queries that ran the system.
+    pub misses: usize,
+    /// System evaluations performed speculatively by worker threads
+    /// (cache warming; never charged as interventions).
+    pub speculative: usize,
+    /// Interventions charged (every non-baseline query, cached or
+    /// not).
+    pub interventions: usize,
 }
 
 /// Intervention-counting, caching wrapper around a [`System`].
@@ -93,6 +205,8 @@ pub struct Oracle<'a> {
     /// Hard cap; exceeding it surfaces as
     /// [`crate::PrismError::BudgetExhausted`] in the algorithms.
     pub budget: usize,
+    hits: usize,
+    misses: usize,
     cache: HashMap<u64, f64>,
     free: std::collections::HashSet<u64>,
 }
@@ -105,6 +219,8 @@ impl<'a> Oracle<'a> {
             threshold,
             interventions: 0,
             budget,
+            hits: 0,
+            misses: 0,
             cache: HashMap::new(),
             free: std::collections::HashSet::new(),
         }
@@ -134,8 +250,10 @@ impl<'a> Oracle<'a> {
             self.interventions += 1;
         }
         if let Some(&score) = self.cache.get(&fp) {
+            self.hits += 1;
             return score;
         }
+        self.misses += 1;
         let score = sanitize(self.system.malfunction(df));
         self.cache.insert(fp, score);
         score
@@ -149,6 +267,16 @@ impl<'a> Oracle<'a> {
     /// Whether the intervention budget is exhausted.
     pub fn exhausted(&self) -> bool {
         self.interventions >= self.budget
+    }
+
+    /// Cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            speculative: 0,
+            interventions: self.interventions,
+        }
     }
 
     /// Name of the wrapped system.
@@ -184,6 +312,9 @@ mod tests {
         assert_eq!(oracle.intervene(&a), 0.5, "cached result, counted query");
         assert_eq!(oracle.intervene(&b), 0.5);
         assert_eq!(oracle.interventions, 3);
+        let stats = oracle.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert_eq!(stats.interventions, 3);
         drop(oracle);
         assert_eq!(calls, 2, "system invoked once per unique dataset");
     }
@@ -223,6 +354,43 @@ mod tests {
             DataFrame::from_columns(vec![Column::from_ints("y", vec![Some(1), Some(2)])]).unwrap();
         assert_ne!(fingerprint(&a), fingerprint(&c), "column name matters");
         assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn fingerprint_masks_stale_placeholders_behind_nulls() {
+        // Two frames whose only difference is the placeholder hidden
+        // under a NULL slot must fingerprint identically: `set(i,
+        // Null)` clears the validity bit but leaves the old buffer
+        // value in place.
+        let mut a = DataFrame::from_columns(vec![Column::from_ints(
+            "x",
+            vec![Some(10), Some(2), Some(3)],
+        )])
+        .unwrap();
+        let mut b = DataFrame::from_columns(vec![Column::from_ints(
+            "x",
+            vec![Some(99), Some(2), Some(3)],
+        )])
+        .unwrap();
+        a.column_mut("x").unwrap().set(0, Value::Null).unwrap();
+        b.column_mut("x").unwrap().set(0, Value::Null).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint_reference(&a), fingerprint_reference(&b));
+        // And flipping which slot is NULL must change the hash.
+        let c =
+            DataFrame::from_columns(vec![Column::from_ints("x", vec![Some(10), None, Some(3)])])
+                .unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn factory_builds_independent_equivalent_systems() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 100.0;
+        let f: &dyn SystemFactory = &factory;
+        let mut s1 = f.build();
+        let mut s2 = f.build();
+        let d = df(&[1, 2, 3]);
+        assert_eq!(s1.malfunction(&d), s2.malfunction(&d));
     }
 
     #[test]

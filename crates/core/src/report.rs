@@ -40,9 +40,27 @@ pub fn markdown_report(
     );
     let _ = writeln!(
         out,
-        "- interventions: **{}**\n- explanation size: **{}**\n",
+        "- interventions: **{}**\n- explanation size: **{}**",
         explanation.interventions,
         explanation.pvts.len()
+    );
+    let _ = writeln!(
+        out,
+        "- oracle cache: **{} hit{} / {} miss{}**, {} speculative evaluation{}\n",
+        explanation.cache.hits,
+        if explanation.cache.hits == 1 { "" } else { "s" },
+        explanation.cache.misses,
+        if explanation.cache.misses == 1 {
+            ""
+        } else {
+            "es"
+        },
+        explanation.cache.speculative,
+        if explanation.cache.speculative == 1 {
+            ""
+        } else {
+            "s"
+        },
     );
 
     let _ = writeln!(out, "## Causes and fixes\n");
@@ -151,6 +169,7 @@ mod tests {
         assert!(report.contains("⟨Domain, target"));
         assert!(report.contains("## Discriminative profiles"));
         assert!(report.contains("## Intervention trace"));
+        assert!(report.contains("- oracle cache: **"));
         assert!(report.contains("resolved"));
         assert!(report.contains("**yes**"), "explanation row flagged");
     }
@@ -167,6 +186,7 @@ mod tests {
             resolved: false,
             repaired: fail.clone(),
             trace: Vec::new(),
+            cache: crate::oracle::CacheStats::default(),
         };
         let report = markdown_report(&exp, &pass, &fail, 0.2, &DiscoveryConfig::default());
         assert!(report.contains("UNRESOLVED"));

@@ -1,0 +1,475 @@
+//! The parallel intervention runtime.
+//!
+//! The paper's algorithms are strictly sequential: every decision
+//! (keep a PVT, recurse into a partition) depends on the score of the
+//! previous intervention. What *can* run concurrently is the
+//! expensive part — materializing candidate datasets and running the
+//! system under diagnosis on them. This module exploits that split
+//! with **speculation as cache warming**:
+//!
+//! 1. An algorithm plans the next few candidate datasets a serial run
+//!    *might* query (under explicit hypotheses about its own
+//!    decisions) and hands them to
+//!    [`InterventionRuntime::speculate`].
+//! 2. A parallel runtime ([`ParOracle`]) materializes and scores them
+//!    on worker threads, each holding its own [`System`] instance
+//!    built by a [`SystemFactory`], into a shared, lock-guarded
+//!    fingerprint cache. **No interventions are charged.**
+//! 3. The algorithm then replays its decisions exactly as a serial
+//!    run would, charging interventions one by one through
+//!    [`InterventionRuntime::intervene`]; queries the speculation
+//!    guessed right become cache hits. Candidates a serial run would
+//!    never have reached are simply discarded.
+//!
+//! Because all charging and all decisions flow through `intervene` in
+//! serial order, explanations, malfunction scores, and intervention
+//! counts are **bit-for-bit identical for any thread count** (the
+//! paper's Fig 7/Fig 9 numbers are preserved); only wall-clock time
+//! and the cache hit/miss split change. `tests/parallel_conformance.rs`
+//! pins this invariant across every bundled scenario.
+
+use crate::error::Result;
+use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
+use crate::pvt::{apply_composition, Pvt};
+use dp_frame::DataFrame;
+use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// One candidate dataset an algorithm may query soon.
+pub enum Speculation<'a> {
+    /// Already materialized by the caller (e.g. because its
+    /// transformation consumes the algorithm's RNG stream, which must
+    /// advance on the main thread).
+    Ready(DataFrame),
+    /// To be materialized by applying the composition of `pvts` (in
+    /// the given order) to `base`, consuming `rng` — a snapshot of
+    /// the exact RNG state a serial run would hold at this point, so
+    /// deferred materialization is reproducible.
+    Apply {
+        /// Transformations to compose, in application order.
+        pvts: Vec<&'a Pvt>,
+        /// Dataset to transform.
+        base: &'a DataFrame,
+        /// RNG stream snapshot to consume.
+        rng: StdRng,
+    },
+}
+
+/// A materialized speculation.
+pub struct Speculated {
+    /// The candidate dataset.
+    pub frame: DataFrame,
+    /// For [`Speculation::Apply`] jobs: the RNG state after the
+    /// composition, so the caller can adopt it if (and only if) the
+    /// serial decision path turns out to apply this candidate.
+    /// `None` for [`Speculation::Ready`] jobs.
+    pub rng_after: Option<StdRng>,
+}
+
+fn materialize(job: Speculation<'_>) -> Result<Speculated> {
+    match job {
+        Speculation::Ready(frame) => Ok(Speculated {
+            frame,
+            rng_after: None,
+        }),
+        Speculation::Apply {
+            pvts,
+            base,
+            mut rng,
+        } => {
+            let (frame, _) = apply_composition(&pvts, base, &mut rng)?;
+            Ok(Speculated {
+                frame,
+                rng_after: Some(rng),
+            })
+        }
+    }
+}
+
+/// The oracle abstraction the intervention algorithms run against.
+///
+/// [`Oracle`] implements it serially (speculation only materializes,
+/// width 1); [`ParOracle`] scores speculations concurrently. The
+/// charged query sequence — and therefore every result the paper
+/// reports — must be identical under both.
+pub trait InterventionRuntime {
+    /// Score a baseline dataset (never charged; stays free forever).
+    fn baseline(&mut self, df: &DataFrame) -> f64;
+    /// Score a transformed dataset, charging one intervention (cached
+    /// or not — an intervention is the act of asking).
+    fn intervene(&mut self, df: &DataFrame) -> f64;
+    /// Materialize the given candidate datasets, and — in parallel
+    /// runtimes — score them into the fingerprint cache without
+    /// charging interventions.
+    fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>>;
+    /// How many candidates per batch are worth planning ahead (1 ⇒
+    /// don't speculate: plan lazily exactly as the serial algorithm
+    /// would).
+    fn speculation_width(&self) -> usize;
+    /// Whether a score is acceptable (`m ≤ τ`).
+    fn passes(&self, score: f64) -> bool;
+    /// Whether the intervention budget is exhausted.
+    fn exhausted(&self) -> bool;
+    /// Interventions charged so far.
+    fn interventions(&self) -> usize;
+    /// The acceptable-malfunction threshold `τ`.
+    fn threshold(&self) -> f64;
+    /// Cache counters accumulated so far.
+    fn cache_stats(&self) -> CacheStats;
+    /// Name of the system under diagnosis.
+    fn system_name(&self) -> String;
+}
+
+impl InterventionRuntime for Oracle<'_> {
+    fn baseline(&mut self, df: &DataFrame) -> f64 {
+        Oracle::baseline(self, df)
+    }
+
+    fn intervene(&mut self, df: &DataFrame) -> f64 {
+        Oracle::intervene(self, df)
+    }
+
+    fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>> {
+        jobs.into_iter().map(materialize).collect()
+    }
+
+    fn speculation_width(&self) -> usize {
+        1
+    }
+
+    fn passes(&self, score: f64) -> bool {
+        Oracle::passes(self, score)
+    }
+
+    fn exhausted(&self) -> bool {
+        Oracle::exhausted(self)
+    }
+
+    fn interventions(&self) -> usize {
+        self.interventions
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        Oracle::cache_stats(self)
+    }
+
+    fn system_name(&self) -> String {
+        Oracle::system_name(self)
+    }
+}
+
+/// Shared (worker-visible) cache state: fingerprint → score, plus the
+/// speculative-evaluation counter.
+struct SharedCache {
+    map: HashMap<u64, f64>,
+    speculative: usize,
+}
+
+/// Parallel intervention runtime: an [`Oracle`]-equivalent whose
+/// speculation batches are scored by `num_threads` worker threads
+/// (one independent [`System`] instance each, built lazily from the
+/// factory) into a shared fingerprint cache.
+///
+/// With `num_threads ≤ 1` speculation degenerates to serial
+/// materialization with no pre-scoring — a true serial baseline.
+pub struct ParOracle<'a> {
+    factory: &'a dyn SystemFactory,
+    workers: Vec<Box<dyn System + Send>>,
+    /// Acceptable-malfunction threshold `τ`.
+    pub threshold: f64,
+    /// Interventions charged so far (thread-count invariant).
+    pub interventions: usize,
+    /// Hard intervention cap.
+    pub budget: usize,
+    num_threads: usize,
+    hits: usize,
+    misses: usize,
+    cache: Mutex<SharedCache>,
+    free: HashSet<u64>,
+}
+
+impl<'a> ParOracle<'a> {
+    /// Wrap a system factory with threshold `τ`, an intervention
+    /// budget, and a worker count.
+    pub fn new(
+        factory: &'a dyn SystemFactory,
+        threshold: f64,
+        budget: usize,
+        num_threads: usize,
+    ) -> Self {
+        ParOracle {
+            factory,
+            workers: Vec::new(),
+            threshold,
+            interventions: 0,
+            budget,
+            num_threads: num_threads.max(1),
+            hits: 0,
+            misses: 0,
+            cache: Mutex::new(SharedCache {
+                map: HashMap::new(),
+                speculative: 0,
+            }),
+            free: HashSet::new(),
+        }
+    }
+
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            self.workers.push(self.factory.build());
+        }
+    }
+
+    /// Score `df` through the shared cache on the primary worker,
+    /// without charging. Returns (score, was_cached).
+    fn score(&mut self, fp: u64, df: &DataFrame) -> f64 {
+        if let Some(&score) = self.cache.lock().expect("cache lock").map.get(&fp) {
+            self.hits += 1;
+            return score;
+        }
+        self.misses += 1;
+        self.ensure_workers(1);
+        let score = sanitize(self.workers[0].malfunction(df));
+        self.cache.lock().expect("cache lock").map.insert(fp, score);
+        score
+    }
+}
+
+impl InterventionRuntime for ParOracle<'_> {
+    fn baseline(&mut self, df: &DataFrame) -> f64 {
+        let fp = crate::oracle::fingerprint(df);
+        self.free.insert(fp);
+        // Baselines never count toward the hit/miss split either — the
+        // problem definition assumes the two baseline scores are known.
+        if let Some(&score) = self.cache.lock().expect("cache lock").map.get(&fp) {
+            return score;
+        }
+        self.ensure_workers(1);
+        let score = sanitize(self.workers[0].malfunction(df));
+        self.cache.lock().expect("cache lock").map.insert(fp, score);
+        score
+    }
+
+    fn intervene(&mut self, df: &DataFrame) -> f64 {
+        let fp = crate::oracle::fingerprint(df);
+        if !self.free.contains(&fp) {
+            self.interventions += 1;
+        }
+        self.score(fp, df)
+    }
+
+    fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>> {
+        if self.num_threads <= 1 || jobs.len() <= 1 {
+            // Serial mode (or nothing to overlap): materialize only,
+            // never pre-score — identical work to the serial oracle.
+            return jobs.into_iter().map(materialize).collect();
+        }
+        let n_jobs = jobs.len();
+        let n_workers = self.num_threads.min(n_jobs);
+        self.ensure_workers(n_workers);
+        // Index-tagged pop queue (reversed so workers drain in job
+        // order) and one result slot per job; plain `Mutex` state
+        // keeps the crate `forbid(unsafe_code)`-clean.
+        let queue: Mutex<Vec<(usize, Speculation<'_>)>> =
+            Mutex::new(jobs.into_iter().enumerate().rev().collect());
+        let results: Vec<Mutex<Option<Result<Speculated>>>> =
+            (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let cache = &self.cache;
+        let queue_ref = &queue;
+        let results_ref = &results;
+        std::thread::scope(|scope| {
+            for worker in self.workers.iter_mut().take(n_workers) {
+                scope.spawn(move || loop {
+                    let job = queue_ref.lock().expect("queue lock").pop();
+                    let Some((idx, job)) = job else { break };
+                    let out = materialize(job).inspect(|speculated| {
+                        let fp = crate::oracle::fingerprint(&speculated.frame);
+                        let known = cache.lock().expect("cache lock").map.contains_key(&fp);
+                        if !known {
+                            // Score outside the lock; a racing
+                            // duplicate evaluation is harmless (same
+                            // deterministic score, idempotent insert).
+                            let score = sanitize(worker.malfunction(&speculated.frame));
+                            let mut shared = cache.lock().expect("cache lock");
+                            shared.map.insert(fp, score);
+                            shared.speculative += 1;
+                        }
+                    });
+                    *results_ref[idx].lock().expect("result lock") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result lock")
+                    .expect("every queued job produces a result")
+            })
+            .collect()
+    }
+
+    fn speculation_width(&self) -> usize {
+        self.num_threads
+    }
+
+    fn passes(&self, score: f64) -> bool {
+        score <= self.threshold
+    }
+
+    fn exhausted(&self) -> bool {
+        self.interventions >= self.budget
+    }
+
+    fn interventions(&self) -> usize {
+        self.interventions
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            speculative: self.cache.lock().expect("cache lock").speculative,
+            interventions: self.interventions,
+        }
+    }
+
+    fn system_name(&self) -> String {
+        self.factory.name()
+    }
+}
+
+/// Map `f` over `items` on up to `num_threads` scoped worker threads,
+/// preserving item order in the output. With `num_threads ≤ 1` (or a
+/// single item) this is a plain serial map, so results are identical
+/// for any thread count as long as `f` is pure.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, num_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if num_threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let queue_ref = &queue;
+    let results_ref = &results;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..num_threads.min(n) {
+            scope.spawn(move || loop {
+                let item = queue_ref.lock().expect("queue lock").pop();
+                let Some((idx, item)) = item else { break };
+                *results_ref[idx].lock().expect("result lock") = Some(f_ref(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every item produces a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::Column;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn df(vals: &[i64]) -> DataFrame {
+        DataFrame::from_columns(vec![Column::from_ints(
+            "x",
+            vals.iter().map(|&v| Some(v)).collect(),
+        )])
+        .unwrap()
+    }
+
+    #[test]
+    fn speculation_is_never_charged() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 4);
+        let frames: Vec<DataFrame> = (0..8).map(|i| df(&[i, i + 1])).collect();
+        let jobs: Vec<Speculation<'_>> = frames
+            .iter()
+            .map(|f| Speculation::Ready(f.clone()))
+            .collect();
+        let out = rt.speculate(jobs).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(rt.interventions, 0, "speculation is free");
+        let stats = rt.cache_stats();
+        assert_eq!(stats.speculative, 8, "all eight scored by workers");
+        // A later charged query of a speculated frame is a cache hit.
+        rt.intervene(&frames[3]);
+        assert_eq!(rt.interventions, 1);
+        let stats = rt.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+    }
+
+    #[test]
+    fn serial_mode_materializes_without_scoring() {
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let factory = move || {
+            let c = Arc::clone(&c2);
+            move |_: &DataFrame| {
+                c.fetch_add(1, Ordering::SeqCst);
+                0.5
+            }
+        };
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 1);
+        let jobs = vec![
+            Speculation::Ready(df(&[1])),
+            Speculation::Ready(df(&[2])),
+            Speculation::Ready(df(&[3])),
+        ];
+        let out = rt.speculate(jobs).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            0,
+            "serial speculation must not run the system"
+        );
+        assert_eq!(rt.cache_stats().speculative, 0);
+    }
+
+    #[test]
+    fn par_oracle_matches_oracle_accounting() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 4);
+        let base = df(&[1]);
+        rt.baseline(&base);
+        assert_eq!(rt.interventions, 0);
+        rt.intervene(&base);
+        assert_eq!(rt.interventions, 0, "baseline stays free forever");
+        rt.intervene(&df(&[1, 2, 3]));
+        rt.intervene(&df(&[1, 2, 3]));
+        assert_eq!(rt.interventions, 2, "repeat queries are each charged");
+        assert!(rt.passes(0.2) && !rt.passes(0.21));
+        assert!(!rt.exhausted());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1, 2, 8] {
+            let out = par_map((0..100).collect::<Vec<i32>>(), threads, |x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<i32>>());
+        }
+    }
+}

@@ -206,6 +206,29 @@ impl Transform {
         }
     }
 
+    /// Whether applying the transformation never consumes randomness,
+    /// for any input dataset. The parallel runtime may only defer a
+    /// deterministic application to a worker thread without tracking
+    /// the RNG stream; stochastic transformations (and those that are
+    /// stochastic only on some inputs, like a shuffle that no-ops
+    /// when the dependence is already broken) are conservatively
+    /// classified `false`.
+    pub fn is_deterministic(&self) -> bool {
+        match self {
+            Transform::MapToDomain { .. }
+            | Transform::LinearRescale { .. }
+            | Transform::Winsorize { .. }
+            | Transform::RepairText { .. }
+            | Transform::ReplaceOutliers { .. }
+            | Transform::Impute { .. }
+            | Transform::Residualize { .. } => true,
+            Transform::ResampleSelectivity { .. }
+            | Transform::BreakDependenceShuffle { .. }
+            | Transform::DecorrelateNoise { .. } => false,
+            Transform::Conditional { inner, .. } => inner.is_deterministic(),
+        }
+    }
+
     /// Estimated fraction of tuples an application would modify,
     /// without applying (observation O3's coverage).
     pub fn coverage(&self, df: &DataFrame) -> f64 {

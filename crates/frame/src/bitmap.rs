@@ -30,6 +30,15 @@ impl Bitmap {
         bm
     }
 
+    /// Backing `u64` words. Bits at positions `>= len` are always
+    /// zero (`with_value`/`push`/`set` maintain the invariant), so
+    /// the slice is a canonical representation safe to hash or
+    /// compare directly.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {
@@ -106,15 +115,6 @@ impl Bitmap {
         out
     }
 
-    /// Collect from a bool iterator.
-    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        let mut bm = Bitmap::new();
-        for b in iter {
-            bm.push(b);
-        }
-        bm
-    }
-
     /// Zero any bits beyond `len` in the last word (keeps
     /// `count_ones` exact after bulk fills).
     fn mask_tail(&mut self) {
@@ -124,6 +124,16 @@ impl Bitmap {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for b in iter {
+            bm.push(b);
+        }
+        bm
     }
 }
 

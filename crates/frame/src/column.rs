@@ -162,6 +162,20 @@ impl Column {
         }
     }
 
+    /// Raw typed buffer backing this column. Slots masked out by the
+    /// validity bitmap hold arbitrary placeholders — pair with
+    /// [`Column::validity`] when reading.
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity bitmap (1 = valid, 0 = NULL).
+    #[inline]
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {

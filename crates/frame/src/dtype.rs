@@ -40,14 +40,14 @@ impl DType {
     /// Whether a [`Value`] is admissible in a column of this type.
     /// NULL is admissible everywhere.
     pub fn admits(&self, v: &Value) -> bool {
-        match (self, v) {
-            (_, Value::Null) => true,
-            (DType::Int, Value::Int(_)) => true,
-            (DType::Float, Value::Float(_) | Value::Int(_)) => true,
-            (DType::Bool, Value::Bool(_)) => true,
-            (DType::Categorical | DType::Text, Value::Str(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DType::Int, Value::Int(_))
+                | (DType::Float, Value::Float(_) | Value::Int(_))
+                | (DType::Bool, Value::Bool(_))
+                | (DType::Categorical | DType::Text, Value::Str(_))
+        )
     }
 }
 

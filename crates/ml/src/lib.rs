@@ -26,6 +26,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Numeric kernels below are written as explicit index loops to match
+// the textbook linear-algebra pseudocode they implement.
+#![allow(clippy::needless_range_loop)]
 
 pub mod adaboost;
 pub mod encoding;

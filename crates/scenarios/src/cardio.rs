@@ -16,8 +16,8 @@
 //!    range `[100, 230]` by clamping (the unit assumption baked into
 //!    the system). Inch-valued heights all clamp to 100, destroying
 //!    the BMI signal the disease depends on, so recall collapses.
-//! 2. The pipeline *validates* blood pressure: if more than 5% of
-//!    `ap_hi`/`ap_lo` readings are outside `[30, 220]` it aborts
+//! 2. The pipeline *validates* blood pressure: if more than 2% of
+//!    `ap_hi`/`ap_lo` readings are outside `[40, 200]` it aborts
 //!    (malfunction 1.0) — medical pipelines reject physically
 //!    impossible vitals. The failing dataset plants a stronger
 //!    `ap_hi ↔ ap_lo` correlation than the passing one, so a
@@ -152,15 +152,19 @@ impl System for CardioSystem {
             return 1.0;
         }
         // Step 1: validate blood pressure. Medically impossible
-        // readings mean corrupted input; the pipeline aborts.
+        // readings mean corrupted input; the pipeline aborts. The
+        // tolerance is strict (2% of rows outside [40, 200]): vitals
+        // come from calibrated cuffs, so more than a sliver of
+        // implausible readings indicates an upstream corruption the
+        // model must not be trained on.
         for ap in ["ap_hi", "ap_lo"] {
             let Ok(col) = df.column(ap) else { return 1.0 };
             let bad = col
                 .f64_values()
                 .iter()
-                .filter(|(_, v)| !(30.0..=220.0).contains(v))
+                .filter(|(_, v)| !(40.0..=200.0).contains(v))
                 .count();
-            if bad as f64 > 0.05 * n as f64 {
+            if bad as f64 > 0.02 * n as f64 {
                 return 1.0;
             }
         }
@@ -192,14 +196,14 @@ impl System for CardioSystem {
                 .and_then(|s| s.parse::<f64>().ok())
                 .unwrap_or(0.0)
         };
-        for i in 0..n {
+        for (i, &height) in heights.iter().enumerate() {
             let weight = numeric("weight", i, 76.0);
-            let h_m = heights[i] / 100.0;
+            let h_m = height / 100.0;
             let bmi = weight / (h_m * h_m);
             rows.push(vec![
                 numeric("age", i, 52.0),
                 bmi,
-                heights[i],
+                height,
                 numeric("ap_hi", i, 128.0),
                 numeric("ap_lo", i, 81.0),
                 cat_num("cholesterol", i),
@@ -270,6 +274,7 @@ pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "Cardiovascular Disease Prediction",
         system: Box::new(CardioSystem::default()),
+        factory: Box::new(CardioSystem::default),
         d_pass,
         d_fail,
         config,

@@ -280,6 +280,7 @@ pub fn scenario() -> Scenario {
     Scenario {
         name: "Example 1 (discount classifier)",
         system: Box::new(DiscountSystem::default()),
+        factory: Box::new(DiscountSystem::default),
         d_pass: people_pass(),
         d_fail: people_fail(),
         config,

@@ -49,8 +49,19 @@ fn build_batch(rng: &mut StdRng, n: usize, pathological_fraction: f64) -> DataFr
         ("axles", DType::Int),
         ("speed", DType::Float),
     ]);
-    for _ in 0..n {
-        let pathological = rng.gen_bool(pathological_fraction);
+    // Plant the pathological slice as an exact count at shuffled
+    // positions rather than per-row Bernoulli draws: each such
+    // vehicle shifts the batch score by ~110 s, so sampling noise in
+    // the count would dominate the pass/fail separation the scenario
+    // is built around.
+    let n_path = (n as f64 * pathological_fraction).round() as usize;
+    let mut path_mask = vec![false; n];
+    for slot in path_mask.iter_mut().take(n_path) {
+        *slot = true;
+    }
+    use rand::seq::SliceRandom;
+    path_mask.shuffle(rng);
+    for pathological in path_mask {
         let (has_pass, plate, illum) = if pathological {
             (false, "black", "low")
         } else {
@@ -149,6 +160,7 @@ pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "EZGo Process Timeout (Example 2)",
         system: Box::new(EzgoSystem::default()),
+        factory: Box::new(EzgoSystem::default),
         d_pass,
         d_fail,
         config,

@@ -195,6 +195,7 @@ pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "Income Prediction",
         system: Box::new(IncomeSystem::default()),
+        factory: Box::new(IncomeSystem::default),
         d_pass,
         d_fail,
         config,

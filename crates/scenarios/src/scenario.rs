@@ -1,6 +1,6 @@
 //! The common shape of an evaluation scenario.
 
-use dataprism::{PrismConfig, System};
+use dataprism::{PrismConfig, System, SystemFactory};
 use dp_frame::DataFrame;
 
 /// A ready-to-diagnose case: system + passing/failing data +
@@ -10,6 +10,9 @@ pub struct Scenario {
     pub name: &'static str,
     /// The black-box system under diagnosis.
     pub system: Box<dyn System>,
+    /// Builds fresh, independent instances of the same system — the
+    /// parallel runtime gives one to each worker thread.
+    pub factory: Box<dyn SystemFactory>,
     /// Dataset the system functions properly on.
     pub d_pass: DataFrame,
     /// Dataset the system malfunctions on.

@@ -133,6 +133,7 @@ pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "Sensor Fusion (causal profile)",
         system: Box::new(SensorFusionSystem::default()),
+        factory: Box::new(SensorFusionSystem::default),
         d_pass,
         d_fail,
         config,

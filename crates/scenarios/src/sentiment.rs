@@ -187,6 +187,7 @@ pub fn scenario_with_size(n: usize, seed: u64) -> Scenario {
     Scenario {
         name: "Sentiment Prediction",
         system: Box::new(SentimentSystem::new()),
+        factory: Box::new(SentimentSystem::new),
         d_pass,
         d_fail,
         config,

@@ -182,6 +182,13 @@ impl SyntheticScenario {
             .iter()
             .any(|group| group.iter().all(|i| ids.contains(i)))
     }
+
+    /// A [`dataprism::SystemFactory`] that builds independent clones
+    /// of this scenario's system for the parallel runtime.
+    pub fn factory(&self) -> impl dataprism::SystemFactory {
+        let system = self.system.clone();
+        move || system.clone()
+    }
 }
 
 /// Materialize a specification into datasets, PVTs, and a system.

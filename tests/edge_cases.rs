@@ -28,7 +28,10 @@ fn single_row_datasets_diagnose() {
     let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
         .expect("single-row diagnosis runs");
     assert!(exp.resolved);
-    assert_eq!(exp.repaired.cell(0, "target").unwrap(), Value::Str("1".into()));
+    assert_eq!(
+        exp.repaired.cell(0, "target").unwrap(),
+        Value::Str("1".into())
+    );
 }
 
 #[test]
@@ -168,8 +171,7 @@ fn identical_rows_with_extreme_duplication_diagnose() {
             .count() as f64
             / df.n_rows().max(1) as f64
     };
-    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2))
-        .unwrap();
+    let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2)).unwrap();
     assert!(exp.resolved);
     assert_eq!(exp.repaired.n_rows(), 1000);
 }

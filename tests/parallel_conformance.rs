@@ -1,0 +1,236 @@
+//! Conformance suite for the parallel intervention runtime.
+//!
+//! The contract under test: for every scenario and both algorithms
+//! (GRD = greedy Algorithm 1, GT = group testing Algorithms 2–3),
+//! running on the parallel runtime at any `num_threads` produces an
+//! explanation **bit-for-bit identical** to the serial oracle — same
+//! PVTs, same malfunction scores, same intervention count (the
+//! paper's Fig 7 currency), same trace, same repaired dataset. Only
+//! the cache counters may differ, because scheduling decides which
+//! queries become hits.
+
+use dataprism::{
+    explain_greedy, explain_greedy_parallel, explain_group_test, explain_group_test_parallel,
+    fingerprint, Explanation, PartitionStrategy, PrismConfig, Result,
+};
+use dp_scenarios::{cardio, example1, ezgo, income, sensors, sentiment, synthetic, Scenario};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The moderate-size case-study set: one constructor per scenario
+/// module.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        example1::scenario(),
+        sentiment::scenario_with_size(240, 11),
+        income::scenario_with_size(300, 7),
+        cardio::scenario_with_size(300, 5),
+        ezgo::scenario_with_size(400, 2),
+        sensors::scenario_with_size(250, 4),
+    ]
+}
+
+/// Assert two diagnosis outcomes are indistinguishable (ignoring
+/// cache counters).
+fn assert_identical(
+    name: &str,
+    threads: usize,
+    serial: &Result<Explanation>,
+    par: &Result<Explanation>,
+) {
+    match (serial, par) {
+        (Ok(s), Ok(p)) => {
+            assert_eq!(s.pvt_ids(), p.pvt_ids(), "{name}@{threads}: explanation set");
+            assert_eq!(
+                s.interventions, p.interventions,
+                "{name}@{threads}: intervention count"
+            );
+            assert_eq!(
+                s.initial_score.to_bits(),
+                p.initial_score.to_bits(),
+                "{name}@{threads}: initial score"
+            );
+            assert_eq!(
+                s.final_score.to_bits(),
+                p.final_score.to_bits(),
+                "{name}@{threads}: final score"
+            );
+            assert_eq!(s.resolved, p.resolved, "{name}@{threads}: resolved flag");
+            assert_eq!(s.trace, p.trace, "{name}@{threads}: trace");
+            assert_eq!(
+                fingerprint(&s.repaired),
+                fingerprint(&p.repaired),
+                "{name}@{threads}: repaired dataset"
+            );
+        }
+        (Err(se), Err(pe)) => {
+            assert_eq!(se, pe, "{name}@{threads}: error value");
+        }
+        (s, p) => panic!(
+            "{name}@{threads}: serial and parallel disagree on success: serial {s:?} vs parallel {p:?}"
+        ),
+    }
+}
+
+#[test]
+fn greedy_is_thread_count_invariant_on_all_case_studies() {
+    for mut scenario in scenarios() {
+        let serial = explain_greedy(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &scenario.config,
+        );
+        for threads in THREAD_COUNTS {
+            let mut config = scenario.config.clone();
+            config.num_threads = threads;
+            let par = explain_greedy_parallel(
+                scenario.factory.as_ref(),
+                &scenario.d_fail,
+                &scenario.d_pass,
+                &config,
+            );
+            assert_identical(scenario.name, threads, &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn group_test_is_thread_count_invariant_on_all_case_studies() {
+    for mut scenario in scenarios() {
+        let serial = explain_group_test(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &scenario.config,
+            PartitionStrategy::MinBisection,
+        );
+        for threads in THREAD_COUNTS {
+            let mut config = scenario.config.clone();
+            config.num_threads = threads;
+            let par = explain_group_test_parallel(
+                scenario.factory.as_ref(),
+                &scenario.d_fail,
+                &scenario.d_pass,
+                &config,
+                PartitionStrategy::MinBisection,
+            );
+            assert_identical(scenario.name, threads, &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn synthetic_pipelines_are_thread_count_invariant() {
+    let cases: Vec<(&str, synthetic::SyntheticScenario)> = vec![
+        ("single_cause", synthetic::single_cause(6, 8, 3)),
+        ("interacting_cause", synthetic::interacting_cause(8, 3, 17)),
+    ];
+    for (name, mut sc) in cases {
+        let factory = sc.factory();
+        let serial_grd = dataprism::explain_greedy_with_pvts(
+            &mut sc.system,
+            &sc.d_fail,
+            &sc.d_pass,
+            sc.pvts.clone(),
+            &sc.config,
+        );
+        let mut gt_system = sc.system.clone();
+        let serial_gt = dataprism::explain_group_test_with_pvts(
+            &mut gt_system,
+            &sc.d_fail,
+            &sc.d_pass,
+            sc.pvts.clone(),
+            &sc.config,
+            PartitionStrategy::MinBisection,
+        );
+        for threads in THREAD_COUNTS {
+            let mut config = sc.config.clone();
+            config.num_threads = threads;
+            let par_grd = dataprism::explain_greedy_parallel_with_pvts(
+                &factory,
+                &sc.d_fail,
+                &sc.d_pass,
+                sc.pvts.clone(),
+                &config,
+            );
+            assert_identical(name, threads, &serial_grd, &par_grd);
+            let par_gt = dataprism::explain_group_test_parallel_with_pvts(
+                &factory,
+                &sc.d_fail,
+                &sc.d_pass,
+                sc.pvts.clone(),
+                &config,
+                PartitionStrategy::MinBisection,
+            );
+            assert_identical(name, threads, &serial_gt, &par_gt);
+        }
+    }
+}
+
+#[test]
+fn facade_auto_is_thread_count_invariant() {
+    // The auto strategy (GT, greedy fallback on A3 violation) must
+    // take the same branch and return the same result at any width.
+    for mut scenario in scenarios() {
+        let prism = dataprism::DataPrism::new(scenario.config.clone());
+        let serial =
+            prism.diagnose_auto(scenario.system.as_mut(), &scenario.d_fail, &scenario.d_pass);
+        for threads in THREAD_COUNTS {
+            let mut config = scenario.config.clone();
+            config.num_threads = threads;
+            let prism_par = dataprism::DataPrism::new(config);
+            let par = prism_par.diagnose_auto_parallel(
+                scenario.factory.as_ref(),
+                &scenario.d_fail,
+                &scenario.d_pass,
+            );
+            assert_identical(scenario.name, threads, &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_actually_speculate() {
+    // Sanity check that the parallel path is exercised: at width > 1
+    // on a non-trivial scenario the workers must have performed at
+    // least one speculative evaluation (otherwise the suite would
+    // vacuously pass with a serial fallback).
+    let scenario = income::scenario_with_size(300, 7);
+    let mut config = scenario.config.clone();
+    config.num_threads = 8;
+    let exp = explain_greedy_parallel(
+        scenario.factory.as_ref(),
+        &scenario.d_fail,
+        &scenario.d_pass,
+        &config,
+    )
+    .unwrap();
+    assert!(
+        exp.cache.speculative > 0,
+        "expected speculative work at 8 threads, got {:?}",
+        exp.cache
+    );
+}
+
+#[test]
+fn thread_count_does_not_leak_into_config_dependent_validation() {
+    // num_threads must not perturb BadInput reporting either: a
+    // passing dataset that fails validation produces the same error
+    // text at every width.
+    let scenario = example1::scenario();
+    let mut config = PrismConfig::with_threshold(0.0); // d_pass can't pass
+    config.discovery = scenario.config.discovery.clone();
+    let mut errs = Vec::new();
+    for threads in THREAD_COUNTS {
+        config.num_threads = threads;
+        let res = explain_greedy_parallel(
+            scenario.factory.as_ref(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &config,
+        );
+        errs.push(res.expect_err("τ = 0 must reject d_pass"));
+    }
+    assert!(errs.windows(2).all(|w| w[0] == w[1]), "{errs:?}");
+}

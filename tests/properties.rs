@@ -14,7 +14,8 @@
 use dataprism::profile::{OutlierSpec, Profile};
 use dataprism::transform::{ImputeStrategy, OutlierRepair, Transform};
 use dataprism::violation::violation;
-use dp_frame::{Column, DType, DataFrame};
+use dataprism::{fingerprint, fingerprint_reference};
+use dp_frame::{Column, DType, DataFrame, Value};
 use dp_stats::Pattern;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -321,5 +322,88 @@ proptest! {
             "selectivity {before} -> {after}, target {theta}, rows {}",
             after_df.n_rows()
         );
+    }
+}
+
+// ---------------------------------------------------------------
+// Buffer-level dataset fingerprint (oracle cache key). Three
+// invariants: it is a pure function of the *logical* content
+// (stale placeholder bytes behind NULLs are invisible), any cell
+// perturbation changes it, and it induces the same equality
+// classes as the slow per-cell reference implementation.
+// ---------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fingerprint_is_a_function_of_logical_content(df in mixed_frame()) {
+        let fp = fingerprint(&df);
+        // Equal frames hash equally.
+        prop_assert_eq!(fp, fingerprint(&df.clone()));
+        // Writing a placeholder behind an existing NULL leaves the
+        // logical content — and therefore the fingerprint — intact.
+        let mut stale = df.clone();
+        let n = stale.n_rows();
+        let col = stale.column_mut("num").unwrap();
+        if let Some(i) = (0..n).find(|&i| col.get(i).is_null()) {
+            col.set(i, Value::Float(123.456)).unwrap();
+            col.set(i, Value::Null).unwrap();
+            prop_assert_eq!(fingerprint(&stale), fp);
+            prop_assert_eq!(fingerprint_reference(&stale), fingerprint_reference(&df));
+        }
+    }
+
+    #[test]
+    fn fingerprint_detects_cell_perturbations(df in mixed_frame(), row in 0usize..1000, bump in 1.0f64..50.0) {
+        let fp = fingerprint(&df);
+        let row = row % df.n_rows();
+
+        // Numeric perturbation (NULL slots become valid — also a change).
+        let mut num = df.clone();
+        let col = num.column_mut("num").unwrap();
+        let new = match col.get(row) {
+            Value::Float(x) => Value::Float(x + bump),
+            _ => Value::Float(bump),
+        };
+        col.set(row, new).unwrap();
+        prop_assert!(fingerprint(&num) != fp, "numeric cell change must rehash");
+
+        // Nulling a valid cell.
+        let mut nulled = df.clone();
+        let col = nulled.column_mut("num").unwrap();
+        if !col.get(row).is_null() {
+            col.set(row, Value::Null).unwrap();
+            prop_assert!(fingerprint(&nulled) != fp, "NULLing a cell must rehash");
+        }
+
+        // Categorical perturbation.
+        let mut cat = df.clone();
+        let col = cat.column_mut("cat").unwrap();
+        let new = match col.get(row) {
+            Value::Str(s) if s == "x" => Value::Str("y".into()),
+            _ => Value::Str("x".into()),
+        };
+        col.set(row, new).unwrap();
+        prop_assert!(fingerprint(&cat) != fp, "categorical cell change must rehash");
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_per_cell_reference(df in mixed_frame(), row in 0usize..1000, perturb in 0usize..2) {
+        let perturb = perturb == 1;
+        // Differential test: the buffer-level fast path and the
+        // per-cell reference must agree on whether two frames are
+        // the same dataset.
+        let mut other = df.clone();
+        if perturb {
+            let row = row % other.n_rows();
+            let col = other.column_mut("num").unwrap();
+            let new = match col.get(row) {
+                Value::Float(x) => Value::Float(x + 1.0),
+                _ => Value::Float(0.5),
+            };
+            col.set(row, new).unwrap();
+        }
+        let fast = fingerprint(&df) == fingerprint(&other);
+        let slow = fingerprint_reference(&df) == fingerprint_reference(&other);
+        prop_assert_eq!(fast, slow, "implementations disagree on frame equality");
     }
 }

@@ -6,7 +6,73 @@
 use dataprism::DataPrism;
 use dp_frame::csv::{read_csv, write_csv};
 use dp_frame::describe::{describe, describe_table, sort_by, top_k, value_histogram};
-use dp_scenarios::{ezgo, sentiment};
+use dp_scenarios::{example1, ezgo, sentiment};
+
+/// Compare `actual` against the checked-in golden file
+/// `tests/golden/<name>`; regenerate with `UPDATE_GOLDEN=1 cargo test`.
+fn assert_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        actual, expected,
+        "report drifted from {path:?}; run with UPDATE_GOLDEN=1 to regenerate"
+    );
+}
+
+#[test]
+fn greedy_report_matches_golden_file() {
+    // The running example of the paper's §1 is fully deterministic:
+    // a serial diagnosis renders byte-identical markdown (including
+    // the oracle cache-stats block) on every run.
+    let mut scenario = example1::scenario();
+    let prism = DataPrism::new(scenario.config.clone());
+    let exp = prism
+        .diagnose(scenario.system.as_mut(), &scenario.d_fail, &scenario.d_pass)
+        .unwrap();
+    let report = prism.report(&exp, &scenario.d_pass, &scenario.d_fail);
+    assert!(report.contains("- oracle cache: **"));
+    assert_golden("example1_greedy_report.md", &report);
+}
+
+#[test]
+fn group_test_report_matches_golden_file() {
+    let mut scenario = example1::scenario();
+    let prism = DataPrism::new(scenario.config.clone());
+    let exp = prism
+        .diagnose_auto(scenario.system.as_mut(), &scenario.d_fail, &scenario.d_pass)
+        .unwrap();
+    let report = prism.report(&exp, &scenario.d_pass, &scenario.d_fail);
+    assert_golden("example1_auto_report.md", &report);
+}
+
+#[test]
+fn parallel_width_one_report_matches_serial_golden() {
+    // num_threads = 1 on the parallel runtime materializes serially,
+    // so even the cache counters (the only scheduling-dependent
+    // output) must reproduce the serial golden file exactly.
+    let scenario = example1::scenario();
+    let mut config = scenario.config.clone();
+    config.num_threads = 1;
+    let prism = DataPrism::new(config);
+    let exp = prism
+        .diagnose_parallel(
+            scenario.factory.as_ref(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+        )
+        .unwrap();
+    let report = prism.report(&exp, &scenario.d_pass, &scenario.d_fail);
+    assert_golden("example1_greedy_report.md", &report);
+}
 
 #[test]
 fn facade_report_covers_a_real_case_study() {
