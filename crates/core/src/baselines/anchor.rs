@@ -249,6 +249,7 @@ pub fn explain_anchor(
         pvts,
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
+        discovery: Default::default(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

@@ -126,6 +126,7 @@ pub fn explain_bugdoc(
             pvts: Vec::new(),
             interventions: oracle.interventions,
             cache: oracle.cache_stats(),
+            discovery: Default::default(),
             initial_score,
             final_score: initial_score,
             resolved: false,
@@ -189,6 +190,7 @@ pub fn explain_bugdoc(
         pvts,
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
+        discovery: Default::default(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

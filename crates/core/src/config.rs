@@ -2,6 +2,45 @@
 
 use crate::profile::OutlierSpec;
 
+/// Pre-filter policy for the pairwise independence pass.
+///
+/// Discovery builds per-column sketches ([`dp_stats::sketch`]) once
+/// per frame and skips the exact χ²/Pearson test on pairs whose
+/// sketched dependence estimate is already insignificant. The
+/// estimates are exact-equivalent in the default configuration —
+/// numeric estimates recover the joint-pair statistics through a
+/// presence bitmap, and categorical domains at or below the sketch
+/// bucket width are coded injectively (only injectively coded pairs
+/// are ever screened) — so screening preserves the discovered
+/// profile set bit for bit; `tests/prefilter_parity.rs` asserts this
+/// on every scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Prefilter {
+    /// No screening: every eligible pair pays the exact test
+    /// (the pre-PR-2 behavior).
+    Off,
+    /// Screen with the exact-equivalent estimates (floating-point
+    /// slack only). The default.
+    On,
+    /// Like `On`, but demand the numeric estimate clear significance
+    /// even after inflating it by this many standard errors — extra
+    /// caution that trades screened pairs for slack against the
+    /// estimate. `Threshold(0.0)` is equivalent to `On`.
+    Threshold(f64),
+}
+
+impl Prefilter {
+    /// The slack margin in standard-error units, or `None` when
+    /// screening is disabled.
+    pub fn margin(&self) -> Option<f64> {
+        match self {
+            Prefilter::Off => None,
+            Prefilter::On => Some(0.0),
+            Prefilter::Threshold(c) => Some(c.max(0.0)),
+        }
+    }
+}
+
 /// Which PVT classes discovery emits and with what knobs.
 ///
 /// The paper's scope assumption (§1 "Scope") is that the *classes* of
@@ -40,6 +79,9 @@ pub struct DiscoveryConfig {
     /// numeric Domain profiles `⟨attr = v ⟹ Domain(A_j, …)⟩` are
     /// emitted. `None` disables conditional discovery.
     pub conditional_domains_on: Option<String>,
+    /// Sketch-based screening of the O(m²) pairwise independence
+    /// pass (see [`Prefilter`]).
+    pub prefilter: Prefilter,
     /// Numeric tolerance when deciding whether two concretized
     /// profiles are "identical" (step 1 of §4.1).
     pub param_tolerance: f64,
@@ -62,6 +104,7 @@ impl Default for DiscoveryConfig {
             indep_causal: false,
             max_categorical_domain: 30,
             conditional_domains_on: None,
+            prefilter: Prefilter::On,
             param_tolerance: 0.02,
             alternative_transforms: false,
         }
@@ -137,6 +180,15 @@ mod tests {
         assert!(c.domains && c.missing && c.indep_chi2 && c.indep_pearson);
         assert!(!c.indep_causal, "causal discovery is opt-in");
         assert!(c.outliers.is_some());
+    }
+
+    #[test]
+    fn prefilter_margins() {
+        assert_eq!(Prefilter::Off.margin(), None);
+        assert_eq!(Prefilter::On.margin(), Some(0.0));
+        assert_eq!(Prefilter::Threshold(1.5).margin(), Some(1.5));
+        assert_eq!(Prefilter::Threshold(-2.0).margin(), Some(0.0));
+        assert_eq!(DiscoveryConfig::default().prefilter, Prefilter::On);
     }
 
     #[test]

@@ -257,6 +257,7 @@ pub fn explain_with_decision_tree(
                     pvts: selected,
                     interventions: oracle.interventions,
                     cache: oracle.cache_stats(),
+                    discovery: Default::default(),
                     initial_score,
                     final_score,
                     resolved: true,
@@ -284,6 +285,7 @@ pub fn explain_with_decision_tree(
         pvts: Vec::new(),
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
+        discovery: Default::default(),
         initial_score,
         final_score: initial_score,
         resolved: false,

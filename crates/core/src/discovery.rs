@@ -7,7 +7,149 @@ use crate::pvt::Pvt;
 use crate::transform::{ImputeStrategy, OutlierRepair, Transform};
 use crate::violation::{dependence, violation};
 use dp_frame::{CmpOp, DType, DataFrame, Predicate};
+use dp_stats::sketch::{self, CategoricalSketch, NumericSketch};
 use dp_stats::Pattern;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counters of the pairwise independence pass, surfaced in
+/// [`crate::Explanation`] and the markdown report next to the oracle
+/// cache stats. Totals are deterministic for any thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Unordered attribute pairs enumerated (summed over both
+    /// datasets for a discriminative-PVT run).
+    pub pairs: usize,
+    /// χ² tests the sketch screened out (the pair's `Indep` profile
+    /// was emitted with `alpha = 0` without building the exact
+    /// contingency table).
+    pub chi2_screened: usize,
+    /// χ² tests that ran exactly.
+    pub chi2_exact: usize,
+    /// Pearson tests the sketch screened out.
+    pub pearson_screened: usize,
+    /// Pearson tests that ran exactly.
+    pub pearson_exact: usize,
+}
+
+impl DiscoveryStats {
+    /// Pair tests skipped thanks to the pre-filter.
+    pub fn screened(&self) -> usize {
+        self.chi2_screened + self.pearson_screened
+    }
+
+    /// Pair tests considered (screened + exact).
+    pub fn tests(&self) -> usize {
+        self.screened() + self.chi2_exact + self.pearson_exact
+    }
+
+    /// Accumulate another run's counters (e.g. the second dataset of
+    /// a discriminative-PVT discovery).
+    pub fn merge(&mut self, other: &DiscoveryStats) {
+        self.pairs += other.pairs;
+        self.chi2_screened += other.chi2_screened;
+        self.chi2_exact += other.chi2_exact;
+        self.pearson_screened += other.pearson_screened;
+        self.pearson_exact += other.pearson_exact;
+    }
+}
+
+/// Thread-safe counters for the pairwise pass; totals are identical
+/// for any thread count because the set of screened pairs is
+/// deterministic.
+#[derive(Default)]
+struct PairCounters {
+    chi2_screened: AtomicUsize,
+    chi2_exact: AtomicUsize,
+    pearson_screened: AtomicUsize,
+    pearson_exact: AtomicUsize,
+}
+
+impl PairCounters {
+    fn snapshot(&self, pairs: usize) -> DiscoveryStats {
+        DiscoveryStats {
+            pairs,
+            chi2_screened: self.chi2_screened.load(Ordering::Relaxed),
+            chi2_exact: self.chi2_exact.load(Ordering::Relaxed),
+            pearson_screened: self.pearson_screened.load(Ordering::Relaxed),
+            pearson_exact: self.pearson_exact.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-column pre-filter sketches of one frame, built once (fanned
+/// out per column over [`crate::runtime::par_map`]) before the O(m²)
+/// pairwise pass.
+///
+/// `categorical[i]` doubles as the cached χ²-eligibility decision:
+/// it is `Some` exactly when the column is categorical/boolean with
+/// at most `max_categorical_domain` distinct values — the check the
+/// seed code re-derived (via `value_counts`) once per *pair*.
+struct FrameSketches {
+    numeric: Vec<Option<NumericSketch>>,
+    categorical: Vec<Option<CategoricalSketch>>,
+    /// Extra caution margin in standard-error units
+    /// ([`crate::config::Prefilter::margin`]).
+    margin: f64,
+}
+
+impl FrameSketches {
+    fn build(df: &DataFrame, cfg: &DiscoveryConfig, margin: f64, num_threads: usize) -> Self {
+        let schema = df.schema();
+        let n_rows = df.n_rows();
+        // Injective coding whenever the domain is χ²-eligible, capped
+        // so a huge `max_categorical_domain` cannot blow up the
+        // per-pair count table (beyond the cap codes are hashed and
+        // the pair is never screened).
+        let buckets = cfg
+            .max_categorical_domain
+            .clamp(sketch::DEFAULT_BUCKETS, 256);
+        let field_indices: Vec<usize> = (0..schema.fields().len()).collect();
+        let built = crate::runtime::par_map(field_indices, num_threads, |i| {
+            let field = &schema.fields()[i];
+            let Ok(col) = df.column(&field.name) else {
+                return (None, None);
+            };
+            match field.dtype {
+                DType::Int | DType::Float => {
+                    (Some(NumericSketch::build(n_rows, &col.f64_values())), None)
+                }
+                DType::Categorical | DType::Bool => {
+                    let counts = col.value_counts();
+                    if counts.len() > cfg.max_categorical_domain {
+                        return (None, None);
+                    }
+                    let mut codes: Vec<Option<u32>> = vec![None; n_rows];
+                    if field.dtype == DType::Bool {
+                        // `false` sorts before `true`, so the f64
+                        // coercion matches the sorted-distinct index
+                        // when both values occur.
+                        let both = counts.len() == 2;
+                        for (i, x) in col.f64_values() {
+                            codes[i] = Some(if both { x as u32 } else { 0 });
+                        }
+                    } else {
+                        let sorted: Vec<&str> = counts.iter().map(|(s, _)| s.as_str()).collect();
+                        for (i, s) in col.str_values() {
+                            codes[i] = sorted.binary_search(&s).ok().map(|p| p as u32);
+                        }
+                    }
+                    (
+                        None,
+                        Some(CategoricalSketch::from_codes(&codes, counts.len(), buckets)),
+                    )
+                }
+                DType::Text => (None, None),
+            }
+        });
+        let (numeric, categorical) = built.into_iter().unzip();
+        FrameSketches {
+            numeric,
+            categorical,
+            margin,
+        }
+    }
+}
 
 /// Discover the concretized profiles a dataset satisfies, per Fig 1.
 ///
@@ -28,11 +170,21 @@ pub fn discover_profiles_par(
     cfg: &DiscoveryConfig,
     num_threads: usize,
 ) -> Vec<Profile> {
+    discover_profiles_stats(df, cfg, num_threads).0
+}
+
+/// [`discover_profiles_par`] returning the pre-filter counters of the
+/// pairwise pass alongside the profiles.
+pub fn discover_profiles_stats(
+    df: &DataFrame,
+    cfg: &DiscoveryConfig,
+    num_threads: usize,
+) -> (Vec<Profile>, DiscoveryStats) {
     let mut out = Vec::new();
     let schema = df.schema();
     let n = df.n_rows();
     if n == 0 {
-        return out;
+        return (out, DiscoveryStats::default());
     }
     // Per-attribute profiles.
     let field_indices: Vec<usize> = (0..schema.fields().len()).collect();
@@ -76,26 +228,62 @@ pub fn discover_profiles_par(
         }
     }
     // Pairwise independence profiles (rows 7–9), fanned out per pair.
+    // With the pre-filter enabled, per-column sketches are built once
+    // (also fanned out) and pairs whose sketched dependence is already
+    // insignificant emit `alpha = 0` directly — identical to what the
+    // exact test would conclude — without paying for column
+    // extraction, coding, and the exact statistic.
     let fields = schema.fields();
+    let pair_relevant = cfg.indep_chi2 || cfg.indep_pearson || cfg.indep_causal;
+    let sketches = match cfg.prefilter.margin() {
+        Some(margin) if pair_relevant && fields.len() > 1 => {
+            Some(FrameSketches::build(df, cfg, margin, num_threads))
+        }
+        _ => None,
+    };
     let mut pairs = Vec::new();
     for i in 0..fields.len() {
         for j in (i + 1)..fields.len() {
             pairs.push((i, j));
         }
     }
+    let n_pairs = pairs.len();
+    let counters = PairCounters::default();
     let per_pair = crate::runtime::par_map(pairs, num_threads, |(i, j)| {
         let (fa, fb) = (&fields[i], &fields[j]);
         let mut found = Vec::new();
-        let cat = |f: &dp_frame::Field| {
-            matches!(f.dtype, DType::Categorical | DType::Bool)
-                && df
-                    .column(&f.name)
-                    .map(|c| c.value_counts().len() <= cfg.max_categorical_domain)
-                    .unwrap_or(false)
+        // χ² eligibility: categorical/boolean with a bounded domain.
+        // The sketch caches this per column; without it the seed
+        // re-derives it (via `value_counts`) for every pair.
+        let cat = |idx: usize, f: &dp_frame::Field| match &sketches {
+            Some(s) => s.categorical[idx].is_some(),
+            None => {
+                matches!(f.dtype, DType::Categorical | DType::Bool)
+                    && df
+                        .column(&f.name)
+                        .map(|c| c.value_counts().len() <= cfg.max_categorical_domain)
+                        .unwrap_or(false)
+            }
         };
         let num = |f: &dp_frame::Field| f.dtype.is_numeric();
-        if cfg.indep_chi2 && cat(fa) && cat(fb) {
-            let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Chi2);
+        if cfg.indep_chi2 && cat(i, fa) && cat(j, fb) {
+            // Only injectively coded pairs are screened: their
+            // sketched χ² is bit-identical to the exact test, so
+            // "insignificant" here is exactly the condition under
+            // which `dependence` returns 0.
+            let screened = sketches.as_ref().is_some_and(|s| {
+                let (Some(sa), Some(sb)) = (&s.categorical[i], &s.categorical[j]) else {
+                    return false;
+                };
+                sa.is_exact() && sb.is_exact() && !sketch::chi2_estimate(sa, sb).significant(0.05)
+            });
+            let alpha = if screened {
+                counters.chi2_screened.fetch_add(1, Ordering::Relaxed);
+                0.0
+            } else {
+                counters.chi2_exact.fetch_add(1, Ordering::Relaxed);
+                dependence(df, &fa.name, &fb.name, DependenceKind::Chi2)
+            };
             found.push(Profile::Indep {
                 a: fa.name.clone(),
                 b: fb.name.clone(),
@@ -104,7 +292,23 @@ pub fn discover_profiles_par(
             });
         }
         if cfg.indep_pearson && num(fa) && num(fb) {
-            let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Pearson);
+            // The numeric estimate recovers the exact joint-pair
+            // statistics (bitmap-masked when values are missing), so
+            // an insignificant inflated estimate implies the exact
+            // test is insignificant too.
+            let screened = sketches.as_ref().is_some_and(|s| {
+                let (Some(sa), Some(sb)) = (&s.numeric[i], &s.numeric[j]) else {
+                    return false;
+                };
+                !sketch::pearson_upper(sa, sb, s.margin).significant(0.05)
+            });
+            let alpha = if screened {
+                counters.pearson_screened.fetch_add(1, Ordering::Relaxed);
+                0.0
+            } else {
+                counters.pearson_exact.fetch_add(1, Ordering::Relaxed);
+                dependence(df, &fa.name, &fb.name, DependenceKind::Pearson)
+            };
             found.push(Profile::Indep {
                 a: fa.name.clone(),
                 b: fb.name.clone(),
@@ -112,7 +316,9 @@ pub fn discover_profiles_par(
                 kind: DependenceKind::Pearson,
             });
         }
-        if cfg.indep_causal && (num(fa) || cat(fa)) && (num(fb) || cat(fb)) {
+        if cfg.indep_causal && (num(fa) || cat(i, fa)) && (num(fb) || cat(j, fb)) {
+            // Never screened: the SEM coefficient has no significance
+            // gate, so no sketch outcome implies `alpha = 0`.
             let alpha = dependence(df, &fa.name, &fb.name, DependenceKind::Causal);
             found.push(Profile::Indep {
                 a: fa.name.clone(),
@@ -126,7 +332,7 @@ pub fn discover_profiles_par(
         found
     });
     out.extend(per_pair.into_iter().flatten());
-    out
+    (out, counters.snapshot(n_pairs))
 }
 
 /// All single-attribute profiles of one field (the body of the
@@ -234,23 +440,48 @@ fn discover_pair_selectivity(
     if pair_counts.len() > max_dom {
         return;
     }
+    let Ok(col) = df.column(attr) else {
+        return;
+    };
+    // One joint-count pass over the two columns instead of a
+    // full-frame `selectivity` scan per (v1, v2) cell — the scan was
+    // O(|dom_a| · |dom_b| · n). An `attr = "v"` predicate matches
+    // exactly the non-NULL string cells equal to `v` (cross-type
+    // comparisons are never equal), so the joint string-cell counts
+    // reproduce the conjunction's selectivity.
     let n = df.n_rows() as f64;
+    let b_vals = pair_col.str_values();
+    let mut b_at: Vec<Option<&str>> = vec![None; df.n_rows()];
+    for &(i, s) in &b_vals {
+        b_at[i] = Some(s);
+    }
+    let a_vals = col.str_values();
+    let mut joint: HashMap<(&str, &str), usize> = HashMap::new();
+    for &(i, sa) in &a_vals {
+        if let Some(sb) = b_at[i] {
+            *joint.entry((sa, sb)).or_insert(0) += 1;
+        }
+    }
     for (v1, _) in counts {
         for (v2, _) in &pair_counts {
-            let pred = Predicate::cmp(attr, CmpOp::Eq, v1.clone()).and(Predicate::cmp(
-                pair_attr,
-                CmpOp::Eq,
-                v2.clone(),
-            ));
-            if let Ok(sel) = df.selectivity(&pred) {
+            let Some(&count) = joint.get(&(v1.as_str(), v2.as_str())) else {
                 // Skip empty cells: a never-seen combination is not a
                 // meaningful selectivity expectation.
-                if sel * n >= 1.0 {
-                    out.push(Profile::Selectivity {
-                        predicate: pred,
-                        theta: sel,
-                    });
-                }
+                continue;
+            };
+            let sel = count as f64 / n;
+            // The historical guard, kept bit-for-bit: `sel * n` can
+            // round just below 1.0 for a singleton cell at some n.
+            if sel * n >= 1.0 {
+                let pred = Predicate::cmp(attr, CmpOp::Eq, v1.clone()).and(Predicate::cmp(
+                    pair_attr,
+                    CmpOp::Eq,
+                    v2.clone(),
+                ));
+                out.push(Profile::Selectivity {
+                    predicate: pred,
+                    theta: sel,
+                });
             }
         }
     }
@@ -367,28 +598,51 @@ pub fn discriminative_pvts_par(
     cfg: &DiscoveryConfig,
     num_threads: usize,
 ) -> Vec<Pvt> {
+    discriminative_pvts_stats(d_pass, d_fail, cfg, num_threads).0
+}
+
+/// [`discriminative_pvts_par`] returning the pre-filter counters
+/// (merged over both datasets) alongside the PVTs.
+pub fn discriminative_pvts_stats(
+    d_pass: &DataFrame,
+    d_fail: &DataFrame,
+    cfg: &DiscoveryConfig,
+    num_threads: usize,
+) -> (Vec<Pvt>, DiscoveryStats) {
     // Split the workers across the two datasets; each side fans out
     // per attribute with its share.
     let mut results = if num_threads > 1 {
         let side_threads = (num_threads / 2).max(1);
         crate::runtime::par_map(vec![d_pass, d_fail], 2, |df| {
-            discover_profiles_par(df, cfg, side_threads)
+            discover_profiles_stats(df, cfg, side_threads)
         })
     } else {
         vec![
-            discover_profiles(d_pass, cfg),
-            discover_profiles(d_fail, cfg),
+            discover_profiles_stats(d_pass, cfg, 1),
+            discover_profiles_stats(d_fail, cfg, 1),
         ]
     };
-    let fail_profiles = results.pop().expect("two datasets mapped");
-    let pass_profiles = results.pop().expect("two datasets mapped");
+    let (fail_profiles, fail_stats) = results.pop().expect("two datasets mapped");
+    let (pass_profiles, mut stats) = results.pop().expect("two datasets mapped");
+    stats.merge(&fail_stats);
+    // Index the failing side by template key: the identical-profile
+    // check is then a bucket probe instead of a scan over every
+    // failing profile (wide schemas discover O(m²) Indep profiles,
+    // and a scan per passing profile would be O(m⁴) comparisons).
+    let mut fail_index: HashMap<String, Vec<&Profile>> = HashMap::new();
+    for fp in &fail_profiles {
+        fail_index.entry(fp.template_key()).or_default().push(fp);
+    }
     let mut pvts = Vec::new();
     let mut id = 0;
     for profile in pass_profiles {
-        let key = profile.template_key();
-        let identical = fail_profiles.iter().any(|fp| {
-            fp.template_key() == key && fp.same_parameters(&profile, cfg.param_tolerance)
-        });
+        let identical = fail_index
+            .get(&profile.template_key())
+            .is_some_and(|bucket| {
+                bucket
+                    .iter()
+                    .any(|fp| fp.same_parameters(&profile, cfg.param_tolerance))
+            });
         if identical {
             continue;
         }
@@ -404,7 +658,7 @@ pub fn discriminative_pvts_par(
             id += 1;
         }
     }
-    pvts
+    (pvts, stats)
 }
 
 #[cfg(test)]
@@ -521,6 +775,92 @@ mod tests {
                 if predicate.to_string().contains('∧'))
         });
         assert!(pair, "conjunctive selectivity profile discovered");
+    }
+
+    #[test]
+    fn pair_selectivity_matches_bruteforce_on_max_domain() {
+        // Maximum-domain categorical pair (12 × 12 at the default
+        // `selectivity_max_domain`), with NULLs in both columns and
+        // singleton cells at n = 49 — the row count where a
+        // singleton's `sel * n` can round below 1.0, exercising the
+        // historical guard. The joint-count rewrite must reproduce
+        // the per-cell `DataFrame::selectivity` scan bit for bit.
+        let n = 49;
+        let a_vals: Vec<Option<String>> = (0..n)
+            .map(|i| {
+                if i % 10 == 9 {
+                    None
+                } else {
+                    Some(format!("a{:02}", i % 12))
+                }
+            })
+            .collect();
+        let b_vals: Vec<Option<String>> = (0..n)
+            .map(|i| {
+                if i % 7 == 6 {
+                    None
+                } else {
+                    Some(format!("b{:02}", (i / 2) % 12))
+                }
+            })
+            .collect();
+        let df = DataFrame::from_columns(vec![
+            Column::from_strings("a", DType::Categorical, a_vals),
+            Column::from_strings("b", DType::Categorical, b_vals),
+        ])
+        .unwrap();
+
+        // Brute force: the pre-rewrite implementation — a full-frame
+        // selectivity scan per (v1, v2) cell.
+        let counts = df.column("a").unwrap().value_counts();
+        let pair_counts = df.column("b").unwrap().value_counts();
+        assert_eq!(counts.len(), 12);
+        assert_eq!(pair_counts.len(), 12);
+        let nf = df.n_rows() as f64;
+        let mut expected = Vec::new();
+        for (v1, _) in &counts {
+            for (v2, _) in &pair_counts {
+                let pred = Predicate::cmp("a", CmpOp::Eq, v1.clone()).and(Predicate::cmp(
+                    "b",
+                    CmpOp::Eq,
+                    v2.clone(),
+                ));
+                let sel = df.selectivity(&pred).unwrap();
+                if sel * nf >= 1.0 {
+                    expected.push(Profile::Selectivity {
+                        predicate: pred,
+                        theta: sel,
+                    });
+                }
+            }
+        }
+        assert!(!expected.is_empty());
+
+        let mut actual = Vec::new();
+        discover_pair_selectivity(&df, "a", &counts, "b", 12, &mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn prefilter_parity_and_counters_on_fixture() {
+        let (pass, fail) = sentiment_pair();
+        let on = DiscoveryConfig::default();
+        let off = DiscoveryConfig {
+            prefilter: crate::config::Prefilter::Off,
+            ..Default::default()
+        };
+        for df in [&pass, &fail] {
+            let (p_off, s_off) = discover_profiles_stats(df, &off, 1);
+            let (p_on, s_on) = discover_profiles_stats(df, &on, 1);
+            assert_eq!(p_off, p_on, "profile parity");
+            assert_eq!(s_off.screened(), 0, "Off never screens");
+            assert_eq!(s_off.pairs, s_on.pairs, "same pairs surveyed");
+            assert_eq!(s_on.tests(), s_off.tests(), "same tests considered");
+        }
+        let (pvts_off, _) = discriminative_pvts_stats(&pass, &fail, &off, 1);
+        let (pvts_on, stats_on) = discriminative_pvts_stats(&pass, &fail, &on, 1);
+        assert_eq!(pvts_off, pvts_on, "discriminative PVT parity");
+        assert_eq!(stats_on.pairs, 2, "one pair per frame");
     }
 
     #[test]

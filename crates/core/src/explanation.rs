@@ -1,6 +1,7 @@
 //! Diagnosis results: the explanation of a system malfunction
 //! (Definition 10/11) plus an audit trail.
 
+use crate::discovery::DiscoveryStats;
 use crate::oracle::CacheStats;
 use crate::pvt::Pvt;
 use dp_frame::DataFrame;
@@ -62,6 +63,13 @@ pub struct Explanation {
     /// with `num_threads` — scheduling decides which queries become
     /// hits.
     pub cache: CacheStats,
+    /// Pre-filter counters of the profile-discovery pairwise pass:
+    /// how many pair tests the sketches screened out before the
+    /// exact χ²/Pearson statistic ran. Zero when the run was given
+    /// its PVTs directly (the `*_with_pvts` entry points skip
+    /// discovery). Unlike `cache`, these are identical for any
+    /// thread count.
+    pub discovery: DiscoveryStats,
 }
 
 impl Explanation {
@@ -133,6 +141,7 @@ mod tests {
             repaired: DataFrame::new(),
             trace: vec![TraceEvent::Discovered { n_pvts: 4 }],
             cache: CacheStats::default(),
+            discovery: DiscoveryStats::default(),
         }
     }
 

@@ -20,7 +20,7 @@
 
 use crate::benefit::benefit_scores;
 use crate::config::PrismConfig;
-use crate::discovery::{discriminative_pvts, discriminative_pvts_par};
+use crate::discovery::{discriminative_pvts_stats, DiscoveryStats};
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
@@ -127,8 +127,10 @@ pub fn explain_greedy(
     config: &PrismConfig,
 ) -> Result<Explanation> {
     // Lines 1–4: discriminative PVTs.
-    let pvts = discriminative_pvts(d_pass, d_fail, &config.discovery);
-    explain_greedy_with_pvts(system, d_fail, d_pass, pvts, config)
+    let (pvts, stats) = discriminative_pvts_stats(d_pass, d_fail, &config.discovery, 1);
+    let mut exp = explain_greedy_with_pvts(system, d_fail, d_pass, pvts, config)?;
+    exp.discovery = stats;
+    Ok(exp)
 }
 
 /// Algorithm 1 with a caller-supplied discriminative PVT set.
@@ -157,8 +159,11 @@ pub fn explain_greedy_parallel(
     d_pass: &DataFrame,
     config: &PrismConfig,
 ) -> Result<Explanation> {
-    let pvts = discriminative_pvts_par(d_pass, d_fail, &config.discovery, config.num_threads);
-    explain_greedy_parallel_with_pvts(factory, d_fail, d_pass, pvts, config)
+    let (pvts, stats) =
+        discriminative_pvts_stats(d_pass, d_fail, &config.discovery, config.num_threads);
+    let mut exp = explain_greedy_parallel_with_pvts(factory, d_fail, d_pass, pvts, config)?;
+    exp.discovery = stats;
+    Ok(exp)
 }
 
 /// [`explain_greedy_with_pvts`] on the parallel runtime.
@@ -349,6 +354,7 @@ pub(crate) fn run_greedy(
         repaired: current,
         trace,
         cache: rt.cache_stats(),
+        discovery: DiscoveryStats::default(),
     })
 }
 

@@ -23,7 +23,7 @@
 use crate::benefit::benefit_scores;
 use crate::bisection::{min_bisection, random_bisection};
 use crate::config::PrismConfig;
-use crate::discovery::{discriminative_pvts, discriminative_pvts_par};
+use crate::discovery::{discriminative_pvts_stats, DiscoveryStats};
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
@@ -62,8 +62,10 @@ pub fn explain_group_test(
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
     // Lines 1–4 of Alg 2.
-    let pvt_vec = discriminative_pvts(d_pass, d_fail, &config.discovery);
-    explain_group_test_with_pvts(system, d_fail, d_pass, pvt_vec, config, strategy)
+    let (pvt_vec, stats) = discriminative_pvts_stats(d_pass, d_fail, &config.discovery, 1);
+    let mut exp = explain_group_test_with_pvts(system, d_fail, d_pass, pvt_vec, config, strategy)?;
+    exp.discovery = stats;
+    Ok(exp)
 }
 
 /// Algorithm 2 with a caller-supplied discriminative PVT set (see
@@ -93,8 +95,12 @@ pub fn explain_group_test_parallel(
     config: &PrismConfig,
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
-    let pvt_vec = discriminative_pvts_par(d_pass, d_fail, &config.discovery, config.num_threads);
-    explain_group_test_parallel_with_pvts(factory, d_fail, d_pass, pvt_vec, config, strategy)
+    let (pvt_vec, stats) =
+        discriminative_pvts_stats(d_pass, d_fail, &config.discovery, config.num_threads);
+    let mut exp =
+        explain_group_test_parallel_with_pvts(factory, d_fail, d_pass, pvt_vec, config, strategy)?;
+    exp.discovery = stats;
+    Ok(exp)
 }
 
 /// [`explain_group_test_with_pvts`] on the parallel runtime.
@@ -214,6 +220,7 @@ fn run_group_test(
         repaired,
         trace,
         cache: rt.cache_stats(),
+        discovery: DiscoveryStats::default(),
     })
 }
 

@@ -82,7 +82,8 @@ pub mod runtime;
 pub mod transform;
 pub mod violation;
 
-pub use config::{DiscoveryConfig, PrismConfig};
+pub use config::{DiscoveryConfig, Prefilter, PrismConfig};
+pub use discovery::DiscoveryStats;
 pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;
@@ -97,6 +98,6 @@ pub use group_test::{
 pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};
 pub use profile::{DependenceKind, OutlierSpec, Profile};
 pub use pvt::Pvt;
-pub use runtime::{InterventionRuntime, ParOracle, Speculated, Speculation};
+pub use runtime::{par_map, InterventionRuntime, ParOracle, Speculated, Speculation};
 pub use transform::Transform;
 pub use violation::violation;

@@ -46,7 +46,7 @@ pub fn markdown_report(
     );
     let _ = writeln!(
         out,
-        "- oracle cache: **{} hit{} / {} miss{}**, {} speculative evaluation{}\n",
+        "- oracle cache: **{} hit{} / {} miss{}**, {} speculative evaluation{}",
         explanation.cache.hits,
         if explanation.cache.hits == 1 { "" } else { "s" },
         explanation.cache.misses,
@@ -61,6 +61,25 @@ pub fn markdown_report(
         } else {
             "s"
         },
+    );
+    let d = &explanation.discovery;
+    let _ = writeln!(
+        out,
+        "- discovery pre-filter: **{} of {} pair test{} screened** \
+         ({} χ² / {} Pearson skipped; {} exact test{} over {} attribute pair{})\n",
+        d.screened(),
+        d.tests(),
+        if d.tests() == 1 { "" } else { "s" },
+        d.chi2_screened,
+        d.pearson_screened,
+        d.tests() - d.screened(),
+        if d.tests() - d.screened() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        d.pairs,
+        if d.pairs == 1 { "" } else { "s" },
     );
 
     let _ = writeln!(out, "## Causes and fixes\n");
@@ -170,6 +189,7 @@ mod tests {
         assert!(report.contains("## Discriminative profiles"));
         assert!(report.contains("## Intervention trace"));
         assert!(report.contains("- oracle cache: **"));
+        assert!(report.contains("- discovery pre-filter: **"));
         assert!(report.contains("resolved"));
         assert!(report.contains("**yes**"), "explanation row flagged");
     }
@@ -187,6 +207,7 @@ mod tests {
             repaired: fail.clone(),
             trace: Vec::new(),
             cache: crate::oracle::CacheStats::default(),
+            discovery: crate::discovery::DiscoveryStats::default(),
         };
         let report = markdown_report(&exp, &pass, &fail, 0.2, &DiscoveryConfig::default());
         assert!(report.contains("UNRESOLVED"));

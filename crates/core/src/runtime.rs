@@ -352,7 +352,12 @@ impl InterventionRuntime for ParOracle<'_> {
 /// preserving item order in the output. With `num_threads ≤ 1` (or a
 /// single item) this is a plain serial map, so results are identical
 /// for any thread count as long as `f` is pure.
-pub(crate) fn par_map<T, R, F>(items: Vec<T>, num_threads: usize, f: F) -> Vec<R>
+///
+/// This is the fan-out primitive behind parallel discovery — per
+/// attribute, per attribute pair, and per frame for the pre-filter
+/// sketches — and is public so benchmarks and downstream harnesses
+/// can reuse it for deterministic data-parallel work.
+pub fn par_map<T, R, F>(items: Vec<T>, num_threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

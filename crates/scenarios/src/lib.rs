@@ -4,7 +4,8 @@
 //! [`sentiment`], [`income`], [`cardio`] — and the synthetic
 //! pipelines of §5.2 / appendix D ([`synthetic`]), including the
 //! Fig 6 toy ([`synthetic::toy_fig6`]) and the rank-54 adversarial
-//! pipeline ([`synthetic::adversarial_rank`]).
+//! pipeline ([`synthetic::adversarial_rank`]), plus wide-schema
+//! datasets ([`wide`]) that stress the O(m²) discovery pre-filter.
 //!
 //! Each case study returns a [`Scenario`]: a passing dataset, a
 //! failing dataset, a black-box [`dataprism::System`], the
@@ -29,5 +30,6 @@ pub mod scenario;
 pub mod sensors;
 pub mod sentiment;
 pub mod synthetic;
+pub mod wide;
 
 pub use scenario::Scenario;

@@ -1,0 +1,308 @@
+//! Wide-schema synthetic datasets for the discovery pre-filter.
+//!
+//! The paper's evaluation datasets are narrow (≤ 15 attributes), so
+//! the O(m²) pairwise independence pass of §4.1 never dominates. Real
+//! feature matrices are not: at a few hundred attributes the pair
+//! tests swamp every other discovery cost. This module generates
+//! schemas of that shape — a mix of numeric and categorical columns,
+//! mostly mutually independent, with a handful of *planted*
+//! correlated groups — which is exactly the regime the sketch
+//! pre-filter ([`dataprism::Prefilter`]) is built for: the sketch
+//! screens the independent bulk and the exact χ²/Pearson tests run
+//! only on the planted (and borderline) pairs.
+//!
+//! The failing dataset additionally carries the usual discriminative
+//! corruptions (domain shift, missing values, a categorical domain
+//! change, and two dependence *changes* — pairs independent in
+//! `d_pass` but coupled in `d_fail`), so discriminative-PVT discovery
+//! has real work to do on both frames. Both frames also carry
+//! background NULLs so the pre-filter's masked (pairwise-deletion)
+//! estimate path is exercised, not just the dense fast path.
+
+use dp_frame::{Column, DType, DataFrame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct categories of a clean categorical column (`v0`..`v5`).
+pub const CAT_DOMAIN: usize = 6;
+
+/// Attribute index of the numeric column that suffers a domain shift
+/// in `d_fail`.
+pub const PLANT_DOMAIN_NUM: usize = 0;
+/// Attribute index of the numeric column that loses values in
+/// `d_fail`.
+pub const PLANT_MISSING: usize = 1;
+/// Attribute index of the categorical column whose domain grows in
+/// `d_fail`.
+pub const PLANT_DOMAIN_CAT: usize = 3;
+/// Numeric pair independent in `d_pass` but correlated in `d_fail`.
+pub const PLANT_COUPLED_NUM: (usize, usize) = (2, 7);
+/// Categorical pair independent in `d_pass` but dependent in
+/// `d_fail`.
+pub const PLANT_COUPLED_CAT: (usize, usize) = (8, 9);
+
+/// A wide passing/failing dataset pair (no system: the wide scenario
+/// exists to stress *discovery*, which is oracle-free).
+pub struct WideScenario {
+    /// Clean dataset.
+    pub d_pass: DataFrame,
+    /// Dataset with the planted discriminative corruptions.
+    pub d_fail: DataFrame,
+}
+
+/// Whether attribute `i` is numeric (`n{i}`) or categorical (`c{i}`).
+/// The cycle is three numeric columns then two categorical ones.
+pub fn is_numeric(i: usize) -> bool {
+    i % 5 < 3
+}
+
+/// Name of attribute `i` (`n{i}` or `c{i}`).
+pub fn attr_name(i: usize) -> String {
+    if is_numeric(i) {
+        format!("n{i}")
+    } else {
+        format!("c{i}")
+    }
+}
+
+enum ColData {
+    Num(Vec<Option<f64>>),
+    Cat(Vec<Option<usize>>),
+}
+
+/// Generate a wide passing/failing pair with `n_attributes` columns
+/// and `n_rows` rows. Deterministic in `seed`.
+///
+/// Layout (see the module docs): every 10th numeric column tracks a
+/// shared latent factor and every 10th categorical column tracks a
+/// shared discrete latent (planted dependence in *both* frames);
+/// every 7th-ish column carries ~2.5% background NULLs in both
+/// frames; `d_fail` additionally gets the five discriminative plants
+/// named by the `PLANT_*` constants.
+pub fn wide_schema(n_attributes: usize, n_rows: usize, seed: u64) -> WideScenario {
+    assert!(
+        n_attributes >= 10,
+        "wide_schema needs at least 10 attributes to host its plants"
+    );
+    assert!(n_rows >= 20, "wide_schema needs at least 20 rows");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d_pass = frame(n_attributes, n_rows, &mut rng, false);
+    let d_fail = frame(n_attributes, n_rows, &mut rng, true);
+    WideScenario { d_pass, d_fail }
+}
+
+fn frame(m: usize, n: usize, rng: &mut StdRng, fail: bool) -> DataFrame {
+    // Shared latent factors: columns that track them are mutually
+    // dependent, everything else is independent.
+    let latent_num: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+    let latent_cat: Vec<usize> = (0..n).map(|_| rng.gen_range(0..CAT_DOMAIN)).collect();
+
+    let mut cols: Vec<ColData> = (0..m)
+        .map(|i| {
+            if is_numeric(i) {
+                let vals = (0..n)
+                    .map(|r| {
+                        Some(if i.is_multiple_of(10) {
+                            0.8 * latent_num[r] + 0.2 * rng.gen::<f64>()
+                        } else {
+                            rng.gen()
+                        })
+                    })
+                    .collect();
+                ColData::Num(vals)
+            } else {
+                let vals = (0..n)
+                    .map(|r| {
+                        Some(if i % 10 == 4 && !rng.gen_bool(0.15) {
+                            latent_cat[r]
+                        } else {
+                            rng.gen_range(0..CAT_DOMAIN)
+                        })
+                    })
+                    .collect();
+                ColData::Cat(vals)
+            }
+        })
+        .collect();
+
+    // Background NULLs in both frames: the pre-filter must take the
+    // masked estimate path on these columns, not the dense one.
+    for (i, col) in cols.iter_mut().enumerate() {
+        if i % 7 != 3 {
+            continue;
+        }
+        match col {
+            ColData::Num(vals) => {
+                for v in vals.iter_mut() {
+                    if rng.gen_bool(0.025) {
+                        *v = None;
+                    }
+                }
+            }
+            ColData::Cat(vals) => {
+                for v in vals.iter_mut() {
+                    if rng.gen_bool(0.025) {
+                        *v = None;
+                    }
+                }
+            }
+        }
+    }
+
+    if fail {
+        plant_failures(&mut cols, rng);
+    }
+
+    DataFrame::from_columns(
+        cols.into_iter()
+            .enumerate()
+            .map(|(i, col)| match col {
+                ColData::Num(vals) => Column::from_floats(attr_name(i), vals),
+                ColData::Cat(vals) => Column::from_strings(
+                    attr_name(i),
+                    DType::Categorical,
+                    vals.into_iter()
+                        .map(|v| v.map(|c| format!("v{c}")))
+                        .collect(),
+                ),
+            })
+            .collect(),
+    )
+    .expect("unique generated names")
+}
+
+fn plant_failures(cols: &mut [ColData], rng: &mut StdRng) {
+    // Domain shift: 30% of n0 leaves [0, 1].
+    if let ColData::Num(vals) = &mut cols[PLANT_DOMAIN_NUM] {
+        for v in vals.iter_mut() {
+            if rng.gen_bool(0.3) {
+                *v = Some(2.0 + rng.gen::<f64>());
+            }
+        }
+    }
+    // Missing: 20% of n1 nulled.
+    if let ColData::Num(vals) = &mut cols[PLANT_MISSING] {
+        for v in vals.iter_mut() {
+            if rng.gen_bool(0.2) {
+                *v = None;
+            }
+        }
+    }
+    // Categorical domain change: 25% of c3 takes a value outside the
+    // passing domain.
+    if let ColData::Cat(vals) = &mut cols[PLANT_DOMAIN_CAT] {
+        for v in vals.iter_mut() {
+            if v.is_some() && rng.gen_bool(0.25) {
+                *v = Some(CAT_DOMAIN);
+            }
+        }
+    }
+    // Dependence change, numeric: n7 starts tracking n2, so the
+    // ⟨Indep, (n2, n7), α≈0⟩ profile of d_pass is violated.
+    let (a, b) = PLANT_COUPLED_NUM;
+    let src: Vec<Option<f64>> = match &cols[a] {
+        ColData::Num(vals) => vals.clone(),
+        ColData::Cat(_) => unreachable!("n2 is numeric by layout"),
+    };
+    if let ColData::Num(vals) = &mut cols[b] {
+        for (v, s) in vals.iter_mut().zip(&src) {
+            if let Some(s) = s {
+                *v = Some((s + 0.08 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0));
+            }
+        }
+    }
+    // Dependence change, categorical: c9 starts tracking c8.
+    let (a, b) = PLANT_COUPLED_CAT;
+    let src: Vec<Option<usize>> = match &cols[a] {
+        ColData::Cat(vals) => vals.clone(),
+        ColData::Num(_) => unreachable!("c8 is categorical by layout"),
+    };
+    if let ColData::Cat(vals) = &mut cols[b] {
+        for (v, s) in vals.iter_mut().zip(&src) {
+            if let Some(s) = s {
+                if !rng.gen_bool(0.1) {
+                    *v = Some(*s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_plants_are_present() {
+        let w = wide_schema(25, 200, 42);
+        assert_eq!(w.d_pass.n_cols(), 25);
+        assert_eq!(w.d_fail.n_cols(), 25);
+        assert_eq!(w.d_pass.n_rows(), 200);
+        // Column naming and typing follow the 3-numeric/2-categorical
+        // cycle.
+        for i in 0..25 {
+            let col = w.d_pass.column(&attr_name(i)).unwrap();
+            assert_eq!(col.dtype() == DType::Float, is_numeric(i), "{}", col.name());
+        }
+        // The pass frame stays in [0, 1]; the fail frame leaves it.
+        let in_unit = |df: &DataFrame, name: &str| {
+            df.column(name)
+                .unwrap()
+                .f64_values()
+                .iter()
+                .all(|(_, v)| (0.0..=1.0).contains(v))
+        };
+        assert!(in_unit(&w.d_pass, "n0"));
+        assert!(!in_unit(&w.d_fail, "n0"), "domain plant missing");
+        // Missing plant: d_fail has far more NULLs in n1.
+        assert!(w.d_fail.column("n1").unwrap().null_count() > 20);
+        assert_eq!(w.d_pass.column("n1").unwrap().null_count(), 0);
+        // Categorical domain plant: v6 only exists in d_fail.
+        let has_v6 = |df: &DataFrame| {
+            df.column("c3")
+                .unwrap()
+                .str_values()
+                .iter()
+                .any(|(_, s)| *s == "v6")
+        };
+        assert!(!has_v6(&w.d_pass));
+        assert!(has_v6(&w.d_fail), "categorical domain plant missing");
+        // Background NULLs exist in both frames (masked-path fuel).
+        assert!(w.d_pass.column(&attr_name(3)).unwrap().null_count() > 0);
+    }
+
+    #[test]
+    fn coupled_pairs_change_between_frames() {
+        let w = wide_schema(30, 300, 7);
+        let corr = |df: &DataFrame, a: &str, b: &str| {
+            let xs: Vec<f64> = df
+                .column(a)
+                .unwrap()
+                .f64_values()
+                .iter()
+                .map(|(_, v)| *v)
+                .collect();
+            let ys: Vec<f64> = df
+                .column(b)
+                .unwrap()
+                .f64_values()
+                .iter()
+                .map(|(_, v)| *v)
+                .collect();
+            let n = xs.len().min(ys.len());
+            dp_stats::pearson(&xs[..n], &ys[..n]).r
+        };
+        assert!(corr(&w.d_pass, "n2", "n7").abs() < 0.2);
+        assert!(corr(&w.d_fail, "n2", "n7") > 0.8, "numeric coupling plant");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = wide_schema(15, 60, 9);
+        let b = wide_schema(15, 60, 9);
+        assert_eq!(
+            format!("{:?}", a.d_fail.column("n0").unwrap()),
+            format!("{:?}", b.d_fail.column("n0").unwrap()),
+        );
+    }
+}

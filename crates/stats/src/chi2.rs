@@ -27,43 +27,66 @@ impl Chi2Result {
     }
 }
 
+/// The independent (degenerate) test result: zero statistic, p = 1.
+const INDEPENDENT: Chi2Result = Chi2Result {
+    statistic: 0.0,
+    p_value: 1.0,
+    df: 0,
+    cramers_v: 0.0,
+};
+
 /// Pearson χ² statistic for a contingency table.
 ///
 /// Degenerate tables (any dimension < 2, or zero total) return a zero
 /// statistic with p-value 1 — attributes with a single observed value
 /// cannot exhibit dependence.
 pub fn chi_squared(table: &ContingencyTable) -> Chi2Result {
-    let r = table.rows.len();
-    let c = table.cols.len();
-    let n = table.total() as f64;
-    if r < 2 || c < 2 || n == 0.0 {
-        return Chi2Result {
-            statistic: 0.0,
-            p_value: 1.0,
-            df: 0,
-            cramers_v: 0.0,
-        };
+    chi_squared_counts(&table.counts)
+}
+
+/// [`chi_squared`] over a raw count matrix (rows × columns).
+///
+/// Degrees of freedom are computed from the *effective* dimensions —
+/// rows and columns with at least one observation. Tables whose
+/// occupancy collapses to a single non-empty row or column carry no
+/// measurable dependence and return the independent result; the
+/// previous `(r-1)(c-1)` over raw dimensions produced a misleadingly
+/// small p-value for such tables. For tables without empty rows or
+/// columns (every [`ContingencyTable::from_frame`] table) the result
+/// is unchanged. Empty cells never contribute to the statistic, so
+/// padding a table with empty rows/columns is a no-op — the
+/// pre-filter sketches rely on this to evaluate fixed-width
+/// co-occurrence tables without compaction.
+pub fn chi_squared_counts(counts: &[Vec<u64>]) -> Chi2Result {
+    let r = counts.len();
+    let c = counts.iter().map(|row| row.len()).max().unwrap_or(0);
+    let row_totals: Vec<u64> = counts.iter().map(|row| row.iter().sum()).collect();
+    let mut col_totals = vec![0u64; c];
+    for row in counts {
+        for (j, &v) in row.iter().enumerate() {
+            col_totals[j] += v;
+        }
     }
-    let row_totals = table.row_totals();
-    let col_totals = table.col_totals();
+    let n = row_totals.iter().sum::<u64>() as f64;
+    let eff_r = row_totals.iter().filter(|&&t| t > 0).count();
+    let eff_c = col_totals.iter().filter(|&&t| t > 0).count();
+    if eff_r < 2 || eff_c < 2 || n == 0.0 {
+        return INDEPENDENT;
+    }
     let mut stat = 0.0;
     for i in 0..r {
-        for j in 0..c {
+        for j in 0..counts[i].len() {
             let expected = row_totals[i] as f64 * col_totals[j] as f64 / n;
             if expected > 0.0 {
-                let diff = table.counts[i][j] as f64 - expected;
+                let diff = counts[i][j] as f64 - expected;
                 stat += diff * diff / expected;
             }
         }
     }
-    let df = (r - 1) * (c - 1);
+    let df = (eff_r - 1) * (eff_c - 1);
     let p_value = chi2_sf(stat, df as f64);
-    let k = (r.min(c) - 1) as f64;
-    let cramers_v = if k > 0.0 {
-        (stat / (n * k)).sqrt().min(1.0)
-    } else {
-        0.0
-    };
+    let k = (eff_r.min(eff_c) - 1) as f64;
+    let cramers_v = (stat / (n * k)).sqrt().min(1.0);
     Chi2Result {
         statistic: stat,
         p_value,
@@ -141,6 +164,44 @@ mod tests {
         let res = chi_squared(&table(&a, &b));
         assert!((res.statistic - 18.7266).abs() < 1e-3, "{}", res.statistic);
         assert!(res.p_value < 1e-4 && res.p_value > 1e-6, "{}", res.p_value);
+    }
+
+    #[test]
+    fn collapsed_occupancy_is_independent() {
+        // Regression: a manually built table whose observations all
+        // land in one row used to report df = 1 and a real statistic
+        // even though a single non-empty row cannot show dependence.
+        let res = chi_squared_counts(&[vec![30, 10], vec![0, 0]]);
+        assert_eq!(res.statistic, 0.0);
+        assert_eq!(res.p_value, 1.0);
+        assert_eq!(res.df, 0);
+        assert!(!res.significant(0.05));
+        // Same for a single non-empty column.
+        let res = chi_squared_counts(&[vec![30, 0], vec![10, 0]]);
+        assert_eq!(res.df, 0);
+        assert_eq!(res.p_value, 1.0);
+    }
+
+    #[test]
+    fn empty_rows_and_columns_are_padding() {
+        // The pre-filter sketches evaluate fixed-width tables where
+        // unused buckets stay empty; those must not change the result.
+        let dense = chi_squared_counts(&[vec![10, 20], vec![30, 5]]);
+        let padded = chi_squared_counts(&[vec![10, 0, 20, 0], vec![0, 0, 0, 0], vec![30, 0, 5, 0]]);
+        assert_eq!(dense.statistic.to_bits(), padded.statistic.to_bits());
+        assert_eq!(dense.p_value.to_bits(), padded.p_value.to_bits());
+        assert_eq!(dense.df, padded.df);
+        assert_eq!(dense.cramers_v.to_bits(), padded.cramers_v.to_bits());
+    }
+
+    #[test]
+    fn counts_match_table_path() {
+        let a = ["x", "x", "x", "y", "y", "y"];
+        let b = ["p", "p", "q", "q", "q", "p"];
+        let t = table(&a, &b);
+        let via_table = chi_squared(&t);
+        let via_counts = chi_squared_counts(&t.counts);
+        assert_eq!(via_table, via_counts);
     }
 
     #[test]

@@ -28,11 +28,34 @@ impl Correlation {
 
 /// Pearson product-moment correlation between paired slices.
 ///
-/// Returns `r = 0, p = 1` for degenerate inputs (fewer than 2 pairs or
-/// zero variance) — profile discovery treats those as "no dependence".
-/// Panics if the slices have different lengths.
+/// Pairs containing a NaN or infinite observation are dropped before
+/// computing (listwise deletion); `n` reports the pairs actually used.
+/// Returns `r = 0, p = 1` for degenerate inputs (fewer than 2 finite
+/// pairs or zero variance) — profile discovery treats those as "no
+/// dependence". Panics if the slices have different lengths.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> Correlation {
     assert_eq!(xs.len(), ys.len(), "paired observations required");
+    if xs
+        .iter()
+        .zip(ys)
+        .any(|(x, y)| !x.is_finite() || !y.is_finite())
+    {
+        let (fx, fy) = finite_pairs(xs, ys);
+        return pearson_finite(&fx, &fy);
+    }
+    pearson_finite(xs, ys)
+}
+
+/// The pairs where both observations are finite.
+fn finite_pairs(xs: &[f64], ys: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    xs.iter()
+        .zip(ys)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .unzip()
+}
+
+fn pearson_finite(xs: &[f64], ys: &[f64]) -> Correlation {
     let n = xs.len();
     if n < 2 {
         return Correlation {
@@ -74,8 +97,10 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Correlation {
     Correlation { r, p_value, n }
 }
 
-/// Average ranks (ties share the mean rank), 1-based.
-fn ranks(xs: &[f64]) -> Vec<f64> {
+/// Average ranks (ties share the mean rank), 1-based. Callers must
+/// pass finite values: `total_cmp` sorts NaNs to the end, which would
+/// silently shift every average rank.
+pub(crate) fn ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
@@ -96,10 +121,19 @@ fn ranks(xs: &[f64]) -> Vec<f64> {
 }
 
 /// Spearman rank correlation (Pearson on average ranks), with the
-/// same t-approximation p-value.
+/// same t-approximation p-value. Non-finite pairs are dropped *before*
+/// ranking — ranking them would corrupt every other average rank.
 pub fn spearman(xs: &[f64], ys: &[f64]) -> Correlation {
     assert_eq!(xs.len(), ys.len(), "paired observations required");
-    pearson(&ranks(xs), &ranks(ys))
+    if xs
+        .iter()
+        .zip(ys)
+        .any(|(x, y)| !x.is_finite() || !y.is_finite())
+    {
+        let (fx, fy) = finite_pairs(xs, ys);
+        return pearson_finite(&ranks(&fx), &ranks(&fy));
+    }
+    pearson_finite(&ranks(xs), &ranks(ys))
 }
 
 /// Partial Pearson correlation of `x` and `y` controlling for a set
@@ -170,6 +204,47 @@ mod tests {
     fn ranks_handle_ties() {
         let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn nan_pairs_are_dropped_not_propagated() {
+        // Regression: a single NaN observation used to poison r (every
+        // sum became NaN, so `significant` was silently false).
+        let xs = [1.0, 2.0, f64::NAN, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 7.0, 6.0, 8.0, 10.0];
+        let c = pearson(&xs, &ys);
+        let clean = pearson(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(c.n, 5, "NaN pair excluded from the count");
+        assert_eq!(c.r.to_bits(), clean.r.to_bits());
+        assert_eq!(c.p_value.to_bits(), clean.p_value.to_bits());
+        // Infinities are equally un-summable.
+        let c = pearson(&[1.0, f64::INFINITY, 3.0, 4.0, 5.0], &ys[..5]);
+        assert!(c.r.is_finite() && c.p_value.is_finite());
+        assert_eq!(c.n, 4);
+    }
+
+    #[test]
+    fn too_few_finite_pairs_degenerate() {
+        let c = pearson(&[1.0, f64::NAN, f64::NAN], &[2.0, 3.0, 4.0]);
+        assert_eq!(c.r, 0.0);
+        assert_eq!(c.p_value, 1.0);
+        assert_eq!(c.n, 1);
+    }
+
+    #[test]
+    fn spearman_ranks_are_not_corrupted_by_nan() {
+        // Regression: ranks() sorted NaNs to the end via total_cmp, so
+        // a NaN in xs shifted ranks in xs but not ys, breaking a
+        // perfect monotone association.
+        let xs = [1.0, 2.0, f64::NAN, 3.0, 4.0, 5.0];
+        let ys = [1.0, 4.0, 2.5, 9.0, 16.0, 25.0];
+        let c = spearman(&xs, &ys);
+        assert_eq!(c.n, 5);
+        assert!(
+            (c.r - 1.0).abs() < 1e-12,
+            "monotone after deletion, r = {}",
+            c.r
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   (row 3's "regex over `D.A_j` learned via pattern discovery").
 //! - [`causal`] — a TETRAD substitute: standardized linear-SEM
 //!   coefficients and a partial-correlation PC skeleton (row 9).
+//! - [`sketch`] — streaming per-column summaries (moments, ranks,
+//!   hashed co-occurrence codes) whose conservative pairwise
+//!   dependence estimates let discovery skip the exact independence
+//!   test on pairs the sketch can already rule out.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,8 +41,9 @@ pub mod histogram;
 pub mod information;
 pub mod outlier;
 pub mod pattern;
+pub mod sketch;
 
-pub use chi2::{chi_squared, Chi2Result};
+pub use chi2::{chi_squared, chi_squared_counts, Chi2Result};
 pub use correlation::{pearson, spearman, Correlation};
 pub use outlier::{IqrDetector, MadDetector, OutlierDetector, ZScoreDetector};
 pub use pattern::Pattern;

@@ -1,0 +1,583 @@
+//! Streaming pre-filter sketches for pairwise dependence discovery.
+//!
+//! Profile discovery's independence pass (Fig 1 rows 7–8) is O(m²)
+//! in attributes, and each exact test re-extracts, re-codes and
+//! re-allocates both columns. This module provides per-column
+//! one-pass summaries that make a *conservative* pairwise dependence
+//! estimate cheap, so the exact test only runs on pairs the sketch
+//! cannot rule out:
+//!
+//! - [`NumericSketch`] — one-pass (Welford) moments plus a centered,
+//!   zero-filled value array and a presence bitmap. For a pair of
+//!   null-free columns the Pearson estimate is a single dot product;
+//!   with missing values a bitmap-masked pass recovers the exact
+//!   joint-pair statistics. Either way the estimate agrees with
+//!   [`crate::correlation::pearson`] over the aligned non-null pairs
+//!   up to floating-point noise. Average-rank summaries support a
+//!   Spearman estimate the same way.
+//! - [`CategoricalSketch`] — a per-row code array (the value's index
+//!   in the column's sorted distinct order, hashed into a fixed
+//!   bucket width when the domain is larger). For injectively coded
+//!   pairs the χ² estimate is **bit-identical** to
+//!   [`crate::chi2::chi_squared`] over the
+//!   `ContingencyTable::from_frame` table: the joint-count pass uses
+//!   the same pairwise deletion, the sorted code order reproduces the
+//!   table's label order, and [`crate::chi2::chi_squared_counts`]
+//!   ignores empty padding rows/columns.
+//!
+//! The `*_upper` functions inflate the estimate by a slack margin
+//! before the significance check: a tiny floating-point floor when
+//! the estimate is exact-equivalent, a caller-scaled term otherwise
+//! (hashed categorical codes can only merge cells, which shrinks the
+//! χ² statistic). A pair whose *inflated* estimate is still
+//! insignificant would also fail the exact test, so discovery can
+//! skip it.
+
+use crate::chi2::{chi_squared_counts, Chi2Result};
+use crate::correlation::{ranks, Correlation};
+use crate::distributions::{chi2_sf, t_sf_two_sided};
+
+/// Default bucket width of the categorical co-occurrence sketch.
+/// Columns with at most this many distinct values are coded
+/// injectively, making the sketched χ² bit-identical to the exact
+/// test; wider domains fall back to hashed (lossy) codes.
+pub const DEFAULT_BUCKETS: usize = 64;
+
+/// Floating-point slack on an exact-equivalent correlation estimate:
+/// the sketch accumulates the same sums in a different order/form, so
+/// the coefficient can differ from the two-pass computation by a few
+/// ulps — never by more than this.
+const R_FP_MARGIN: f64 = 1e-6;
+
+/// One-pass summary of a numeric column: moments, centered values,
+/// presence bitmap, and average-rank analogues for Spearman.
+#[derive(Debug, Clone)]
+pub struct NumericSketch {
+    n_rows: usize,
+    /// Finite, non-null observations.
+    n: usize,
+    /// Sum of squared deviations from the column mean.
+    m2: f64,
+    /// `value - mean` per row; `0.0` where absent.
+    centered: Vec<f64>,
+    /// Sum of squared deviations of the average ranks.
+    rank_m2: f64,
+    /// `rank - mean_rank` per row; `0.0` where absent.
+    rank_centered: Vec<f64>,
+    /// Presence bitmap (little-endian 64-bit words).
+    present: Vec<u64>,
+    /// No row is missing or non-finite.
+    exact: bool,
+}
+
+impl NumericSketch {
+    /// Build from the column's non-null `(row index, value)` list and
+    /// the total row count. NaN and infinite observations are treated
+    /// as absent, mirroring the listwise deletion of
+    /// [`crate::correlation::pearson`].
+    pub fn build(n_rows: usize, values: &[(usize, f64)]) -> Self {
+        let mut n = 0usize;
+        let mut mean = 0.0;
+        let mut m2 = 0.0;
+        for &(_, v) in values {
+            if v.is_finite() {
+                n += 1;
+                let d = v - mean;
+                mean += d / n as f64;
+                m2 += d * (v - mean);
+            }
+        }
+        let words = n_rows.div_ceil(64);
+        let mut centered = vec![0.0; n_rows];
+        let mut present = vec![0u64; words];
+        let mut finite = Vec::with_capacity(n);
+        let mut finite_rows = Vec::with_capacity(n);
+        for &(i, v) in values {
+            if v.is_finite() {
+                centered[i] = v - mean;
+                present[i / 64] |= 1u64 << (i % 64);
+                finite.push(v);
+                finite_rows.push(i);
+            }
+        }
+        let rk = ranks(&finite);
+        let rank_mean = (n as f64 + 1.0) / 2.0;
+        let mut rank_centered = vec![0.0; n_rows];
+        let mut rank_m2 = 0.0;
+        for (&i, &r) in finite_rows.iter().zip(&rk) {
+            let d = r - rank_mean;
+            rank_centered[i] = d;
+            rank_m2 += d * d;
+        }
+        NumericSketch {
+            n_rows,
+            n,
+            m2,
+            centered,
+            rank_m2,
+            rank_centered,
+            present,
+            exact: n == n_rows,
+        }
+    }
+
+    /// Finite, non-null observations summarized.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether every row is present (pair estimates against another
+    /// exact sketch are then exact up to floating-point noise).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
+/// The t-distribution p-value [`crate::correlation::pearson`] attaches
+/// to a coefficient over `n` pairs.
+fn p_of_r(r: f64, n: usize) -> f64 {
+    if n < 3 {
+        return 1.0;
+    }
+    if r.abs() >= 1.0 {
+        return 0.0;
+    }
+    let df = (n - 2) as f64;
+    let t = r * (df / (1.0 - r * r)).sqrt();
+    t_sf_two_sided(t, df)
+}
+
+/// Correlation estimate from joint sums over `n` pairs of values that
+/// were centered by per-column (not per-pair) means: recenter by the
+/// joint means, then form the coefficient.
+fn corr_from_sums(n: usize, sx: f64, sy: f64, sxx: f64, syy: f64, sxy: f64) -> Correlation {
+    if n < 2 {
+        return Correlation {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
+    }
+    let nf = n as f64;
+    let cxx = sxx - sx * sx / nf;
+    let cyy = syy - sy * sy / nf;
+    let cxy = sxy - sx * sy / nf;
+    if cxx <= 0.0 || cyy <= 0.0 {
+        return Correlation {
+            r: 0.0,
+            p_value: 1.0,
+            n,
+        };
+    }
+    let r = (cxy / (cxx * cyy).sqrt()).clamp(-1.0, 1.0);
+    Correlation {
+        r,
+        p_value: p_of_r(r, n),
+        n,
+    }
+}
+
+/// Pearson estimate for a column pair from their sketches.
+///
+/// Agrees with [`crate::correlation::pearson`] over the aligned
+/// non-null finite pairs up to floating-point noise: when both
+/// columns are fully present the joint co-moment is a dot product of
+/// the centered arrays; otherwise a bitmap-masked pass recovers the
+/// joint-pair sums exactly.
+pub fn pearson_estimate(a: &NumericSketch, b: &NumericSketch) -> Correlation {
+    assert_eq!(a.n_rows, b.n_rows, "sketches of the same frame required");
+    if a.exact && b.exact {
+        if a.m2 <= 0.0 || b.m2 <= 0.0 || a.n < 2 {
+            return Correlation {
+                r: 0.0,
+                p_value: 1.0,
+                n: a.n,
+            };
+        }
+        let dot: f64 = a.centered.iter().zip(&b.centered).map(|(x, y)| x * y).sum();
+        let r = (dot / (a.m2 * b.m2).sqrt()).clamp(-1.0, 1.0);
+        return Correlation {
+            r,
+            p_value: p_of_r(r, a.n),
+            n: a.n,
+        };
+    }
+    masked_estimate(a, b, &a.centered, &b.centered)
+}
+
+/// Spearman estimate from the average-rank summaries. Exact-equivalent
+/// to [`crate::correlation::spearman`] only when both columns are
+/// fully present (with missing values, ranks over the joint subset
+/// differ from masked full-column ranks), so it carries no exactness
+/// guarantee — use it as a monotone-dependence screen.
+pub fn spearman_estimate(a: &NumericSketch, b: &NumericSketch) -> Correlation {
+    assert_eq!(a.n_rows, b.n_rows, "sketches of the same frame required");
+    if a.exact && b.exact {
+        if a.rank_m2 <= 0.0 || b.rank_m2 <= 0.0 || a.n < 2 {
+            return Correlation {
+                r: 0.0,
+                p_value: 1.0,
+                n: a.n,
+            };
+        }
+        let dot: f64 = a
+            .rank_centered
+            .iter()
+            .zip(&b.rank_centered)
+            .map(|(x, y)| x * y)
+            .sum();
+        let r = (dot / (a.rank_m2 * b.rank_m2).sqrt()).clamp(-1.0, 1.0);
+        return Correlation {
+            r,
+            p_value: p_of_r(r, a.n),
+            n: a.n,
+        };
+    }
+    masked_estimate(a, b, &a.rank_centered, &b.rank_centered)
+}
+
+/// Joint-pair sums over the rows present in both sketches.
+fn masked_estimate(a: &NumericSketch, b: &NumericSketch, xs: &[f64], ys: &[f64]) -> Correlation {
+    let mut n = 0usize;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (w, (&wa, &wb)) in a.present.iter().zip(&b.present).enumerate() {
+        let mut bits = wa & wb;
+        while bits != 0 {
+            let i = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let (x, y) = (xs[i], ys[i]);
+            n += 1;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+    }
+    corr_from_sums(n, sx, sy, sxx, syy, sxy)
+}
+
+/// Conservative upper envelope of the exact Pearson test: the
+/// estimate's |r| inflated by a slack margin, with the matching
+/// p-value. If this is still insignificant, the exact test over the
+/// same pairs is too.
+///
+/// The numeric estimate reproduces the exact joint-pair statistics,
+/// so the margin is the floating-point floor plus `margin_se`
+/// standard errors of extra caution (`0.0` trusts the estimate to
+/// the fp floor; discovery's default is driven by
+/// `Prefilter::margin`).
+pub fn pearson_upper(a: &NumericSketch, b: &NumericSketch, margin_se: f64) -> Correlation {
+    let est = pearson_estimate(a, b);
+    let se = 1.0 / ((est.n as f64 - 3.0).max(1.0)).sqrt();
+    let r_up = (est.r.abs() + R_FP_MARGIN + margin_se * se).min(1.0);
+    Correlation {
+        r: r_up,
+        p_value: p_of_r(r_up, est.n),
+        n: est.n,
+    }
+}
+
+/// Per-row co-occurrence codes of a categorical (or boolean) column.
+#[derive(Debug, Clone)]
+pub struct CategoricalSketch {
+    /// Bucket per row; `NULL_CODE` where absent.
+    codes: Vec<u32>,
+    /// Bucket width actually used.
+    buckets: usize,
+    /// Codes are injective (domain fits the bucket width).
+    exact: bool,
+}
+
+const NULL_CODE: u32 = u32::MAX;
+
+/// SplitMix64 finalizer — mixes sorted-order indices so hashed
+/// buckets don't systematically merge adjacent values.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CategoricalSketch {
+    /// Build from per-row value codes, where `codes[i]` is the row's
+    /// index into the column's **sorted distinct-value order** (as
+    /// produced by `value_counts`) and `None` marks NULL. `distinct`
+    /// is the domain size; when it fits `buckets` the codes are kept
+    /// injective — sorted order included — so the pairwise table
+    /// reproduces `ContingencyTable::from_frame` exactly. Larger
+    /// domains are hashed into the bucket width.
+    pub fn from_codes(codes: &[Option<u32>], distinct: usize, buckets: usize) -> Self {
+        assert!(buckets > 0, "at least one bucket required");
+        let exact = distinct <= buckets;
+        let mapped = codes
+            .iter()
+            .map(|c| match c {
+                None => NULL_CODE,
+                Some(v) if exact => *v,
+                Some(v) => (splitmix64(*v as u64) % buckets as u64) as u32,
+            })
+            .collect();
+        CategoricalSketch {
+            codes: mapped,
+            buckets: if exact { distinct.max(1) } else { buckets },
+            exact,
+        }
+    }
+
+    /// Whether the coding is injective (the χ² estimate is then
+    /// bit-identical to the exact test).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
+
+/// χ² estimate for a column pair from their co-occurrence sketches:
+/// one joint-count pass over the code arrays (pairwise deletion, like
+/// `ContingencyTable::from_frame`) into a fixed-width table, scored
+/// by [`chi_squared_counts`]. Bit-identical to the exact test when
+/// both sketches are injective.
+pub fn chi2_estimate(a: &CategoricalSketch, b: &CategoricalSketch) -> Chi2Result {
+    assert_eq!(
+        a.codes.len(),
+        b.codes.len(),
+        "sketches of the same frame required"
+    );
+    let mut counts = vec![vec![0u64; b.buckets]; a.buckets];
+    for (&ca, &cb) in a.codes.iter().zip(&b.codes) {
+        if ca != NULL_CODE && cb != NULL_CODE {
+            counts[ca as usize][cb as usize] += 1;
+        }
+    }
+    chi_squared_counts(&counts)
+}
+
+/// Conservative upper envelope of the exact χ² test. Injective pairs
+/// return the estimate unchanged (it *is* the exact test); hashed
+/// codes can only merge cells — which shrinks the statistic — so the
+/// statistic is inflated by `margin_sd` standard deviations of the
+/// null χ² distribution (`√(2·df)`) before the p-value is taken.
+pub fn chi2_upper(a: &CategoricalSketch, b: &CategoricalSketch, margin_sd: f64) -> Chi2Result {
+    let est = chi2_estimate(a, b);
+    if a.exact && b.exact {
+        return est;
+    }
+    let df = est.df.max(1);
+    let stat = est.statistic + margin_sd * (2.0 * df as f64).sqrt();
+    Chi2Result {
+        statistic: stat,
+        p_value: chi2_sf(stat, df as f64),
+        df: est.df,
+        cramers_v: est.cramers_v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chi2::chi_squared;
+    use crate::correlation::{pearson, spearman};
+    use dp_frame::groupby::ContingencyTable;
+    use dp_frame::{Column, DType, DataFrame};
+
+    fn dense_sketch(values: &[f64]) -> NumericSketch {
+        let pairs: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+        NumericSketch::build(values.len(), &pairs)
+    }
+
+    /// Deterministic pseudo-random stream (LCG) for test data.
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(13);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_pearson_estimate_matches_exact() {
+        let xs = stream(1, 500);
+        let ys: Vec<f64> = stream(2, 500)
+            .iter()
+            .zip(&xs)
+            .map(|(e, x)| 0.3 * x + e)
+            .collect();
+        let exact = pearson(&xs, &ys);
+        let est = pearson_estimate(&dense_sketch(&xs), &dense_sketch(&ys));
+        assert_eq!(est.n, exact.n);
+        assert!(
+            (est.r - exact.r).abs() < 1e-12,
+            "estimate {} vs exact {}",
+            est.r,
+            exact.r
+        );
+        assert!((est.p_value - exact.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_pearson_estimate_matches_exact_over_joint_pairs() {
+        // Missing values on both sides: the estimate must agree with
+        // pearson over the aligned non-null pairs, not the full rows.
+        let xs = stream(3, 400);
+        let ys = stream(4, 400);
+        let a_vals: Vec<(usize, f64)> = xs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 5 != 0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        let b_vals: Vec<(usize, f64)> = ys
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 7 != 3)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        let a = NumericSketch::build(400, &a_vals);
+        let b = NumericSketch::build(400, &b_vals);
+        assert!(!a.is_exact() && !b.is_exact());
+        // Reference: pairwise deletion by hand.
+        let mut jx = Vec::new();
+        let mut jy = Vec::new();
+        for i in 0..400 {
+            if i % 5 != 0 && i % 7 != 3 {
+                jx.push(xs[i]);
+                jy.push(ys[i]);
+            }
+        }
+        let exact = pearson(&jx, &jy);
+        let est = pearson_estimate(&a, &b);
+        assert_eq!(est.n, exact.n);
+        assert!(
+            (est.r - exact.r).abs() < 1e-10,
+            "estimate {} vs exact {}",
+            est.r,
+            exact.r
+        );
+    }
+
+    #[test]
+    fn non_finite_values_are_treated_as_absent() {
+        let mut xs = stream(5, 100);
+        xs[17] = f64::NAN;
+        xs[42] = f64::INFINITY;
+        let pairs: Vec<(usize, f64)> = xs.iter().copied().enumerate().collect();
+        let a = NumericSketch::build(100, &pairs);
+        assert_eq!(a.count(), 98);
+        assert!(!a.is_exact());
+        let ys = stream(6, 100);
+        let est = pearson_estimate(&a, &dense_sketch(&ys));
+        let exact = pearson(&xs, &ys); // drops non-finite pairs itself
+        assert_eq!(est.n, exact.n);
+        assert!((est.r - exact.r).abs() < 1e-10);
+    }
+
+    #[test]
+    fn upper_envelope_dominates_exact_coefficient() {
+        let xs = stream(7, 300);
+        let ys: Vec<f64> = stream(8, 300)
+            .iter()
+            .zip(&xs)
+            .map(|(e, x)| 0.15 * x + e)
+            .collect();
+        let exact = pearson(&xs, &ys);
+        let up = pearson_upper(&dense_sketch(&xs), &dense_sketch(&ys), 0.0);
+        assert!(up.r >= exact.r.abs());
+        assert!(up.p_value <= exact.p_value + 1e-12);
+        // A significant exact test can never be screened.
+        if exact.significant(0.05) {
+            assert!(up.significant(0.05));
+        }
+    }
+
+    #[test]
+    fn dense_spearman_estimate_matches_exact() {
+        let xs = stream(9, 200);
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x).exp()).collect();
+        let exact = spearman(&xs, &ys);
+        let est = spearman_estimate(&dense_sketch(&xs), &dense_sketch(&ys));
+        assert!(
+            (est.r - exact.r).abs() < 1e-10,
+            "estimate {} vs exact {}",
+            est.r,
+            exact.r
+        );
+    }
+
+    fn codes_of(vals: &[Option<&str>]) -> (Vec<Option<u32>>, usize) {
+        let mut distinct: Vec<&str> = vals.iter().flatten().copied().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let codes = vals
+            .iter()
+            .map(|v| v.map(|s| distinct.binary_search(&s).unwrap() as u32))
+            .collect();
+        (codes, distinct.len())
+    }
+
+    #[test]
+    fn injective_chi2_estimate_is_bit_identical_to_exact() {
+        // Interleave nulls so pairwise deletion is exercised.
+        let a_vals: Vec<Option<&str>> = (0..240)
+            .map(|i| match i % 8 {
+                0 => None,
+                1..=3 => Some("x"),
+                4 | 5 => Some("y"),
+                _ => Some("z"),
+            })
+            .collect();
+        let b_vals: Vec<Option<&str>> = (0..240)
+            .map(|i| match (i / 3) % 5 {
+                0 => Some("p"),
+                1 | 2 => Some("q"),
+                3 => None,
+                _ => Some("r"),
+            })
+            .collect();
+        let df = DataFrame::from_columns(vec![
+            Column::from_strings(
+                "a",
+                DType::Categorical,
+                a_vals.iter().map(|v| v.map(str::to_string)).collect(),
+            ),
+            Column::from_strings(
+                "b",
+                DType::Categorical,
+                b_vals.iter().map(|v| v.map(str::to_string)).collect(),
+            ),
+        ])
+        .unwrap();
+        let exact = chi_squared(&ContingencyTable::from_frame(&df, "a", "b").unwrap());
+        let (ca, da) = codes_of(&a_vals);
+        let (cb, db) = codes_of(&b_vals);
+        let sa = CategoricalSketch::from_codes(&ca, da, DEFAULT_BUCKETS);
+        let sb = CategoricalSketch::from_codes(&cb, db, DEFAULT_BUCKETS);
+        assert!(sa.is_exact() && sb.is_exact());
+        let est = chi2_estimate(&sa, &sb);
+        assert_eq!(est.statistic.to_bits(), exact.statistic.to_bits());
+        assert_eq!(est.p_value.to_bits(), exact.p_value.to_bits());
+        assert_eq!(est.df, exact.df);
+        assert_eq!(est.cramers_v.to_bits(), exact.cramers_v.to_bits());
+        // The upper envelope of an injective pair IS the exact test.
+        let up = chi2_upper(&sa, &sb, 1.0);
+        assert_eq!(up, est);
+    }
+
+    #[test]
+    fn hashed_chi2_upper_inflates_the_statistic() {
+        // Force hashing with a tiny bucket width.
+        let vals: Vec<Option<u32>> = (0..300).map(|i| Some(i % 12)).collect();
+        let other: Vec<Option<u32>> = (0..300).map(|i| Some((i / 25) % 12)).collect();
+        let sa = CategoricalSketch::from_codes(&vals, 12, 4);
+        let sb = CategoricalSketch::from_codes(&other, 12, 4);
+        assert!(!sa.is_exact());
+        let est = chi2_estimate(&sa, &sb);
+        let up = chi2_upper(&sa, &sb, 2.0);
+        assert!(up.statistic > est.statistic);
+        assert!(up.p_value <= est.p_value);
+    }
+}
