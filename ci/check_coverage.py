@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet gate for `crates/core`.
+
+Reads a `cargo llvm-cov --json` export, computes the aggregate line
+coverage over files under `crates/core/src/`, and compares it against
+`ci/coverage-baseline.txt`:
+
+- below the baseline -> exit 1 (coverage regressed; add tests or,
+  if lines were deliberately removed, justify lowering the baseline
+  in review);
+- above the baseline by more than the slack -> exit 0 but print a
+  reminder to ratchet the baseline up, so gains are locked in.
+
+Usage: check_coverage.py <coverage.json> [baseline-file]
+"""
+
+import json
+import sys
+
+SLACK = 2.0  # points above baseline before we nag to ratchet
+CORE_PREFIX = "crates/core/src/"
+
+
+def main() -> int:
+    export_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else "ci/coverage-baseline.txt"
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = float(f.read().strip())
+    with open(export_path, encoding="utf-8") as f:
+        export = json.load(f)
+
+    covered = 0
+    total = 0
+    for datum in export["data"]:
+        for file_cov in datum["files"]:
+            if CORE_PREFIX not in file_cov["filename"]:
+                continue
+            lines = file_cov["summary"]["lines"]
+            covered += lines["covered"]
+            total += lines["count"]
+
+    if total == 0:
+        print(f"no files under {CORE_PREFIX} in {export_path}; wrong export?")
+        return 1
+
+    percent = 100.0 * covered / total
+    print(f"crates/core line coverage: {percent:.2f}% ({covered}/{total} lines)")
+    print(f"baseline (ci/coverage-baseline.txt): {baseline:.2f}%")
+
+    if percent < baseline:
+        print(f"FAIL: coverage dropped below the {baseline:.2f}% ratchet")
+        return 1
+    if percent > baseline + SLACK:
+        print(
+            f"note: coverage exceeds the baseline by more than {SLACK} points; "
+            f"consider ratcheting ci/coverage-baseline.txt up to {percent:.1f}"
+        )
+    print("coverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

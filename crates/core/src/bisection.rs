@@ -10,7 +10,56 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use std::collections::BTreeSet;
+
+/// Derive the seed of one of the documented per-node RNG streams of
+/// the group-testing recursion: a SplitMix64-style mix of the run
+/// seed ([`crate::PrismConfig::seed`]), a stream tag, and the
+/// canonical (sorted) id set identifying the node. The mix is fully
+/// specified here — no `std` hasher — so derived streams are stable
+/// across runs, platforms, and toolchains.
+///
+/// Making every partition and every composed application a *pure
+/// function* of `(seed, ids)` — instead of consuming one global
+/// sequential stream — is what lets the parallel runtime speculate
+/// arbitrary descendants of the recursion tree: any future node's
+/// candidate frame can be materialized on a worker thread without
+/// replaying the serial history, and the serial replay derives the
+/// exact same stream when it arrives. It also makes `GrpTest`
+/// baseline partitions reproducible across thread counts and
+/// intervention histories.
+pub fn stream_seed(seed: u64, tag: u64, ids: &[usize]) -> u64 {
+    let mut acc = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &id in ids {
+        let mut z = acc
+            .wrapping_add(id as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        acc = z ^ (z >> 31);
+    }
+    acc
+}
+
+/// Stream tag for partitioning draws (bisection shuffles and local
+/// search) — see [`stream_seed`].
+pub const PARTITION_STREAM: u64 = 0x50_41_52_54; // "PART"
+
+/// Stream tag for transformation-application draws (composed
+/// transforms consuming randomness) — see [`stream_seed`].
+pub const APPLY_STREAM: u64 = 0x41_50_50_4C; // "APPL"
+
+/// The RNG for partitioning the candidate set `ids`: seeded from the
+/// documented [`PARTITION_STREAM`] over the canonicalized id set, so
+/// the same candidates always partition the same way for a given run
+/// seed — regardless of thread count, speculation depth, or how many
+/// interventions preceded the call.
+pub fn partition_rng(seed: u64, ids: &[usize]) -> StdRng {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    StdRng::seed_from_u64(stream_seed(seed, PARTITION_STREAM, &sorted))
+}
 
 /// Partition `items` into two halves whose sizes differ by at most
 /// one, minimizing (locally) the number of `edges` crossing the cut.

@@ -141,6 +141,20 @@ pub struct PrismConfig {
     /// the oracle's fingerprint cache speculatively. Defaults to the
     /// machine's available parallelism.
     pub num_threads: usize,
+    /// Depth of speculative lookahead into the group-testing
+    /// recursion tree (`num_threads > 1` only). At every bisection
+    /// node not already covered by an ancestor's frontier, worker
+    /// threads pre-bisect this many *additional* levels of the
+    /// recursion tree and score the descendant half-compositions
+    /// into the fingerprint cache: `0` overlaps only the node's own
+    /// two halves (the pre-speculation behavior), `1` adds the four
+    /// grandchildren, `2` the great-grandchildren, and so on
+    /// (`2^(d+2) − 2` candidate frames per cold node). The knob has
+    /// **no effect on results** — explanations, scores, traces, and
+    /// intervention counts are bit-identical at every depth and
+    /// thread count — only on wall clock and the speculative cache
+    /// counters ([`crate::CacheStats`]).
+    pub gt_speculation_depth: usize,
 }
 
 impl Default for PrismConfig {
@@ -156,6 +170,7 @@ impl Default for PrismConfig {
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            gt_speculation_depth: 1,
         }
     }
 }

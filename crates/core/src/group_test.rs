@@ -21,7 +21,7 @@
 //! Fig 7, observed on the Cardiovascular study).
 
 use crate::benefit::benefit_scores;
-use crate::bisection::{min_bisection, random_bisection};
+use crate::bisection::{min_bisection, partition_rng, random_bisection, stream_seed, APPLY_STREAM};
 use crate::config::PrismConfig;
 use crate::discovery::{discriminative_pvts_stats, DiscoveryStats};
 use crate::error::{PrismError, Result};
@@ -30,11 +30,12 @@ use crate::graph::PvtAttributeGraph;
 use crate::greedy::{make_minimal, validate_inputs};
 use crate::oracle::{Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
-use crate::runtime::{InterventionRuntime, ParOracle, Speculation};
+use crate::runtime::{DetachedSpeculation, InterventionRuntime, ParOracle, Speculation};
 use dp_frame::DataFrame;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// How Group-Test splits the candidate set (Alg 3 line 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,14 @@ struct GtCtx<'o, 'p> {
     rt: &'o mut dyn InterventionRuntime,
     strategy: PartitionStrategy,
     seed_order: Vec<usize>,
+    /// Run seed — every partition and composed application derives
+    /// its own RNG stream from it (see [`stream_seed`]), making both
+    /// pure functions of the candidate id set.
+    seed: u64,
+    /// [`PrismConfig::gt_speculation_depth`]: how many extra levels
+    /// of the recursion tree each cold node pre-bisects and scores
+    /// speculatively.
+    depth: usize,
 }
 
 /// Run `DataPrism-GT` / `GrpTest` (Algorithm 2).
@@ -82,12 +91,14 @@ pub fn explain_group_test_with_pvts(
     run_group_test(&mut oracle, d_fail, d_pass, pvt_vec, config, strategy)
 }
 
-/// [`explain_group_test`] on the parallel runtime: the two halves of
-/// every bisection probe are materialized and scored concurrently
-/// (the second half's score becomes a cache hit only if the serial
+/// [`explain_group_test`] on the parallel runtime: at every cold
+/// bisection node the two halves *plus*
+/// [`PrismConfig::gt_speculation_depth`] further levels of
+/// pre-bisected descendants are materialized and scored concurrently
+/// (a speculated score becomes a cache hit only if the serial
 /// decision path actually asks for it), and discovery fans out per
 /// attribute. Explanations and intervention counts are bit-for-bit
-/// identical to the serial run.
+/// identical to the serial run at every depth and thread count.
 pub fn explain_group_test_parallel(
     factory: &dyn SystemFactory,
     d_fail: &DataFrame,
@@ -139,12 +150,11 @@ fn run_group_test(
     }];
     let graph = PvtAttributeGraph::new(&pvt_vec);
     let pvts: BTreeMap<usize, &Pvt> = pvt_vec.iter().map(|p| (p.id, p)).collect();
-    let mut rng = StdRng::seed_from_u64(config.seed);
 
     // A3 applicability check: the full composition must reduce the
     // malfunction (see module docs).
     let all_ids: Vec<usize> = pvts.keys().copied().collect();
-    let (full, _) = apply_ids(&pvts, &all_ids, d_fail, &mut rng)?;
+    let (full, _) = apply_ids(&pvts, &all_ids, d_fail, config.seed)?;
     let full_score = rt.intervene(&full);
     trace.push(TraceEvent::Intervention {
         pvt_ids: all_ids.clone(),
@@ -173,13 +183,15 @@ fn run_group_test(
         rt: &mut *rt,
         strategy,
         seed_order,
+        seed: config.seed,
+        depth: config.gt_speculation_depth,
     };
     let (repaired, selected_ids) = group_test_rec(
         &mut ctx,
         &all_ids,
         d_fail.clone(),
         Some(initial_score),
-        &mut rng,
+        0,
         &mut trace,
     )?;
     let score = ctx.rt.intervene(&repaired);
@@ -225,45 +237,122 @@ fn run_group_test(
 }
 
 /// Apply the composition of the transformations of `ids` (ascending)
-/// to `d`.
+/// to `d`, on the id set's own derived RNG stream.
 fn apply_ids(
     pvts: &BTreeMap<usize, &Pvt>,
     ids: &[usize],
     d: &DataFrame,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> Result<(DataFrame, usize)> {
     let mut sorted = ids.to_vec();
     sorted.sort_unstable();
+    let mut rng = apply_rng(seed, &sorted);
     let refs: Vec<&Pvt> = sorted
         .iter()
         .filter_map(|id| pvts.get(id).copied())
         .collect();
-    apply_composition(&refs, d, rng)
+    apply_composition(&refs, d, &mut rng)
+}
+
+/// The RNG stream consumed when applying the composition of `ids`
+/// (which must already be sorted): a pure function of `(seed, ids)`,
+/// so serial replay and speculative workers materialize bit-identical
+/// frames for the same candidate set.
+fn apply_rng(seed: u64, sorted_ids: &[usize]) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(seed, APPLY_STREAM, sorted_ids))
+}
+
+/// A synchronous materialize-and-score job for the composition of
+/// `ids` applied to `base` (the node's own half probes).
+fn sync_apply_job<'a>(ctx: &GtCtx<'_, 'a>, ids: &[usize], base: &'a DataFrame) -> Speculation<'a> {
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    let rng = apply_rng(ctx.seed, &sorted);
+    let refs: Vec<&'a Pvt> = sorted
+        .iter()
+        .filter_map(|id| ctx.pvts.get(id).copied())
+        .collect();
+    Speculation::Apply {
+        pvts: refs,
+        base,
+        rng,
+    }
+}
+
+/// Pre-bisect both halves of a cold node and plan the probe frames of
+/// the next `ctx.depth` levels of the recursion tree as **detached**
+/// cache-warming jobs, breadth-first (shallower probes are charged
+/// sooner, so they must leave the queue first) — the lookahead
+/// frontier of [`group_test_rec`]. Because partitioning and
+/// application both run on per-node derived streams, any descendant's
+/// candidate frame is computable here without replaying the serial
+/// decision history; whichever branches the serial order takes later
+/// find their oracle queries already warm (or in flight), and the
+/// rest is counted as speculative waste.
+fn plan_frontier(
+    ctx: &GtCtx<'_, '_>,
+    x1: &[usize],
+    x2: &[usize],
+    base: &Arc<DataFrame>,
+) -> Vec<DetachedSpeculation> {
+    let mut jobs = Vec::new();
+    let mut queue: VecDeque<(Vec<usize>, usize)> = VecDeque::new();
+    queue.push_back((x1.to_vec(), 0));
+    queue.push_back((x2.to_vec(), 0));
+    while let Some((ids, level)) = queue.pop_front() {
+        if level >= ctx.depth || ids.len() <= 1 {
+            continue;
+        }
+        let (a, b) = partition(ctx, &ids);
+        for half in [a, b] {
+            if half.is_empty() {
+                continue;
+            }
+            let mut sorted = half.clone();
+            sorted.sort_unstable();
+            let rng = apply_rng(ctx.seed, &sorted);
+            let pvts: Vec<Pvt> = sorted
+                .iter()
+                .filter_map(|id| ctx.pvts.get(id).map(|p| (*p).clone()))
+                .collect();
+            jobs.push(DetachedSpeculation {
+                pvts,
+                base: Arc::clone(base),
+                rng,
+            });
+            queue.push_back((half, level + 1));
+        }
+    }
+    jobs
 }
 
 /// Algorithm 3 (Group-Test). `score` carries `m_S(d)` when the
 /// caller already knows it (line 5 of the pseudocode recomputes it;
 /// passing it down avoids charging a redundant intervention for a
-/// dataset whose score the algorithm just observed).
+/// dataset whose score the algorithm just observed). `covered` is
+/// the number of levels below this node an ancestor's speculative
+/// frontier already materialized and scored: a covered node charges
+/// its probes straight out of the fingerprint cache and defers
+/// planning to the first cold descendant.
 fn group_test_rec(
     ctx: &mut GtCtx<'_, '_>,
     candidates: &[usize],
     d: DataFrame,
     score: Option<f64>,
-    rng: &mut StdRng,
+    covered: usize,
     trace: &mut Vec<TraceEvent>,
 ) -> Result<(DataFrame, Vec<usize>)> {
     // Lines 2–3: a single candidate is applied and reported.
     if candidates.len() == 1 {
-        let (transformed, _) = apply_ids(ctx.pvts, candidates, &d, rng)?;
+        let (transformed, _) = apply_ids(ctx.pvts, candidates, &d, ctx.seed)?;
         return Ok((transformed, candidates.to_vec()));
     }
     if candidates.is_empty() || ctx.rt.exhausted() {
         return Ok((d, Vec::new()));
     }
 
-    // Line 4: partition.
-    let (x1, x2) = partition(ctx, candidates, rng);
+    // Line 4: partition (pure function of the candidate set).
+    let (x1, x2) = partition(ctx, candidates);
 
     // Line 5: current malfunction.
     let m = match score {
@@ -271,36 +360,39 @@ fn group_test_rec(
         None => ctx.rt.intervene(&d),
     };
 
-    // Line 6: intervene with all of X1, applied on the main thread so
-    // the RNG stream advances exactly as in a serial run.
-    let (d1, _) = apply_ids(ctx.pvts, &x1, &d, rng)?;
-    // On a parallel runtime, materialize and score X2's half
-    // concurrently with X1's scoring: if X1 turns out to pass, the
-    // serial run never asks about X2 — its speculative score is
-    // surplus cache warmth, uncharged, and the RNG stream is left
-    // exactly where the serial run would leave it (X2 unapplied).
-    let (d1, x2_speculated) = if ctx.rt.speculation_width() > 1 && !x2.is_empty() {
-        let mut sorted2 = x2.clone();
-        sorted2.sort_unstable();
-        let refs2: Vec<&Pvt> = sorted2
-            .iter()
-            .filter_map(|id| ctx.pvts.get(id).copied())
-            .collect();
-        let jobs = vec![
-            Speculation::Ready(d1),
-            Speculation::Apply {
-                pvts: refs2,
-                base: &d,
-                rng: rng.clone(),
-            },
-        ];
-        let mut spec = ctx.rt.speculate(jobs)?;
-        let job2 = spec.pop().expect("two jobs queued");
-        let job1 = spec.pop().expect("two jobs queued");
-        (job1.frame, Some(job2))
+    // On a parallel runtime, a node not covered by an ancestor's
+    // frontier fires `ctx.depth` levels of pre-bisected descendant
+    // probes as detached background jobs, then materializes and
+    // scores its own two halves concurrently. The detached frontier
+    // keeps draining while the serial replay below charges queries
+    // and recurses — covered descendants find their probes already
+    // scored (cache hit) or in flight. The replay decides exactly as
+    // a `num_threads = 1` run would; a wrong lookahead guess is
+    // uncharged waste, never a different search.
+    let speculate_here = ctx.rt.speculation_width() > 1 && !x1.is_empty() && !x2.is_empty();
+    let (d1, x2_speculated, child_covered) = if speculate_here {
+        let child_covered = if covered == 0 {
+            if ctx.depth > 0 {
+                let base = Arc::new(d.clone());
+                ctx.rt
+                    .speculate_detached(plan_frontier(ctx, &x1, &x2, &base));
+            }
+            ctx.depth
+        } else {
+            covered - 1
+        };
+        let jobs = vec![sync_apply_job(ctx, &x1, &d), sync_apply_job(ctx, &x2, &d)];
+        let spec = ctx.rt.speculate(jobs)?;
+        let mut frames = spec.into_iter();
+        let d1 = frames.next().expect("X1 job queued").frame;
+        let d2 = frames.next().expect("X2 job queued").frame;
+        (d1, Some(d2), child_covered)
     } else {
-        (d1, None)
+        let (d1, _) = apply_ids(ctx.pvts, &x1, &d, ctx.seed)?;
+        (d1, None, 0)
     };
+
+    // Line 6: intervene with all of X1.
     let s1 = ctx.rt.intervene(&d1);
     let delta1 = m - s1;
     trace.push(TraceEvent::Intervention {
@@ -310,20 +402,14 @@ fn group_test_rec(
         kept: delta1 > 0.0,
     });
 
-    // Lines 7–8: X1 insufficient → also probe X2.
+    // Lines 7–8: X1 insufficient → also probe X2. (If X1 passes, a
+    // speculated X2 frame is simply dropped — surplus cache warmth.)
     let mut delta2 = 0.0;
     let mut s2 = f64::INFINITY;
     if !ctx.rt.passes(s1) {
         let d2 = match x2_speculated {
-            Some(job2) => {
-                // Adopt the RNG state the deferred application
-                // consumed — identical to applying X2 here.
-                if let Some(rng_after) = job2.rng_after {
-                    *rng = rng_after;
-                }
-                job2.frame
-            }
-            None => apply_ids(ctx.pvts, &x2, &d, rng)?.0,
+            Some(frame) => frame,
+            None => apply_ids(ctx.pvts, &x2, &d, ctx.seed)?.0,
         };
         s2 = ctx.rt.intervene(&d2);
         delta2 = m - s2;
@@ -341,7 +427,7 @@ fn group_test_rec(
     // Lines 9–13: recurse into X1 when it is sufficient alone, or
     // when it helps and X2 alone is insufficient.
     if ctx.rt.passes(s1) || (delta1 > 0.0 && !ctx.rt.passes(s2)) {
-        let (d_next, mut found) = group_test_rec(ctx, &x1, current, Some(m), rng, trace)?;
+        let (d_next, mut found) = group_test_rec(ctx, &x1, current, Some(m), child_covered, trace)?;
         current = d_next;
         selected.append(&mut found);
         if ctx.rt.passes(s1) {
@@ -352,10 +438,16 @@ fn group_test_rec(
 
     // Lines 14–16: recurse into X2 when it helps. When X1's subtree
     // already applied transformations, `current`'s score is unknown
-    // and the child must re-measure.
+    // and the child must re-measure; the ancestor frontier (which
+    // speculated against the *unmodified* base frame) no longer
+    // covers it either.
     if delta2 > 0.0 {
-        let hint = if selected.is_empty() { Some(m) } else { None };
-        let (d_next, mut found) = group_test_rec(ctx, &x2, current, hint, rng, trace)?;
+        let (hint, cov) = if selected.is_empty() {
+            (Some(m), child_covered)
+        } else {
+            (None, 0)
+        };
+        let (d_next, mut found) = group_test_rec(ctx, &x2, current, hint, cov, trace)?;
         current = d_next;
         selected.append(&mut found);
     }
@@ -369,13 +461,16 @@ fn group_test_rec(
 /// time) so group testing scales to the paper's 10⁵-PVT regime.
 const LOCAL_SEARCH_LIMIT: usize = 64;
 
-fn partition(
-    ctx: &GtCtx<'_, '_>,
-    candidates: &[usize],
-    rng: &mut StdRng,
-) -> (Vec<usize>, Vec<usize>) {
+/// Bisect the candidate set. A pure function of `(ctx.seed,
+/// candidates)` — randomized strategies draw from the candidate
+/// set's own derived stream ([`partition_rng`]), never from shared
+/// sequential state — so the lookahead planner and the serial replay
+/// agree on every split, and `GrpTest` splits reproduce across
+/// thread counts.
+fn partition(ctx: &GtCtx<'_, '_>, candidates: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = partition_rng(ctx.seed, candidates);
     match ctx.strategy {
-        PartitionStrategy::Random => random_bisection(candidates, rng),
+        PartitionStrategy::Random => random_bisection(candidates, &mut rng),
         PartitionStrategy::MinBisection if candidates.len() <= LOCAL_SEARCH_LIMIT => {
             // Edges of G_PD restricted to the candidates.
             let cand: std::collections::BTreeSet<usize> = candidates.iter().copied().collect();
@@ -395,7 +490,7 @@ fn partition(
                 .copied()
                 .filter(|id| cand.contains(id))
                 .collect();
-            min_bisection(&ordered, &edges, rng)
+            min_bisection(&ordered, &edges, &mut rng)
         }
         PartitionStrategy::MinBisection => grouped_bisection(ctx, candidates),
     }

@@ -186,6 +186,11 @@ pub struct CacheStats {
     /// System evaluations performed speculatively by worker threads
     /// (cache warming; never charged as interventions).
     pub speculative: usize,
+    /// Speculative evaluations whose score was never consumed by a
+    /// charged query — wasted lookahead (the price of guessing the
+    /// recursion's decisions ahead of time). Like `hits`/`misses`,
+    /// this varies with scheduling and speculation depth.
+    pub speculative_waste: usize,
     /// Interventions charged (every non-baseline query, cached or
     /// not).
     pub interventions: usize,
@@ -275,6 +280,7 @@ impl<'a> Oracle<'a> {
             hits: self.hits,
             misses: self.misses,
             speculative: 0,
+            speculative_waste: 0,
             interventions: self.interventions,
         }
     }

@@ -46,7 +46,7 @@ pub fn markdown_report(
     );
     let _ = writeln!(
         out,
-        "- oracle cache: **{} hit{} / {} miss{}**, {} speculative evaluation{}",
+        "- oracle cache: **{} hit{} / {} miss{}**, {} speculative evaluation{} ({} wasted)",
         explanation.cache.hits,
         if explanation.cache.hits == 1 { "" } else { "s" },
         explanation.cache.misses,
@@ -61,6 +61,7 @@ pub fn markdown_report(
         } else {
             "s"
         },
+        explanation.cache.speculative_waste,
     );
     let d = &explanation.discovery;
     let _ = writeln!(

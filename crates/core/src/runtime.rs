@@ -21,20 +21,35 @@
 //!    guessed right become cache hits. Candidates a serial run would
 //!    never have reached are simply discarded.
 //!
+//! Synchronous [`InterventionRuntime::speculate`] batches block until
+//! every job is scored — right for the handful of frames the caller
+//! consumes immediately (greedy plans, a GT node's own two halves).
+//! Deep group-testing lookahead instead queues **detached** jobs
+//! ([`InterventionRuntime::speculate_detached`]): fully owned
+//! [`DetachedSpeculation`]s drained FIFO by a persistent background
+//! pool while the serial replay keeps running. A frame still in
+//! flight when the replay asks for it is simply a cache miss (the
+//! replay scores it itself; the racing duplicate is harmless — same
+//! deterministic score, idempotent insert), and frontier frames the
+//! search never asks for are counted as *speculative waste*
+//! ([`CacheStats::speculative_waste`]).
+//!
 //! Because all charging and all decisions flow through `intervene` in
 //! serial order, explanations, malfunction scores, and intervention
-//! counts are **bit-for-bit identical for any thread count** (the
-//! paper's Fig 7/Fig 9 numbers are preserved); only wall-clock time
-//! and the cache hit/miss split change. `tests/parallel_conformance.rs`
-//! pins this invariant across every bundled scenario.
+//! counts are **bit-for-bit identical for any thread count and any
+//! lookahead depth** (the paper's Fig 7/Fig 9 numbers are preserved);
+//! only wall-clock time and the cache hit/miss/speculation counters
+//! change. `tests/parallel_conformance.rs` pins this invariant across
+//! every bundled scenario, `num_threads` in {1, 2, 8}, and
+//! `gt_speculation_depth` in {0, 1, 2, 4}.
 
 use crate::error::Result;
 use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
 use dp_frame::DataFrame;
 use rand::rngs::StdRng;
-use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One candidate dataset an algorithm may query soon.
 pub enum Speculation<'a> {
@@ -60,31 +75,40 @@ pub enum Speculation<'a> {
 pub struct Speculated {
     /// The candidate dataset.
     pub frame: DataFrame,
-    /// For [`Speculation::Apply`] jobs: the RNG state after the
-    /// composition, so the caller can adopt it if (and only if) the
-    /// serial decision path turns out to apply this candidate.
-    /// `None` for [`Speculation::Ready`] jobs.
-    pub rng_after: Option<StdRng>,
 }
 
 fn materialize(job: Speculation<'_>) -> Result<Speculated> {
     match job {
-        Speculation::Ready(frame) => Ok(Speculated {
-            frame,
-            rng_after: None,
-        }),
+        Speculation::Ready(frame) => Ok(Speculated { frame }),
         Speculation::Apply {
             pvts,
             base,
             mut rng,
         } => {
             let (frame, _) = apply_composition(&pvts, base, &mut rng)?;
-            Ok(Speculated {
-                frame,
-                rng_after: Some(rng),
-            })
+            Ok(Speculated { frame })
         }
     }
+}
+
+/// A fully owned, fire-and-forget cache-warming job: apply the
+/// composition of `pvts` to `base` consuming `rng`, then score the
+/// result into the shared fingerprint cache.
+///
+/// Unlike [`Speculation`], nothing is borrowed and nothing is
+/// returned: the group-testing lookahead queues whole recursion-tree
+/// frontiers this way ([`InterventionRuntime::speculate_detached`])
+/// and keeps replaying while the pool drains them in the background.
+/// A materialization error in a detached job is swallowed — if the
+/// serial decision path ever needs that frame, it re-materializes it
+/// on the main thread and surfaces the same deterministic error.
+pub struct DetachedSpeculation {
+    /// Transformations to compose, in application order.
+    pub pvts: Vec<Pvt>,
+    /// Dataset to transform.
+    pub base: Arc<DataFrame>,
+    /// RNG stream to consume (derived, never shared).
+    pub rng: StdRng,
 }
 
 /// The oracle abstraction the intervention algorithms run against.
@@ -103,6 +127,12 @@ pub trait InterventionRuntime {
     /// runtimes — score them into the fingerprint cache without
     /// charging interventions.
     fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>>;
+    /// Queue owned cache-warming jobs to run **asynchronously**: the
+    /// call returns immediately and worker threads materialize and
+    /// score the jobs while the caller keeps replaying its serial
+    /// decisions. Serial runtimes (and `num_threads ≤ 1`) drop the
+    /// jobs unexecuted — a serial run would never have asked.
+    fn speculate_detached(&mut self, jobs: Vec<DetachedSpeculation>);
     /// How many candidates per batch are worth planning ahead (1 ⇒
     /// don't speculate: plan lazily exactly as the serial algorithm
     /// would).
@@ -134,6 +164,8 @@ impl InterventionRuntime for Oracle<'_> {
         jobs.into_iter().map(materialize).collect()
     }
 
+    fn speculate_detached(&mut self, _jobs: Vec<DetachedSpeculation>) {}
+
     fn speculation_width(&self) -> usize {
         1
     }
@@ -163,17 +195,42 @@ impl InterventionRuntime for Oracle<'_> {
     }
 }
 
-/// Shared (worker-visible) cache state: fingerprint → score, plus the
-/// speculative-evaluation counter.
+/// Shared (worker-visible) cache state: fingerprint → score, the
+/// speculative-evaluation counter, and the set of speculatively
+/// scored fingerprints no charged query has consumed yet (the
+/// speculative-waste numerator).
 struct SharedCache {
     map: HashMap<u64, f64>,
     speculative: usize,
+    unconsumed: HashSet<u64>,
+}
+
+/// The detached-job pool shared between [`ParOracle`] and its
+/// persistent background workers: a FIFO of owned jobs plus a count
+/// of jobs enqueued or in flight, so the runtime can wait for
+/// quiescence before reporting final cache counters.
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals workers that jobs arrived (or shutdown was requested).
+    work: Condvar,
+    /// Signals waiters that `pending` reached zero.
+    idle: Condvar,
+}
+
+struct PoolState {
+    queue: VecDeque<DetachedSpeculation>,
+    /// Jobs enqueued or currently executing.
+    pending: usize,
+    shutdown: bool,
 }
 
 /// Parallel intervention runtime: an [`Oracle`]-equivalent whose
 /// speculation batches are scored by `num_threads` worker threads
 /// (one independent [`System`] instance each, built lazily from the
-/// factory) into a shared fingerprint cache.
+/// factory) into a shared fingerprint cache. Detached lookahead jobs
+/// ([`InterventionRuntime::speculate_detached`]) run on a persistent
+/// background pool of another `num_threads` workers that outlives
+/// individual calls, overlapping with the charged replay.
 ///
 /// With `num_threads ≤ 1` speculation degenerates to serial
 /// materialization with no pre-scoring — a true serial baseline.
@@ -189,8 +246,10 @@ pub struct ParOracle<'a> {
     num_threads: usize,
     hits: usize,
     misses: usize,
-    cache: Mutex<SharedCache>,
+    cache: Arc<Mutex<SharedCache>>,
     free: HashSet<u64>,
+    pool: Option<Arc<Pool>>,
+    pool_workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl<'a> ParOracle<'a> {
@@ -211,11 +270,14 @@ impl<'a> ParOracle<'a> {
             num_threads: num_threads.max(1),
             hits: 0,
             misses: 0,
-            cache: Mutex::new(SharedCache {
+            cache: Arc::new(Mutex::new(SharedCache {
                 map: HashMap::new(),
                 speculative: 0,
-            }),
+                unconsumed: HashSet::new(),
+            })),
             free: HashSet::new(),
+            pool: None,
+            pool_workers: Vec::new(),
         }
     }
 
@@ -225,12 +287,95 @@ impl<'a> ParOracle<'a> {
         }
     }
 
+    /// Spawn the persistent background pool on first use. Each worker
+    /// owns its own [`System`] instance (built here, on the calling
+    /// thread) and loops: pop a detached job, materialize it, score
+    /// the frame into the shared cache unless some other thread
+    /// already did, signal idle when the queue drains.
+    fn ensure_pool(&mut self) -> Arc<Pool> {
+        if let Some(pool) = &self.pool {
+            return Arc::clone(pool);
+        }
+        let pool = Arc::new(Pool {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+        });
+        for _ in 0..self.num_threads {
+            let mut system = self.factory.build();
+            let pool_ref = Arc::clone(&pool);
+            let cache = Arc::clone(&self.cache);
+            self.pool_workers.push(std::thread::spawn(move || loop {
+                let job = {
+                    let mut state = pool_ref.state.lock().expect("pool lock");
+                    loop {
+                        if let Some(job) = state.queue.pop_front() {
+                            break Some(job);
+                        }
+                        if state.shutdown {
+                            break None;
+                        }
+                        state = pool_ref.work.wait(state).expect("pool lock");
+                    }
+                };
+                let Some(mut job) = job else { return };
+                let refs: Vec<&Pvt> = job.pvts.iter().collect();
+                if let Ok((frame, _)) = apply_composition(&refs, &job.base, &mut job.rng) {
+                    let fp = crate::oracle::fingerprint(&frame);
+                    let known = cache.lock().expect("cache lock").map.contains_key(&fp);
+                    if !known {
+                        // Score outside the lock; a racing duplicate
+                        // evaluation is harmless (same deterministic
+                        // score, idempotent insert).
+                        let score = sanitize(system.malfunction(&frame));
+                        let mut shared = cache.lock().expect("cache lock");
+                        shared.map.insert(fp, score);
+                        shared.speculative += 1;
+                        shared.unconsumed.insert(fp);
+                    }
+                }
+                let mut state = pool_ref.state.lock().expect("pool lock");
+                state.pending -= 1;
+                if state.pending == 0 {
+                    pool_ref.idle.notify_all();
+                }
+            }));
+        }
+        self.pool = Some(Arc::clone(&pool));
+        pool
+    }
+
+    /// Discard detached jobs nobody started yet (the replay is past
+    /// the point of consuming them) and wait for the in-flight rest
+    /// to finish, so cache counters are read at quiescence.
+    fn settle_pool(&self) {
+        if let Some(pool) = &self.pool {
+            let mut state = pool.state.lock().expect("pool lock");
+            let dropped = state.queue.len();
+            state.queue.clear();
+            state.pending -= dropped;
+            while state.pending > 0 {
+                state = pool.idle.wait(state).expect("pool lock");
+            }
+        }
+    }
+
     /// Score `df` through the shared cache on the primary worker,
     /// without charging. Returns (score, was_cached).
     fn score(&mut self, fp: u64, df: &DataFrame) -> f64 {
-        if let Some(&score) = self.cache.lock().expect("cache lock").map.get(&fp) {
-            self.hits += 1;
-            return score;
+        {
+            let mut shared = self.cache.lock().expect("cache lock");
+            if let Some(&score) = shared.map.get(&fp) {
+                // A charged query consuming a speculatively scored
+                // frame retires it from the waste set.
+                shared.unconsumed.remove(&fp);
+                self.hits += 1;
+                return score;
+            }
         }
         self.misses += 1;
         self.ensure_workers(1);
@@ -298,6 +443,7 @@ impl InterventionRuntime for ParOracle<'_> {
                             let mut shared = cache.lock().expect("cache lock");
                             shared.map.insert(fp, score);
                             shared.speculative += 1;
+                            shared.unconsumed.insert(fp);
                         }
                     });
                     *results_ref[idx].lock().expect("result lock") = Some(out);
@@ -312,6 +458,18 @@ impl InterventionRuntime for ParOracle<'_> {
                     .expect("every queued job produces a result")
             })
             .collect()
+    }
+
+    fn speculate_detached(&mut self, jobs: Vec<DetachedSpeculation>) {
+        if self.num_threads <= 1 || jobs.is_empty() {
+            return;
+        }
+        let pool = self.ensure_pool();
+        let mut state = pool.state.lock().expect("pool lock");
+        state.pending += jobs.len();
+        state.queue.extend(jobs);
+        drop(state);
+        pool.work.notify_all();
     }
 
     fn speculation_width(&self) -> usize {
@@ -335,16 +493,38 @@ impl InterventionRuntime for ParOracle<'_> {
     }
 
     fn cache_stats(&self) -> CacheStats {
+        self.settle_pool();
+        let shared = self.cache.lock().expect("cache lock");
         CacheStats {
             hits: self.hits,
             misses: self.misses,
-            speculative: self.cache.lock().expect("cache lock").speculative,
+            speculative: shared.speculative,
+            speculative_waste: shared.unconsumed.len(),
             interventions: self.interventions,
         }
     }
 
     fn system_name(&self) -> String {
         self.factory.name()
+    }
+}
+
+impl Drop for ParOracle<'_> {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            let mut state = pool.state.lock().expect("pool lock");
+            state.shutdown = true;
+            state.pending -= state.queue.len();
+            state.queue.clear();
+            if state.pending == 0 {
+                pool.idle.notify_all();
+            }
+            drop(state);
+            pool.work.notify_all();
+        }
+        for handle in self.pool_workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -468,6 +648,92 @@ mod tests {
         assert_eq!(rt.interventions, 2, "repeat queries are each charged");
         assert!(rt.passes(0.2) && !rt.passes(0.21));
         assert!(!rt.exhausted());
+    }
+
+    #[test]
+    fn detached_jobs_score_into_the_cache_and_count_waste() {
+        use rand::SeedableRng;
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 4);
+        let frames: Vec<DataFrame> = (0..4).map(|i| df(&[i, i + 1])).collect();
+        // No PVTs to compose: each detached job materializes its base
+        // frame unchanged and scores it in the background.
+        let jobs: Vec<DetachedSpeculation> = frames
+            .iter()
+            .map(|f| DetachedSpeculation {
+                pvts: Vec::new(),
+                base: Arc::new(f.clone()),
+                rng: StdRng::seed_from_u64(0),
+            })
+            .collect();
+        rt.speculate_detached(jobs);
+        assert_eq!(rt.interventions, 0, "detached speculation is free");
+        // Wait for the pool to finish all four jobs before settling:
+        // cache_stats() discards still-queued jobs (by design — the
+        // replay is past consuming them), which this test is not
+        // about.
+        for _ in 0..1000 {
+            if rt.cache.lock().unwrap().speculative == 4 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = rt.cache_stats();
+        assert_eq!(stats.speculative, 4);
+        assert_eq!(stats.speculative_waste, 4);
+        // Charged queries consume two of them (hits); the other two
+        // remain waste.
+        rt.intervene(&frames[0]);
+        rt.intervene(&frames[2]);
+        let stats = rt.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 0));
+        assert_eq!(stats.speculative_waste, 2);
+        assert_eq!(rt.interventions, 2);
+    }
+
+    #[test]
+    fn detached_jobs_are_dropped_on_serial_runtimes() {
+        use rand::SeedableRng;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let factory = move || {
+            let c = Arc::clone(&c2);
+            move |_: &DataFrame| {
+                c.fetch_add(1, Ordering::SeqCst);
+                0.5
+            }
+        };
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 1);
+        rt.speculate_detached(vec![DetachedSpeculation {
+            pvts: Vec::new(),
+            base: Arc::new(df(&[1])),
+            rng: StdRng::seed_from_u64(0),
+        }]);
+        let stats = rt.cache_stats();
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "no background scoring");
+        assert_eq!((stats.speculative, stats.speculative_waste), (0, 0));
+        drop(rt); // joins nothing; no pool was ever spawned
+    }
+
+    #[test]
+    fn drop_joins_the_pool_with_jobs_still_queued() {
+        // Queue far more jobs than workers and drop immediately: Drop
+        // must discard the unstarted tail, join cleanly, and never
+        // deadlock or panic on the pending accounting.
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+        let jobs: Vec<DetachedSpeculation> = (0..64)
+            .map(|i| {
+                use rand::SeedableRng;
+                DetachedSpeculation {
+                    pvts: Vec::new(),
+                    base: Arc::new(df(&[i, i + 1, i + 2])),
+                    rng: StdRng::seed_from_u64(0),
+                }
+            })
+            .collect();
+        rt.speculate_detached(jobs);
+        drop(rt);
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Edge-case and failure-injection integration tests: degenerate
 //! datasets, hostile systems, and tiny budgets through the full
-//! diagnosis pipeline.
+//! diagnosis pipeline — plus degenerate candidate sets through group
+//! testing (empty, singleton, disconnected dependency graph, and
+//! all-no-op compositions).
 
-use dataprism::{explain_greedy, DataPrism, PrismConfig, PrismError};
+use dataprism::{
+    explain_greedy, explain_group_test_parallel_with_pvts, explain_group_test_with_pvts, DataPrism,
+    PartitionStrategy, PrismConfig, PrismError, Profile, Pvt, Transform,
+};
 use dp_frame::{Column, DType, DataFrame, Value};
+use std::collections::BTreeSet;
 
 fn cat(name: &str, vals: &[&str]) -> Column {
     Column::from_strings(
@@ -174,4 +180,247 @@ fn identical_rows_with_extreme_duplication_diagnose() {
     let exp = explain_greedy(&mut system, &fail, &pass, &PrismConfig::with_threshold(0.2)).unwrap();
     assert!(exp.resolved);
     assert_eq!(exp.repaired.n_rows(), 1000);
+}
+
+// ---- degenerate group-testing candidate sets ------------------------
+
+/// Score = fraction of `target` values outside {-1, 1}; ignores every
+/// other column.
+fn target_domain_score(df: &DataFrame) -> f64 {
+    let col = df.column("target").unwrap();
+    col.str_values()
+        .iter()
+        .filter(|(_, s)| *s != "-1" && *s != "1")
+        .count() as f64
+        / df.n_rows().max(1) as f64
+}
+
+/// A passing/failing pair with one real cause (`target` out of
+/// domain) and three untouched numeric side columns for decoy PVTs.
+fn gt_pass_fail() -> (DataFrame, DataFrame) {
+    let mk = |targets: &[&str], base: i64| {
+        let mut cols = vec![cat("target", targets)];
+        for (idx, name) in ["a", "b", "c"].iter().enumerate() {
+            let start = base + idx as i64 * 10;
+            cols.push(Column::from_ints(
+                *name,
+                (0..6).map(|i| Some(start + i)).collect(),
+            ));
+        }
+        DataFrame::from_columns(cols).unwrap()
+    };
+    let pass = mk(&["-1", "1", "1", "-1", "1", "-1"], 100);
+    let fail = mk(&["0", "4", "4", "0", "4", "0"], 100);
+    (pass, fail)
+}
+
+fn map_to_domain_pvt(id: usize, attr: &str, values: &[&str]) -> Pvt {
+    let values: BTreeSet<String> = values.iter().map(|s| s.to_string()).collect();
+    Pvt {
+        id,
+        profile: Profile::DomainCategorical {
+            attr: attr.into(),
+            values: values.clone(),
+        },
+        transform: Transform::MapToDomain {
+            attr: attr.into(),
+            values,
+        },
+    }
+}
+
+/// A decoy PVT over its own numeric column: rescaling onto a shifted
+/// range really modifies the column (it is not a no-op), but the
+/// system never reads it.
+fn rescale_pvt(id: usize, attr: &str) -> Pvt {
+    Pvt {
+        id,
+        profile: Profile::DomainNumeric {
+            attr: attr.into(),
+            lb: 0.0,
+            ub: 1.0,
+        },
+        transform: Transform::LinearRescale {
+            attr: attr.into(),
+            lb: 0.0,
+            ub: 1.0,
+        },
+    }
+}
+
+#[test]
+fn group_test_rejects_empty_candidate_set() {
+    let (pass, fail) = gt_pass_fail();
+    let mut system = target_domain_score;
+    let config = PrismConfig::with_threshold(0.2);
+    let err = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        Vec::new(),
+        &config,
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap_err();
+    assert_eq!(err, PrismError::NoDiscriminativePvts);
+    // Parallel runtimes report the identical error at every width
+    // and lookahead depth.
+    let factory = || target_domain_score;
+    for threads in [1, 2, 8] {
+        for depth in [0, 2] {
+            let mut config = config.clone();
+            config.num_threads = threads;
+            config.gt_speculation_depth = depth;
+            let err = explain_group_test_parallel_with_pvts(
+                &factory,
+                &fail,
+                &pass,
+                Vec::new(),
+                &config,
+                PartitionStrategy::Random,
+            )
+            .unwrap_err();
+            assert_eq!(err, PrismError::NoDiscriminativePvts, "{threads}t/d{depth}");
+        }
+    }
+}
+
+#[test]
+fn group_test_resolves_a_single_candidate_without_bisecting() {
+    // One candidate: Alg 3 never partitions — the A3 check doubles as
+    // the only intervention and the candidate is the explanation.
+    let (pass, fail) = gt_pass_fail();
+    let pvts = vec![map_to_domain_pvt(0, "target", &["-1", "1"])];
+    let mut system = target_domain_score;
+    let config = PrismConfig::with_threshold(0.2);
+    let exp = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        pvts.clone(),
+        &config,
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap();
+    assert!(exp.resolved);
+    assert_eq!(exp.pvt_ids(), vec![0]);
+    assert_eq!(exp.final_score, 0.0);
+    // Lookahead on a singleton frontier must be a silent no-op.
+    let factory = || target_domain_score;
+    let mut par_config = config.clone();
+    par_config.num_threads = 8;
+    par_config.gt_speculation_depth = 4;
+    let par = explain_group_test_parallel_with_pvts(
+        &factory,
+        &fail,
+        &pass,
+        pvts,
+        &par_config,
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap();
+    assert_eq!(exp.pvt_ids(), par.pvt_ids());
+    assert_eq!(exp.interventions, par.interventions);
+    assert_eq!(exp.trace, par.trace);
+}
+
+#[test]
+fn group_test_handles_fully_disconnected_dependency_graph() {
+    // Four candidates over four disjoint attributes: the PVT
+    // dependency graph has no edges, so every min-bisection cut is 0
+    // and the split is driven purely by the benefit order. The decoys
+    // genuinely modify their columns; only the target PVT repairs.
+    let (pass, fail) = gt_pass_fail();
+    let pvts = vec![
+        map_to_domain_pvt(0, "target", &["-1", "1"]),
+        rescale_pvt(1, "a"),
+        rescale_pvt(2, "b"),
+        rescale_pvt(3, "c"),
+    ];
+    let mut system = target_domain_score;
+    let config = PrismConfig::with_threshold(0.2);
+    let exp = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        pvts.clone(),
+        &config,
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap();
+    assert!(exp.resolved);
+    assert_eq!(exp.pvt_ids(), vec![0], "only the causal PVT is kept");
+    // Thread-count and depth invariance hold on edgeless graphs too.
+    let factory = || target_domain_score;
+    for depth in [0, 1, 4] {
+        let mut par_config = config.clone();
+        par_config.num_threads = 8;
+        par_config.gt_speculation_depth = depth;
+        let par = explain_group_test_parallel_with_pvts(
+            &factory,
+            &fail,
+            &pass,
+            pvts.clone(),
+            &par_config,
+            PartitionStrategy::MinBisection,
+        )
+        .unwrap();
+        assert_eq!(exp.pvt_ids(), par.pvt_ids(), "depth {depth}");
+        assert_eq!(exp.interventions, par.interventions, "depth {depth}");
+        assert_eq!(exp.trace, par.trace, "depth {depth}");
+    }
+}
+
+#[test]
+fn group_test_reports_a3_when_every_composed_transform_is_a_noop() {
+    // Candidates whose transformations all leave the failing dataset
+    // untouched (its values already satisfy the target domains): the
+    // composed intervention cannot reduce the malfunction, so the A3
+    // applicability check must reject the run rather than recurse
+    // into partitions that can never help.
+    let (pass, fail) = gt_pass_fail();
+    let pvts = vec![
+        map_to_domain_pvt(0, "target", &["0", "4"]), // d_fail already in-domain
+        Pvt {
+            id: 1,
+            profile: Profile::DomainNumeric {
+                attr: "a".into(),
+                lb: 0.0,
+                ub: 1000.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "a".into(),
+                lb: 0.0,
+                ub: 1000.0, // every value already inside the bounds
+            },
+        },
+    ];
+    let mut system = target_domain_score;
+    let config = PrismConfig::with_threshold(0.2);
+    let res = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        pvts.clone(),
+        &config,
+        PartitionStrategy::MinBisection,
+    );
+    assert!(
+        matches!(res, Err(PrismError::AssumptionViolated(_))),
+        "{res:?}"
+    );
+    // The parallel runtime takes the same exit before any lookahead.
+    let factory = || target_domain_score;
+    let mut par_config = config.clone();
+    par_config.num_threads = 8;
+    par_config.gt_speculation_depth = 2;
+    let par = explain_group_test_parallel_with_pvts(
+        &factory,
+        &fail,
+        &pass,
+        pvts,
+        &par_config,
+        PartitionStrategy::MinBisection,
+    );
+    assert_eq!(res.unwrap_err(), par.unwrap_err());
 }
