@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Line-coverage ratchet gate for `crates/core`.
+"""Line-coverage ratchet gate for the analysis crates.
 
 Reads a `cargo llvm-cov --json` export, computes the aggregate line
-coverage over files under `crates/core/src/`, and compares it against
-`ci/coverage-baseline.txt`:
+coverage over files under `crates/core/src/` and `crates/lint/src/`,
+and compares it against `ci/coverage-baseline.txt`:
 
 - below the baseline -> exit 1 (coverage regressed; add tests or,
   if lines were deliberately removed, justify lowering the baseline
@@ -18,7 +18,7 @@ import json
 import sys
 
 SLACK = 2.0  # points above baseline before we nag to ratchet
-CORE_PREFIX = "crates/core/src/"
+GATED_PREFIXES = ("crates/core/src/", "crates/lint/src/")
 
 
 def main() -> int:
@@ -33,18 +33,19 @@ def main() -> int:
     total = 0
     for datum in export["data"]:
         for file_cov in datum["files"]:
-            if CORE_PREFIX not in file_cov["filename"]:
+            if not any(p in file_cov["filename"] for p in GATED_PREFIXES):
                 continue
             lines = file_cov["summary"]["lines"]
             covered += lines["covered"]
             total += lines["count"]
 
     if total == 0:
-        print(f"no files under {CORE_PREFIX} in {export_path}; wrong export?")
+        print(f"no files under {GATED_PREFIXES} in {export_path}; wrong export?")
         return 1
 
     percent = 100.0 * covered / total
-    print(f"crates/core line coverage: {percent:.2f}% ({covered}/{total} lines)")
+    gated = " + ".join(p.rstrip("/").rsplit("/src", 1)[0] for p in GATED_PREFIXES)
+    print(f"{gated} line coverage: {percent:.2f}% ({covered}/{total} lines)")
     print(f"baseline (ci/coverage-baseline.txt): {baseline:.2f}%")
 
     if percent < baseline:

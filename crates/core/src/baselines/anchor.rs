@@ -250,6 +250,7 @@ pub fn explain_anchor(
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
         discovery: Default::default(),
+        lint: Default::default(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

@@ -127,6 +127,7 @@ pub fn explain_bugdoc(
             interventions: oracle.interventions,
             cache: oracle.cache_stats(),
             discovery: Default::default(),
+            lint: Default::default(),
             initial_score,
             final_score: initial_score,
             resolved: false,
@@ -191,6 +192,7 @@ pub fn explain_bugdoc(
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
         discovery: Default::default(),
+        lint: Default::default(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

@@ -111,6 +111,36 @@ impl Default for DiscoveryConfig {
     }
 }
 
+/// Static lint policy over the candidate PVT set (crate `dp_lint`).
+///
+/// The lint pass runs after discovery (or on the caller-supplied
+/// candidate set) and **before any oracle query**: rules L1–L5 check
+/// schema typing, violation–transform consistency, no-op coverage,
+/// write conflicts, and dependency-graph sanity. The findings are
+/// surfaced as [`crate::Diagnostics`] in the
+/// [`crate::Explanation::lint`] field and the markdown report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lint {
+    /// Skip the analysis entirely (`Explanation::lint.analyzed` is
+    /// false).
+    Off,
+    /// Analyze and report, but diagnose the full candidate set — the
+    /// pre-lint behavior with diagnostics attached. The default.
+    #[default]
+    Report,
+    /// Analyze, report, and **drop Error-level candidates before
+    /// Greedy/GT ranking**. Pruned candidates are provably futile
+    /// (certified no-ops, unsatisfiable typings, fixes that cannot
+    /// move their profile), so each drop saves the oracle queries a
+    /// run would have spent exploring it; the count is surfaced as
+    /// [`crate::CacheStats::lint_pruned`]. On candidates produced by
+    /// discovery the rules never fire (discriminative PVTs have
+    /// positive violation and coverage by construction), so pruning
+    /// is a bit-identical no-op there — `tests/lint_parity.rs`
+    /// asserts this on every scenario, thread count, and algorithm.
+    Prune,
+}
+
 /// Top-level configuration for a diagnosis run.
 #[derive(Debug, Clone)]
 pub struct PrismConfig {
@@ -155,6 +185,9 @@ pub struct PrismConfig {
     /// thread count — only on wall clock and the speculative cache
     /// counters ([`crate::CacheStats`]).
     pub gt_speculation_depth: usize,
+    /// Static analysis of the candidate PVT set before any oracle
+    /// query (see [`Lint`]). Defaults to [`Lint::Report`].
+    pub lint: Lint,
 }
 
 impl Default for PrismConfig {
@@ -171,6 +204,7 @@ impl Default for PrismConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             gt_speculation_depth: 1,
+            lint: Lint::default(),
         }
     }
 }
@@ -211,5 +245,11 @@ mod tests {
         let c = PrismConfig::with_threshold(0.35);
         assert_eq!(c.threshold, 0.35);
         assert!(c.make_minimal);
+    }
+
+    #[test]
+    fn lint_defaults_to_report() {
+        assert_eq!(PrismConfig::default().lint, Lint::Report);
+        assert_eq!(Lint::default(), Lint::Report);
     }
 }

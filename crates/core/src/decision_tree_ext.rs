@@ -258,6 +258,7 @@ pub fn explain_with_decision_tree(
                     interventions: oracle.interventions,
                     cache: oracle.cache_stats(),
                     discovery: Default::default(),
+                    lint: Default::default(),
                     initial_score,
                     final_score,
                     resolved: true,
@@ -286,6 +287,7 @@ pub fn explain_with_decision_tree(
         interventions: oracle.interventions,
         cache: oracle.cache_stats(),
         discovery: Default::default(),
+        lint: Default::default(),
         initial_score,
         final_score: initial_score,
         resolved: false,

@@ -5,6 +5,7 @@ use crate::discovery::DiscoveryStats;
 use crate::oracle::CacheStats;
 use crate::pvt::Pvt;
 use dp_frame::DataFrame;
+use dp_lint::Diagnostics;
 use std::fmt;
 
 /// One event of the diagnosis trace.
@@ -70,6 +71,12 @@ pub struct Explanation {
     /// discovery). Unlike `cache`, these are identical for any
     /// thread count.
     pub discovery: DiscoveryStats,
+    /// Static-analysis findings over the candidate PVT set, produced
+    /// before any oracle query (rules L1–L5 of `dp_lint`; see
+    /// [`crate::Lint`]). `analyzed` is false under `Lint::Off`; under
+    /// `Lint::Prune`, `pruned` lists the candidate ids dropped before
+    /// ranking. Identical for any thread count.
+    pub lint: Diagnostics,
 }
 
 impl Explanation {
@@ -142,6 +149,7 @@ mod tests {
             trace: vec![TraceEvent::Discovered { n_pvts: 4 }],
             cache: CacheStats::default(),
             discovery: DiscoveryStats::default(),
+            lint: Diagnostics::default(),
         }
     }
 

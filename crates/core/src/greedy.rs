@@ -195,6 +195,12 @@ pub(crate) fn run_greedy(
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
+    // Static L1–L5 analysis of the candidate set, before any oracle
+    // query; `Lint::Prune` drops provably futile candidates here.
+    let (lint, pvts) = crate::lint::lint_and_prune(pvts, d_fail, config.lint);
+    if pvts.is_empty() {
+        return Err(PrismError::NoDiscriminativePvts);
+    }
     let mut trace = vec![TraceEvent::Discovered { n_pvts: pvts.len() }];
 
     // Lines 5–6: PVT–attribute graph and benefit scores.
@@ -345,6 +351,8 @@ pub(crate) fn run_greedy(
         });
     }
 
+    let mut cache = rt.cache_stats();
+    cache.lint_pruned = lint.pruned.len();
     Ok(Explanation {
         pvts: selected,
         interventions: rt.interventions(),
@@ -353,8 +361,9 @@ pub(crate) fn run_greedy(
         resolved: rt.passes(score),
         repaired: current,
         trace,
-        cache: rt.cache_stats(),
+        cache,
         discovery: DiscoveryStats::default(),
+        lint,
     })
 }
 

@@ -145,6 +145,14 @@ fn run_group_test(
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
+    // Static L1–L5 analysis of the candidate set, before any oracle
+    // query; `Lint::Prune` drops provably futile candidates here
+    // (each one would otherwise inflate the A3 composition and every
+    // bisection probe containing it).
+    let (lint, pvt_vec) = crate::lint::lint_and_prune(pvt_vec, d_fail, config.lint);
+    if pvt_vec.is_empty() {
+        return Err(PrismError::NoDiscriminativePvts);
+    }
     let mut trace = vec![TraceEvent::Discovered {
         n_pvts: pvt_vec.len(),
     }];
@@ -223,6 +231,8 @@ fn run_group_test(
         });
     }
 
+    let mut cache = rt.cache_stats();
+    cache.lint_pruned = lint.pruned.len();
     Ok(Explanation {
         pvts: selected,
         interventions: rt.interventions(),
@@ -231,8 +241,9 @@ fn run_group_test(
         resolved: rt.passes(score),
         repaired,
         trace,
-        cache: rt.cache_stats(),
+        cache,
         discovery: DiscoveryStats::default(),
+        lint,
     })
 }
 

@@ -74,6 +74,7 @@ pub mod facade;
 pub mod graph;
 pub mod greedy;
 pub mod group_test;
+pub mod lint;
 pub mod oracle;
 pub mod profile;
 pub mod pvt;
@@ -82,8 +83,9 @@ pub mod runtime;
 pub mod transform;
 pub mod violation;
 
-pub use config::{DiscoveryConfig, Prefilter, PrismConfig};
+pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig};
 pub use discovery::DiscoveryStats;
+pub use dp_lint::{Diagnostic, Diagnostics, RuleId, Severity};
 pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;
@@ -95,6 +97,7 @@ pub use group_test::{
     explain_group_test, explain_group_test_parallel, explain_group_test_parallel_with_pvts,
     explain_group_test_with_pvts, PartitionStrategy,
 };
+pub use lint::lint_pvts;
 pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};
 pub use profile::{DependenceKind, OutlierSpec, Profile};
 pub use pvt::Pvt;

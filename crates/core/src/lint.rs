@@ -1,0 +1,469 @@
+//! Bridge between the runtime's `Profile`/`Transform` enums and the
+//! [`dp_lint`] static analyzer.
+//!
+//! `dp_lint` is deliberately decoupled from this crate: it checks
+//! [`dp_lint::CandidateFacts`] records, not PVTs. This module lowers
+//! each candidate [`Pvt`] into facts — typed attribute reads/writes,
+//! the profile's observed violation on `D_fail`, the transform's
+//! coverage, and (when statically known) the write target — and runs
+//! [`dp_lint::analyze`] over them together with the schema and the
+//! PVT-dependency edges, **before any oracle query** is spent.
+//!
+//! Under [`Lint::Prune`] the Error-level candidates are dropped from
+//! the ranking. The lowering is sound for pruning: a fact is only
+//! strong enough to produce an `Error` when the corresponding futility
+//! is provable (e.g. `coverage_is_exact` is set only for transforms
+//! whose zero-coverage application is a bit-exact identity), so a
+//! pruned candidate could never have changed the explanation — only
+//! cost interventions. `tests/lint_parity.rs` asserts this end to end.
+
+use crate::config::Lint;
+use crate::graph::PvtAttributeGraph;
+use crate::profile::Profile;
+use crate::pvt::Pvt;
+use crate::transform::Transform;
+use dp_frame::DataFrame;
+use dp_lint::{AttrRequirement, CandidateFacts, Diagnostics, TypeClass, WriteTarget};
+
+/// Typed attribute reads a profile performs when its violation is
+/// evaluated.
+fn profile_reads(profile: &Profile) -> Vec<AttrRequirement> {
+    match profile {
+        Profile::DomainCategorical { attr, .. } | Profile::DomainText { attr, .. } => {
+            vec![AttrRequirement::new(attr, TypeClass::Textual)]
+        }
+        Profile::DomainNumeric { attr, .. } | Profile::Outlier { attr, .. } => {
+            vec![AttrRequirement::new(attr, TypeClass::Numeric)]
+        }
+        Profile::Missing { attr, .. } => vec![AttrRequirement::new(attr, TypeClass::Any)],
+        Profile::Selectivity { predicate, .. } => predicate
+            .columns()
+            .into_iter()
+            .map(|c| AttrRequirement::new(c, TypeClass::Any))
+            .collect(),
+        // Every dependence measure coerces both columns: χ² builds
+        // the contingency table over stringified values, and the
+        // Pearson/SEM paths integer-code categoricals (Fig 1 row 9
+        // supports mixed "categorical, numerical" pairs). No dtype is
+        // inadmissible.
+        Profile::Indep { a, b, .. } => vec![
+            AttrRequirement::new(a, TypeClass::Any),
+            AttrRequirement::new(b, TypeClass::Any),
+        ],
+        Profile::Conditional { condition, inner } => {
+            let mut reads: Vec<AttrRequirement> = condition
+                .columns()
+                .into_iter()
+                .map(|c| AttrRequirement::new(c, TypeClass::Any))
+                .collect();
+            reads.extend(profile_reads(inner));
+            reads
+        }
+    }
+}
+
+/// Typed reads, typed writes, and the rewrites-everything flag of a
+/// transformation.
+fn transform_io(t: &Transform) -> (Vec<AttrRequirement>, Vec<AttrRequirement>, bool) {
+    match t {
+        Transform::MapToDomain { attr, .. } | Transform::RepairText { attr, .. } => (
+            Vec::new(),
+            vec![AttrRequirement::new(attr, TypeClass::Textual)],
+            false,
+        ),
+        Transform::LinearRescale { attr, .. }
+        | Transform::Winsorize { attr, .. }
+        | Transform::ReplaceOutliers { attr, .. } => (
+            Vec::new(),
+            vec![AttrRequirement::new(attr, TypeClass::Numeric)],
+            false,
+        ),
+        Transform::Impute { attr, .. } => (
+            Vec::new(),
+            vec![AttrRequirement::new(attr, TypeClass::Any)],
+            false,
+        ),
+        // Row resampling drops/duplicates whole tuples: every
+        // attribute is rewritten, so no "fix touches no profile
+        // attribute" reasoning applies.
+        Transform::ResampleSelectivity { predicate, .. } => (
+            predicate
+                .columns()
+                .into_iter()
+                .map(|c| AttrRequirement::new(c, TypeClass::Any))
+                .collect(),
+            Vec::new(),
+            true,
+        ),
+        Transform::BreakDependenceShuffle { a, b, .. } => (
+            vec![AttrRequirement::new(a, TypeClass::Any)],
+            vec![AttrRequirement::new(b, TypeClass::Any)],
+            false,
+        ),
+        // Like the dependence profiles they repair, these regress on
+        // coerced values (categoricals are integer-coded), so any
+        // dtype is admissible on either side.
+        Transform::DecorrelateNoise { a, b, .. } | Transform::Residualize { a, b } => (
+            vec![AttrRequirement::new(a, TypeClass::Any)],
+            vec![AttrRequirement::new(b, TypeClass::Any)],
+            false,
+        ),
+        Transform::Conditional { condition, inner } => {
+            let (mut reads, writes, rewrites_all) = transform_io(inner);
+            reads.extend(
+                condition
+                    .columns()
+                    .into_iter()
+                    .map(|c| AttrRequirement::new(c, TypeClass::Any)),
+            );
+            (reads, writes, rewrites_all)
+        }
+    }
+}
+
+/// Whether [`Transform::coverage`] returning `0.0` certifies that an
+/// application is a **bit-exact identity** on that frame. Only then
+/// may L3 emit an `Error` (prunable); otherwise zero coverage is a
+/// `Warn`. `LinearRescale` is excluded (its re-mapping arithmetic is
+/// not bit-exact even when the range matches within tolerance), as are
+/// the stochastic/global transforms and `RepairText` (a value matching
+/// the length bounds can still be edited toward the pattern).
+fn coverage_is_exact(t: &Transform) -> bool {
+    matches!(
+        t,
+        Transform::MapToDomain { .. }
+            | Transform::Winsorize { .. }
+            | Transform::Impute { .. }
+            | Transform::ReplaceOutliers { .. }
+    )
+}
+
+/// The statically-known target a transformation writes into an
+/// attribute, for L4 conflict detection. `None` when the target is
+/// data-dependent (imputation, resampling, noise, …).
+fn write_target(t: &Transform) -> Option<(String, WriteTarget)> {
+    match t {
+        Transform::MapToDomain { attr, values } => {
+            Some((attr.clone(), WriteTarget::Domain(values.clone())))
+        }
+        Transform::LinearRescale { attr, lb, ub } | Transform::Winsorize { attr, lb, ub } => {
+            Some((attr.clone(), WriteTarget::Range { lb: *lb, ub: *ub }))
+        }
+        Transform::Conditional { inner, .. } => write_target(inner),
+        _ => None,
+    }
+}
+
+/// Lower one candidate PVT into the analyzer's fact record.
+fn candidate_facts(pvt: &Pvt, d_fail: &DataFrame) -> CandidateFacts {
+    let mut facts = CandidateFacts::new(pvt.id, pvt.profile.template_key());
+    let (t_reads, t_writes, rewrites_all) = transform_io(&pvt.transform);
+    facts.reads = profile_reads(&pvt.profile);
+    facts.reads.extend(t_reads);
+    facts.writes = t_writes;
+    facts.rewrites_all_attributes = rewrites_all;
+    facts.profile_attributes = pvt.profile.attributes();
+    facts.profile_violation_on_fail = pvt.violation(d_fail);
+    facts.coverage_on_fail = pvt.transform.coverage(d_fail);
+    facts.coverage_is_exact = coverage_is_exact(&pvt.transform);
+    facts.write_target = write_target(&pvt.transform);
+    facts
+}
+
+/// Run the full L1–L5 static analysis over a candidate PVT set
+/// against the failing dataset, before any oracle query.
+pub fn lint_pvts(pvts: &[Pvt], d_fail: &DataFrame) -> Diagnostics {
+    let facts: Vec<CandidateFacts> = pvts.iter().map(|p| candidate_facts(p, d_fail)).collect();
+    let edges = PvtAttributeGraph::new(pvts).dependency_edges();
+    dp_lint::analyze(&d_fail.schema(), &facts, &edges)
+}
+
+/// Apply the configured lint policy: analyze (unless `Off`) and, under
+/// `Prune`, drop the Error-level candidates before ranking, recording
+/// their ids in [`Diagnostics::pruned`].
+pub(crate) fn lint_and_prune(
+    pvts: Vec<Pvt>,
+    d_fail: &DataFrame,
+    mode: Lint,
+) -> (Diagnostics, Vec<Pvt>) {
+    match mode {
+        Lint::Off => (Diagnostics::default(), pvts),
+        Lint::Report => (lint_pvts(&pvts, d_fail), pvts),
+        Lint::Prune => {
+            let mut diag = lint_pvts(&pvts, d_fail);
+            let errors = diag.error_pvt_ids();
+            let (pruned, kept): (Vec<Pvt>, Vec<Pvt>) =
+                pvts.into_iter().partition(|p| errors.contains(&p.id));
+            diag.pruned = pruned.iter().map(|p| p.id).collect();
+            diag.pruned.sort_unstable();
+            (diag, kept)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::ImputeStrategy;
+    use dp_frame::{Column, DType};
+    use dp_lint::{RuleId, Severity};
+    use std::collections::BTreeSet;
+
+    fn d_fail() -> DataFrame {
+        DataFrame::from_columns(vec![
+            Column::from_strings(
+                "target",
+                DType::Categorical,
+                vec![Some("0".into()), Some("4".into()), Some("1".into())],
+            ),
+            Column::from_floats("len", vec![Some(3.0), Some(15.0), Some(7.0)]),
+        ])
+        .unwrap()
+    }
+
+    fn domain_pvt(id: usize) -> Pvt {
+        let values: BTreeSet<String> = ["-1", "1"].iter().map(|s| s.to_string()).collect();
+        Pvt {
+            id,
+            profile: Profile::DomainCategorical {
+                attr: "target".into(),
+                values: values.clone(),
+            },
+            transform: Transform::MapToDomain {
+                attr: "target".into(),
+                values,
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_discovery_shaped_candidate_is_clean() {
+        let diag = lint_pvts(&[domain_pvt(0)], &d_fail());
+        assert!(diag.analyzed);
+        assert!(diag.is_clean(), "{:?}", diag.diagnostics);
+    }
+
+    #[test]
+    fn missing_attribute_trips_l1() {
+        let pvt = Pvt {
+            id: 0,
+            profile: Profile::Missing {
+                attr: "zip".into(),
+                theta: 0.0,
+            },
+            transform: Transform::Impute {
+                attr: "zip".into(),
+                strategy: ImputeStrategy::Mode,
+            },
+        };
+        let diag = lint_pvts(&[pvt], &d_fail());
+        assert!(!diag.for_rule(RuleId::SchemaTyping).is_empty());
+        assert!(diag.error_pvt_ids().contains(&0));
+    }
+
+    #[test]
+    fn mistyped_write_trips_l1() {
+        // Winsorize (numeric write) aimed at the categorical column.
+        let pvt = Pvt {
+            id: 3,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "target".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+        };
+        let diag = lint_pvts(&[pvt], &d_fail());
+        let l1 = diag.for_rule(RuleId::SchemaTyping);
+        assert!(
+            l1.iter()
+                .any(|d| d.severity == Severity::Error && d.attr.as_deref() == Some("target")),
+            "{l1:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_fix_trips_l2() {
+        // Profile on "target", fix on "len": provably cannot move the
+        // profile's parameter.
+        let pvt = Pvt {
+            id: 1,
+            profile: Profile::Missing {
+                attr: "target".into(),
+                theta: 0.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 100.0,
+            },
+        };
+        let diag = lint_pvts(&[pvt], &d_fail());
+        assert!(!diag.for_rule(RuleId::TransformConsistency).is_empty());
+        assert!(diag.error_pvt_ids().contains(&1));
+    }
+
+    #[test]
+    fn certified_noop_trips_l3_error() {
+        // Winsorize bounds already containing the observed range:
+        // coverage 0 and bit-exact at coverage 0 ⇒ Error.
+        let pvt = Pvt {
+            id: 2,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 100.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 100.0,
+            },
+        };
+        let diag = lint_pvts(&[pvt], &d_fail());
+        let l3 = diag.for_rule(RuleId::NoOpTransform);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(l3[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn zero_coverage_without_certificate_is_warn() {
+        // LinearRescale whose target range matches the observed range:
+        // coverage 0, but not bit-exact ⇒ Warn, never pruned. The
+        // profile itself is violated (values above 5), so L2 stays
+        // quiet and L3 is the only rule in play.
+        let pvt = Pvt {
+            id: 5,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 5.0,
+            },
+            transform: Transform::LinearRescale {
+                attr: "len".into(),
+                lb: 3.0,
+                ub: 15.0,
+            },
+        };
+        let diag = lint_pvts(&[pvt], &d_fail());
+        let l3 = diag.for_rule(RuleId::NoOpTransform);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(l3[0].severity, Severity::Warn);
+        assert!(diag.error_pvt_ids().is_empty());
+    }
+
+    #[test]
+    fn incompatible_targets_trip_l4() {
+        let mk = |id: usize, lb: f64, ub: f64| Pvt {
+            id,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb,
+                ub,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb,
+                ub,
+            },
+        };
+        // [0,5] and [10,20] are disjoint target ranges on one column.
+        let diag = lint_pvts(&[mk(0, 0.0, 5.0), mk(1, 10.0, 20.0)], &d_fail());
+        let l4 = diag.for_rule(RuleId::WriteConflict);
+        assert_eq!(l4.len(), 1);
+        assert_eq!(l4[0].pvt_ids, vec![0, 1]);
+        assert_eq!(l4[0].severity, Severity::Warn, "conflicts are never pruned");
+    }
+
+    #[test]
+    fn components_surface_as_l5_info() {
+        let other = Pvt {
+            id: 7,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+        };
+        // domain_pvt touches "target", `other` touches "len": two
+        // disconnected components in G_PD.
+        let diag = lint_pvts(&[domain_pvt(0), other], &d_fail());
+        assert!(diag
+            .for_rule(RuleId::GraphSanity)
+            .iter()
+            .any(|d| d.severity == Severity::Info));
+    }
+
+    #[test]
+    fn prune_drops_only_error_candidates() {
+        let noop = Pvt {
+            id: 1,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 100.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 100.0,
+            },
+        };
+        let (diag, kept) = lint_and_prune(vec![domain_pvt(0), noop], &d_fail(), Lint::Prune);
+        assert_eq!(diag.pruned, vec![1]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id, 0);
+    }
+
+    #[test]
+    fn off_and_report_keep_everything() {
+        let pvts = vec![domain_pvt(0)];
+        let (diag, kept) = lint_and_prune(pvts.clone(), &d_fail(), Lint::Off);
+        assert!(!diag.analyzed);
+        assert_eq!(kept.len(), 1);
+        let (diag, kept) = lint_and_prune(pvts, &d_fail(), Lint::Report);
+        assert!(diag.analyzed);
+        assert!(diag.pruned.is_empty());
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn conditional_profiles_lower_recursively() {
+        let pvt = Pvt {
+            id: 0,
+            profile: Profile::Conditional {
+                condition: dp_frame::Predicate::cmp("target", dp_frame::CmpOp::Eq, "1"),
+                inner: Box::new(Profile::DomainNumeric {
+                    attr: "len".into(),
+                    lb: 0.0,
+                    ub: 10.0,
+                }),
+            },
+            transform: Transform::Conditional {
+                condition: dp_frame::Predicate::cmp("target", dp_frame::CmpOp::Eq, "1"),
+                inner: Box::new(Transform::Winsorize {
+                    attr: "len".into(),
+                    lb: 0.0,
+                    ub: 10.0,
+                }),
+            },
+        };
+        let facts = candidate_facts(&pvt, &d_fail());
+        assert!(facts.reads.iter().any(|r| r.attr == "target"));
+        assert!(facts.reads.iter().any(|r| r.attr == "len"));
+        assert!(facts.writes.iter().any(|w| w.attr == "len"));
+        assert!(matches!(
+            facts.write_target,
+            Some((ref a, WriteTarget::Range { .. })) if a == "len"
+        ));
+    }
+}

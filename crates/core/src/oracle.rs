@@ -194,6 +194,11 @@ pub struct CacheStats {
     /// Interventions charged (every non-baseline query, cached or
     /// not).
     pub interventions: usize,
+    /// Candidate PVTs dropped by the static lint pass before ranking
+    /// (`Lint::Prune` only) — each one an exploration the run never
+    /// had to pay oracle queries for. Like `interventions`, invariant
+    /// under the thread count.
+    pub lint_pruned: usize,
 }
 
 /// Intervention-counting, caching wrapper around a [`System`].
@@ -282,6 +287,7 @@ impl<'a> Oracle<'a> {
             speculative: 0,
             speculative_waste: 0,
             interventions: self.interventions,
+            lint_pruned: 0,
         }
     }
 

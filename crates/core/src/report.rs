@@ -63,6 +63,31 @@ pub fn markdown_report(
         },
         explanation.cache.speculative_waste,
     );
+    let lint = &explanation.lint;
+    if lint.analyzed {
+        let _ = writeln!(
+            out,
+            "- lint: **{lint}**{}",
+            if explanation.cache.lint_pruned > 0 {
+                format!(
+                    " — {} candidate{} pruned before ranking",
+                    explanation.cache.lint_pruned,
+                    if explanation.cache.lint_pruned == 1 {
+                        ""
+                    } else {
+                        "s"
+                    }
+                )
+            } else {
+                String::new()
+            }
+        );
+        for diag in &lint.diagnostics {
+            let _ = writeln!(out, "  - {diag}");
+        }
+    } else {
+        let _ = writeln!(out, "- lint: off");
+    }
     let d = &explanation.discovery;
     let _ = writeln!(
         out,
@@ -190,6 +215,7 @@ mod tests {
         assert!(report.contains("## Discriminative profiles"));
         assert!(report.contains("## Intervention trace"));
         assert!(report.contains("- oracle cache: **"));
+        assert!(report.contains("- lint: **"), "lint summary line present");
         assert!(report.contains("- discovery pre-filter: **"));
         assert!(report.contains("resolved"));
         assert!(report.contains("**yes**"), "explanation row flagged");
@@ -209,9 +235,14 @@ mod tests {
             trace: Vec::new(),
             cache: crate::oracle::CacheStats::default(),
             discovery: crate::discovery::DiscoveryStats::default(),
+            lint: Default::default(),
         };
         let report = markdown_report(&exp, &pass, &fail, 0.2, &DiscoveryConfig::default());
         assert!(report.contains("UNRESOLVED"));
         assert!(report.contains("No repairing PVT"));
+        assert!(
+            report.contains("- lint: off"),
+            "unanalyzed lint renders off"
+        );
     }
 }

@@ -49,7 +49,20 @@ use crate::pvt::{apply_composition, Pvt};
 use dp_frame::DataFrame;
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+// Under `RUSTFLAGS="--cfg loom"` the pool's synchronization
+// primitives and worker threads swap to the loom shim so the model
+// tests in tests/loom_model.rs can perturb their interleavings. The
+// shim's `sync::Arc` is the std `Arc` re-exported, so both cfgs
+// share one set of types.
+#[cfg(loom)]
+use loom::sync::{Arc, Condvar, Mutex};
+#[cfg(loom)]
+use loom::thread as pool_thread;
+#[cfg(not(loom))]
 use std::sync::{Arc, Condvar, Mutex};
+#[cfg(not(loom))]
+use std::thread as pool_thread;
 
 /// One candidate dataset an algorithm may query soon.
 pub enum Speculation<'a> {
@@ -249,7 +262,7 @@ pub struct ParOracle<'a> {
     cache: Arc<Mutex<SharedCache>>,
     free: HashSet<u64>,
     pool: Option<Arc<Pool>>,
-    pool_workers: Vec<std::thread::JoinHandle<()>>,
+    pool_workers: Vec<pool_thread::JoinHandle<()>>,
 }
 
 impl<'a> ParOracle<'a> {
@@ -309,7 +322,7 @@ impl<'a> ParOracle<'a> {
             let mut system = self.factory.build();
             let pool_ref = Arc::clone(&pool);
             let cache = Arc::clone(&self.cache);
-            self.pool_workers.push(std::thread::spawn(move || loop {
+            self.pool_workers.push(pool_thread::spawn(move || loop {
                 let job = {
                     let mut state = pool_ref.state.lock().expect("pool lock");
                     loop {
@@ -501,6 +514,7 @@ impl InterventionRuntime for ParOracle<'_> {
             speculative: shared.speculative,
             speculative_waste: shared.unconsumed.len(),
             interventions: self.interventions,
+            lint_pruned: 0,
         }
     }
 

@@ -1,0 +1,106 @@
+//! Schedule-perturbation models of the detached speculation pool.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`, where the runtime's
+//! pool primitives (`Mutex`/`Condvar`/worker spawn) swap to the
+//! `loom` shim: every acquisition, wait, and notification becomes a
+//! perturbation point, and `loom::model` re-runs each closure under
+//! many distinct yield schedules. The models target the pool's three
+//! delicate protocols:
+//!
+//! 1. **Settle quiescence** — `cache_stats()` discards the unstarted
+//!    queue tail and waits on the `idle` condvar until `pending == 0`;
+//!    a lost wakeup or miscounted `pending` deadlocks or underflows.
+//! 2. **Fingerprint-cache handoff** — a speculative worker scoring a
+//!    frame concurrently with a charged `intervene` of the same frame
+//!    must agree on one deterministic score, and the charged query
+//!    must retire the speculation from the waste set at most once.
+//! 3. **Drop with queued jobs** — dropping the runtime mid-burst must
+//!    shut workers down, rebalance `pending`, and join cleanly.
+//!
+//! Run with:
+//! `RUSTFLAGS="--cfg loom" cargo test -p dataprism --test loom_model --release`
+
+#![cfg(loom)]
+
+use dataprism::runtime::DetachedSpeculation;
+use dataprism::{InterventionRuntime, ParOracle};
+use dp_frame::{Column, DataFrame};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn df(vals: &[i64]) -> DataFrame {
+    DataFrame::from_columns(vec![Column::from_ints(
+        "x",
+        vals.iter().map(|&v| Some(v)).collect(),
+    )])
+    .unwrap()
+}
+
+fn detached(frame: &DataFrame) -> DetachedSpeculation {
+    DetachedSpeculation {
+        pvts: Vec::new(),
+        base: Arc::new(frame.clone()),
+        rng: StdRng::seed_from_u64(0),
+    }
+}
+
+#[test]
+fn settle_reaches_quiescence_under_perturbed_schedules() {
+    loom::model(|| {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+        let frames: Vec<DataFrame> = (0..6).map(|i| df(&[i, i + 1])).collect();
+        rt.speculate_detached(frames.iter().map(detached).collect());
+        // cache_stats() settles the pool: drops the unstarted tail,
+        // waits for in-flight jobs. Whatever the schedule did, the
+        // counters must be read at quiescence and stay consistent.
+        let stats = rt.cache_stats();
+        assert!(stats.speculative <= frames.len());
+        assert_eq!(stats.speculative_waste, stats.speculative);
+        assert_eq!(stats.interventions, 0, "speculation is never charged");
+        // A second settle with nothing queued must not deadlock.
+        let again = rt.cache_stats();
+        assert_eq!(again.speculative, stats.speculative);
+    });
+}
+
+#[test]
+fn cache_handoff_agrees_on_one_score() {
+    loom::model(|| {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+        let frame = df(&[1, 2, 3]);
+        // Race the background scoring of `frame` against a charged
+        // query of the same frame on the primary thread.
+        rt.speculate_detached(vec![detached(&frame), detached(&df(&[7]))]);
+        let score = rt.intervene(&frame);
+        assert_eq!(score, 0.3, "deterministic score, whoever computed it");
+        assert_eq!(rt.interventions, 1);
+        let stats = rt.cache_stats();
+        // The charged query either hit a worker's speculative score
+        // (consuming it from the waste set) or scored first itself;
+        // both ends of the race must balance the books.
+        assert_eq!(stats.hits + stats.misses, 1);
+        assert!(stats.speculative_waste <= stats.speculative);
+        assert_eq!(stats.interventions, 1);
+        // The score is now cached for everyone: a repeat query is a
+        // hit and the answer is bit-identical.
+        assert_eq!(rt.intervene(&frame), 0.3);
+    });
+}
+
+#[test]
+fn drop_with_queued_jobs_joins_cleanly() {
+    loom::model(|| {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+        let jobs: Vec<DetachedSpeculation> =
+            (0..16).map(|i| detached(&df(&[i, i + 1, i + 2]))).collect();
+        rt.speculate_detached(jobs);
+        // Drop immediately: workers may be mid-job, waiting for work,
+        // or not yet scheduled. Drop must discard the unstarted tail,
+        // wake every waiter, and join without deadlock or panic.
+        drop(rt);
+    });
+}

@@ -70,6 +70,36 @@ impl Schema {
     pub fn names(&self) -> Vec<&str> {
         self.fields.iter().map(|f| f.name.as_str()).collect()
     }
+
+    /// Whether an attribute exists, by name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.field(name).is_some()
+    }
+
+    /// Declared dtype of an attribute, by name.
+    pub fn dtype_of(&self, name: &str) -> Option<DType> {
+        self.field(name).map(|f| f.dtype)
+    }
+
+    /// Names of the numeric attributes ([`DType::is_numeric`]), in
+    /// schema order.
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+
+    /// Names of the string-backed attributes ([`DType::is_string`]),
+    /// in schema order.
+    pub fn string_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_string())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
 }
 
 impl fmt::Display for Schema {
@@ -111,6 +141,23 @@ mod tests {
         assert_eq!(s.index_of("zip"), None);
         assert_eq!(s.field("age").unwrap().dtype, DType::Int);
         assert_eq!(s.names(), vec!["age", "name"]);
+    }
+
+    #[test]
+    fn introspection_helpers() {
+        let s = Schema::new(vec![
+            Field::new("age", DType::Int),
+            Field::new("score", DType::Float),
+            Field::new("flag", DType::Bool),
+            Field::new("name", DType::Text),
+            Field::new("code", DType::Categorical),
+        ])
+        .unwrap();
+        assert!(s.contains("age") && !s.contains("zip"));
+        assert_eq!(s.dtype_of("score"), Some(DType::Float));
+        assert_eq!(s.dtype_of("zip"), None);
+        assert_eq!(s.numeric_names(), vec!["age", "score"]);
+        assert_eq!(s.string_names(), vec!["name", "code"]);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Fact model the lint rules consume.
+//!
+//! The analyzer deliberately does not depend on the core crate's
+//! `Profile`/`Transform` enums: callers (the `dataprism` runtime, or
+//! any external pipeline frontend) lower each candidate PVT into a
+//! [`CandidateFacts`] record — attribute reads and writes with their
+//! type-class requirements, the profile's violation on `D_fail`, the
+//! transformation's no-apply coverage estimate, and an optional write
+//! target — and the rules reason over those facts plus the
+//! [`dp_frame::Schema`] alone.
+
+use dp_frame::DType;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The column type class an attribute access requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TypeClass {
+    /// Requires a numeric column ([`DType::Int`] or [`DType::Float`]).
+    Numeric,
+    /// Requires a string-backed column ([`DType::Categorical`] or
+    /// [`DType::Text`]).
+    Textual,
+    /// Works for any column type.
+    Any,
+}
+
+impl TypeClass {
+    /// Whether a column of the given dtype satisfies this requirement.
+    pub fn admits(self, dtype: DType) -> bool {
+        match self {
+            TypeClass::Numeric => dtype.is_numeric(),
+            TypeClass::Textual => dtype.is_string(),
+            TypeClass::Any => true,
+        }
+    }
+}
+
+impl fmt::Display for TypeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TypeClass::Numeric => "numeric",
+            TypeClass::Textual => "textual",
+            TypeClass::Any => "any",
+        })
+    }
+}
+
+/// One attribute access (read or write) and its type requirement.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AttrRequirement {
+    /// Attribute name.
+    pub attr: String,
+    /// Required type class.
+    pub ty: TypeClass,
+}
+
+impl AttrRequirement {
+    /// Convenience constructor.
+    pub fn new(attr: impl Into<String>, ty: TypeClass) -> Self {
+        AttrRequirement {
+            attr: attr.into(),
+            ty,
+        }
+    }
+}
+
+/// The value region a transformation drives an attribute toward —
+/// the input to conflict detection (rule L4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteTarget {
+    /// Values are driven into the closed interval `[lb, ub]`.
+    Range {
+        /// Lower bound.
+        lb: f64,
+        /// Upper bound.
+        ub: f64,
+    },
+    /// Values are driven into this categorical domain.
+    Domain(BTreeSet<String>),
+}
+
+impl WriteTarget {
+    /// Whether two targets for the same attribute can be satisfied by
+    /// one composed application. Targets of different shapes are not
+    /// comparable and count as compatible.
+    pub fn compatible_with(&self, other: &WriteTarget) -> bool {
+        match (self, other) {
+            (WriteTarget::Range { lb: a, ub: b }, WriteTarget::Range { lb: c, ub: d }) => {
+                a <= d && c <= b
+            }
+            (WriteTarget::Domain(x), WriteTarget::Domain(y)) => x.intersection(y).next().is_some(),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for WriteTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteTarget::Range { lb, ub } => write!(f, "[{lb}, {ub}]"),
+            WriteTarget::Domain(values) => {
+                let preview: Vec<&str> = values.iter().take(4).map(|s| s.as_str()).collect();
+                let ellipsis = if values.len() > 4 { ", …" } else { "" };
+                write!(f, "{{{}{}}}", preview.join(", "), ellipsis)
+            }
+        }
+    }
+}
+
+/// Everything the rules need to know about one candidate PVT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateFacts {
+    /// The candidate's id (stable across the diagnosis run).
+    pub id: usize,
+    /// Short human-readable label used in diagnostic messages (e.g.
+    /// the profile's template key).
+    pub label: String,
+    /// Attributes the profile's violation function and the
+    /// transformation *read*, with their type requirements.
+    pub reads: Vec<AttrRequirement>,
+    /// Attributes the transformation *writes*, with the type class it
+    /// can operate on.
+    pub writes: Vec<AttrRequirement>,
+    /// True for row-resampling transformations that rewrite every
+    /// column (their write set is effectively the whole schema).
+    pub rewrites_all_attributes: bool,
+    /// Attributes the profile constrains (the violation function's
+    /// input columns).
+    pub profile_attributes: Vec<String>,
+    /// `V(D_fail, P)` — the profile's violation on the failing
+    /// dataset, in `[0, 1]`.
+    pub profile_violation_on_fail: f64,
+    /// The transformation's no-apply coverage estimate on `D_fail`:
+    /// the fraction of tuples it would modify.
+    pub coverage_on_fail: f64,
+    /// Whether `coverage_on_fail == 0` *certifies* that applying the
+    /// transformation returns the input dataset unchanged (true only
+    /// for transformation kinds whose coverage estimate is exact).
+    pub coverage_is_exact: bool,
+    /// The attribute/region the transformation drives values toward,
+    /// when it has a describable target (rule L4 input).
+    pub write_target: Option<(String, WriteTarget)>,
+}
+
+impl CandidateFacts {
+    /// A neutral fact record: no accesses, violated profile, positive
+    /// coverage. Tests and callers override the fields under scrutiny.
+    pub fn new(id: usize, label: impl Into<String>) -> Self {
+        CandidateFacts {
+            id,
+            label: label.into(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            rewrites_all_attributes: false,
+            profile_attributes: Vec::new(),
+            profile_violation_on_fail: 1.0,
+            coverage_on_fail: 1.0,
+            coverage_is_exact: false,
+            write_target: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_classes_admit_expected_dtypes() {
+        assert!(TypeClass::Numeric.admits(DType::Int));
+        assert!(TypeClass::Numeric.admits(DType::Float));
+        assert!(!TypeClass::Numeric.admits(DType::Text));
+        assert!(TypeClass::Textual.admits(DType::Categorical));
+        assert!(TypeClass::Textual.admits(DType::Text));
+        assert!(!TypeClass::Textual.admits(DType::Bool));
+        assert!(TypeClass::Any.admits(DType::Bool));
+    }
+
+    #[test]
+    fn range_targets_compatible_iff_overlapping() {
+        let a = WriteTarget::Range { lb: 0.0, ub: 10.0 };
+        let b = WriteTarget::Range { lb: 5.0, ub: 20.0 };
+        let c = WriteTarget::Range { lb: 11.0, ub: 12.0 };
+        assert!(a.compatible_with(&b));
+        assert!(!a.compatible_with(&c));
+        assert!(b.compatible_with(&c));
+    }
+
+    #[test]
+    fn domain_targets_compatible_iff_intersecting() {
+        let dom = |vals: &[&str]| {
+            WriteTarget::Domain(vals.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>())
+        };
+        assert!(dom(&["-1", "1"]).compatible_with(&dom(&["1", "2"])));
+        assert!(!dom(&["-1", "1"]).compatible_with(&dom(&["0", "4"])));
+    }
+
+    #[test]
+    fn mixed_shape_targets_are_not_comparable() {
+        let r = WriteTarget::Range { lb: 0.0, ub: 1.0 };
+        let d = WriteTarget::Domain(BTreeSet::from(["9".to_string()]));
+        assert!(r.compatible_with(&d));
+    }
+
+    #[test]
+    fn write_target_display_is_compact() {
+        let r = WriteTarget::Range { lb: 0.0, ub: 1.0 };
+        assert_eq!(r.to_string(), "[0, 1]");
+        let d = WriteTarget::Domain(
+            ["a", "b", "c", "d", "e"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(d.to_string(), "{a, b, c, d, …}");
+    }
+}

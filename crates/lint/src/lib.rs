@@ -1,0 +1,328 @@
+//! # dp_lint — static analysis of DataPrism PVT pipelines
+//!
+//! DataPrism pays one oracle query per intervention; a malformed or
+//! provably futile candidate PVT burns queries the benefit score was
+//! designed to save. This crate analyzes a diagnosis *before any
+//! oracle query*: a [`Diagnostics`] pass over the candidate set, the
+//! [`dp_frame::Schema`], and the PVT-dependency graph, in the spirit
+//! of task-aware static pipeline checking (PrismaDV) and no-fix
+//! pruning certificates (Chakarov et al.).
+//!
+//! ## Rules
+//!
+//! | ID | Name | Severity | Catches |
+//! |----|------|----------|---------|
+//! | L1 | schema typing | Error | reads/writes of missing or dtype-incompatible attributes |
+//! | L2 | violation–transform consistency | Error | fixes that provably cannot move their profile's parameter toward `D_pass` |
+//! | L3 | no-op/idempotence | Error/Warn | transforms fixing no violating tuples on `D_fail` (coverage 0) |
+//! | L4 | conflict detection | Warn | two candidates writing one attribute with incompatible targets |
+//! | L5 | graph sanity | Warn/Info | self-loops, dangling edges, cycles, disconnected components |
+//!
+//! The analyzer is deliberately decoupled from the runtime's
+//! `Profile`/`Transform` enums: callers lower each candidate into a
+//! [`CandidateFacts`] record and hand [`analyze`] the schema, the
+//! facts, and the dependency edges. Emitted diagnostics are sorted by
+//! `(rule, severity, pvt_ids, attr, message)` — a total, deterministic
+//! order, so reports and golden files are stable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod facts;
+mod graph;
+mod rules;
+
+pub use facts::{AttrRequirement, CandidateFacts, TypeClass, WriteTarget};
+pub use graph::check_graph;
+pub use rules::{
+    check_noop, check_schema_typing, check_transform_consistency, check_write_conflicts,
+};
+
+use dp_frame::Schema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How bad a diagnostic is. The `Ord` order (Error < Warn < Info) is
+/// the report order: most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The candidate is provably broken or futile; `Lint::Prune`
+    /// drops Error-level candidates before ranking.
+    Error,
+    /// Suspicious but not provably futile; never pruned.
+    Warn,
+    /// Structural information; never pruned.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// The named lint rules, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// L1 — schema typing of attribute reads/writes.
+    SchemaTyping,
+    /// L2 — violation–transform consistency.
+    TransformConsistency,
+    /// L3 — no-op/idempotence detection.
+    NoOpTransform,
+    /// L4 — incompatible-write conflict detection.
+    WriteConflict,
+    /// L5 — dependency-graph sanity.
+    GraphSanity,
+}
+
+impl RuleId {
+    /// The rule's short code, `"L1"` … `"L5"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::SchemaTyping => "L1",
+            RuleId::TransformConsistency => "L2",
+            RuleId::NoOpTransform => "L3",
+            RuleId::WriteConflict => "L4",
+            RuleId::GraphSanity => "L5",
+        }
+    }
+
+    /// The rule's human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::SchemaTyping => "schema typing",
+            RuleId::TransformConsistency => "violation-transform consistency",
+            RuleId::NoOpTransform => "no-op transform",
+            RuleId::WriteConflict => "write conflict",
+            RuleId::GraphSanity => "graph sanity",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding. Field order is the deterministic sort order
+/// (`Ord` is derived): rule, then severity, then the involved ids.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// The candidate ids involved, ascending.
+    pub pvt_ids: Vec<usize>,
+    /// The attribute at fault, when the finding is attribute-scoped.
+    pub attr: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] ", self.rule, self.severity)?;
+        if !self.pvt_ids.is_empty() {
+            let ids: Vec<String> = self.pvt_ids.iter().map(|i| i.to_string()).collect();
+            write!(f, "PVT {}: ", ids.join(", "))?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// The machine-readable result of a lint pass, surfaced in
+/// `dataprism::Explanation` and the markdown report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    /// Whether a lint pass ran at all (`false` under `Lint::Off`).
+    pub analyzed: bool,
+    /// The findings, in the deterministic `(rule, severity, ids,
+    /// attr, message)` order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Ids of candidates dropped before ranking (`Lint::Prune` only),
+    /// ascending. Empty under `Off`/`Report`.
+    pub pruned: Vec<usize>,
+}
+
+impl Diagnostics {
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings with the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// All candidate ids involved in an `Error`-level finding — the
+    /// prune set.
+    pub fn error_pvt_ids(&self) -> BTreeSet<usize> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .flat_map(|d| d.pvt_ids.iter().copied())
+            .collect()
+    }
+
+    /// The findings a given rule produced.
+    pub fn for_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.analyzed {
+            return f.write_str("lint off");
+        }
+        write!(
+            f,
+            "{} error(s) / {} warning(s) / {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        )?;
+        if !self.pruned.is_empty() {
+            write!(f, ", {} pruned", self.pruned.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Run every rule over the candidate facts, the schema, and the
+/// dependency edges. The returned diagnostics are deterministically
+/// ordered and `analyzed` is set; `pruned` is left empty (pruning is
+/// the runtime's decision, not the analyzer's).
+pub fn analyze(
+    schema: &Schema,
+    candidates: &[CandidateFacts],
+    edges: &[(usize, usize)],
+) -> Diagnostics {
+    let mut diagnostics = Vec::new();
+    for c in candidates {
+        diagnostics.extend(rules::check_schema_typing(schema, c));
+        diagnostics.extend(rules::check_transform_consistency(c));
+        diagnostics.extend(rules::check_noop(c));
+    }
+    diagnostics.extend(rules::check_write_conflicts(candidates));
+    let ids: Vec<usize> = candidates.iter().map(|c| c.id).collect();
+    diagnostics.extend(graph::check_graph(&ids, edges));
+    diagnostics.sort();
+    diagnostics.dedup();
+    Diagnostics {
+        analyzed: true,
+        diagnostics,
+        pruned: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::{DType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DType::Int),
+            Field::new("target", DType::Categorical),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_candidate_set_is_clean() {
+        let d = analyze(&schema(), &[], &[]);
+        assert!(d.analyzed);
+        assert!(d.is_clean());
+        assert!(d.error_pvt_ids().is_empty());
+        assert_eq!(d.to_string(), "0 error(s) / 0 warning(s) / 0 info");
+    }
+
+    #[test]
+    fn single_attribute_schema_degenerate_input() {
+        // One-column schema, one healthy candidate touching it: clean.
+        let schema = Schema::new(vec![Field::new("x", DType::Float)]).unwrap();
+        let mut c = CandidateFacts::new(0, "domain_num(x)");
+        c.reads.push(AttrRequirement::new("x", TypeClass::Numeric));
+        c.writes.push(AttrRequirement::new("x", TypeClass::Numeric));
+        c.profile_attributes = vec!["x".into()];
+        let d = analyze(&schema, std::slice::from_ref(&c), &[]);
+        assert!(d.is_clean(), "{:?}", d.diagnostics);
+        // The same candidate against an empty requirement on a
+        // missing column errors.
+        c.reads.push(AttrRequirement::new("y", TypeClass::Any));
+        let d = analyze(&schema, &[c], &[]);
+        assert_eq!(d.count(Severity::Error), 1);
+        assert_eq!(d.error_pvt_ids().into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn ordering_is_deterministic_and_rule_major() {
+        // Build candidates triggering L1, L2, L3, and L5 in reverse
+        // id order; the output must come back sorted rule-major.
+        let mut broken_schema = CandidateFacts::new(9, "domain_cat(missing)");
+        broken_schema
+            .reads
+            .push(AttrRequirement::new("missing", TypeClass::Textual));
+        let mut noop = CandidateFacts::new(1, "domain_num(age)");
+        noop.profile_attributes = vec!["age".into()];
+        noop.writes
+            .push(AttrRequirement::new("age", TypeClass::Numeric));
+        noop.coverage_on_fail = 0.0;
+        noop.coverage_is_exact = true;
+        let mut disjoint = CandidateFacts::new(4, "domain_num(age)");
+        disjoint.profile_attributes = vec!["age".into()];
+        disjoint
+            .writes
+            .push(AttrRequirement::new("target", TypeClass::Textual));
+        let candidates = vec![broken_schema, noop, disjoint];
+        let d1 = analyze(&schema(), &candidates, &[(1, 1)]);
+        let d2 = analyze(&schema(), &candidates, &[(1, 1)]);
+        assert_eq!(d1, d2, "analysis is a pure function of its inputs");
+        let rules: Vec<RuleId> = d1.diagnostics.iter().map(|d| d.rule).collect();
+        let mut sorted = rules.clone();
+        sorted.sort();
+        assert_eq!(rules, sorted, "rule-major order");
+        assert!(rules.contains(&RuleId::SchemaTyping));
+        assert!(rules.contains(&RuleId::TransformConsistency));
+        assert!(rules.contains(&RuleId::NoOpTransform));
+        assert!(rules.contains(&RuleId::GraphSanity));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(RuleId::SchemaTyping.code(), "L1");
+        assert_eq!(RuleId::GraphSanity.code(), "L5");
+        assert_eq!(RuleId::NoOpTransform.name(), "no-op transform");
+        let d = Diagnostic {
+            rule: RuleId::NoOpTransform,
+            severity: Severity::Error,
+            pvt_ids: vec![2],
+            attr: Some("len".into()),
+            message: "certified no-op".into(),
+        };
+        assert_eq!(d.to_string(), "[L3/error] PVT 2: certified no-op");
+        let mut diags = Diagnostics {
+            analyzed: true,
+            diagnostics: vec![d],
+            pruned: vec![2],
+        };
+        assert_eq!(
+            diags.to_string(),
+            "1 error(s) / 0 warning(s) / 0 info, 1 pruned"
+        );
+        diags.analyzed = false;
+        assert_eq!(diags.to_string(), "lint off");
+    }
+}

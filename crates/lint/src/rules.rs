@@ -1,0 +1,330 @@
+//! Rules L1–L4: per-candidate and cross-candidate lints.
+//!
+//! Each rule is an individually testable function returning the
+//! diagnostics it found; [`crate::analyze`] composes them and imposes
+//! the deterministic global ordering.
+
+use crate::facts::CandidateFacts;
+use crate::{Diagnostic, RuleId, Severity};
+use dp_frame::Schema;
+use std::collections::BTreeMap;
+
+/// L1 — schema typing: every attribute the candidate reads or writes
+/// must exist in the schema, and its declared dtype must admit the
+/// access's type class. Violations are `Error`s: the transformation
+/// would fail (missing column) or act on data it cannot interpret.
+pub fn check_schema_typing(schema: &Schema, c: &CandidateFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (kind, reqs) in [("reads", &c.reads), ("writes", &c.writes)] {
+        for req in reqs {
+            let message = match schema.field(&req.attr) {
+                None => format!(
+                    "{} ({kind} `{}`): attribute is not in the schema {}",
+                    c.label, req.attr, schema
+                ),
+                Some(field) if !req.ty.admits(field.dtype) => format!(
+                    "{} ({kind} `{}`): declared dtype {} does not admit the required {} access",
+                    c.label, req.attr, field.dtype, req.ty
+                ),
+                Some(_) => continue,
+            };
+            out.push(Diagnostic {
+                rule: RuleId::SchemaTyping,
+                severity: Severity::Error,
+                pvt_ids: vec![c.id],
+                attr: Some(req.attr.clone()),
+                message,
+            });
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// L2 — violation–transform consistency: the transformation must be
+/// able to move the profile's parameter toward the passing dataset's
+/// value. Two provable failures, both `Error`s:
+///
+/// * the transformation writes none of the attributes the profile
+///   constrains (a local transform on disjoint columns cannot change
+///   the violation), or
+/// * `V(D_fail, P) = 0` — the failing dataset already satisfies the
+///   profile (e.g. a clamp whose bounds already contain the observed
+///   range), so the profile cannot be a cause and the fix has nothing
+///   to move.
+pub fn check_transform_consistency(c: &CandidateFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !c.rewrites_all_attributes && !c.profile_attributes.is_empty() {
+        let touches_profile = c
+            .writes
+            .iter()
+            .any(|w| c.profile_attributes.contains(&w.attr));
+        if !touches_profile {
+            let writes: Vec<&str> = c.writes.iter().map(|w| w.attr.as_str()).collect();
+            out.push(Diagnostic {
+                rule: RuleId::TransformConsistency,
+                severity: Severity::Error,
+                pvt_ids: vec![c.id],
+                attr: c.profile_attributes.first().cloned(),
+                message: format!(
+                    "{}: fix writes [{}] but the cause profile constrains [{}]; \
+                     the transformation provably cannot move the profile parameter",
+                    c.label,
+                    writes.join(", "),
+                    c.profile_attributes.join(", ")
+                ),
+            });
+        }
+    }
+    if c.profile_violation_on_fail == 0.0 {
+        out.push(Diagnostic {
+            rule: RuleId::TransformConsistency,
+            severity: Severity::Error,
+            pvt_ids: vec![c.id],
+            attr: c.profile_attributes.first().cloned(),
+            message: format!(
+                "{}: D_fail already satisfies the profile (violation 0), so it cannot \
+                 be a cause and its repair is a certified no-op",
+                c.label
+            ),
+        });
+    }
+    out
+}
+
+/// L3 — no-op/idempotence: a transformation whose coverage on
+/// `D_fail` is zero fixes no violating tuples. When the coverage
+/// estimate is exact for the transformation kind, applying it
+/// provably returns the dataset unchanged — an `Error` (the oracle
+/// query is certainly wasted); otherwise a `Warn`.
+pub fn check_noop(c: &CandidateFacts) -> Vec<Diagnostic> {
+    if c.coverage_on_fail != 0.0 {
+        return Vec::new();
+    }
+    let (severity, certainty) = if c.coverage_is_exact {
+        (
+            Severity::Error,
+            "certified no-op: applying it returns D_fail unchanged",
+        )
+    } else {
+        (
+            Severity::Warn,
+            "estimated no-op: the coverage estimate is not exact for this transformation kind",
+        )
+    };
+    vec![Diagnostic {
+        rule: RuleId::NoOpTransform,
+        severity,
+        pvt_ids: vec![c.id],
+        attr: c.writes.first().map(|w| w.attr.clone()),
+        message: format!(
+            "{}: transformation fixes no violating tuples on D_fail (coverage 0) — {certainty}",
+            c.label
+        ),
+    }]
+}
+
+/// L4 — conflict detection: two candidates writing the same attribute
+/// with incompatible targets (disjoint ranges or disjoint domains).
+/// Each is individually valid, so this is a `Warn`: group testing
+/// must not compose them in one application, because the
+/// later-applied transformation undoes the earlier one.
+pub fn check_write_conflicts(candidates: &[CandidateFacts]) -> Vec<Diagnostic> {
+    let mut by_attr: BTreeMap<&str, Vec<&CandidateFacts>> = BTreeMap::new();
+    for c in candidates {
+        if let Some((attr, _)) = &c.write_target {
+            by_attr.entry(attr.as_str()).or_default().push(c);
+        }
+    }
+    let mut out = Vec::new();
+    for (attr, writers) in by_attr {
+        for (i, a) in writers.iter().enumerate() {
+            for b in writers.iter().skip(i + 1) {
+                let (ta, tb) = (
+                    &a.write_target.as_ref().expect("grouped by target").1,
+                    &b.write_target.as_ref().expect("grouped by target").1,
+                );
+                if !ta.compatible_with(tb) {
+                    let mut ids = vec![a.id, b.id];
+                    ids.sort_unstable();
+                    out.push(Diagnostic {
+                        rule: RuleId::WriteConflict,
+                        severity: Severity::Warn,
+                        pvt_ids: ids,
+                        attr: Some(attr.to_string()),
+                        message: format!(
+                            "{} and {} drive `{attr}` toward incompatible targets \
+                             ({ta} vs {tb}); group testing must not compose them",
+                            a.label, b.label
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::{AttrRequirement, TypeClass, WriteTarget};
+    use dp_frame::{DType, Field, Schema};
+    use std::collections::BTreeSet;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DType::Int),
+            Field::new("target", DType::Categorical),
+            Field::new("note", DType::Text),
+        ])
+        .unwrap()
+    }
+
+    // --- L1 ---
+
+    #[test]
+    fn l1_flags_missing_and_mistyped_attributes() {
+        let mut c = CandidateFacts::new(7, "domain_cat(zip)");
+        c.reads
+            .push(AttrRequirement::new("zip", TypeClass::Textual));
+        c.writes
+            .push(AttrRequirement::new("age", TypeClass::Textual));
+        let diags = check_schema_typing(&schema(), &c);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+        assert!(diags.iter().all(|d| d.rule == RuleId::SchemaTyping));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("not in the schema")));
+        assert!(diags.iter().any(|d| d
+            .message
+            .contains("does not admit the required textual access")));
+    }
+
+    #[test]
+    fn l1_accepts_well_typed_accesses() {
+        let mut c = CandidateFacts::new(7, "domain_num(age)");
+        c.reads
+            .push(AttrRequirement::new("age", TypeClass::Numeric));
+        c.writes
+            .push(AttrRequirement::new("age", TypeClass::Numeric));
+        c.reads
+            .push(AttrRequirement::new("target", TypeClass::Textual));
+        c.reads.push(AttrRequirement::new("note", TypeClass::Any));
+        assert!(check_schema_typing(&schema(), &c).is_empty());
+    }
+
+    // --- L2 ---
+
+    #[test]
+    fn l2_flags_fix_on_disjoint_attributes() {
+        let mut c = CandidateFacts::new(3, "domain_num(age)");
+        c.profile_attributes = vec!["age".into()];
+        c.writes.push(AttrRequirement::new("note", TypeClass::Any));
+        let diags = check_transform_consistency(&c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0]
+            .message
+            .contains("cannot move the profile parameter"));
+    }
+
+    #[test]
+    fn l2_flags_already_satisfied_profile() {
+        let mut c = CandidateFacts::new(3, "domain_num(age)");
+        c.profile_attributes = vec!["age".into()];
+        c.writes
+            .push(AttrRequirement::new("age", TypeClass::Numeric));
+        c.profile_violation_on_fail = 0.0;
+        let diags = check_transform_consistency(&c);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("violation 0"));
+    }
+
+    #[test]
+    fn l2_accepts_consistent_candidates_and_global_rewrites() {
+        let mut c = CandidateFacts::new(3, "domain_num(age)");
+        c.profile_attributes = vec!["age".into()];
+        c.writes
+            .push(AttrRequirement::new("age", TypeClass::Numeric));
+        assert!(check_transform_consistency(&c).is_empty());
+        // A row-resampling transform touches every column and is
+        // always attribute-consistent.
+        let mut g = CandidateFacts::new(4, "selectivity(age = 1)");
+        g.profile_attributes = vec!["age".into()];
+        g.rewrites_all_attributes = true;
+        assert!(check_transform_consistency(&g).is_empty());
+    }
+
+    // --- L3 ---
+
+    #[test]
+    fn l3_certifies_exact_zero_coverage_as_error() {
+        let mut c = CandidateFacts::new(5, "domain_num(age)");
+        c.coverage_on_fail = 0.0;
+        c.coverage_is_exact = true;
+        let diags = check_noop(&c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("certified no-op"));
+    }
+
+    #[test]
+    fn l3_warns_on_inexact_zero_coverage() {
+        let mut c = CandidateFacts::new(5, "indep_chi2(a, b)");
+        c.coverage_on_fail = 0.0;
+        c.coverage_is_exact = false;
+        let diags = check_noop(&c);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn l3_accepts_positive_coverage() {
+        let mut c = CandidateFacts::new(5, "domain_num(age)");
+        c.coverage_on_fail = 0.25;
+        c.coverage_is_exact = true;
+        assert!(check_noop(&c).is_empty());
+    }
+
+    // --- L4 ---
+
+    fn with_target(id: usize, attr: &str, target: WriteTarget) -> CandidateFacts {
+        let mut c = CandidateFacts::new(id, format!("pvt{id}"));
+        c.write_target = Some((attr.to_string(), target));
+        c
+    }
+
+    #[test]
+    fn l4_flags_disjoint_range_writers_of_one_attribute() {
+        let a = with_target(1, "age", WriteTarget::Range { lb: 0.0, ub: 10.0 });
+        let b = with_target(2, "age", WriteTarget::Range { lb: 50.0, ub: 60.0 });
+        let diags = check_write_conflicts(&[a, b]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert_eq!(diags[0].pvt_ids, vec![1, 2]);
+        assert_eq!(diags[0].attr.as_deref(), Some("age"));
+    }
+
+    #[test]
+    fn l4_flags_disjoint_domain_writers() {
+        let dom = |vals: &[&str]| {
+            WriteTarget::Domain(vals.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>())
+        };
+        let a = with_target(1, "target", dom(&["-1", "1"]));
+        let b = with_target(9, "target", dom(&["0", "4"]));
+        let diags = check_write_conflicts(&[b, a]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pvt_ids, vec![1, 9], "ids sorted ascending");
+    }
+
+    #[test]
+    fn l4_accepts_overlapping_targets_and_distinct_attributes() {
+        let a = with_target(1, "age", WriteTarget::Range { lb: 0.0, ub: 10.0 });
+        let b = with_target(2, "age", WriteTarget::Range { lb: 5.0, ub: 60.0 });
+        let c = with_target(3, "len", WriteTarget::Range { lb: 99.0, ub: 99.5 });
+        assert!(check_write_conflicts(&[a, b, c]).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline drop-in subset of the [`loom`](https://docs.rs/loom)
+//! concurrency-testing API.
+//!
+//! This workspace vendors no registry crates, so the real loom (an
+//! exhaustive DPOR model checker) is unavailable. This shim keeps the
+//! *API shape* — `loom::model`, `loom::thread`, `loom::sync` — so the
+//! runtime's pool code and its model tests compile unchanged under
+//! `--cfg loom`, but explores interleavings by **randomized schedule
+//! perturbation** instead of exhaustive enumeration: [`model`] runs
+//! the closure many times, and every lock acquisition, condvar
+//! operation, and thread spawn passes through a perturbation point
+//! ([`sched::tick`]) that pseudo-randomly yields to the OS scheduler,
+//! with a different yield pattern per iteration. That is a stress
+//! model, not a proof — it reliably surfaces lost-wakeup, double-drop
+//! and accounting races in practice, while remaining dependency-free.
+//!
+//! Only the subset the `dataprism` runtime uses is implemented:
+//! `thread::{spawn, yield_now, JoinHandle}`,
+//! `sync::{Arc, Mutex, Condvar}`, and `model`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Schedule perturbation machinery shared by all shim primitives.
+pub mod sched {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Per-iteration epoch mixed into every thread's yield stream so
+    /// each [`crate::model`] iteration explores a different schedule.
+    static EPOCH: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    /// Distinct starting state per thread.
+    static THREAD_SALT: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(
+            THREAD_SALT
+                .fetch_add(0x2545_F491_4F6C_DD1D, Ordering::Relaxed)
+                | 1,
+        );
+    }
+
+    /// Start a new exploration iteration (called by [`crate::model`]).
+    pub fn set_epoch(iteration: u64) {
+        EPOCH.store(
+            (iteration.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// A perturbation point: advance this thread's xorshift stream and
+    /// pseudo-randomly yield to the OS scheduler.
+    pub fn tick() {
+        let yield_now = STATE.with(|state| {
+            let mut x = state.get() ^ EPOCH.load(Ordering::Relaxed);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            state.set(x | 1);
+            x & 0b11 == 0
+        });
+        if yield_now {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Exploration entry point: run `f` under many randomized schedules.
+///
+/// The real loom enumerates interleavings exhaustively; the shim
+/// re-runs the closure with a fresh perturbation epoch each time, so
+/// bugs that depend on thread timing get many distinct chances to
+/// fire within one `#[test]`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    const ITERATIONS: u64 = 64;
+    for iteration in 0..ITERATIONS {
+        sched::set_epoch(iteration);
+        f();
+    }
+}
+
+/// Threading primitives with perturbation points.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawn a thread whose body starts at a perturbation point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            crate::sched::tick();
+            f()
+        })
+    }
+}
+
+/// Synchronization primitives with perturbation points.
+pub mod sync {
+    pub use std::sync::Arc;
+    use std::sync::{LockResult, MutexGuard};
+
+    /// [`std::sync::Mutex`] that perturbs the schedule on every
+    /// acquisition.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquire the lock (after a perturbation point).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            crate::sched::tick();
+            self.0.lock()
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// [`std::sync::Condvar`] that perturbs the schedule around waits
+    /// and notifications — the classic window for lost-wakeup bugs.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Create a new condition variable.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Wait on the condvar (perturbing before the wait, widening
+        /// the notify race window).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            crate::sched::tick();
+            self.0.wait(guard)
+        }
+
+        /// Wake all waiters (after a perturbation point).
+        pub fn notify_all(&self) {
+            crate::sched::tick();
+            self.0.notify_all();
+        }
+
+        /// Wake one waiter (after a perturbation point).
+        pub fn notify_one(&self) {
+            crate::sched::tick();
+            self.0.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn model_runs_the_closure_many_times() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        model(|| {
+            RUNS.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(RUNS.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn primitives_behave_like_std() {
+        let m = sync::Arc::new(sync::Mutex::new(0usize));
+        let cv = sync::Arc::new(sync::Condvar::new());
+        let (m2, cv2) = (sync::Arc::clone(&m), sync::Arc::clone(&cv));
+        let handle = thread::spawn(move || {
+            *m2.lock().unwrap() = 7;
+            cv2.notify_all();
+        });
+        let mut guard = m.lock().unwrap();
+        while *guard != 7 {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        handle.join().unwrap();
+        let solo = sync::Mutex::new(3);
+        assert_eq!(solo.into_inner().unwrap(), 3);
+    }
+}

@@ -1,0 +1,427 @@
+//! Parity and savings guarantees of the static lint pass (`dp_lint`).
+//!
+//! The contract under test, from two directions:
+//!
+//! 1. **Parity** — `Lint::Prune` never changes the final explanation.
+//!    On discovery-produced candidate sets the Error rules never fire
+//!    (a discriminative PVT has positive violation and coverage by
+//!    construction), so pruning is a bit-identical no-op: same PVTs,
+//!    same scores, same trace, same intervention count, same repaired
+//!    dataset — on every bundled scenario, both algorithms (GRD/GT),
+//!    and every thread count in {1, 2, 8}.
+//! 2. **Savings** — on candidate sets that *do* contain provably
+//!    futile PVTs (here: hand-built fixes that write an attribute
+//!    disjoint from their profile, rule L2), pruning removes them
+//!    before ranking and measurably reduces the charged oracle
+//!    queries, while the explanation, scores, and repaired dataset
+//!    stay identical.
+//!
+//! Degenerate inputs (empty candidate set, all candidates pruned)
+//! must exit through the documented error paths, never panic.
+
+use dataprism::report::markdown_report;
+use dataprism::{
+    explain_greedy, explain_greedy_parallel, explain_greedy_with_pvts, explain_group_test,
+    explain_group_test_parallel, explain_group_test_with_pvts, fingerprint, Explanation, Lint,
+    PartitionStrategy, PrismConfig, PrismError, Profile, Pvt, Result, Severity, Transform,
+};
+use dp_frame::{Column, DType, DataFrame};
+use dp_scenarios::{cardio, example1, ezgo, income, sensors, sentiment, Scenario};
+use std::collections::BTreeSet;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        example1::scenario(),
+        sentiment::scenario_with_size(240, 11),
+        income::scenario_with_size(300, 7),
+        cardio::scenario_with_size(300, 5),
+        ezgo::scenario_with_size(400, 2),
+        sensors::scenario_with_size(250, 4),
+    ]
+}
+
+/// Bit-level equality of two diagnosis outcomes: explanation set,
+/// intervention count, score bits, resolution, trace, and repaired
+/// fingerprint (cache counters excluded — scheduling-dependent).
+fn assert_identical(name: &str, serial: &Result<Explanation>, other: &Result<Explanation>) {
+    match (serial, other) {
+        (Ok(s), Ok(p)) => {
+            assert_eq!(s.pvt_ids(), p.pvt_ids(), "{name}: explanation set");
+            assert_eq!(s.interventions, p.interventions, "{name}: interventions");
+            assert_eq!(
+                s.initial_score.to_bits(),
+                p.initial_score.to_bits(),
+                "{name}: initial score"
+            );
+            assert_eq!(
+                s.final_score.to_bits(),
+                p.final_score.to_bits(),
+                "{name}: final score"
+            );
+            assert_eq!(s.resolved, p.resolved, "{name}: resolved flag");
+            assert_eq!(s.trace, p.trace, "{name}: trace");
+            assert_eq!(
+                fingerprint(&s.repaired),
+                fingerprint(&p.repaired),
+                "{name}: repaired dataset"
+            );
+        }
+        (Err(se), Err(pe)) => assert_eq!(se, pe, "{name}: error value"),
+        (s, p) => panic!("{name}: outcomes disagree on success: {s:?} vs {p:?}"),
+    }
+}
+
+#[test]
+fn prune_is_bit_identical_on_every_scenario_grd() {
+    for mut scenario in scenarios() {
+        let mut off = scenario.config.clone();
+        off.lint = Lint::Off;
+        let baseline = explain_greedy(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &off,
+        );
+        let mut prune = scenario.config.clone();
+        prune.lint = Lint::Prune;
+        let pruned = explain_greedy(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &prune,
+        );
+        assert_identical(scenario.name, &baseline, &pruned);
+        if let Ok(exp) = &pruned {
+            assert!(
+                exp.lint.analyzed,
+                "{}: prune run was analyzed",
+                scenario.name
+            );
+            assert!(
+                exp.lint.pruned.is_empty(),
+                "{}: nothing prunable",
+                scenario.name
+            );
+            assert_eq!(exp.cache.lint_pruned, 0);
+        }
+        for threads in THREAD_COUNTS {
+            let mut config = prune.clone();
+            config.num_threads = threads;
+            let par = explain_greedy_parallel(
+                scenario.factory.as_ref(),
+                &scenario.d_fail,
+                &scenario.d_pass,
+                &config,
+            );
+            assert_identical(scenario.name, &baseline, &par);
+        }
+    }
+}
+
+#[test]
+fn prune_is_bit_identical_on_every_scenario_gt() {
+    for mut scenario in scenarios() {
+        let mut off = scenario.config.clone();
+        off.lint = Lint::Off;
+        let baseline = explain_group_test(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &off,
+            PartitionStrategy::MinBisection,
+        );
+        let mut prune = scenario.config.clone();
+        prune.lint = Lint::Prune;
+        let pruned = explain_group_test(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &prune,
+            PartitionStrategy::MinBisection,
+        );
+        assert_identical(scenario.name, &baseline, &pruned);
+        for threads in THREAD_COUNTS {
+            let mut config = prune.clone();
+            config.num_threads = threads;
+            let par = explain_group_test_parallel(
+                scenario.factory.as_ref(),
+                &scenario.d_fail,
+                &scenario.d_pass,
+                &config,
+                PartitionStrategy::MinBisection,
+            );
+            assert_identical(scenario.name, &baseline, &par);
+        }
+    }
+}
+
+#[test]
+fn discovery_candidates_never_trip_error_rules() {
+    // The parity guarantee rests on this: a discriminative PVT has
+    // positive violation and positive coverage on D_fail by
+    // construction, so L1–L3 can never reach Error severity on
+    // discovery output (L4/L5 emit at most Warn/Info).
+    for mut scenario in scenarios() {
+        let config = scenario.config.clone(); // default Lint::Report
+        assert_eq!(config.lint, Lint::Report);
+        if let Ok(exp) = explain_greedy(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &config,
+        ) {
+            assert!(exp.lint.analyzed, "{}: report mode analyzes", scenario.name);
+            assert_eq!(
+                exp.lint.count(Severity::Error),
+                0,
+                "{}: no Error-level diagnostics on discovery output: {:?}",
+                scenario.name,
+                exp.lint.diagnostics
+            );
+            assert!(exp.lint.pruned.is_empty(), "report mode never prunes");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hand-built candidate sets: measurable savings and degenerate exits.
+// ---------------------------------------------------------------------------
+
+/// The miniature sentiment system: malfunction = fraction of labels
+/// outside {-1, 1}. Only the "target" column matters.
+fn label_system(df: &DataFrame) -> f64 {
+    let col = df.column("target").unwrap();
+    let bad = col
+        .str_values()
+        .iter()
+        .filter(|(_, s)| *s != "-1" && *s != "1")
+        .count();
+    bad as f64 / df.n_rows().max(1) as f64
+}
+
+fn cat(name: &str, vals: &[&str]) -> Column {
+    Column::from_strings(
+        name,
+        DType::Categorical,
+        vals.iter().map(|s| Some(s.to_string())).collect(),
+    )
+}
+
+fn floats(name: &str, vals: &[f64]) -> Column {
+    Column::from_floats(name, vals.iter().map(|&v| Some(v)).collect())
+}
+
+fn pass_fail() -> (DataFrame, DataFrame) {
+    let pass = DataFrame::from_columns(vec![
+        cat("target", &["-1", "1", "1", "-1"]),
+        floats("len", &[4.0, 9.0, 6.0, 11.0]),
+        floats("aux", &[40.0, 90.0, 60.0, 110.0]),
+    ])
+    .unwrap();
+    let fail = DataFrame::from_columns(vec![
+        cat("target", &["0", "4", "4", "0"]),
+        floats("len", &[3.0, 15.0, 7.0, 12.0]),
+        floats("aux", &[30.0, 150.0, 70.0, 120.0]),
+    ])
+    .unwrap();
+    (pass, fail)
+}
+
+/// One real cause plus three provably futile candidates. The junk
+/// profiles sit on "len" (violated — every value is outside [0, 1])
+/// and their fixes write "aux": rule L2 proves the fix cannot move the
+/// profile parameter, so `Prune` drops them. Left in (`Off`), their
+/// shared attributes make {len, aux} the highest-degree nodes of the
+/// PVT–attribute graph, so greedy's O1 prioritization explores and
+/// rejects every one of them — each a charged oracle query — before
+/// reaching the real cause on degree-1 "target". Every transform is
+/// deterministic, so RNG streams cannot perturb the comparison.
+fn candidates_with_junk() -> Vec<Pvt> {
+    let domain: BTreeSet<String> = ["-1", "1"].iter().map(|s| s.to_string()).collect();
+    let junk = |id: usize, ub: f64| Pvt {
+        id,
+        profile: Profile::DomainNumeric {
+            attr: "len".into(),
+            lb: 0.0,
+            ub: 1.0,
+        },
+        transform: Transform::Winsorize {
+            attr: "aux".into(),
+            lb: 0.0,
+            ub,
+        },
+    };
+    vec![
+        junk(0, 50.0),
+        junk(1, 60.0),
+        junk(2, 65.0),
+        Pvt {
+            id: 3,
+            profile: Profile::DomainCategorical {
+                attr: "target".into(),
+                values: domain.clone(),
+            },
+            transform: Transform::MapToDomain {
+                attr: "target".into(),
+                values: domain,
+            },
+        },
+    ]
+}
+
+fn config_with(lint: Lint) -> PrismConfig {
+    let mut config = PrismConfig::with_threshold(0.2);
+    config.lint = lint;
+    config
+}
+
+#[test]
+fn prune_saves_oracle_queries_grd() {
+    let (pass, fail) = pass_fail();
+    let run = |lint: Lint| {
+        let mut system = label_system;
+        explain_greedy_with_pvts(
+            &mut system,
+            &fail,
+            &pass,
+            candidates_with_junk(),
+            &config_with(lint),
+        )
+        .unwrap()
+    };
+    let off = run(Lint::Off);
+    let pruned = run(Lint::Prune);
+    // Same diagnosis...
+    assert_eq!(off.pvt_ids(), pruned.pvt_ids());
+    assert_eq!(pruned.pvt_ids(), vec![3], "only the real cause survives");
+    assert_eq!(off.final_score.to_bits(), pruned.final_score.to_bits());
+    assert!(off.resolved && pruned.resolved);
+    assert_eq!(fingerprint(&off.repaired), fingerprint(&pruned.repaired));
+    // ...for measurably fewer charged queries.
+    assert!(
+        pruned.interventions < off.interventions,
+        "pruning must save oracle queries: {} (prune) vs {} (off)",
+        pruned.interventions,
+        off.interventions
+    );
+    assert_eq!(pruned.cache.lint_pruned, 3, "three junk candidates dropped");
+    assert_eq!(pruned.lint.pruned, vec![0, 1, 2]);
+    assert_eq!(off.cache.lint_pruned, 0);
+    assert!(!off.lint.analyzed, "Lint::Off skips the analysis");
+}
+
+#[test]
+fn prune_saves_oracle_queries_gt() {
+    let (pass, fail) = pass_fail();
+    let run = |lint: Lint| {
+        let mut system = label_system;
+        explain_group_test_with_pvts(
+            &mut system,
+            &fail,
+            &pass,
+            candidates_with_junk(),
+            &config_with(lint),
+            PartitionStrategy::MinBisection,
+        )
+        .unwrap()
+    };
+    let off = run(Lint::Off);
+    let pruned = run(Lint::Prune);
+    assert_eq!(off.pvt_ids(), pruned.pvt_ids());
+    assert_eq!(pruned.pvt_ids(), vec![3]);
+    assert_eq!(off.final_score.to_bits(), pruned.final_score.to_bits());
+    assert!(off.resolved && pruned.resolved);
+    assert_eq!(fingerprint(&off.repaired), fingerprint(&pruned.repaired));
+    assert!(
+        pruned.interventions < off.interventions,
+        "pruning must shrink the GT search: {} (prune) vs {} (off)",
+        pruned.interventions,
+        off.interventions
+    );
+    assert_eq!(pruned.cache.lint_pruned, 3);
+}
+
+#[test]
+fn pruned_savings_render_in_the_report() {
+    let (pass, fail) = pass_fail();
+    let mut system = label_system;
+    let config = config_with(Lint::Prune);
+    let exp = explain_greedy_with_pvts(&mut system, &fail, &pass, candidates_with_junk(), &config)
+        .unwrap();
+    let report = markdown_report(&exp, &pass, &fail, config.threshold, &config.discovery);
+    assert!(report.contains("- lint: **"), "lint summary line");
+    assert!(
+        report.contains("3 candidates pruned before ranking"),
+        "pruning savings surfaced: {report}"
+    );
+    assert!(report.contains("[L2/error]"), "the findings are itemized");
+}
+
+#[test]
+fn all_error_candidate_set_exits_cleanly() {
+    let (pass, fail) = pass_fail();
+    let junk_only: Vec<Pvt> = candidates_with_junk().into_iter().take(3).collect();
+
+    // Prune drops everything: both algorithms report the documented
+    // no-candidates error rather than panicking.
+    let mut system = label_system;
+    let err = explain_greedy_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        junk_only.clone(),
+        &config_with(Lint::Prune),
+    )
+    .unwrap_err();
+    assert_eq!(err, PrismError::NoDiscriminativePvts);
+    let err = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        junk_only.clone(),
+        &config_with(Lint::Prune),
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap_err();
+    assert_eq!(err, PrismError::NoDiscriminativePvts);
+
+    // Unpruned, GT's A3 check catches the same futility the hard way:
+    // the full composition cannot reduce the malfunction.
+    let err = explain_group_test_with_pvts(
+        &mut system,
+        &fail,
+        &pass,
+        junk_only,
+        &config_with(Lint::Off),
+        PartitionStrategy::MinBisection,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, PrismError::AssumptionViolated(_)),
+        "unpruned junk-only set must fail A3: {err:?}"
+    );
+}
+
+#[test]
+fn empty_candidate_set_exits_cleanly_under_every_mode() {
+    let (pass, fail) = pass_fail();
+    for lint in [Lint::Off, Lint::Report, Lint::Prune] {
+        let mut system = label_system;
+        let err =
+            explain_greedy_with_pvts(&mut system, &fail, &pass, Vec::new(), &config_with(lint))
+                .unwrap_err();
+        assert_eq!(err, PrismError::NoDiscriminativePvts, "{lint:?}");
+        let err = explain_group_test_with_pvts(
+            &mut system,
+            &fail,
+            &pass,
+            Vec::new(),
+            &config_with(lint),
+            PartitionStrategy::MinBisection,
+        )
+        .unwrap_err();
+        assert_eq!(err, PrismError::NoDiscriminativePvts, "{lint:?}");
+    }
+}
