@@ -21,9 +21,16 @@
 //! where every oracle query retrains a model.
 //!
 //! Usage: `cargo run --release -p dp-bench --bin gt_scaling
-//! [--threads N] [--query-cost-ms C]`
+//! [--threads N] [--query-cost-ms C] [--smoke]`
+//!
+//! `--smoke` skips the full matrix and runs the CI observability
+//! gate instead: rank-54 at `--threads` width with tracing off vs
+//! with a collecting sink, asserting the off run (the `NullSink`
+//! default) is within 2% of the collecting run's wall clock.
 
-use dataprism::{explain_group_test_parallel_with_pvts, Explanation, PartitionStrategy, System};
+use dataprism::{
+    explain_group_test_parallel_with_pvts, Explanation, PartitionStrategy, System, TraceConfig,
+};
 use dp_bench::format_row;
 use dp_frame::DataFrame;
 use dp_scenarios::synthetic::{
@@ -60,6 +67,7 @@ fn run(
     query_cost: Duration,
     num_threads: usize,
     depth: usize,
+    trace: &TraceConfig,
 ) -> (f64, Explanation) {
     let base = BlockingSystem {
         inner: scenario.system.clone(),
@@ -69,6 +77,7 @@ fn run(
     let mut config = scenario.config.clone();
     config.num_threads = num_threads;
     config.gt_speculation_depth = depth;
+    config.trace = trace.clone();
     let start = Instant::now();
     let explanation = explain_group_test_parallel_with_pvts(
         &factory,
@@ -103,9 +112,56 @@ fn assert_conformant(workload: &str, depth: usize, serial: &Explanation, par: &E
     );
 }
 
+/// The CI observability gate: `NullSink` (trace off, the default)
+/// must add no measurable overhead. The pre-trace wall clock is not
+/// reproducible in this binary, but a run with a collecting sink
+/// attached strictly includes all the work of an untraced run plus
+/// the tracing itself, so it upper-bounds that baseline: the off run
+/// staying within 2% of the collecting run bounds the `NullSink`
+/// overhead below 2%. Both runs are also asserted bit-identical in
+/// outcome (the trace-parity contract).
+fn smoke(threads: usize, query_cost: Duration) {
+    const REPS: usize = 3;
+    let scenario = adversarial_rank(54, 3);
+    let depth = 2;
+    let best = |trace: &TraceConfig| -> (f64, Explanation) {
+        let mut min_s = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPS {
+            let (s, exp) = run(&scenario, query_cost, threads, depth, trace);
+            min_s = min_s.min(s);
+            last = Some(exp);
+        }
+        (min_s, last.expect("REPS > 0"))
+    };
+    let (off_s, off) = best(&TraceConfig::Off);
+    let (collect_s, collected) = best(&TraceConfig::Collect);
+    assert_conformant("sec5.2 rank-54 (traced)", depth, &off, &collected);
+    assert!(
+        off.trace_records.is_empty() && !collected.trace_records.is_empty(),
+        "smoke must compare an untraced run against a collecting run"
+    );
+    let overhead = off_s / collect_s - 1.0;
+    println!(
+        "NullSink smoke: rank-54 @ {threads} threads, depth {depth}, best of {REPS}:\n\
+         trace off {off_s:.3}s vs collect {collect_s:.3}s ({:+.2}% relative)",
+        overhead * 100.0
+    );
+    assert!(
+        off_s <= collect_s * 1.02,
+        "NullSink overhead gate: off run {off_s:.3}s exceeds collecting run \
+         {collect_s:.3}s by more than 2%"
+    );
+    println!("NullSink overhead within 2%: ok");
+}
+
 fn main() {
     let threads = arg_value("--threads", 8);
     let query_cost = Duration::from_millis(arg_value("--query-cost-ms", 25) as u64);
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke(threads, query_cost);
+        return;
+    }
     let depths = [0usize, 1, 2, 4];
 
     let workloads: Vec<(String, SyntheticScenario)> = vec![
@@ -144,7 +200,7 @@ fn main() {
     // asks for >= 3x on at least one rank-54/wide workload.
     let mut best_deep = f64::MIN;
     for (workload, scenario) in &workloads {
-        let (serial_s, serial) = run(scenario, query_cost, 1, 0);
+        let (serial_s, serial) = run(scenario, query_cost, 1, 0, &TraceConfig::Off);
         println!(
             "{}",
             format_row(
@@ -161,7 +217,7 @@ fn main() {
             )
         );
         for &depth in &depths {
-            let (par_s, par) = run(scenario, query_cost, threads, depth);
+            let (par_s, par) = run(scenario, query_cost, threads, depth, &TraceConfig::Off);
             assert_conformant(workload, depth, &serial, &par);
             let speedup = serial_s / par_s;
             if depth >= 2 {

@@ -88,7 +88,7 @@ pub fn explain_anchor(
     anchor_cfg: &AnchorConfig,
 ) -> Result<Explanation> {
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass)?;
+    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass, &dp_trace::Tracer::off())?;
     if candidates.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -251,6 +251,8 @@ pub fn explain_anchor(
         cache: oracle.cache_stats(),
         discovery: Default::default(),
         lint: Default::default(),
+        metrics: oracle.run_metrics(),
+        trace_records: Vec::new(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

@@ -44,7 +44,7 @@ pub fn explain_bugdoc(
     config: &PrismConfig,
 ) -> Result<Explanation> {
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass)?;
+    let initial_score = validate_inputs(&mut oracle, d_fail, d_pass, &dp_trace::Tracer::off())?;
     if candidates.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -128,6 +128,8 @@ pub fn explain_bugdoc(
             cache: oracle.cache_stats(),
             discovery: Default::default(),
             lint: Default::default(),
+            metrics: oracle.run_metrics(),
+            trace_records: Vec::new(),
             initial_score,
             final_score: initial_score,
             resolved: false,
@@ -193,6 +195,8 @@ pub fn explain_bugdoc(
         cache: oracle.cache_stats(),
         discovery: Default::default(),
         lint: Default::default(),
+        metrics: oracle.run_metrics(),
+        trace_records: Vec::new(),
         initial_score,
         final_score,
         resolved: oracle.passes(final_score),

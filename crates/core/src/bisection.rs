@@ -127,6 +127,21 @@ pub fn random_bisection(items: &[usize], rng: &mut StdRng) -> (Vec<usize>, Vec<u
     (shuffled, right)
 }
 
+/// Number of dependency edges crossing a bisection — the objective
+/// [`min_bisection`] minimizes, re-derived from the graph's edge
+/// predicate. Quadratic in the half sizes; used to annotate
+/// [`dp_trace::Event::BisectionPartition`] events, so it only runs
+/// when a trace sink is attached.
+pub fn cut_size(
+    left: &[usize],
+    right: &[usize],
+    dependent: impl Fn(usize, usize) -> bool,
+) -> usize {
+    left.iter()
+        .map(|&i| right.iter().filter(|&&j| dependent(i, j)).count())
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -188,6 +188,11 @@ pub struct PrismConfig {
     /// Static analysis of the candidate PVT set before any oracle
     /// query (see [`Lint`]). Defaults to [`Lint::Report`].
     pub lint: Lint,
+    /// Structured tracing of the run (see [`dp_trace::TraceConfig`]).
+    /// Defaults to off; any sink observes the identical, serially
+    /// ordered event stream — attaching one never changes the
+    /// diagnosis (asserted by `tests/trace_parity.rs`).
+    pub trace: dp_trace::TraceConfig,
 }
 
 impl Default for PrismConfig {
@@ -205,6 +210,7 @@ impl Default for PrismConfig {
                 .unwrap_or(1),
             gt_speculation_depth: 1,
             lint: Lint::default(),
+            trace: dp_trace::TraceConfig::default(),
         }
     }
 }

@@ -252,6 +252,7 @@ pub fn explain_with_decision_tree(
                     score,
                     config.seed,
                     &mut trace,
+                    &dp_trace::Tracer::off(),
                 )?;
                 return Ok(Explanation {
                     pvts: selected,
@@ -259,6 +260,8 @@ pub fn explain_with_decision_tree(
                     cache: oracle.cache_stats(),
                     discovery: Default::default(),
                     lint: Default::default(),
+                    metrics: oracle.run_metrics(),
+                    trace_records: Vec::new(),
                     initial_score,
                     final_score,
                     resolved: true,
@@ -288,6 +291,8 @@ pub fn explain_with_decision_tree(
         cache: oracle.cache_stats(),
         discovery: Default::default(),
         lint: Default::default(),
+        metrics: oracle.run_metrics(),
+        trace_records: Vec::new(),
         initial_score,
         final_score: initial_score,
         resolved: false,

@@ -601,6 +601,31 @@ pub fn discriminative_pvts_par(
     discriminative_pvts_stats(d_pass, d_fail, cfg, num_threads).0
 }
 
+/// [`discriminative_pvts_stats`] emitting a
+/// [`dp_trace::DiscoverySpan`] event once the pass completes (the
+/// span carries only counters and elapsed time, never data).
+pub(crate) fn discriminative_pvts_traced(
+    d_pass: &DataFrame,
+    d_fail: &DataFrame,
+    cfg: &DiscoveryConfig,
+    num_threads: usize,
+    tracer: &dp_trace::Tracer,
+) -> (Vec<Pvt>, DiscoveryStats) {
+    let start_ns = tracer.now_ns();
+    let (pvts, stats) = discriminative_pvts_stats(d_pass, d_fail, cfg, num_threads);
+    let elapsed_ns = tracer.now_ns().saturating_sub(start_ns);
+    tracer.emit(|| {
+        dp_trace::Event::Discovery(dp_trace::DiscoverySpan {
+            n_pvts: pvts.len(),
+            pairs: stats.pairs as u64,
+            screened: stats.screened() as u64,
+            exact: (stats.chi2_exact + stats.pearson_exact) as u64,
+            elapsed_ns,
+        })
+    });
+    (pvts, stats)
+}
+
 /// [`discriminative_pvts_par`] returning the pre-filter counters
 /// (merged over both datasets) alongside the PVTs.
 pub fn discriminative_pvts_stats(

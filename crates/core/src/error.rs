@@ -29,6 +29,10 @@ pub enum PrismError {
         /// Best malfunction score reached.
         best_score: f64,
     },
+    /// The trace sink requested by `PrismConfig::trace` could not be
+    /// set up (e.g. the JSONL file could not be created). Raised
+    /// before any oracle query runs.
+    Trace(String),
 }
 
 impl fmt::Display for PrismError {
@@ -49,6 +53,7 @@ impl fmt::Display for PrismError {
                 f,
                 "intervention budget exhausted after {used} interventions (best score {best_score})"
             ),
+            PrismError::Trace(msg) => write!(f, "trace sink setup failed: {msg}"),
         }
     }
 }

@@ -6,6 +6,7 @@ use crate::oracle::CacheStats;
 use crate::pvt::Pvt;
 use dp_frame::DataFrame;
 use dp_lint::Diagnostics;
+use dp_trace::{RunMetrics, TraceRecord};
 use std::fmt;
 
 /// One event of the diagnosis trace.
@@ -77,6 +78,18 @@ pub struct Explanation {
     /// `Lint::Prune`, `pruned` lists the candidate ids dropped before
     /// ranking. Identical for any thread count.
     pub lint: Diagnostics,
+    /// All counters and latency histograms of the run, merged across
+    /// worker threads at settle ([`RunMetrics`]). The counts that
+    /// matter to the paper (`charged_queries`, lint, prefilter) are
+    /// thread-count invariant; cache/speculation splits and latencies
+    /// vary with scheduling. [`CacheStats`] (the `cache` field) is a
+    /// derived legacy view of this.
+    pub metrics: RunMetrics,
+    /// The structured event stream of the run, when
+    /// `PrismConfig::trace` was [`dp_trace::TraceConfig::Collect`]
+    /// (empty otherwise — JSONL streams go to their file). Feed to
+    /// [`dp_trace::SearchTree::from_records`] for the recursion tree.
+    pub trace_records: Vec<TraceRecord>,
 }
 
 impl Explanation {
@@ -150,6 +163,8 @@ mod tests {
             cache: CacheStats::default(),
             discovery: DiscoveryStats::default(),
             lint: Diagnostics::default(),
+            metrics: RunMetrics::default(),
+            trace_records: Vec::new(),
         }
     }
 

@@ -20,16 +20,56 @@
 
 use crate::benefit::benefit_scores;
 use crate::config::PrismConfig;
-use crate::discovery::{discriminative_pvts_stats, DiscoveryStats};
+use crate::discovery::{discriminative_pvts_traced, DiscoveryStats};
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
-use crate::oracle::{Oracle, System, SystemFactory};
+use crate::oracle::{CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::Pvt;
-use crate::runtime::{InterventionRuntime, ParOracle, Speculation};
+use crate::runtime::{
+    baseline_traced, intervene_traced, InterventionRuntime, ParOracle, Speculation,
+};
 use dp_frame::DataFrame;
+use dp_trace::{DiagnosisSpan, Event, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Build the tracer `config.trace` asks for, surfacing sink setup
+/// failures (an unwritable JSONL path) as [`PrismError::Trace`]
+/// before any oracle query is spent.
+pub(crate) fn make_tracer(config: &PrismConfig) -> Result<Tracer> {
+    Tracer::from_config(&config.trace).map_err(|e| PrismError::Trace(e.to_string()))
+}
+
+/// Emit the run-opening [`Event::DiagnosisBegin`] record.
+pub(crate) fn emit_begin(
+    tracer: &Tracer,
+    algorithm: &str,
+    rt: &dyn InterventionRuntime,
+    config: &PrismConfig,
+    num_threads: usize,
+) {
+    tracer.emit(|| {
+        Event::DiagnosisBegin(DiagnosisSpan {
+            algorithm: algorithm.to_string(),
+            system: rt.system_name(),
+            seed: config.seed,
+            threshold: config.threshold,
+            num_threads,
+            speculation_depth: config.gt_speculation_depth,
+        })
+    });
+}
+
+/// Fold the discovery pre-filter counters into the explanation: the
+/// legacy `discovery` field and the `prefilter_*` members of
+/// [`dp_trace::RunMetrics`] report the same pass.
+pub(crate) fn set_discovery(exp: &mut Explanation, stats: DiscoveryStats) {
+    exp.metrics.prefilter_pairs = stats.pairs as u64;
+    exp.metrics.prefilter_screened = stats.screened() as u64;
+    exp.metrics.prefilter_exact = (stats.chi2_exact + stats.pearson_exact) as u64;
+    exp.discovery = stats;
+}
 
 /// Validate the problem inputs (Definition 10 items 3–4): the passing
 /// dataset must pass and the failing dataset must fail.
@@ -37,15 +77,16 @@ pub(crate) fn validate_inputs(
     rt: &mut dyn InterventionRuntime,
     d_fail: &DataFrame,
     d_pass: &DataFrame,
+    tracer: &Tracer,
 ) -> Result<f64> {
-    let pass_score = rt.baseline(d_pass);
+    let pass_score = baseline_traced(rt, d_pass, tracer);
     if !rt.passes(pass_score) {
         return Err(PrismError::BadInput(format!(
             "passing dataset has malfunction {pass_score:.3} > τ = {:.3}",
             rt.threshold()
         )));
     }
-    let fail_score = rt.baseline(d_fail);
+    let fail_score = baseline_traced(rt, d_fail, tracer);
     if rt.passes(fail_score) {
         return Err(PrismError::BadInput(format!(
             "failing dataset has malfunction {fail_score:.3} ≤ τ = {:.3}",
@@ -65,6 +106,7 @@ pub(crate) fn validate_inputs(
 /// and scored speculatively; interventions are still charged one by
 /// one in scan order, and a successful drop discards the rest of its
 /// window uncharged — exactly the serial consumption.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn make_minimal(
     rt: &mut dyn InterventionRuntime,
     d_fail: &DataFrame,
@@ -73,6 +115,7 @@ pub(crate) fn make_minimal(
     score: f64,
     seed: u64,
     trace: &mut Vec<TraceEvent>,
+    tracer: &Tracer,
 ) -> Result<(Vec<Pvt>, DataFrame, f64)> {
     let mut best = (repaired, score);
     let width = rt.speculation_width().max(1);
@@ -95,11 +138,13 @@ pub(crate) fn make_minimal(
         let mut dropped = false;
         for (offset, speculated) in spec.into_iter().enumerate() {
             let j = i + offset;
-            let s = rt.intervene(&speculated.frame);
+            let s = intervene_traced(rt, &speculated.frame, tracer);
             if rt.passes(s) {
                 trace.push(TraceEvent::MinimalityDropped {
                     pvt_id: selected[j].id,
                 });
+                let dropped_id = selected[j].id;
+                tracer.emit(|| Event::MinimalityDrop { pvt: dropped_id });
                 selected.remove(j);
                 best = (speculated.frame, s);
                 // Restart the scan: minimality must hold for every
@@ -126,10 +171,13 @@ pub fn explain_greedy(
     d_pass: &DataFrame,
     config: &PrismConfig,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    emit_begin(&tracer, "greedy", &oracle, config, 1);
     // Lines 1–4: discriminative PVTs.
-    let (pvts, stats) = discriminative_pvts_stats(d_pass, d_fail, &config.discovery, 1);
-    let mut exp = explain_greedy_with_pvts(system, d_fail, d_pass, pvts, config)?;
-    exp.discovery = stats;
+    let (pvts, stats) = discriminative_pvts_traced(d_pass, d_fail, &config.discovery, 1, &tracer);
+    let mut exp = run_greedy(&mut oracle, d_fail, d_pass, pvts, config, tracer)?;
+    set_discovery(&mut exp, stats);
     Ok(exp)
 }
 
@@ -145,8 +193,10 @@ pub fn explain_greedy_with_pvts(
     pvts: Vec<Pvt>,
     config: &PrismConfig,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    run_greedy(&mut oracle, d_fail, d_pass, pvts, config)
+    emit_begin(&tracer, "greedy", &oracle, config, 1);
+    run_greedy(&mut oracle, d_fail, d_pass, pvts, config, tracer)
 }
 
 /// [`explain_greedy`] on the parallel runtime: profile discovery
@@ -159,10 +209,23 @@ pub fn explain_greedy_parallel(
     d_pass: &DataFrame,
     config: &PrismConfig,
 ) -> Result<Explanation> {
-    let (pvts, stats) =
-        discriminative_pvts_stats(d_pass, d_fail, &config.discovery, config.num_threads);
-    let mut exp = explain_greedy_parallel_with_pvts(factory, d_fail, d_pass, pvts, config)?;
-    exp.discovery = stats;
+    let tracer = make_tracer(config)?;
+    let mut rt = ParOracle::new(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+    );
+    emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
+    let (pvts, stats) = discriminative_pvts_traced(
+        d_pass,
+        d_fail,
+        &config.discovery,
+        config.num_threads,
+        &tracer,
+    );
+    let mut exp = run_greedy(&mut rt, d_fail, d_pass, pvts, config, tracer)?;
+    set_discovery(&mut exp, stats);
     Ok(exp)
 }
 
@@ -174,13 +237,15 @@ pub fn explain_greedy_parallel_with_pvts(
     pvts: Vec<Pvt>,
     config: &PrismConfig,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
     let mut rt = ParOracle::new(
         factory,
         config.threshold,
         config.max_interventions,
         config.num_threads,
     );
-    run_greedy(&mut rt, d_fail, d_pass, pvts, config)
+    emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
+    run_greedy(&mut rt, d_fail, d_pass, pvts, config, tracer)
 }
 
 /// Algorithm 1 lines 5–21 over an abstract runtime.
@@ -190,14 +255,15 @@ pub(crate) fn run_greedy(
     d_pass: &DataFrame,
     pvts: Vec<Pvt>,
     config: &PrismConfig,
+    tracer: Tracer,
 ) -> Result<Explanation> {
-    let initial_score = validate_inputs(rt, d_fail, d_pass)?;
+    let initial_score = validate_inputs(rt, d_fail, d_pass, &tracer)?;
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
     // Static L1–L5 analysis of the candidate set, before any oracle
     // query; `Lint::Prune` drops provably futile candidates here.
-    let (lint, pvts) = crate::lint::lint_and_prune(pvts, d_fail, config.lint);
+    let (lint, pvts) = crate::lint::lint_and_prune_traced(pvts, d_fail, config.lint, &tracer);
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -294,7 +360,7 @@ pub(crate) fn run_greedy(
             }
             let chosen_id = plan[i];
             let transformed = speculated.frame;
-            let new_score = rt.intervene(&transformed);
+            let new_score = intervene_traced(rt, &transformed, &tracer);
             let delta = score - new_score;
 
             // Line 13: mark explored.
@@ -302,6 +368,12 @@ pub(crate) fn run_greedy(
             benefits.remove(&chosen_id);
             trace.push(TraceEvent::Intervention {
                 pvt_ids: vec![chosen_id],
+                before: score,
+                after: new_score,
+                kept: delta > 0.0,
+            });
+            tracer.emit(|| Event::GreedyPick {
+                pvt: chosen_id,
                 before: score,
                 after: new_score,
                 kept: delta > 0.0,
@@ -339,6 +411,7 @@ pub(crate) fn run_greedy(
             score,
             config.seed,
             &mut trace,
+            &tracer,
         )?
     } else {
         (selected, current, score)
@@ -351,19 +424,59 @@ pub(crate) fn run_greedy(
         });
     }
 
-    let mut cache = rt.cache_stats();
-    cache.lint_pruned = lint.pruned.len();
+    finish_run(
+        rt,
+        &tracer,
+        lint,
+        selected,
+        initial_score,
+        score,
+        current,
+        trace,
+    )
+}
+
+/// Shared run epilogue: emit [`Event::DiagnosisEnd`], merge worker
+/// metric shards, fold the lint counters into [`RunMetrics`], derive
+/// the legacy [`CacheStats`] view, and drain the tracer.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_run(
+    rt: &mut dyn InterventionRuntime,
+    tracer: &Tracer,
+    lint: dp_lint::Diagnostics,
+    selected: Vec<Pvt>,
+    initial_score: f64,
+    score: f64,
+    current: DataFrame,
+    trace: Vec<TraceEvent>,
+) -> Result<Explanation> {
+    let resolved = rt.passes(score);
+    let interventions = rt.interventions();
+    tracer.emit(|| Event::DiagnosisEnd {
+        resolved,
+        interventions,
+        final_score: score,
+    });
+    let mut metrics = rt.run_metrics();
+    metrics.lint_errors = lint.count(dp_lint::Severity::Error) as u64;
+    metrics.lint_warnings = lint.count(dp_lint::Severity::Warn) as u64;
+    metrics.lint_infos = lint.count(dp_lint::Severity::Info) as u64;
+    metrics.lint_pruned = lint.pruned.len() as u64;
+    let cache = CacheStats::from_metrics(&metrics);
+    let trace_records = tracer.finish();
     Ok(Explanation {
         pvts: selected,
-        interventions: rt.interventions(),
+        interventions,
         initial_score,
         final_score: score,
-        resolved: rt.passes(score),
+        resolved,
         repaired: current,
         trace,
         cache,
         discovery: DiscoveryStats::default(),
         lint,
+        metrics,
+        trace_records,
     })
 }
 

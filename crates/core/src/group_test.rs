@@ -21,17 +21,24 @@
 //! Fig 7, observed on the Cardiovascular study).
 
 use crate::benefit::benefit_scores;
-use crate::bisection::{min_bisection, partition_rng, random_bisection, stream_seed, APPLY_STREAM};
+use crate::bisection::{
+    cut_size, min_bisection, partition_rng, random_bisection, stream_seed, APPLY_STREAM,
+};
 use crate::config::PrismConfig;
-use crate::discovery::{discriminative_pvts_stats, DiscoveryStats};
+use crate::discovery::discriminative_pvts_traced;
 use crate::error::{PrismError, Result};
 use crate::explanation::{Explanation, TraceEvent};
 use crate::graph::PvtAttributeGraph;
-use crate::greedy::{make_minimal, validate_inputs};
+use crate::greedy::{
+    emit_begin, finish_run, make_minimal, make_tracer, set_discovery, validate_inputs,
+};
 use crate::oracle::{Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
-use crate::runtime::{DetachedSpeculation, InterventionRuntime, ParOracle, Speculation};
+use crate::runtime::{
+    intervene_traced, DetachedSpeculation, InterventionRuntime, ParOracle, Speculation,
+};
 use dp_frame::DataFrame;
+use dp_trace::{BisectionNodeSpan, Event, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
@@ -60,6 +67,10 @@ struct GtCtx<'o, 'p> {
     /// of the recursion tree each cold node pre-bisects and scores
     /// speculatively.
     depth: usize,
+    /// Trace handle ([`dp_trace::Tracer`]); a no-op in the default
+    /// off state. Node events are emitted here, on the main thread,
+    /// in serial recursion order.
+    tracer: Tracer,
 }
 
 /// Run `DataPrism-GT` / `GrpTest` (Algorithm 2).
@@ -70,10 +81,22 @@ pub fn explain_group_test(
     config: &PrismConfig,
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    emit_begin(&tracer, "group_test", &oracle, config, 1);
     // Lines 1–4 of Alg 2.
-    let (pvt_vec, stats) = discriminative_pvts_stats(d_pass, d_fail, &config.discovery, 1);
-    let mut exp = explain_group_test_with_pvts(system, d_fail, d_pass, pvt_vec, config, strategy)?;
-    exp.discovery = stats;
+    let (pvt_vec, stats) =
+        discriminative_pvts_traced(d_pass, d_fail, &config.discovery, 1, &tracer);
+    let mut exp = run_group_test(
+        &mut oracle,
+        d_fail,
+        d_pass,
+        pvt_vec,
+        config,
+        strategy,
+        tracer,
+    )?;
+    set_discovery(&mut exp, stats);
     Ok(exp)
 }
 
@@ -87,8 +110,18 @@ pub fn explain_group_test_with_pvts(
     config: &PrismConfig,
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
     let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
-    run_group_test(&mut oracle, d_fail, d_pass, pvt_vec, config, strategy)
+    emit_begin(&tracer, "group_test", &oracle, config, 1);
+    run_group_test(
+        &mut oracle,
+        d_fail,
+        d_pass,
+        pvt_vec,
+        config,
+        strategy,
+        tracer,
+    )
 }
 
 /// [`explain_group_test`] on the parallel runtime: at every cold
@@ -106,11 +139,23 @@ pub fn explain_group_test_parallel(
     config: &PrismConfig,
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
-    let (pvt_vec, stats) =
-        discriminative_pvts_stats(d_pass, d_fail, &config.discovery, config.num_threads);
-    let mut exp =
-        explain_group_test_parallel_with_pvts(factory, d_fail, d_pass, pvt_vec, config, strategy)?;
-    exp.discovery = stats;
+    let tracer = make_tracer(config)?;
+    let mut rt = ParOracle::new(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+    );
+    emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
+    let (pvt_vec, stats) = discriminative_pvts_traced(
+        d_pass,
+        d_fail,
+        &config.discovery,
+        config.num_threads,
+        &tracer,
+    );
+    let mut exp = run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer)?;
+    set_discovery(&mut exp, stats);
     Ok(exp)
 }
 
@@ -123,13 +168,15 @@ pub fn explain_group_test_parallel_with_pvts(
     config: &PrismConfig,
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
     let mut rt = ParOracle::new(
         factory,
         config.threshold,
         config.max_interventions,
         config.num_threads,
     );
-    run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy)
+    emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
+    run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer)
 }
 
 /// Algorithm 2 over an abstract runtime.
@@ -140,8 +187,9 @@ fn run_group_test(
     pvt_vec: Vec<Pvt>,
     config: &PrismConfig,
     strategy: PartitionStrategy,
+    tracer: Tracer,
 ) -> Result<Explanation> {
-    let initial_score = validate_inputs(rt, d_fail, d_pass)?;
+    let initial_score = validate_inputs(rt, d_fail, d_pass, &tracer)?;
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -149,7 +197,7 @@ fn run_group_test(
     // query; `Lint::Prune` drops provably futile candidates here
     // (each one would otherwise inflate the A3 composition and every
     // bisection probe containing it).
-    let (lint, pvt_vec) = crate::lint::lint_and_prune(pvt_vec, d_fail, config.lint);
+    let (lint, pvt_vec) = crate::lint::lint_and_prune_traced(pvt_vec, d_fail, config.lint, &tracer);
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -163,7 +211,7 @@ fn run_group_test(
     // malfunction (see module docs).
     let all_ids: Vec<usize> = pvts.keys().copied().collect();
     let (full, _) = apply_ids(&pvts, &all_ids, d_fail, config.seed)?;
-    let full_score = rt.intervene(&full);
+    let full_score = intervene_traced(rt, &full, &tracer);
     trace.push(TraceEvent::Intervention {
         pvt_ids: all_ids.clone(),
         before: initial_score,
@@ -193,6 +241,7 @@ fn run_group_test(
         seed_order,
         seed: config.seed,
         depth: config.gt_speculation_depth,
+        tracer: tracer.clone(),
     };
     let (repaired, selected_ids) = group_test_rec(
         &mut ctx,
@@ -200,9 +249,10 @@ fn run_group_test(
         d_fail.clone(),
         Some(initial_score),
         0,
+        None,
         &mut trace,
     )?;
-    let score = ctx.rt.intervene(&repaired);
+    let score = intervene_traced(ctx.rt, &repaired, &tracer);
 
     let selected: Vec<Pvt> = selected_ids
         .iter()
@@ -219,6 +269,7 @@ fn run_group_test(
             score,
             config.seed,
             &mut trace,
+            &tracer,
         )?
     } else {
         (selected, repaired, score)
@@ -231,20 +282,16 @@ fn run_group_test(
         });
     }
 
-    let mut cache = rt.cache_stats();
-    cache.lint_pruned = lint.pruned.len();
-    Ok(Explanation {
-        pvts: selected,
-        interventions: rt.interventions(),
+    finish_run(
+        rt,
+        &tracer,
+        lint,
+        selected,
         initial_score,
-        final_score: score,
-        resolved: rt.passes(score),
+        score,
         repaired,
         trace,
-        cache,
-        discovery: DiscoveryStats::default(),
-        lint,
-    })
+    )
 }
 
 /// Apply the composition of the transformations of `ids` (ascending)
@@ -351,24 +398,62 @@ fn group_test_rec(
     d: DataFrame,
     score: Option<f64>,
     covered: usize,
+    parent: Option<u64>,
     trace: &mut Vec<TraceEvent>,
 ) -> Result<(DataFrame, Vec<usize>)> {
     // Lines 2–3: a single candidate is applied and reported.
     if candidates.len() == 1 {
         let (transformed, _) = apply_ids(ctx.pvts, candidates, &d, ctx.seed)?;
+        if ctx.tracer.enabled() {
+            let node = ctx.tracer.next_node_id();
+            ctx.tracer.emit(|| {
+                Event::BisectionNodeBegin(BisectionNodeSpan {
+                    node,
+                    parent,
+                    candidates: candidates.to_vec(),
+                    covered,
+                })
+            });
+            ctx.tracer.emit(|| Event::BisectionNodeEnd {
+                node,
+                selected: candidates.to_vec(),
+            });
+        }
         return Ok((transformed, candidates.to_vec()));
     }
     if candidates.is_empty() || ctx.rt.exhausted() {
         return Ok((d, Vec::new()));
     }
+    let node = ctx.tracer.next_node_id();
+    ctx.tracer.emit(|| {
+        Event::BisectionNodeBegin(BisectionNodeSpan {
+            node,
+            parent,
+            candidates: candidates.to_vec(),
+            covered,
+        })
+    });
 
     // Line 4: partition (pure function of the candidate set).
     let (x1, x2) = partition(ctx, candidates);
+    if ctx.tracer.enabled() {
+        // The cut size is only re-derivable (and cheap) where the
+        // min-bisection local search enumerated the edges.
+        let cut_edges = (ctx.strategy == PartitionStrategy::MinBisection
+            && candidates.len() <= LOCAL_SEARCH_LIMIT)
+            .then(|| cut_size(&x1, &x2, |i, j| ctx.graph.dependent(i, j)));
+        ctx.tracer.emit(|| Event::BisectionPartition {
+            node,
+            left: x1.clone(),
+            right: x2.clone(),
+            cut_edges,
+        });
+    }
 
     // Line 5: current malfunction.
     let m = match score {
         Some(s) => s,
-        None => ctx.rt.intervene(&d),
+        None => intervene_traced(ctx.rt, &d, &ctx.tracer),
     };
 
     // On a parallel runtime, a node not covered by an ancestor's
@@ -404,7 +489,7 @@ fn group_test_rec(
     };
 
     // Line 6: intervene with all of X1.
-    let s1 = ctx.rt.intervene(&d1);
+    let s1 = intervene_traced(ctx.rt, &d1, &ctx.tracer);
     let delta1 = m - s1;
     trace.push(TraceEvent::Intervention {
         pvt_ids: x1.clone(),
@@ -412,6 +497,18 @@ fn group_test_rec(
         after: s1,
         kept: delta1 > 0.0,
     });
+    if ctx.tracer.enabled() {
+        let speculative_hit = ctx.rt.last_query().speculative_hit;
+        ctx.tracer.emit(|| Event::BisectionProbe {
+            node,
+            half: 1,
+            ids: x1.clone(),
+            before: m,
+            after: s1,
+            kept: delta1 > 0.0,
+            speculative_hit,
+        });
+    }
 
     // Lines 7–8: X1 insufficient → also probe X2. (If X1 passes, a
     // speculated X2 frame is simply dropped — surplus cache warmth.)
@@ -422,7 +519,7 @@ fn group_test_rec(
             Some(frame) => frame,
             None => apply_ids(ctx.pvts, &x2, &d, ctx.seed)?.0,
         };
-        s2 = ctx.rt.intervene(&d2);
+        s2 = intervene_traced(ctx.rt, &d2, &ctx.tracer);
         delta2 = m - s2;
         trace.push(TraceEvent::Intervention {
             pvt_ids: x2.clone(),
@@ -430,6 +527,19 @@ fn group_test_rec(
             after: s2,
             kept: delta2 > 0.0,
         });
+        if ctx.tracer.enabled() {
+            let speculative_hit = ctx.rt.last_query().speculative_hit;
+            let (after, kept) = (s2, delta2 > 0.0);
+            ctx.tracer.emit(|| Event::BisectionProbe {
+                node,
+                half: 2,
+                ids: x2.clone(),
+                before: m,
+                after,
+                kept,
+                speculative_hit,
+            });
+        }
     }
 
     let mut current = d;
@@ -438,11 +548,16 @@ fn group_test_rec(
     // Lines 9–13: recurse into X1 when it is sufficient alone, or
     // when it helps and X2 alone is insufficient.
     if ctx.rt.passes(s1) || (delta1 > 0.0 && !ctx.rt.passes(s2)) {
-        let (d_next, mut found) = group_test_rec(ctx, &x1, current, Some(m), child_covered, trace)?;
+        let (d_next, mut found) =
+            group_test_rec(ctx, &x1, current, Some(m), child_covered, Some(node), trace)?;
         current = d_next;
         selected.append(&mut found);
         if ctx.rt.passes(s1) {
             // Line 13: no need to check X2.
+            ctx.tracer.emit(|| Event::BisectionNodeEnd {
+                node,
+                selected: selected.clone(),
+            });
             return Ok((current, selected));
         }
     }
@@ -458,11 +573,15 @@ fn group_test_rec(
         } else {
             (None, 0)
         };
-        let (d_next, mut found) = group_test_rec(ctx, &x2, current, hint, cov, trace)?;
+        let (d_next, mut found) = group_test_rec(ctx, &x2, current, hint, cov, Some(node), trace)?;
         current = d_next;
         selected.append(&mut found);
     }
 
+    ctx.tracer.emit(|| Event::BisectionNodeEnd {
+        node,
+        selected: selected.clone(),
+    });
     Ok((current, selected))
 }
 

@@ -86,6 +86,10 @@ pub mod violation;
 pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig};
 pub use discovery::DiscoveryStats;
 pub use dp_lint::{Diagnostic, Diagnostics, RuleId, Severity};
+pub use dp_trace::{
+    Collector, Event, JsonlSink, LatencyHistogram, NullSink, QueryStat, RunMetrics, SearchTree,
+    TraceConfig, TraceRecord, TraceSink, Tracer,
+};
 pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;

@@ -178,6 +178,28 @@ pub fn lint_pvts(pvts: &[Pvt], d_fail: &DataFrame) -> Diagnostics {
     dp_lint::analyze(&d_fail.schema(), &facts, &edges)
 }
 
+/// [`lint_and_prune`] emitting a [`dp_trace::LintSpan`] event with
+/// the verdict counts (always emitted, `analyzed = false` under
+/// `Lint::Off`, so a trace records that the pass was skipped).
+pub(crate) fn lint_and_prune_traced(
+    pvts: Vec<Pvt>,
+    d_fail: &DataFrame,
+    mode: Lint,
+    tracer: &dp_trace::Tracer,
+) -> (Diagnostics, Vec<Pvt>) {
+    let (diag, kept) = lint_and_prune(pvts, d_fail, mode);
+    tracer.emit(|| {
+        dp_trace::Event::Lint(dp_trace::LintSpan {
+            analyzed: diag.analyzed,
+            errors: diag.count(dp_lint::Severity::Error),
+            warnings: diag.count(dp_lint::Severity::Warn),
+            infos: diag.count(dp_lint::Severity::Info),
+            pruned: diag.pruned.len(),
+        })
+    });
+    (diag, kept)
+}
+
 /// Apply the configured lint policy: analyze (unless `Off`) and, under
 /// `Prune`, drop the Error-level candidates before ranking, recording
 /// their ids in [`Diagnostics::pruned`].

@@ -13,9 +13,11 @@
 //! datasets concurrently into a shared fingerprint cache.
 
 use dp_frame::{Bitmap, ColumnData, DataFrame, Value};
+use dp_trace::{LatencyHistogram, QueryStat, RunMetrics};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 /// A (possibly stateful) data-driven system with a malfunction score.
 ///
@@ -177,6 +179,12 @@ pub(crate) fn sanitize(score: f64) -> f64 {
 /// describe how the fingerprint cache served those queries and *do*
 /// vary with scheduling (a speculative worker may turn a would-be
 /// miss into a hit).
+///
+/// **Deprecated as a primary surface**: these counters are now a
+/// read-through view of [`RunMetrics`] (see
+/// [`CacheStats::from_metrics`], the single derivation point), kept
+/// so existing goldens and tests migrate in one place. New counters
+/// land on `RunMetrics` — `Explanation::metrics` — not here.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Charged oracle queries answered from the fingerprint cache.
@@ -201,6 +209,21 @@ pub struct CacheStats {
     pub lint_pruned: usize,
 }
 
+impl CacheStats {
+    /// Derive the legacy counters from a [`RunMetrics`] — the single
+    /// point where the deprecated aliases are populated.
+    pub fn from_metrics(m: &RunMetrics) -> CacheStats {
+        CacheStats {
+            hits: m.cache_hits as usize,
+            misses: m.cache_misses as usize,
+            speculative: m.speculative_evaluated as usize,
+            speculative_waste: m.speculative_wasted as usize,
+            interventions: m.charged_queries as usize,
+            lint_pruned: m.lint_pruned as usize,
+        }
+    }
+}
+
 /// Intervention-counting, caching wrapper around a [`System`].
 pub struct Oracle<'a> {
     system: &'a mut dyn System,
@@ -217,6 +240,9 @@ pub struct Oracle<'a> {
     pub budget: usize,
     hits: usize,
     misses: usize,
+    baseline_queries: u64,
+    query_latency: LatencyHistogram,
+    last: QueryStat,
     cache: HashMap<u64, f64>,
     free: std::collections::HashSet<u64>,
 }
@@ -231,6 +257,9 @@ impl<'a> Oracle<'a> {
             budget,
             hits: 0,
             misses: 0,
+            baseline_queries: 0,
+            query_latency: LatencyHistogram::default(),
+            last: QueryStat::default(),
             cache: HashMap::new(),
             free: std::collections::HashSet::new(),
         }
@@ -243,10 +272,24 @@ impl<'a> Oracle<'a> {
     pub fn baseline(&mut self, df: &DataFrame) -> f64 {
         let fp = fingerprint(df);
         self.free.insert(fp);
+        self.baseline_queries += 1;
         if let Some(&score) = self.cache.get(&fp) {
+            self.last = QueryStat {
+                fingerprint: fp,
+                cached: true,
+                speculative_hit: false,
+                latency_ns: 0,
+            };
             return score;
         }
+        let start = Instant::now();
         let score = sanitize(self.system.malfunction(df));
+        self.last = QueryStat {
+            fingerprint: fp,
+            cached: false,
+            speculative_hit: false,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        };
         self.cache.insert(fp, score);
         score
     }
@@ -261,10 +304,25 @@ impl<'a> Oracle<'a> {
         }
         if let Some(&score) = self.cache.get(&fp) {
             self.hits += 1;
+            self.last = QueryStat {
+                fingerprint: fp,
+                cached: true,
+                speculative_hit: false,
+                latency_ns: 0,
+            };
             return score;
         }
         self.misses += 1;
+        let start = Instant::now();
         let score = sanitize(self.system.malfunction(df));
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        self.query_latency.record(latency_ns);
+        self.last = QueryStat {
+            fingerprint: fp,
+            cached: false,
+            speculative_hit: false,
+            latency_ns,
+        };
         self.cache.insert(fp, score);
         score
     }
@@ -279,16 +337,28 @@ impl<'a> Oracle<'a> {
         self.interventions >= self.budget
     }
 
-    /// Cache counters accumulated so far.
+    /// Cache counters accumulated so far (derived from
+    /// [`Oracle::run_metrics`]).
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            speculative: 0,
-            speculative_waste: 0,
-            interventions: self.interventions,
-            lint_pruned: 0,
+        CacheStats::from_metrics(&self.run_metrics())
+    }
+
+    /// Full metrics accumulated so far. The serial oracle never
+    /// speculates, so all speculation counters are zero.
+    pub fn run_metrics(&self) -> RunMetrics {
+        RunMetrics {
+            baseline_queries: self.baseline_queries,
+            charged_queries: self.interventions as u64,
+            cache_hits: self.hits as u64,
+            cache_misses: self.misses as u64,
+            query_latency: self.query_latency,
+            ..RunMetrics::default()
         }
+    }
+
+    /// Cache behaviour of the most recent query (for span emission).
+    pub fn last_query(&self) -> QueryStat {
+        self.last
     }
 
     /// Name of the wrapped system.

@@ -63,6 +63,11 @@ pub fn markdown_report(
         },
         explanation.cache.speculative_waste,
     );
+    let _ = writeln!(
+        out,
+        "- run metrics: **{}**",
+        explanation.metrics.summary_line()
+    );
     let lint = &explanation.lint;
     if lint.analyzed {
         let _ = writeln!(
@@ -177,6 +182,23 @@ pub fn markdown_report(
             }
         }
     }
+
+    // Opt-in: the group-testing recursion tree, reconstructed from
+    // the structured trace. Only present when the run collected one
+    // (`PrismConfig::trace = TraceConfig::Collect`) and actually
+    // bisected. Rendered without wall times so the report stays
+    // byte-deterministic.
+    if explanation
+        .trace_records
+        .iter()
+        .any(|r| matches!(r.event, dp_trace::Event::BisectionNodeBegin(_)))
+    {
+        let tree = dp_trace::SearchTree::from_records(&explanation.trace_records);
+        let _ = writeln!(out, "\n## Search tree\n");
+        let _ = writeln!(out, "```");
+        let _ = write!(out, "{}", tree.render_text(false));
+        let _ = writeln!(out, "```");
+    }
     out
 }
 
@@ -215,10 +237,53 @@ mod tests {
         assert!(report.contains("## Discriminative profiles"));
         assert!(report.contains("## Intervention trace"));
         assert!(report.contains("- oracle cache: **"));
+        assert!(report.contains("- run metrics: **"));
+        assert!(
+            !report.contains("## Search tree"),
+            "no tree without collected trace records"
+        );
         assert!(report.contains("- lint: **"), "lint summary line present");
         assert!(report.contains("- discovery pre-filter: **"));
         assert!(report.contains("resolved"));
         assert!(report.contains("**yes**"), "explanation row flagged");
+    }
+
+    #[test]
+    fn search_tree_section_renders_when_collected() {
+        let pass = DataFrame::from_columns(vec![
+            cat("target", &["-1", "1", "1", "-1"]),
+            cat("flag", &["a", "b", "a", "b"]),
+        ])
+        .unwrap();
+        let fail = DataFrame::from_columns(vec![
+            cat("target", &["0", "4", "4", "0"]),
+            cat("flag", &["a", "b", "a", "b"]),
+        ])
+        .unwrap();
+        let mut system = |df: &DataFrame| {
+            let col = df.column("target").unwrap();
+            col.str_values()
+                .iter()
+                .filter(|(_, s)| *s != "-1" && *s != "1")
+                .count() as f64
+                / df.n_rows().max(1) as f64
+        };
+        let config = PrismConfig {
+            trace: dp_trace::TraceConfig::Collect,
+            ..PrismConfig::with_threshold(0.2)
+        };
+        let exp = crate::explain_group_test(
+            &mut system,
+            &fail,
+            &pass,
+            &config,
+            crate::PartitionStrategy::MinBisection,
+        )
+        .unwrap();
+        assert!(!exp.trace_records.is_empty());
+        let report = markdown_report(&exp, &pass, &fail, 0.2, &config.discovery);
+        assert!(report.contains("## Search tree"), "{report}");
+        assert!(report.contains("node 0"), "{report}");
     }
 
     #[test]
@@ -236,6 +301,8 @@ mod tests {
             cache: crate::oracle::CacheStats::default(),
             discovery: crate::discovery::DiscoveryStats::default(),
             lint: Default::default(),
+            metrics: Default::default(),
+            trace_records: Vec::new(),
         };
         let report = markdown_report(&exp, &pass, &fail, 0.2, &DiscoveryConfig::default());
         assert!(report.contains("UNRESOLVED"));

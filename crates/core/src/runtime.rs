@@ -47,8 +47,13 @@ use crate::error::Result;
 use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
 use dp_frame::DataFrame;
+use dp_trace::{
+    Event, LatencyHistogram, MetricsShard, OracleQuerySpan, QueryKind, QueryStat, RunMetrics,
+    Tracer,
+};
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 // Under `RUSTFLAGS="--cfg loom"` the pool's synchronization
 // primitives and worker threads swap to the loom shim so the model
@@ -160,8 +165,80 @@ pub trait InterventionRuntime {
     fn threshold(&self) -> f64;
     /// Cache counters accumulated so far.
     fn cache_stats(&self) -> CacheStats;
+    /// Full run metrics accumulated so far (parallel runtimes settle
+    /// background speculation first and fold in per-worker shards).
+    /// The default derives what it can from [`CacheStats`] so
+    /// third-party runtimes keep compiling.
+    fn run_metrics(&self) -> RunMetrics {
+        let stats = self.cache_stats();
+        RunMetrics {
+            charged_queries: stats.interventions as u64,
+            cache_hits: stats.hits as u64,
+            cache_misses: stats.misses as u64,
+            speculative_evaluated: stats.speculative as u64,
+            speculative_wasted: stats.speculative_waste as u64,
+            lint_pruned: stats.lint_pruned as u64,
+            ..RunMetrics::default()
+        }
+    }
+    /// Cache behaviour of the most recent `baseline`/`intervene`
+    /// query, for span emission. The default (an empty stat) is for
+    /// third-party runtimes that don't track it.
+    fn last_query(&self) -> QueryStat {
+        QueryStat::default()
+    }
     /// Name of the system under diagnosis.
     fn system_name(&self) -> String;
+}
+
+/// Charge one intervention through `rt` and emit the matching
+/// [`OracleQuerySpan`] event. The span fields come from
+/// [`InterventionRuntime::last_query`], read only when a sink is
+/// attached.
+pub(crate) fn intervene_traced<R: InterventionRuntime + ?Sized>(
+    rt: &mut R,
+    df: &DataFrame,
+    tracer: &Tracer,
+) -> f64 {
+    let score = rt.intervene(df);
+    if tracer.enabled() {
+        let q = rt.last_query();
+        tracer.emit(|| {
+            Event::OracleQuery(OracleQuerySpan {
+                kind: QueryKind::Intervention,
+                fingerprint: q.fingerprint,
+                score,
+                cached: q.cached,
+                speculative_hit: q.speculative_hit,
+                latency_ns: q.latency_ns,
+            })
+        });
+    }
+    score
+}
+
+/// Score a baseline through `rt` and emit the matching
+/// [`OracleQuerySpan`] event (kind [`QueryKind::Baseline`]).
+pub(crate) fn baseline_traced<R: InterventionRuntime + ?Sized>(
+    rt: &mut R,
+    df: &DataFrame,
+    tracer: &Tracer,
+) -> f64 {
+    let score = rt.baseline(df);
+    if tracer.enabled() {
+        let q = rt.last_query();
+        tracer.emit(|| {
+            Event::OracleQuery(OracleQuerySpan {
+                kind: QueryKind::Baseline,
+                fingerprint: q.fingerprint,
+                score,
+                cached: q.cached,
+                speculative_hit: q.speculative_hit,
+                latency_ns: q.latency_ns,
+            })
+        });
+    }
+    score
 }
 
 impl InterventionRuntime for Oracle<'_> {
@@ -203,18 +280,27 @@ impl InterventionRuntime for Oracle<'_> {
         Oracle::cache_stats(self)
     }
 
+    fn run_metrics(&self) -> RunMetrics {
+        Oracle::run_metrics(self)
+    }
+
+    fn last_query(&self) -> QueryStat {
+        Oracle::last_query(self)
+    }
+
     fn system_name(&self) -> String {
         Oracle::system_name(self)
     }
 }
 
-/// Shared (worker-visible) cache state: fingerprint → score, the
-/// speculative-evaluation counter, and the set of speculatively
-/// scored fingerprints no charged query has consumed yet (the
-/// speculative-waste numerator).
+/// Shared (worker-visible) cache state: fingerprint → score and the
+/// set of speculatively scored fingerprints no charged query has
+/// consumed yet (the speculative-waste numerator). Evaluation
+/// *counts* live outside the lock, in per-worker
+/// [`MetricsShard`]s, so workers never contend on the cache mutex
+/// just to bump a counter.
 struct SharedCache {
     map: HashMap<u64, f64>,
-    speculative: usize,
     unconsumed: HashSet<u64>,
 }
 
@@ -259,6 +345,16 @@ pub struct ParOracle<'a> {
     num_threads: usize,
     hits: usize,
     misses: usize,
+    baseline_queries: u64,
+    speculative_issued: u64,
+    speculative_used: u64,
+    query_latency: LatencyHistogram,
+    last: QueryStat,
+    /// One shard per sync-speculation worker slot (same index as
+    /// `workers`), bumped lock-free on the worker's query path.
+    sync_shards: Vec<Arc<MetricsShard>>,
+    /// One shard per detached-pool worker.
+    pool_shards: Vec<Arc<MetricsShard>>,
     cache: Arc<Mutex<SharedCache>>,
     free: HashSet<u64>,
     pool: Option<Arc<Pool>>,
@@ -283,9 +379,15 @@ impl<'a> ParOracle<'a> {
             num_threads: num_threads.max(1),
             hits: 0,
             misses: 0,
+            baseline_queries: 0,
+            speculative_issued: 0,
+            speculative_used: 0,
+            query_latency: LatencyHistogram::default(),
+            last: QueryStat::default(),
+            sync_shards: Vec::new(),
+            pool_shards: Vec::new(),
             cache: Arc::new(Mutex::new(SharedCache {
                 map: HashMap::new(),
-                speculative: 0,
                 unconsumed: HashSet::new(),
             })),
             free: HashSet::new(),
@@ -297,6 +399,7 @@ impl<'a> ParOracle<'a> {
     fn ensure_workers(&mut self, n: usize) {
         while self.workers.len() < n {
             self.workers.push(self.factory.build());
+            self.sync_shards.push(Arc::new(MetricsShard::default()));
         }
     }
 
@@ -322,6 +425,8 @@ impl<'a> ParOracle<'a> {
             let mut system = self.factory.build();
             let pool_ref = Arc::clone(&pool);
             let cache = Arc::clone(&self.cache);
+            let shard = Arc::new(MetricsShard::default());
+            self.pool_shards.push(Arc::clone(&shard));
             self.pool_workers.push(pool_thread::spawn(move || loop {
                 let job = {
                     let mut state = pool_ref.state.lock().expect("pool lock");
@@ -343,11 +448,14 @@ impl<'a> ParOracle<'a> {
                     if !known {
                         // Score outside the lock; a racing duplicate
                         // evaluation is harmless (same deterministic
-                        // score, idempotent insert).
+                        // score, idempotent insert). The evaluation
+                        // count and latency go to the worker's own
+                        // lock-free shard.
+                        let start = Instant::now();
                         let score = sanitize(system.malfunction(&frame));
+                        shard.record(start.elapsed().as_nanos() as u64);
                         let mut shared = cache.lock().expect("cache lock");
                         shared.map.insert(fp, score);
-                        shared.speculative += 1;
                         shared.unconsumed.insert(fp);
                     }
                 }
@@ -378,21 +486,41 @@ impl<'a> ParOracle<'a> {
     }
 
     /// Score `df` through the shared cache on the primary worker,
-    /// without charging. Returns (score, was_cached).
+    /// without charging.
     fn score(&mut self, fp: u64, df: &DataFrame) -> f64 {
         {
             let mut shared = self.cache.lock().expect("cache lock");
             if let Some(&score) = shared.map.get(&fp) {
                 // A charged query consuming a speculatively scored
-                // frame retires it from the waste set.
-                shared.unconsumed.remove(&fp);
+                // frame retires it from the waste set — the lookahead
+                // guessed this query right.
+                let speculative_hit = shared.unconsumed.remove(&fp);
+                drop(shared);
+                if speculative_hit {
+                    self.speculative_used += 1;
+                }
                 self.hits += 1;
+                self.last = QueryStat {
+                    fingerprint: fp,
+                    cached: true,
+                    speculative_hit,
+                    latency_ns: 0,
+                };
                 return score;
             }
         }
         self.misses += 1;
         self.ensure_workers(1);
+        let start = Instant::now();
         let score = sanitize(self.workers[0].malfunction(df));
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        self.query_latency.record(latency_ns);
+        self.last = QueryStat {
+            fingerprint: fp,
+            cached: false,
+            speculative_hit: false,
+            latency_ns,
+        };
         self.cache.lock().expect("cache lock").map.insert(fp, score);
         score
     }
@@ -402,13 +530,27 @@ impl InterventionRuntime for ParOracle<'_> {
     fn baseline(&mut self, df: &DataFrame) -> f64 {
         let fp = crate::oracle::fingerprint(df);
         self.free.insert(fp);
+        self.baseline_queries += 1;
         // Baselines never count toward the hit/miss split either — the
         // problem definition assumes the two baseline scores are known.
         if let Some(&score) = self.cache.lock().expect("cache lock").map.get(&fp) {
+            self.last = QueryStat {
+                fingerprint: fp,
+                cached: true,
+                speculative_hit: false,
+                latency_ns: 0,
+            };
             return score;
         }
         self.ensure_workers(1);
+        let start = Instant::now();
         let score = sanitize(self.workers[0].malfunction(df));
+        self.last = QueryStat {
+            fingerprint: fp,
+            cached: false,
+            speculative_hit: false,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        };
         self.cache.lock().expect("cache lock").map.insert(fp, score);
         score
     }
@@ -430,6 +572,7 @@ impl InterventionRuntime for ParOracle<'_> {
         let n_jobs = jobs.len();
         let n_workers = self.num_threads.min(n_jobs);
         self.ensure_workers(n_workers);
+        self.speculative_issued += n_jobs as u64;
         // Index-tagged pop queue (reversed so workers drain in job
         // order) and one result slot per job; plain `Mutex` state
         // keeps the crate `forbid(unsafe_code)`-clean.
@@ -441,7 +584,12 @@ impl InterventionRuntime for ParOracle<'_> {
         let queue_ref = &queue;
         let results_ref = &results;
         std::thread::scope(|scope| {
-            for worker in self.workers.iter_mut().take(n_workers) {
+            for (worker, shard) in self
+                .workers
+                .iter_mut()
+                .zip(self.sync_shards.iter())
+                .take(n_workers)
+            {
                 scope.spawn(move || loop {
                     let job = queue_ref.lock().expect("queue lock").pop();
                     let Some((idx, job)) = job else { break };
@@ -452,10 +600,13 @@ impl InterventionRuntime for ParOracle<'_> {
                             // Score outside the lock; a racing
                             // duplicate evaluation is harmless (same
                             // deterministic score, idempotent insert).
+                            // Count and latency go to the worker's
+                            // own lock-free shard.
+                            let start = Instant::now();
                             let score = sanitize(worker.malfunction(&speculated.frame));
+                            shard.record(start.elapsed().as_nanos() as u64);
                             let mut shared = cache.lock().expect("cache lock");
                             shared.map.insert(fp, score);
-                            shared.speculative += 1;
                             shared.unconsumed.insert(fp);
                         }
                     });
@@ -477,6 +628,7 @@ impl InterventionRuntime for ParOracle<'_> {
         if self.num_threads <= 1 || jobs.is_empty() {
             return;
         }
+        self.speculative_issued += jobs.len() as u64;
         let pool = self.ensure_pool();
         let mut state = pool.state.lock().expect("pool lock");
         state.pending += jobs.len();
@@ -506,16 +658,30 @@ impl InterventionRuntime for ParOracle<'_> {
     }
 
     fn cache_stats(&self) -> CacheStats {
+        CacheStats::from_metrics(&self.run_metrics())
+    }
+
+    fn run_metrics(&self) -> RunMetrics {
         self.settle_pool();
-        let shared = self.cache.lock().expect("cache lock");
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            speculative: shared.speculative,
-            speculative_waste: shared.unconsumed.len(),
-            interventions: self.interventions,
-            lint_pruned: 0,
+        let mut metrics = RunMetrics {
+            baseline_queries: self.baseline_queries,
+            charged_queries: self.interventions as u64,
+            cache_hits: self.hits as u64,
+            cache_misses: self.misses as u64,
+            speculative_issued: self.speculative_issued,
+            speculative_used: self.speculative_used,
+            speculative_wasted: self.cache.lock().expect("cache lock").unconsumed.len() as u64,
+            query_latency: self.query_latency,
+            ..RunMetrics::default()
+        };
+        for shard in self.sync_shards.iter().chain(self.pool_shards.iter()) {
+            metrics.merge_worker(shard);
         }
+        metrics
+    }
+
+    fn last_query(&self) -> QueryStat {
+        self.last
     }
 
     fn system_name(&self) -> String {
@@ -687,7 +853,8 @@ mod tests {
         // replay is past consuming them), which this test is not
         // about.
         for _ in 0..1000 {
-            if rt.cache.lock().unwrap().speculative == 4 {
+            let evaluated: u64 = rt.pool_shards.iter().map(|s| s.evaluated()).sum();
+            if evaluated == 4 {
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));

@@ -1,0 +1,204 @@
+//! The versioned trace event schema.
+//!
+//! A diagnosis run emits a flat, strictly ordered stream of
+//! [`TraceRecord`]s. Span-shaped activities (the run itself, each
+//! bisection node) are encoded as begin/end event pairs so the stream
+//! stays append-only and a crashed run still leaves a readable
+//! prefix; [`crate::tree::SearchTree`] folds the node spans back into
+//! the recursion tree.
+//!
+//! Events carry ids, fingerprints, and scores — never dataset
+//! contents — so a trace is cheap to emit, safe to ship, and stable
+//! to diff across runs.
+
+/// Version of the event schema. Bumped whenever a field or variant
+/// changes meaning; every JSONL line carries it as `"v"` and the
+/// parser rejects lines from other versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Whether an oracle query was a free baseline or a charged
+/// intervention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// One of the two problem-input baselines (never charged).
+    Baseline,
+    /// A transformed-dataset query (charged as one intervention,
+    /// cached or not).
+    Intervention,
+}
+
+/// Attributes of the span bracketing a whole diagnosis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosisSpan {
+    /// `"greedy"` or `"group_test"`.
+    pub algorithm: String,
+    /// Name of the system under diagnosis.
+    pub system: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Acceptable-malfunction threshold τ.
+    pub threshold: f64,
+    /// Worker threads of the intervention runtime.
+    pub num_threads: usize,
+    /// Speculative lookahead depth (group testing).
+    pub speculation_depth: usize,
+}
+
+/// One profile-discovery pass (emitted once, after it completes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiscoverySpan {
+    /// Discriminative PVTs found.
+    pub n_pvts: usize,
+    /// Attribute pairs the pairwise independence pass considered.
+    pub pairs: u64,
+    /// Pair tests screened out by the sketch pre-filter.
+    pub screened: u64,
+    /// Exact χ²/Pearson tests actually run.
+    pub exact: u64,
+    /// Wall time of the discovery pass.
+    pub elapsed_ns: u64,
+}
+
+/// The static lint pass over the candidate PVT set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintSpan {
+    /// Whether the pass ran at all (`false` under `Lint::Off`).
+    pub analyzed: bool,
+    /// Error-level findings.
+    pub errors: usize,
+    /// Warn-level findings.
+    pub warnings: usize,
+    /// Info-level findings.
+    pub infos: usize,
+    /// Candidates pruned before ranking (`Lint::Prune` only).
+    pub pruned: usize,
+}
+
+/// One oracle query, with how the fingerprint cache served it.
+///
+/// The `fingerprint` is the content hash of the queried dataset —
+/// stable across runs of the same scenario, which is what makes these
+/// spans the natural key for a future cross-run oracle cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleQuerySpan {
+    /// Baseline or charged intervention.
+    pub kind: QueryKind,
+    /// Content fingerprint of the queried dataset.
+    pub fingerprint: u64,
+    /// The malfunction score returned.
+    pub score: f64,
+    /// Served from the fingerprint cache (no system evaluation on
+    /// the charged path).
+    pub cached: bool,
+    /// The cache entry was produced by a speculative worker — the
+    /// lookahead guessed this query right.
+    pub speculative_hit: bool,
+    /// Wall time of the system evaluation (0 for cache hits).
+    pub latency_ns: u64,
+}
+
+/// One node of the group-testing recursion (begin side; the end side
+/// is [`Event::BisectionNodeEnd`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectionNodeSpan {
+    /// Node id, assigned in recursion (= serial visit) order.
+    pub node: u64,
+    /// Parent node id; `None` for the root.
+    pub parent: Option<u64>,
+    /// Candidate PVT ids at this node.
+    pub candidates: Vec<usize>,
+    /// Levels below this node an ancestor's speculative frontier
+    /// already covers.
+    pub covered: usize,
+}
+
+/// One event of the trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The run began (always the first record).
+    DiagnosisBegin(DiagnosisSpan),
+    /// Profile discovery completed.
+    Discovery(DiscoverySpan),
+    /// The lint pass completed.
+    Lint(LintSpan),
+    /// An oracle query completed.
+    OracleQuery(OracleQuerySpan),
+    /// Greedy decided on one candidate (Alg 1 lines 12–19).
+    GreedyPick {
+        /// Candidate PVT id.
+        pvt: usize,
+        /// Malfunction score before the intervention.
+        before: f64,
+        /// Malfunction score after.
+        after: f64,
+        /// Whether the candidate was kept (reduced the malfunction).
+        kept: bool,
+    },
+    /// Entered a group-testing recursion node.
+    BisectionNodeBegin(BisectionNodeSpan),
+    /// The node's candidate set was bisected.
+    BisectionPartition {
+        /// Node id.
+        node: u64,
+        /// First half (probed first).
+        left: Vec<usize>,
+        /// Second half.
+        right: Vec<usize>,
+        /// Dependency-graph edges cut by the split, when the
+        /// partitioner enumerated them (min-bisection below the
+        /// local-search limit).
+        cut_edges: Option<usize>,
+    },
+    /// A half of the node's partition was probed as a group.
+    BisectionProbe {
+        /// Node id.
+        node: u64,
+        /// 1 = left half, 2 = right half.
+        half: u8,
+        /// The probed candidate ids.
+        ids: Vec<usize>,
+        /// Malfunction score before.
+        before: f64,
+        /// Malfunction score of the half's composition.
+        after: f64,
+        /// Whether the half reduced the malfunction.
+        kept: bool,
+        /// Whether the probe's oracle query was served by a
+        /// speculative worker's evaluation.
+        speculative_hit: bool,
+    },
+    /// Left a group-testing recursion node.
+    BisectionNodeEnd {
+        /// Node id.
+        node: u64,
+        /// Candidate ids this subtree selected into the explanation.
+        selected: Vec<usize>,
+    },
+    /// Make-Minimal dropped a redundant PVT.
+    MinimalityDrop {
+        /// The dropped PVT id.
+        pvt: usize,
+    },
+    /// The run ended (always the last record of a completed run).
+    DiagnosisEnd {
+        /// Whether the final score is at or below τ.
+        resolved: bool,
+        /// Interventions charged.
+        interventions: usize,
+        /// Final malfunction score.
+        final_score: f64,
+    },
+}
+
+/// One record of the trace stream: a strictly increasing sequence
+/// number, a monotonic timestamp relative to the run start, and the
+/// event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Position in the stream (0-based, dense).
+    pub seq: u64,
+    /// Nanoseconds since the run started.
+    pub at_ns: u64,
+    /// What happened.
+    pub event: Event,
+}

@@ -1,0 +1,145 @@
+//! Trace sinks: where the event stream goes.
+
+use crate::event::TraceRecord;
+use crate::json::record_to_json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A destination for trace records.
+///
+/// Sinks only ever run on the main diagnosis thread, in strict
+/// stream order — implementations need no synchronization.
+pub trait TraceSink {
+    /// Consume one record.
+    fn record(&mut self, record: &TraceRecord);
+
+    /// Flush any buffered output (called when the run finishes).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. This is the *fallback* no-op sink; in the
+/// default `TraceConfig::Off` configuration the tracer holds no sink
+/// at all and short-circuits before a record is even built, so this
+/// type mostly exists as the explicit "off" for custom-sink call
+/// sites.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _record: &TraceRecord) {}
+}
+
+/// Collects records in memory, in stream order.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    records: Vec<TraceRecord>,
+}
+
+impl Collector {
+    /// A fresh, empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consume the collector, returning its records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+}
+
+impl TraceSink for Collector {
+    fn record(&mut self, record: &TraceRecord) {
+        self.records.push(record.clone());
+    }
+}
+
+/// Streams records to a writer as JSONL (see [`crate::json`]).
+///
+/// Write errors after creation are deliberately swallowed: tracing
+/// must never abort or perturb a diagnosis mid-run. Create the file
+/// eagerly (via [`JsonlSink::create`]) so path problems surface
+/// before the first oracle query.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) the file at `path` and buffer writes to it.
+    pub fn create(path: &Path) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap an arbitrary writer (handy for tests).
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { writer }
+    }
+
+    /// Consume the sink, returning the writer (flushed).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, record: &TraceRecord) {
+        let _ = writeln!(self.writer, "{}", record_to_json(record));
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::json::parse_jsonl;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at_ns: seq * 10,
+            event: Event::MinimalityDrop { pvt: seq as usize },
+        }
+    }
+
+    #[test]
+    fn collector_keeps_stream_order() {
+        let mut c = Collector::new();
+        c.record(&rec(0));
+        c.record(&rec(1));
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.into_records()[1], rec(1));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, vec![rec(0), rec(1)]);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut sink = NullSink;
+        sink.record(&rec(0));
+        sink.flush();
+    }
+}

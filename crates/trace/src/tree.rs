@@ -1,0 +1,434 @@
+//! Reconstructing the group-testing recursion tree from a trace.
+//!
+//! Bisection nodes appear in the stream as strictly nested
+//! `BisectionNodeBegin`/`BisectionNodeEnd` pairs (the recursion is
+//! serial on the main thread), so a simple stack folds the flat
+//! stream back into a tree. Partition and probe events between a
+//! node's begin and end attach to that node.
+
+use crate::event::{Event, TraceRecord};
+
+/// How a node's candidate set was split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// First half (probed first).
+    pub left: Vec<usize>,
+    /// Second half.
+    pub right: Vec<usize>,
+    /// Dependency edges cut by the split, when enumerated.
+    pub cut_edges: Option<usize>,
+}
+
+/// One group probe at a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeInfo {
+    /// 1 = left half, 2 = right half.
+    pub half: u8,
+    /// The probed candidate ids.
+    pub ids: Vec<usize>,
+    /// Malfunction score before.
+    pub before: f64,
+    /// Score of the half's composition.
+    pub after: f64,
+    /// Whether the half reduced the malfunction.
+    pub kept: bool,
+    /// Whether speculation had pre-computed the probe's query.
+    pub speculative_hit: bool,
+}
+
+/// One node of the reconstructed recursion tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Node id (visit order).
+    pub id: u64,
+    /// Candidate PVT ids at this node.
+    pub candidates: Vec<usize>,
+    /// Speculative-coverage depth inherited from ancestors.
+    pub covered: usize,
+    /// The bisection of this node's candidates, if it got that far.
+    pub partition: Option<PartitionInfo>,
+    /// Group probes run at this node, in order.
+    pub probes: Vec<ProbeInfo>,
+    /// Candidate ids this subtree selected.
+    pub selected: Vec<usize>,
+    /// Wall time spent in this node's span (end − begin timestamps).
+    pub wall_ns: u64,
+    /// Child nodes, in visit order.
+    pub children: Vec<TreeNode>,
+}
+
+/// The reconstructed group-testing search tree of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchTree {
+    /// Top-level recursion nodes (one root per GT run; greedy runs
+    /// produce none).
+    pub roots: Vec<TreeNode>,
+}
+
+impl SearchTree {
+    /// Fold a trace stream into its recursion tree.
+    ///
+    /// Unmatched ends or attachments outside any open node are
+    /// ignored rather than errors: a truncated stream (crashed run)
+    /// still yields the completed prefix of the tree, and non-node
+    /// events are simply skipped.
+    pub fn from_records(records: &[TraceRecord]) -> SearchTree {
+        let mut roots = Vec::new();
+        // Stack of (open node, its begin timestamp).
+        let mut stack: Vec<(TreeNode, u64)> = Vec::new();
+        for rec in records {
+            match &rec.event {
+                Event::BisectionNodeBegin(span) => {
+                    stack.push((
+                        TreeNode {
+                            id: span.node,
+                            candidates: span.candidates.clone(),
+                            covered: span.covered,
+                            partition: None,
+                            probes: Vec::new(),
+                            selected: Vec::new(),
+                            wall_ns: 0,
+                            children: Vec::new(),
+                        },
+                        rec.at_ns,
+                    ));
+                }
+                Event::BisectionPartition {
+                    node,
+                    left,
+                    right,
+                    cut_edges,
+                } => {
+                    if let Some((open, _)) = stack.last_mut() {
+                        if open.id == *node {
+                            open.partition = Some(PartitionInfo {
+                                left: left.clone(),
+                                right: right.clone(),
+                                cut_edges: *cut_edges,
+                            });
+                        }
+                    }
+                }
+                Event::BisectionProbe {
+                    node,
+                    half,
+                    ids,
+                    before,
+                    after,
+                    kept,
+                    speculative_hit,
+                } => {
+                    if let Some((open, _)) = stack.last_mut() {
+                        if open.id == *node {
+                            open.probes.push(ProbeInfo {
+                                half: *half,
+                                ids: ids.clone(),
+                                before: *before,
+                                after: *after,
+                                kept: *kept,
+                                speculative_hit: *speculative_hit,
+                            });
+                        }
+                    }
+                }
+                Event::BisectionNodeEnd { node, selected }
+                    if stack.last().is_some_and(|(open, _)| open.id == *node) =>
+                {
+                    let (mut done, begun_at) = stack.pop().expect("checked non-empty");
+                    done.selected = selected.clone();
+                    done.wall_ns = rec.at_ns.saturating_sub(begun_at);
+                    match stack.last_mut() {
+                        Some((parent, _)) => parent.children.push(done),
+                        None => roots.push(done),
+                    }
+                }
+                _ => {}
+            }
+        }
+        SearchTree { roots }
+    }
+
+    /// Total nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        fn count(n: &TreeNode) -> usize {
+            1 + n.children.iter().map(count).sum::<usize>()
+        }
+        self.roots.iter().map(count).sum()
+    }
+
+    /// Total probes across all nodes.
+    pub fn probe_count(&self) -> usize {
+        fn count(n: &TreeNode) -> usize {
+            n.probes.len() + n.children.iter().map(count).sum::<usize>()
+        }
+        self.roots.iter().map(count).sum()
+    }
+
+    /// Zero out run-volatile detail — wall times and speculative-hit
+    /// flags — leaving only the deterministic search structure, so
+    /// trees from different runs of the same scenario compare equal.
+    pub fn strip_volatile(&self) -> SearchTree {
+        fn strip(n: &TreeNode) -> TreeNode {
+            TreeNode {
+                wall_ns: 0,
+                probes: n
+                    .probes
+                    .iter()
+                    .map(|p| ProbeInfo {
+                        speculative_hit: false,
+                        ..p.clone()
+                    })
+                    .collect(),
+                children: n.children.iter().map(strip).collect(),
+                ..n.clone()
+            }
+        }
+        SearchTree {
+            roots: self.roots.iter().map(strip).collect(),
+        }
+    }
+
+    /// Render as an indented text tree. With `include_times` the
+    /// line for each node carries its wall time — leave it off for
+    /// golden-tested output.
+    pub fn render_text(&self, include_times: bool) -> String {
+        fn fmt_ids(ids: &[usize]) -> String {
+            let body = ids
+                .iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{{{body}}}")
+        }
+        fn walk(n: &TreeNode, depth: usize, include_times: bool, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{pad}node {} candidates={}",
+                n.id,
+                fmt_ids(&n.candidates)
+            ));
+            if n.covered > 0 {
+                out.push_str(&format!(" covered={}", n.covered));
+            }
+            if include_times {
+                out.push_str(&format!(" wall={}us", n.wall_ns / 1_000));
+            }
+            out.push('\n');
+            for p in &n.probes {
+                let side = if p.half == 1 { "left" } else { "right" };
+                out.push_str(&format!(
+                    "{pad}  probe {side} {} {:.4} -> {:.4} {}{}\n",
+                    fmt_ids(&p.ids),
+                    p.before,
+                    p.after,
+                    if p.kept { "kept" } else { "rejected" },
+                    if p.speculative_hit {
+                        " (speculative hit)"
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            for c in &n.children {
+                walk(c, depth + 1, include_times, out);
+            }
+            if !n.children.is_empty() || !n.selected.is_empty() {
+                out.push_str(&format!("{pad}  selected={}\n", fmt_ids(&n.selected)));
+            }
+        }
+        let mut out = String::new();
+        for root in &self.roots {
+            walk(root, 0, include_times, &mut out);
+        }
+        out
+    }
+
+    /// Render as a Graphviz DOT digraph (one box per node: candidate
+    /// set, probe verdicts, selection; dashed border marks nodes
+    /// whose probes were all speculative hits).
+    pub fn render_dot(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        fn fmt_ids(ids: &[usize]) -> String {
+            ids.iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        fn walk(n: &TreeNode, out: &mut String) {
+            let mut label = format!("node {}\\ncand {{{}}}", n.id, fmt_ids(&n.candidates));
+            for p in &n.probes {
+                let side = if p.half == 1 { "L" } else { "R" };
+                label.push_str(&format!(
+                    "\\n{side} {{{}}} {:.3}->{:.3} {}",
+                    fmt_ids(&p.ids),
+                    p.before,
+                    p.after,
+                    if p.kept { "keep" } else { "rej" },
+                ));
+            }
+            if !n.selected.is_empty() {
+                label.push_str(&format!("\\nsel {{{}}}", fmt_ids(&n.selected)));
+            }
+            let speculative = !n.probes.is_empty() && n.probes.iter().all(|p| p.speculative_hit);
+            let style = if speculative { ", style=dashed" } else { "" };
+            out.push_str(&format!(
+                "  n{} [shape=box, label=\"{}\"{}];\n",
+                n.id,
+                esc(&label).replace("\\\\n", "\\n"),
+                style
+            ));
+            for c in &n.children {
+                out.push_str(&format!("  n{} -> n{};\n", n.id, c.id));
+                walk(c, out);
+            }
+        }
+        let mut out = String::from("digraph search_tree {\n");
+        for root in &self.roots {
+            walk(root, &mut out);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::BisectionNodeSpan;
+
+    fn rec(seq: u64, at_ns: u64, event: Event) -> TraceRecord {
+        TraceRecord { seq, at_ns, event }
+    }
+
+    fn sample_stream() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                100,
+                Event::BisectionNodeBegin(BisectionNodeSpan {
+                    node: 0,
+                    parent: None,
+                    candidates: vec![0, 1, 2, 3],
+                    covered: 0,
+                }),
+            ),
+            rec(
+                1,
+                110,
+                Event::BisectionPartition {
+                    node: 0,
+                    left: vec![0, 1],
+                    right: vec![2, 3],
+                    cut_edges: Some(1),
+                },
+            ),
+            rec(
+                2,
+                150,
+                Event::BisectionProbe {
+                    node: 0,
+                    half: 1,
+                    ids: vec![0, 1],
+                    before: 0.8,
+                    after: 0.3,
+                    kept: true,
+                    speculative_hit: true,
+                },
+            ),
+            rec(
+                3,
+                160,
+                Event::BisectionNodeBegin(BisectionNodeSpan {
+                    node: 1,
+                    parent: Some(0),
+                    candidates: vec![0, 1],
+                    covered: 1,
+                }),
+            ),
+            rec(
+                4,
+                300,
+                Event::BisectionNodeEnd {
+                    node: 1,
+                    selected: vec![1],
+                },
+            ),
+            rec(
+                5,
+                400,
+                Event::BisectionNodeEnd {
+                    node: 0,
+                    selected: vec![1],
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_nesting_and_wall_times() {
+        let tree = SearchTree::from_records(&sample_stream());
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.node_count(), 2);
+        assert_eq!(tree.probe_count(), 1);
+        let root = &tree.roots[0];
+        assert_eq!(root.id, 0);
+        assert_eq!(root.wall_ns, 300);
+        assert_eq!(root.partition.as_ref().unwrap().cut_edges, Some(1));
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].id, 1);
+        assert_eq!(root.children[0].wall_ns, 140);
+        assert_eq!(root.children[0].covered, 1);
+        assert_eq!(root.selected, vec![1]);
+    }
+
+    #[test]
+    fn truncated_stream_yields_completed_prefix() {
+        let mut records = sample_stream();
+        records.truncate(5); // lost the root's end
+        let tree = SearchTree::from_records(&records);
+        // The inner node completed and would attach to the root, but
+        // the root never closed — only fully closed roots appear.
+        assert_eq!(tree.roots.len(), 0);
+    }
+
+    #[test]
+    fn strip_volatile_zeroes_times_and_hits() {
+        let tree = SearchTree::from_records(&sample_stream());
+        let stripped = tree.strip_volatile();
+        assert_eq!(stripped.roots[0].wall_ns, 0);
+        assert!(!stripped.roots[0].probes[0].speculative_hit);
+        // Structure survives.
+        assert_eq!(stripped.node_count(), tree.node_count());
+        assert_eq!(stripped, stripped.strip_volatile());
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_without_times() {
+        let tree = SearchTree::from_records(&sample_stream());
+        let text = tree.render_text(false);
+        assert!(text.contains("node 0 candidates={0,1,2,3}"), "{text}");
+        assert!(
+            text.contains("probe left {0,1} 0.8000 -> 0.3000 kept (speculative hit)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("  node 1 candidates={0,1} covered=1"),
+            "{text}"
+        );
+        assert!(!text.contains("wall="), "{text}");
+        let timed = tree.render_text(true);
+        assert!(timed.contains("wall="), "{timed}");
+    }
+
+    #[test]
+    fn dot_rendering_links_parent_to_child() {
+        let tree = SearchTree::from_records(&sample_stream());
+        let dot = tree.render_dot();
+        assert!(dot.starts_with("digraph search_tree {"), "{dot}");
+        assert!(dot.contains("n0 -> n1;"), "{dot}");
+        assert!(dot.contains("cand {0,1,2,3}"), "{dot}");
+        assert!(dot.ends_with("}\n"), "{dot}");
+    }
+}

@@ -9,11 +9,15 @@
 //! profile whose shuffle transformation breaks the dependence.
 //!
 //! Run: `cargo run --release --example income_fairness`
+//!
+//! Pass `--trace` to collect the GT run's structured event stream and
+//! print the reconstructed bisection search tree plus run metrics.
 
-use dataprism::{explain_greedy, explain_group_test, PartitionStrategy};
+use dataprism::{explain_greedy, explain_group_test, PartitionStrategy, SearchTree, TraceConfig};
 use dp_scenarios::income;
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace");
     let mut scenario = income::scenario_with_size(700, 13);
     let pass_score = scenario.system.malfunction(&scenario.d_pass);
     let fail_score = scenario.system.malfunction(&scenario.d_fail);
@@ -37,6 +41,9 @@ fn main() {
 
     println!("--- DataPrism-GT (Algorithms 2-3) ---");
     let mut scenario2 = income::scenario_with_size(700, 13);
+    if trace {
+        scenario2.config.trace = TraceConfig::Collect;
+    }
     let gt = explain_group_test(
         scenario2.system.as_mut(),
         &scenario2.d_fail,
@@ -51,4 +58,11 @@ fn main() {
         scenario2.explains_ground_truth(&gt),
         gt.interventions
     );
+
+    if trace {
+        let tree = SearchTree::from_records(&gt.trace_records);
+        println!("\nbisection search tree ({} nodes):", tree.node_count());
+        print!("{}", tree.render_text(true));
+        println!("run metrics: {}", gt.metrics.summary_line());
+    }
 }

@@ -11,14 +11,22 @@
 //! threshold.
 //!
 //! Run: `cargo run --release --example paper_example1`
+//!
+//! Pass `--trace` to collect the structured event stream of the run
+//! and print the decision log plus the run-metrics summary.
 
 use dataprism::discovery::discriminative_pvts;
 use dataprism::explain_greedy;
 use dataprism::graph::PvtAttributeGraph;
+use dataprism::{Event, TraceConfig};
 use dp_scenarios::example1;
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace");
     let mut scenario = example1::scenario();
+    if trace {
+        scenario.config.trace = TraceConfig::Collect;
+    }
     println!("People_fail (Fig 2):\n{}", scenario.d_fail);
     println!("People_pass (Fig 3):\n{}", scenario.d_pass);
 
@@ -58,4 +66,29 @@ fn main() {
         "matches the paper's expected causes (Indep/Selectivity on high_expenditure): {}",
         scenario.explains_ground_truth(&explanation)
     );
+
+    if trace {
+        println!(
+            "\ntrace: {} events | run metrics: {}",
+            explanation.trace_records.len(),
+            explanation.metrics.summary_line()
+        );
+        for record in &explanation.trace_records {
+            match &record.event {
+                Event::GreedyPick {
+                    pvt,
+                    before,
+                    after,
+                    kept,
+                } => println!(
+                    "  pick PVT {pvt}: {before:.3} -> {after:.3} ({})",
+                    if *kept { "kept" } else { "reverted" }
+                ),
+                Event::MinimalityDrop { pvt } => {
+                    println!("  make-minimal dropped PVT {pvt}");
+                }
+                _ => {}
+            }
+        }
+    }
 }

@@ -9,8 +9,11 @@
 //! order-preserving value mapping as the fix.
 //!
 //! Run: `cargo run --example quickstart`
+//!
+//! Pass `--trace` to collect the run's structured event stream and
+//! print the run-metrics summary alongside the explanation.
 
-use dataprism::{explain_greedy, PrismConfig};
+use dataprism::{explain_greedy, PrismConfig, TraceConfig};
 use dp_frame::{Column, DType, DataFrame};
 
 fn labels(values: &[&str]) -> Column {
@@ -38,12 +41,22 @@ fn main() {
     let d_fail = DataFrame::from_columns(vec![labels(&["0", "4", "4", "0", "4", "0"])])
         .expect("valid frame");
 
-    let config = PrismConfig::with_threshold(0.2);
+    let mut config = PrismConfig::with_threshold(0.2);
+    if std::env::args().any(|a| a == "--trace") {
+        config.trace = TraceConfig::Collect;
+    }
     let explanation =
         explain_greedy(&mut system, &d_fail, &d_pass, &config).expect("diagnosis runs");
 
     println!("{explanation}");
     println!("repaired dataset:\n{}", explanation.repaired);
+    if !explanation.trace_records.is_empty() {
+        println!(
+            "trace: {} events | run metrics: {}",
+            explanation.trace_records.len(),
+            explanation.metrics.summary_line()
+        );
+    }
     assert!(explanation.resolved);
     assert!(explanation.contains_template("domain_cat(target)"));
 }

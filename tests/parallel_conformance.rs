@@ -36,16 +36,19 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Strip the one report line that is allowed to vary across runtime
+/// Strip the two report lines that are allowed to vary across runtime
 /// configurations: the `- oracle cache:` hit/miss/speculation
-/// counters, which depend on scheduling (see the module doc of
-/// `dataprism::runtime`). Everything else must match byte-for-byte.
+/// counters and the `- run metrics:` summary derived from them, which
+/// depend on scheduling (see the module doc of `dataprism::runtime`).
+/// Everything else must match byte-for-byte.
 fn normalize_report(report: &str) -> String {
     report
         .lines()
         .map(|line| {
             if line.starts_with("- oracle cache:") {
                 "- oracle cache: <runtime-dependent counters>"
+            } else if line.starts_with("- run metrics:") {
+                "- run metrics: <runtime-dependent counters>"
             } else {
                 line
             }
