@@ -108,6 +108,62 @@ impl Explanation {
             .iter()
             .any(|p| p.profile.template_key() == template_key)
     }
+
+    /// Content digest of the *result* of the diagnosis: the PVT ids
+    /// (in explanation order), intervention count, exact bit patterns
+    /// of the initial and final malfunction scores, resolution flag,
+    /// audit trail, and the content fingerprint of the repaired
+    /// dataset.
+    ///
+    /// Two explanations digest equal iff the diagnosis reached the
+    /// same conclusion through the same charged decisions — which is
+    /// exactly what is invariant under thread count, speculation
+    /// depth, and cache warm-starts. Scheduling-dependent observability
+    /// (cache/metrics counters, latencies, trace-record timestamps) is
+    /// deliberately excluded, so `dp_serve` clients can assert warm
+    /// vs cold bit-identity over the wire with one `u64`.
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.pvts.len().hash(&mut h);
+        for pvt in &self.pvts {
+            pvt.id.hash(&mut h);
+            pvt.profile.to_string().hash(&mut h);
+            pvt.transform.to_string().hash(&mut h);
+        }
+        self.interventions.hash(&mut h);
+        self.initial_score.to_bits().hash(&mut h);
+        self.final_score.to_bits().hash(&mut h);
+        self.resolved.hash(&mut h);
+        self.trace.len().hash(&mut h);
+        for event in &self.trace {
+            match event {
+                TraceEvent::Discovered { n_pvts } => {
+                    0u8.hash(&mut h);
+                    n_pvts.hash(&mut h);
+                }
+                TraceEvent::Intervention {
+                    pvt_ids,
+                    before,
+                    after,
+                    kept,
+                } => {
+                    1u8.hash(&mut h);
+                    pvt_ids.hash(&mut h);
+                    before.to_bits().hash(&mut h);
+                    after.to_bits().hash(&mut h);
+                    kept.hash(&mut h);
+                }
+                TraceEvent::MinimalityDropped { pvt_id } => {
+                    2u8.hash(&mut h);
+                    pvt_id.hash(&mut h);
+                }
+            }
+        }
+        crate::oracle::fingerprint(&self.repaired).hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for Explanation {
@@ -174,6 +230,24 @@ mod tests {
         assert_eq!(e.pvt_ids(), vec![3]);
         assert!(e.contains_template("missing(zip)"));
         assert!(!e.contains_template("missing(age)"));
+    }
+
+    #[test]
+    fn digest_ignores_scheduling_but_not_results() {
+        let a = dummy();
+        // Counters that vary with scheduling must not move the digest.
+        let mut b = dummy();
+        b.cache.hits = 99;
+        b.metrics.cache_misses = 7;
+        b.metrics.warm_hits = 7;
+        assert_eq!(a.digest(), b.digest());
+        // Any result-bearing field must.
+        let mut c = dummy();
+        c.final_score = 0.150000001;
+        assert_ne!(a.digest(), c.digest());
+        let mut d = dummy();
+        d.interventions = 3;
+        assert_ne!(a.digest(), d.digest());
     }
 
     #[test]

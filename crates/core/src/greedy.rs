@@ -229,6 +229,47 @@ pub fn explain_greedy_parallel(
     Ok(exp)
 }
 
+/// [`explain_greedy_parallel`] warm-started from — and exporting back
+/// into — a cross-run [`crate::ScoreCache`].
+///
+/// The runtime's fingerprint cache is seeded from `cache` before any
+/// oracle query, and everything the run scored (charged and
+/// speculative alike) is absorbed back into `cache` afterwards —
+/// **including on error**, so a budget-exhausted or assumption-failed
+/// run still pays forward its evaluations. The explanation is
+/// bit-for-bit identical to a cold run; only `cache_misses` drops and
+/// [`dp_trace::RunMetrics::warm_hits`] counts the queries the warm
+/// start answered.
+pub fn explain_greedy_parallel_cached(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    config: &PrismConfig,
+    cache: &mut crate::cache::ScoreCache,
+) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
+    let mut rt = ParOracle::with_warm_cache(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+        cache,
+    );
+    emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
+    let (pvts, stats) = discriminative_pvts_traced(
+        d_pass,
+        d_fail,
+        &config.discovery,
+        config.num_threads,
+        &tracer,
+    );
+    let result = run_greedy(&mut rt, d_fail, d_pass, pvts, config, tracer);
+    cache.absorb(&rt.export_cache());
+    let mut exp = result?;
+    set_discovery(&mut exp, stats);
+    Ok(exp)
+}
+
 /// [`explain_greedy_with_pvts`] on the parallel runtime.
 pub fn explain_greedy_parallel_with_pvts(
     factory: &dyn SystemFactory,

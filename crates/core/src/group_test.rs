@@ -159,6 +159,42 @@ pub fn explain_group_test_parallel(
     Ok(exp)
 }
 
+/// [`explain_group_test_parallel`] warm-started from — and exporting
+/// back into — a cross-run [`crate::ScoreCache`] (see
+/// [`crate::explain_greedy_parallel_cached`] for the contract: seeded
+/// before any query, absorbed back even on error, results
+/// bit-for-bit identical to a cold run).
+pub fn explain_group_test_parallel_cached(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    config: &PrismConfig,
+    strategy: PartitionStrategy,
+    cache: &mut crate::cache::ScoreCache,
+) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
+    let mut rt = ParOracle::with_warm_cache(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+        cache,
+    );
+    emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
+    let (pvt_vec, stats) = discriminative_pvts_traced(
+        d_pass,
+        d_fail,
+        &config.discovery,
+        config.num_threads,
+        &tracer,
+    );
+    let result = run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer);
+    cache.absorb(&rt.export_cache());
+    let mut exp = result?;
+    set_discovery(&mut exp, stats);
+    Ok(exp)
+}
+
 /// [`explain_group_test_with_pvts`] on the parallel runtime.
 pub fn explain_group_test_parallel_with_pvts(
     factory: &dyn SystemFactory,

@@ -64,6 +64,7 @@
 pub mod baselines;
 pub mod benefit;
 pub mod bisection;
+pub mod cache;
 mod conditional_tests;
 pub mod config;
 pub mod decision_tree_ext;
@@ -83,6 +84,7 @@ pub mod runtime;
 pub mod transform;
 pub mod violation;
 
+pub use cache::{ScoreCache, SnapshotError};
 pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig};
 pub use discovery::DiscoveryStats;
 pub use dp_lint::{Diagnostic, Diagnostics, RuleId, Severity};
@@ -94,12 +96,12 @@ pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;
 pub use greedy::{
-    explain_greedy, explain_greedy_parallel, explain_greedy_parallel_with_pvts,
-    explain_greedy_with_pvts,
+    explain_greedy, explain_greedy_parallel, explain_greedy_parallel_cached,
+    explain_greedy_parallel_with_pvts, explain_greedy_with_pvts,
 };
 pub use group_test::{
-    explain_group_test, explain_group_test_parallel, explain_group_test_parallel_with_pvts,
-    explain_group_test_with_pvts, PartitionStrategy,
+    explain_group_test, explain_group_test_parallel, explain_group_test_parallel_cached,
+    explain_group_test_parallel_with_pvts, explain_group_test_with_pvts, PartitionStrategy,
 };
 pub use lint::lint_pvts;
 pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};

@@ -12,10 +12,11 @@
 //! instances so worker threads can score speculative candidate
 //! datasets concurrently into a shared fingerprint cache.
 
+use crate::cache::ScoreCache;
 use dp_frame::{Bitmap, ColumnData, DataFrame, Value};
 use dp_trace::{LatencyHistogram, QueryStat, RunMetrics};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
@@ -240,11 +241,15 @@ pub struct Oracle<'a> {
     pub budget: usize,
     hits: usize,
     misses: usize,
+    warm_hits: u64,
     baseline_queries: u64,
     query_latency: LatencyHistogram,
     last: QueryStat,
     cache: HashMap<u64, f64>,
     free: std::collections::HashSet<u64>,
+    /// Fingerprints seeded from a cross-run [`ScoreCache`] before the
+    /// run started, for [`RunMetrics::warm_hits`] accounting.
+    warm: HashSet<u64>,
 }
 
 impl<'a> Oracle<'a> {
@@ -257,12 +262,45 @@ impl<'a> Oracle<'a> {
             budget,
             hits: 0,
             misses: 0,
+            warm_hits: 0,
             baseline_queries: 0,
             query_latency: LatencyHistogram::default(),
             last: QueryStat::default(),
             cache: HashMap::new(),
             free: std::collections::HashSet::new(),
+            warm: HashSet::new(),
         }
+    }
+
+    /// Like [`Oracle::new`], but seed the fingerprint cache from a
+    /// cross-run [`ScoreCache`] (trace replay, snapshot, or a
+    /// server-resident cache). Systems are deterministic, so seeded
+    /// scores equal what a cold evaluation would return bit-for-bit:
+    /// the diagnosis result is unchanged, only `cache_misses` drops
+    /// and [`RunMetrics::warm_hits`] counts the queries the warm
+    /// start answered.
+    pub fn with_warm_cache(
+        system: &'a mut dyn System,
+        threshold: f64,
+        budget: usize,
+        warm: &ScoreCache,
+    ) -> Self {
+        let mut oracle = Oracle::new(system, threshold, budget);
+        for (fp, score) in warm.iter() {
+            oracle.cache.insert(fp, score);
+            oracle.warm.insert(fp);
+        }
+        oracle
+    }
+
+    /// Snapshot the fingerprint cache accumulated so far (seeded and
+    /// newly scored entries alike) into a cross-run [`ScoreCache`].
+    pub fn export_cache(&self) -> ScoreCache {
+        let mut out = ScoreCache::new();
+        for (&fp, &score) in &self.cache {
+            out.insert(fp, score);
+        }
+        out
     }
 
     /// Malfunction score of a *baseline* dataset (`D_pass`/`D_fail`
@@ -304,6 +342,9 @@ impl<'a> Oracle<'a> {
         }
         if let Some(&score) = self.cache.get(&fp) {
             self.hits += 1;
+            if self.warm.contains(&fp) {
+                self.warm_hits += 1;
+            }
             self.last = QueryStat {
                 fingerprint: fp,
                 cached: true,
@@ -351,6 +392,7 @@ impl<'a> Oracle<'a> {
             charged_queries: self.interventions as u64,
             cache_hits: self.hits as u64,
             cache_misses: self.misses as u64,
+            warm_hits: self.warm_hits,
             query_latency: self.query_latency,
             ..RunMetrics::default()
         }

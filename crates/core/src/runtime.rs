@@ -43,6 +43,7 @@
 //! every bundled scenario, `num_threads` in {1, 2, 8}, and
 //! `gt_speculation_depth` in {0, 1, 2, 4}.
 
+use crate::cache::ScoreCache;
 use crate::error::Result;
 use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
@@ -345,6 +346,7 @@ pub struct ParOracle<'a> {
     num_threads: usize,
     hits: usize,
     misses: usize,
+    warm_hits: u64,
     baseline_queries: u64,
     speculative_issued: u64,
     speculative_used: u64,
@@ -357,6 +359,11 @@ pub struct ParOracle<'a> {
     pool_shards: Vec<Arc<MetricsShard>>,
     cache: Arc<Mutex<SharedCache>>,
     free: HashSet<u64>,
+    /// Fingerprints seeded from a cross-run [`ScoreCache`] before the
+    /// run started, for [`RunMetrics::warm_hits`] accounting. Seeded
+    /// entries never enter `unconsumed`: a warm start is not
+    /// speculation and must not read as speculative waste.
+    warm: HashSet<u64>,
     pool: Option<Arc<Pool>>,
     pool_workers: Vec<pool_thread::JoinHandle<()>>,
 }
@@ -379,6 +386,7 @@ impl<'a> ParOracle<'a> {
             num_threads: num_threads.max(1),
             hits: 0,
             misses: 0,
+            warm_hits: 0,
             baseline_queries: 0,
             speculative_issued: 0,
             speculative_used: 0,
@@ -391,9 +399,52 @@ impl<'a> ParOracle<'a> {
                 unconsumed: HashSet::new(),
             })),
             free: HashSet::new(),
+            warm: HashSet::new(),
             pool: None,
             pool_workers: Vec::new(),
         }
+    }
+
+    /// Like [`ParOracle::new`], but seed the shared fingerprint cache
+    /// from a cross-run [`ScoreCache`] (trace replay, snapshot, or a
+    /// server-resident cache). Seeded entries behave exactly like
+    /// scores the run computed itself — systems are deterministic, so
+    /// the charged query sequence and every result stay bit-for-bit
+    /// identical to a cold run — but they are *not* marked
+    /// unconsumed (a warm start is not speculation, so an unqueried
+    /// seed is not waste), and charged queries they answer are
+    /// counted as [`RunMetrics::warm_hits`].
+    pub fn with_warm_cache(
+        factory: &'a dyn SystemFactory,
+        threshold: f64,
+        budget: usize,
+        num_threads: usize,
+        warm: &ScoreCache,
+    ) -> Self {
+        let rt = ParOracle::new(factory, threshold, budget, num_threads);
+        {
+            let mut shared = rt.cache.lock().expect("cache lock");
+            for (fp, score) in warm.iter() {
+                shared.map.insert(fp, score);
+            }
+        }
+        let mut rt = rt;
+        rt.warm.extend(warm.iter().map(|(fp, _)| fp));
+        rt
+    }
+
+    /// Snapshot the shared fingerprint cache (seeded, charged, and
+    /// speculative entries alike) into a cross-run [`ScoreCache`],
+    /// after settling in-flight background speculation so the export
+    /// is a quiescent, complete view.
+    pub fn export_cache(&self) -> ScoreCache {
+        self.settle_pool();
+        let shared = self.cache.lock().expect("cache lock");
+        let mut out = ScoreCache::new();
+        for (&fp, &score) in &shared.map {
+            out.insert(fp, score);
+        }
+        out
     }
 
     fn ensure_workers(&mut self, n: usize) {
@@ -500,6 +551,9 @@ impl<'a> ParOracle<'a> {
                     self.speculative_used += 1;
                 }
                 self.hits += 1;
+                if self.warm.contains(&fp) {
+                    self.warm_hits += 1;
+                }
                 self.last = QueryStat {
                     fingerprint: fp,
                     cached: true,
@@ -668,6 +722,7 @@ impl InterventionRuntime for ParOracle<'_> {
             charged_queries: self.interventions as u64,
             cache_hits: self.hits as u64,
             cache_misses: self.misses as u64,
+            warm_hits: self.warm_hits,
             speculative_issued: self.speculative_issued,
             speculative_used: self.speculative_used,
             speculative_wasted: self.cache.lock().expect("cache lock").unconsumed.len() as u64,
@@ -915,6 +970,65 @@ mod tests {
             .collect();
         rt.speculate_detached(jobs);
         drop(rt);
+    }
+
+    #[test]
+    fn warm_seed_serves_queries_without_reading_as_waste() {
+        use std::sync::Arc;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&calls);
+        let factory = move || {
+            let c = Arc::clone(&c2);
+            move |df: &DataFrame| {
+                c.fetch_add(1, Ordering::SeqCst);
+                df.n_rows() as f64 / 10.0
+            }
+        };
+        let a = df(&[1]);
+        let b = df(&[1, 2]);
+        let mut warm = ScoreCache::new();
+        warm.insert(crate::oracle::fingerprint(&a), 0.1);
+        let mut rt = ParOracle::with_warm_cache(&factory, 0.2, 100, 4, &warm);
+        // Seeded entry answers the charged query: no evaluation, a
+        // warm hit, still one charged intervention.
+        assert_eq!(rt.intervene(&a).to_bits(), 0.1f64.to_bits());
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        assert_eq!(rt.interventions, 1);
+        rt.intervene(&b);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let m = rt.run_metrics();
+        assert_eq!((m.cache_hits, m.cache_misses, m.warm_hits), (1, 1, 1));
+        assert_eq!(
+            m.speculative_wasted, 0,
+            "unqueried seeds are not speculative waste"
+        );
+        // The export is a superset of the seed plus the new score.
+        let out = rt.export_cache();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.get(crate::oracle::fingerprint(&a)), Some(0.1));
+    }
+
+    #[test]
+    fn export_absorb_reimport_round_trip() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let frames: Vec<DataFrame> = (0..3).map(|i| df(&[i, i + 1])).collect();
+        let mut cross_run = ScoreCache::new();
+        {
+            let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+            for f in &frames {
+                rt.intervene(f);
+            }
+            cross_run.absorb(&rt.export_cache());
+        }
+        // Second run warm-started from the first: identical scores,
+        // zero misses, all three queries warm.
+        let mut rt = ParOracle::with_warm_cache(&factory, 0.2, 100, 2, &cross_run);
+        for f in &frames {
+            rt.intervene(f);
+        }
+        let m = rt.run_metrics();
+        assert_eq!((m.cache_hits, m.cache_misses, m.warm_hits), (3, 0, 3));
+        assert_eq!(m.charged_queries, 3, "charging is per-ask, cache or not");
     }
 
     #[test]

@@ -11,8 +11,10 @@ pub struct Scenario {
     /// The black-box system under diagnosis.
     pub system: Box<dyn System>,
     /// Builds fresh, independent instances of the same system — the
-    /// parallel runtime gives one to each worker thread.
-    pub factory: Box<dyn SystemFactory>,
+    /// parallel runtime gives one to each worker thread. `Send +
+    /// Sync` so a whole scenario can live in a server-side registry
+    /// shared across connection threads (`dp_serve`).
+    pub factory: Box<dyn SystemFactory + Send + Sync>,
     /// Dataset the system functions properly on.
     pub d_pass: DataFrame,
     /// Dataset the system malfunctions on.

@@ -1,0 +1,147 @@
+//! The `dp_serve` daemon binary.
+//!
+//! ```text
+//! dp_serve [--addr HOST:PORT] [--max-inflight N] [--max-queue N]
+//!          [--budget-bytes N] [--snapshot-dir DIR]
+//! dp_serve --smoke
+//! ```
+//!
+//! `--smoke` runs an end-to-end self-check instead of serving:
+//! start on an ephemeral port, register the income scenario, run two
+//! diagnoses, and verify the second one was served warm from the
+//! server-resident cache with a bit-identical explanation.
+
+use dp_serve::{field_u64, is_ok, Client, ServeConfig, Server};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dp_serve [--addr HOST:PORT] [--max-inflight N] [--max-queue N]\n                [--budget-bytes N] [--snapshot-dir DIR] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ServeConfig, bool) {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7717".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--max-inflight" => {
+                config.max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-queue" => {
+                config.max_queue = value("--max-queue").parse().unwrap_or_else(|_| usage())
+            }
+            "--budget-bytes" => {
+                config.budget_bytes = value("--budget-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--snapshot-dir" => config.snapshot_dir = Some(value("--snapshot-dir").into()),
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    (config, smoke)
+}
+
+fn smoke_test() -> Result<(), String> {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).map_err(|e| format!("start: {e}"))?;
+    let addr = server.local_addr();
+    println!("dp_serve smoke: listening on {addr}");
+
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let pong = client.ping().map_err(|e| format!("ping: {e}"))?;
+    if !is_ok(&pong) {
+        return Err("ping not ok".to_string());
+    }
+
+    let reg = client
+        .register("income", "income", None, None)
+        .map_err(|e| format!("register: {e}"))?;
+    if !is_ok(&reg) {
+        return Err(format!("register failed: {reg:?}"));
+    }
+
+    let cold = client
+        .diagnose("income", "greedy", None)
+        .map_err(|e| format!("diagnose (cold): {e}"))?;
+    if !is_ok(&cold) {
+        return Err(format!("cold diagnosis failed: {cold:?}"));
+    }
+    let warm = client
+        .diagnose("income", "greedy", None)
+        .map_err(|e| format!("diagnose (warm): {e}"))?;
+    if !is_ok(&warm) {
+        return Err(format!("warm diagnosis failed: {warm:?}"));
+    }
+
+    let cold_digest = field_u64(&cold, "digest").ok_or("cold digest missing")?;
+    let warm_digest = field_u64(&warm, "digest").ok_or("warm digest missing")?;
+    if cold_digest != warm_digest {
+        return Err(format!(
+            "explanations diverged: cold digest {cold_digest}, warm digest {warm_digest}"
+        ));
+    }
+    let warm_hits = field_u64(&warm, "warm_hits").ok_or("warm_hits missing")?;
+    if warm_hits == 0 {
+        return Err("second diagnosis reported no warm cache hits".to_string());
+    }
+    let cold_misses = field_u64(&cold, "cache_misses").ok_or("cache_misses missing")?;
+    let warm_misses = field_u64(&warm, "cache_misses").ok_or("cache_misses missing")?;
+    if warm_misses >= cold_misses {
+        return Err(format!(
+            "warm run did not get cheaper: {warm_misses} misses vs {cold_misses} cold"
+        ));
+    }
+    println!(
+        "dp_serve smoke: digest {cold_digest:#018x} identical; warm run {warm_hits} warm hits, {warm_misses} misses (cold: {cold_misses})"
+    );
+
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    server.join();
+    println!("dp_serve smoke: OK");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (config, smoke) = parse_args();
+    if smoke {
+        return match smoke_test() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("dp_serve smoke: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dp_serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("dp_serve: listening on {}", server.local_addr());
+    // Serve until a client sends the `shutdown` op.
+    server.join();
+    println!("dp_serve: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,704 @@
+//! The daemon: a TCP accept loop, one handler thread per
+//! connection, and the request dispatch that ties the registry,
+//! admission control, and the cached diagnosis entry points together.
+//!
+//! Concurrency model:
+//!
+//! * The registry map lock and each namespace lock are held only for
+//!   pointer clones and cache copy-in/copy-out — never across a
+//!   system evaluation, so racing clients on one namespace serialize
+//!   on microseconds of bookkeeping, not on diagnoses.
+//! * Admission control bounds the number of in-flight diagnoses
+//!   (`max_inflight`) with a bounded wait queue (`max_queue`);
+//!   clients beyond both get a typed `busy` error instead of an
+//!   unbounded pile-up of worker threads.
+//! * Shutdown sets a flag, wakes the accept loop with a self-connect,
+//!   lets every connection thread notice within one read-timeout
+//!   tick, and flushes each cache namespace to a reloadable snapshot
+//!   file before the server exits.
+
+use crate::protocol::{
+    error_response, parse_request, Algo, ErrorCode, Reply, Request, MAX_REQUEST_BYTES,
+};
+use crate::registry::{lock_or_recover, Registry, SystemEntry};
+use dataprism::{DataPrism, ScoreCache};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default per-namespace cache budget: 4 MiB (~43k entries).
+pub const DEFAULT_BUDGET_BYTES: usize = 4 << 20;
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Max diagnoses evaluating concurrently.
+    pub max_inflight: usize,
+    /// Max diagnoses waiting for a slot before `busy` is returned.
+    pub max_queue: usize,
+    /// Byte budget per cache namespace.
+    pub budget_bytes: usize,
+    /// Where shutdown flushes (and startup reloads) cache snapshots;
+    /// `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Hard cap on one request line.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_inflight: 2,
+            max_queue: 8,
+            budget_bytes: DEFAULT_BUDGET_BYTES,
+            snapshot_dir: None,
+            max_line_bytes: MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+/// What `Admission::admit` decided.
+enum Admit {
+    /// Go ahead; holds the slot until dropped.
+    Permit(Permit),
+    /// In-flight and queue slots all taken.
+    Busy,
+    /// The server started draining while we waited.
+    ShuttingDown,
+}
+
+struct AdmState {
+    inflight: usize,
+    waiting: usize,
+}
+
+/// Bounded in-flight diagnosis slots with a bounded FIFO-ish wait
+/// queue (wakeup order is the condvar's, not strictly FIFO — the
+/// bound is what matters).
+struct Admission {
+    state: Mutex<AdmState>,
+    cv: Condvar,
+    max_inflight: usize,
+    max_queue: usize,
+}
+
+impl Admission {
+    fn new(max_inflight: usize, max_queue: usize) -> Admission {
+        Admission {
+            state: Mutex::new(AdmState {
+                inflight: 0,
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_queue,
+        }
+    }
+
+    fn admit(self: &Arc<Admission>, shutting_down: &AtomicBool) -> Admit {
+        let mut st = lock_or_recover(&self.state);
+        if st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Admit::Permit(Permit {
+                admission: Arc::clone(self),
+            });
+        }
+        if st.waiting >= self.max_queue {
+            return Admit::Busy;
+        }
+        st.waiting += 1;
+        loop {
+            // Timed wait so a queued client notices shutdown even if
+            // no permit is ever released.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+            if shutting_down.load(Ordering::SeqCst) {
+                st.waiting -= 1;
+                return Admit::ShuttingDown;
+            }
+            if st.inflight < self.max_inflight {
+                st.waiting -= 1;
+                st.inflight += 1;
+                return Admit::Permit(Permit {
+                    admission: Arc::clone(self),
+                });
+            }
+        }
+    }
+}
+
+/// An in-flight diagnosis slot; releases on drop (including unwind),
+/// so a panicking handler can never leak capacity.
+struct Permit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut st = lock_or_recover(&self.admission.state);
+        st.inflight -= 1;
+        drop(st);
+        self.admission.cv.notify_one();
+    }
+}
+
+#[derive(Default)]
+struct ServerStats {
+    requests: u64,
+    protocol_errors: u64,
+    busy_rejections: u64,
+    diagnoses_ok: u64,
+    diagnoses_err: u64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: Registry,
+    admission: Arc<Admission>,
+    shutting_down: AtomicBool,
+    local_addr: SocketAddr,
+    stats: Mutex<ServerStats>,
+    /// Snapshots loaded from `snapshot_dir` at startup, keyed by
+    /// system name; folded into a namespace when that name is
+    /// registered.
+    pending_snapshots: Mutex<HashMap<String, ScoreCache>>,
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; send
+/// a `shutdown` request (or call [`Server::shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns once the listener is live (so
+    /// [`Server::local_addr`] is immediately connectable).
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pending = load_pending_snapshots(config.snapshot_dir.as_deref());
+        let shared = Arc::new(Shared {
+            registry: Registry::new(config.budget_bytes),
+            admission: Arc::new(Admission::new(config.max_inflight, config.max_queue)),
+            shutting_down: AtomicBool::new(false),
+            local_addr,
+            stats: Mutex::new(ServerStats::default()),
+            pending_snapshots: Mutex::new(pending),
+            config,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("dp-serve-accept".to_string())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Trigger a graceful shutdown from the owning process (the wire
+    /// `shutdown` op does the same from a client).
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Wait until the accept loop and every connection thread have
+    /// exited. Call after [`Server::shutdown`] (or after a client
+    /// sent the `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn load_pending_snapshots(dir: Option<&std::path::Path>) -> HashMap<String, ScoreCache> {
+    let mut out = HashMap::new();
+    let Some(dir) = dir else {
+        return out;
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("dpcache") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        // A corrupt snapshot file means a cold start for that
+        // system, not a failed server start.
+        if let Ok(cache) = ScoreCache::from_snapshot(&text) {
+            out.insert(stem.to_string(), cache);
+        }
+    }
+    out
+}
+
+/// Only filesystem-safe characters make it into snapshot filenames.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn flush_snapshots(shared: &Shared) -> usize {
+    let Some(dir) = shared.config.snapshot_dir.as_deref() else {
+        return 0;
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return 0;
+    }
+    let mut flushed = 0;
+    for (name, text) in shared.registry.snapshot_all() {
+        let path = dir.join(format!("{}.dpcache", sanitize_name(&name)));
+        if std::fs::write(&path, text).is_ok() {
+            flushed += 1;
+        }
+    }
+    flushed
+}
+
+fn initiate_shutdown(shared: &Shared) -> usize {
+    let already = shared.shutting_down.swap(true, Ordering::SeqCst);
+    // Wake queued diagnosis waiters so they return `shutting_down`.
+    shared.admission.cv.notify_all();
+    let flushed = if already { 0 } else { flush_snapshots(shared) };
+    // Wake the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(shared.local_addr);
+    flushed
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(&shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("dp-serve-conn".to_string())
+            .spawn(move || handle_conn(conn_shared, stream))
+        {
+            conns.push(handle);
+        }
+        // Opportunistically reap finished connections so a
+        // long-lived server does not accumulate handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Outcome of reading one line from a connection.
+enum LineRead {
+    Line(Vec<u8>),
+    /// Clean or mid-request disconnect.
+    Eof,
+    /// The line outgrew the cap before a newline arrived.
+    Oversized,
+    /// The server is draining and no request is pending.
+    Shutdown,
+}
+
+/// Incremental size-capped line reader over a stream with a read
+/// timeout: timeouts are polls (to notice shutdown), not errors.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn next_line(&mut self, shared: &Shared, cap: usize) -> LineRead {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineRead::Line(line);
+            }
+            if self.pending.len() > cap {
+                return LineRead::Oversized;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineRead::Eof,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if shared.shutting_down.load(Ordering::SeqCst) && self.pending.is_empty() {
+                        return LineRead::Shutdown;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return LineRead::Eof,
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader {
+        stream,
+        pending: Vec::new(),
+    };
+    loop {
+        match reader.next_line(&shared, shared.config.max_line_bytes) {
+            LineRead::Eof | LineRead::Shutdown => return,
+            LineRead::Oversized => {
+                // The rest of the oversized line is unrecoverable
+                // without buffering it, so answer and hang up.
+                bump(&shared, |s| s.protocol_errors += 1);
+                let resp = error_response(
+                    ErrorCode::OversizedRequest,
+                    &format!("request exceeds {} bytes", shared.config.max_line_bytes),
+                );
+                let _ = write_line(&mut writer, &resp);
+                return;
+            }
+            LineRead::Line(raw) => {
+                bump(&shared, |s| s.requests += 1);
+                let line = String::from_utf8_lossy(&raw);
+                let (response, shutdown_after) = handle_request(&shared, &line);
+                if write_line(&mut writer, &response).is_err() {
+                    return;
+                }
+                if shutdown_after {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn bump(shared: &Shared, f: impl FnOnce(&mut ServerStats)) {
+    f(&mut lock_or_recover(&shared.stats));
+}
+
+/// Dispatch one request line; returns the response line and whether
+/// the connection should close (after a `shutdown`).
+fn handle_request(shared: &Shared, line: &str) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err((code, detail)) => {
+            bump(shared, |s| s.protocol_errors += 1);
+            return (error_response(code, &detail), false);
+        }
+    };
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    match request {
+        Request::Ping => (
+            Reply::ok("ping")
+                .str("version", env!("CARGO_PKG_VERSION"))
+                .bool("shutting_down", draining)
+                .finish(),
+            false,
+        ),
+        _ if draining => (
+            error_response(ErrorCode::ShuttingDown, "server is draining"),
+            false,
+        ),
+        Request::Register {
+            system,
+            scenario,
+            rows,
+            seed,
+        } => (
+            handle_register(shared, &system, &scenario, rows, seed),
+            false,
+        ),
+        Request::Diagnose {
+            system,
+            algo,
+            threads,
+        } => (handle_diagnose(shared, &system, algo, threads), false),
+        Request::Warm { system, trace } => (handle_warm(shared, &system, &trace), false),
+        Request::Snapshot { system } => (handle_snapshot(shared, &system), false),
+        Request::Restore { system, snapshot } => {
+            (handle_restore(shared, &system, &snapshot), false)
+        }
+        Request::Stats { system } => (handle_stats(shared, system.as_deref()), false),
+        Request::Shutdown => {
+            let flushed = initiate_shutdown(shared);
+            (
+                Reply::ok("shutdown")
+                    .usize("snapshots_flushed", flushed)
+                    .finish(),
+                true,
+            )
+        }
+    }
+}
+
+fn with_entry<R>(
+    shared: &Shared,
+    system: &str,
+    f: impl FnOnce(&mut SystemEntry) -> R,
+) -> Result<R, String> {
+    let entry = shared.registry.get(system).ok_or_else(|| {
+        error_response(
+            ErrorCode::UnknownSystem,
+            &format!("system '{system}' is not registered"),
+        )
+    })?;
+    let mut entry = lock_or_recover(&entry);
+    Ok(f(&mut entry))
+}
+
+fn handle_register(
+    shared: &Shared,
+    system: &str,
+    scenario: &str,
+    rows: Option<usize>,
+    seed: Option<u64>,
+) -> String {
+    let Some(_) = shared.registry.register(system, scenario, rows, seed) else {
+        return error_response(
+            ErrorCode::UnknownScenario,
+            &format!("unknown scenario '{scenario}'"),
+        );
+    };
+    // Fold in a snapshot persisted by a previous server process, if
+    // one was loaded for this name at startup.
+    let pending = lock_or_recover(&shared.pending_snapshots).remove(system);
+    let (resident, reloaded) = with_entry(shared, system, |entry| {
+        let reloaded = pending.as_ref().map(|c| entry.cache.absorb(c)).unwrap_or(0);
+        (entry.cache.len(), reloaded)
+    })
+    .expect("entry was just registered");
+    Reply::ok("register")
+        .str("system", system)
+        .str("scenario", scenario)
+        .usize("cache_entries", resident)
+        .usize("snapshot_entries_reloaded", reloaded)
+        .finish()
+}
+
+fn handle_diagnose(shared: &Shared, system: &str, algo: Algo, threads: Option<usize>) -> String {
+    let permit = match shared.admission.admit(&shared.shutting_down) {
+        Admit::Permit(p) => p,
+        Admit::Busy => {
+            bump(shared, |s| s.busy_rejections += 1);
+            return error_response(
+                ErrorCode::Busy,
+                &format!(
+                    "{} diagnoses in flight and {} queued; retry later",
+                    shared.config.max_inflight, shared.config.max_queue
+                ),
+            );
+        }
+        Admit::ShuttingDown => {
+            return error_response(ErrorCode::ShuttingDown, "server is draining")
+        }
+    };
+    // Copy-in: clone the immutable spec pointer and snapshot the
+    // namespace, then release the lock for the whole evaluation.
+    let copied = with_entry(shared, system, |entry| {
+        (Arc::clone(&entry.spec), entry.cache.to_score_cache())
+    });
+    let (spec, mut cache) = match copied {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mut config = spec.config.clone();
+    if let Some(t) = threads {
+        config.num_threads = t.clamp(1, 64);
+    }
+    let prism = DataPrism::new(config);
+    let result = match algo {
+        Algo::Greedy => {
+            prism.diagnose_parallel_cached(&*spec.factory, &spec.d_fail, &spec.d_pass, &mut cache)
+        }
+        Algo::GroupTest => prism.diagnose_group_test_parallel_cached(
+            &*spec.factory,
+            &spec.d_fail,
+            &spec.d_pass,
+            &mut cache,
+        ),
+        Algo::Auto => prism.diagnose_auto_parallel_cached(
+            &*spec.factory,
+            &spec.d_fail,
+            &spec.d_pass,
+            &mut cache,
+        ),
+    };
+    drop(permit);
+    // Copy-out: even a failed diagnosis paid for its evaluations;
+    // absorb them so the next attempt is warm.
+    let absorbed = with_entry(shared, system, |entry| {
+        let new_entries = entry.cache.absorb(&cache);
+        if result.is_ok() {
+            entry.diagnoses += 1;
+        }
+        (new_entries, entry.cache.len(), entry.cache.evictions)
+    });
+    let (new_entries, resident, evictions) = match absorbed {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match result {
+        Ok(exp) => {
+            bump(shared, |s| s.diagnoses_ok += 1);
+            Reply::ok("diagnose")
+                .str("system", system)
+                .str("algo", algo.as_str())
+                .u64("digest", exp.digest())
+                .ids("pvt_ids", &exp.pvt_ids())
+                .usize("interventions", exp.interventions)
+                .bool("resolved", exp.resolved)
+                .f64_exact("initial_score", exp.initial_score)
+                .f64_exact("final_score", exp.final_score)
+                .u64("charged_queries", exp.metrics.charged_queries)
+                .u64("cache_hits", exp.metrics.cache_hits)
+                .u64("cache_misses", exp.metrics.cache_misses)
+                .u64("warm_hits", exp.metrics.warm_hits)
+                .usize("new_cache_entries", new_entries)
+                .usize("cache_entries", resident)
+                .u64("evictions", evictions)
+                .finish()
+        }
+        Err(e) => {
+            bump(shared, |s| s.diagnoses_err += 1);
+            error_response(ErrorCode::DiagnosisFailed, &e.to_string())
+        }
+    }
+}
+
+fn handle_warm(shared: &Shared, system: &str, trace: &str) -> String {
+    let mut staged = ScoreCache::new();
+    let loaded = match staged.warm_from_jsonl(trace) {
+        Ok(n) => n,
+        Err(e) => return error_response(ErrorCode::BadTrace, &e.to_string()),
+    };
+    match with_entry(shared, system, |entry| {
+        (entry.cache.absorb(&staged), entry.cache.len())
+    }) {
+        Ok((new_entries, resident)) => Reply::ok("warm")
+            .str("system", system)
+            .usize("spans_loaded", loaded)
+            .usize("new_cache_entries", new_entries)
+            .usize("cache_entries", resident)
+            .finish(),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_snapshot(shared: &Shared, system: &str) -> String {
+    match with_entry(shared, system, |entry| {
+        (
+            entry.cache.to_score_cache().to_snapshot(),
+            entry.cache.len(),
+        )
+    }) {
+        Ok((text, resident)) => Reply::ok("snapshot")
+            .str("system", system)
+            .usize("cache_entries", resident)
+            .str("snapshot", &text)
+            .finish(),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_restore(shared: &Shared, system: &str, snapshot: &str) -> String {
+    let staged = match ScoreCache::from_snapshot(snapshot) {
+        Ok(c) => c,
+        Err(e) => return error_response(ErrorCode::BadSnapshot, &e.to_string()),
+    };
+    match with_entry(shared, system, |entry| {
+        (entry.cache.absorb(&staged), entry.cache.len())
+    }) {
+        Ok((new_entries, resident)) => Reply::ok("restore")
+            .str("system", system)
+            .usize("new_cache_entries", new_entries)
+            .usize("cache_entries", resident)
+            .finish(),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
+    match system {
+        Some(name) => match with_entry(shared, name, |entry| {
+            (
+                entry.spec.scenario.clone(),
+                entry.cache.len(),
+                entry.cache.capacity(),
+                entry.cache.footprint_bytes(),
+                entry.cache.evictions,
+                entry.diagnoses,
+            )
+        }) {
+            Ok((scenario, resident, capacity, footprint, evictions, diagnoses)) => {
+                Reply::ok("stats")
+                    .str("system", name)
+                    .str("scenario", &scenario)
+                    .usize("cache_entries", resident)
+                    .usize("cache_capacity", capacity)
+                    .usize("footprint_bytes", footprint)
+                    .u64("evictions", evictions)
+                    .u64("diagnoses", diagnoses)
+                    .finish()
+            }
+            Err(resp) => resp,
+        },
+        None => {
+            let names = shared.registry.names();
+            let stats = lock_or_recover(&shared.stats);
+            Reply::ok("stats")
+                .strs("systems", &names)
+                .usize("max_inflight", shared.config.max_inflight)
+                .usize("max_queue", shared.config.max_queue)
+                .usize("budget_bytes", shared.config.budget_bytes)
+                .u64("requests", stats.requests)
+                .u64("protocol_errors", stats.protocol_errors)
+                .u64("busy_rejections", stats.busy_rejections)
+                .u64("diagnoses_ok", stats.diagnoses_ok)
+                .u64("diagnoses_err", stats.diagnoses_err)
+                .finish()
+        }
+    }
+}

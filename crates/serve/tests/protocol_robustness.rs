@@ -1,0 +1,294 @@
+//! Abuse-the-wire tests: malformed and truncated requests, oversized
+//! lines, mid-request disconnects, racing clients, admission limits,
+//! and shutdown persistence. The invariants: every failure is a
+//! *typed* error response, the server never panics or wedges, and a
+//! misbehaving client can never poison another client's cache
+//! namespace.
+
+use dp_serve::{field_u64, is_ok, Client, ServeConfig, Server};
+use dp_trace::JsonValue;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn start_default() -> (Server, Client) {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let client = Client::connect(server.local_addr()).unwrap();
+    (server, client)
+}
+
+fn stop(server: Server, client: &mut Client) {
+    assert!(is_ok(&client.shutdown().unwrap()));
+    server.join();
+}
+
+fn error_code(v: &JsonValue) -> Option<String> {
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(false));
+    v.get("code").and_then(|c| c.as_str()).map(str::to_string)
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let (server, mut client) = start_default();
+    for (line, expected) in [
+        ("not json at all", "malformed_request"),
+        ("{\"op\":\"ping\"", "malformed_request"), // truncated object
+        ("[1,2,3]", "malformed_request"),          // not an object
+        ("{\"op\":42}", "malformed_request"),      // op not a string
+        ("{\"op\":\"martian\"}", "unknown_op"),
+        ("{\"op\":\"diagnose\"}", "malformed_request"), // missing system
+        (
+            "{\"op\":\"diagnose\",\"system\":\"s\",\"algo\":\"sideways\"}",
+            "malformed_request",
+        ),
+        (
+            "{\"op\":\"diagnose\",\"system\":\"nope\"}",
+            "unknown_system",
+        ),
+        (
+            "{\"op\":\"register\",\"system\":\"s\",\"scenario\":\"no-such\"}",
+            "unknown_scenario",
+        ),
+    ] {
+        let v = client.request(line).unwrap();
+        assert_eq!(error_code(&v).as_deref(), Some(expected), "line: {line}");
+    }
+    // The connection is still perfectly usable after nine errors.
+    assert!(is_ok(&client.ping().unwrap()));
+    stop(server, &mut client);
+}
+
+#[test]
+fn oversized_request_is_rejected_with_a_typed_error() {
+    let server = Server::start(ServeConfig {
+        max_line_bytes: 4096,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let huge = format!(
+        "{{\"op\":\"warm\",\"system\":\"s\",\"trace\":\"{}\"}}",
+        "x".repeat(64 * 1024)
+    );
+    let v = client.request(&huge).unwrap();
+    assert_eq!(error_code(&v).as_deref(), Some("oversized_request"));
+    // The server hangs up after an oversized line (the remainder is
+    // unrecoverable) — but keeps serving new connections.
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert!(is_ok(&fresh.ping().unwrap()));
+    stop(server, &mut fresh);
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_server_healthy() {
+    let (server, mut client) = start_default();
+    // A client that dies halfway through writing a request…
+    {
+        let mut dying = TcpStream::connect(server.local_addr()).unwrap();
+        dying.write_all(b"{\"op\":\"regi").unwrap();
+        dying.flush().unwrap();
+        // dropped here without ever sending a newline
+    }
+    // …and one that dies right after the newline, without reading.
+    {
+        let mut dying = TcpStream::connect(server.local_addr()).unwrap();
+        dying.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        dying.flush().unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(is_ok(&client.ping().unwrap()));
+    assert!(is_ok(
+        &client.register("ex", "example1", None, None).unwrap()
+    ));
+    assert!(is_ok(&client.diagnose("ex", "greedy", None).unwrap()));
+    stop(server, &mut client);
+}
+
+#[test]
+fn bad_warm_and_restore_payloads_never_poison_the_namespace() {
+    let (server, mut client) = start_default();
+    assert!(is_ok(
+        &client.register("ex", "example1", None, None).unwrap()
+    ));
+    let baseline = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&baseline), "{baseline:?}");
+
+    let v = client.warm("ex", "this is not jsonl\n").unwrap();
+    assert_eq!(error_code(&v).as_deref(), Some("bad_trace"));
+    // A trace from a future schema version is refused, not guessed at.
+    let future = "{\"v\":9999,\"seq\":0,\"t_ns\":0,\"event\":{\"kind\":\"oracle_query\"}}\n";
+    let v = client.warm("ex", future).unwrap();
+    assert_eq!(error_code(&v).as_deref(), Some("bad_trace"));
+    let v = client
+        .restore("ex", "dp-score-cache v1\nnot a pair\n")
+        .unwrap();
+    assert_eq!(error_code(&v).as_deref(), Some("bad_snapshot"));
+    let v = client.restore("ex", "wrong header\n").unwrap();
+    assert_eq!(error_code(&v).as_deref(), Some("bad_snapshot"));
+
+    // Diagnosis after all the garbage: still identical to before.
+    let after = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&after), "{after:?}");
+    assert_eq!(field_u64(&after, "digest"), field_u64(&baseline, "digest"));
+    stop(server, &mut client);
+}
+
+#[test]
+fn racing_clients_on_one_namespace_agree_bit_for_bit() {
+    let (server, mut client) = start_default();
+    assert!(is_ok(
+        &client.register("ex", "example1", None, None).unwrap()
+    ));
+    let addr = server.local_addr();
+    let n_clients = 4;
+    let per_client = 2;
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let handles: Vec<_> = (0..n_clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                barrier.wait();
+                (0..per_client)
+                    .map(|_| {
+                        let v = c.diagnose("ex", "greedy", None).unwrap();
+                        assert!(is_ok(&v), "{v:?}");
+                        field_u64(&v, "digest").unwrap()
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let digests: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert_eq!(digests.len(), n_clients * per_client);
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "racing clients saw different explanations: {digests:?}"
+    );
+    let stats = client.stats(Some("ex")).unwrap();
+    assert_eq!(
+        field_u64(&stats, "diagnoses"),
+        Some((n_clients * per_client) as u64)
+    );
+    assert!(field_u64(&stats, "cache_entries").unwrap() > 0);
+    stop(server, &mut client);
+}
+
+#[test]
+fn admission_control_sheds_load_with_typed_busy_errors() {
+    let server = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    // A non-trivial scenario so diagnoses overlap for real.
+    assert!(is_ok(
+        &client.register("card", "cardio", None, None).unwrap()
+    ));
+
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                barrier.wait();
+                let v = c.diagnose("card", "greedy", None).unwrap();
+                match v.get("ok").and_then(|b| b.as_bool()) {
+                    Some(true) => ("ok", field_u64(&v, "digest")),
+                    Some(false) => {
+                        let code = v.get("code").and_then(|c| c.as_str()).unwrap().to_string();
+                        assert_eq!(code, "busy", "only busy is acceptable: {v:?}");
+                        ("busy", None)
+                    }
+                    None => panic!("untyped response: {v:?}"),
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let oks: Vec<u64> = outcomes.iter().filter_map(|(_, d)| *d).collect();
+    let busy = outcomes.iter().filter(|(s, _)| *s == "busy").count();
+    assert!(!oks.is_empty(), "at least one diagnosis must get through");
+    assert!(
+        oks.windows(2).all(|w| w[0] == w[1]),
+        "admitted diagnoses must still agree: {oks:?}"
+    );
+    let stats = client.stats(None).unwrap();
+    assert_eq!(field_u64(&stats, "busy_rejections"), Some(busy as u64));
+    assert_eq!(field_u64(&stats, "diagnoses_ok"), Some(oks.len() as u64));
+    stop(server, &mut client);
+}
+
+#[test]
+fn shutdown_flushes_snapshots_a_new_server_reloads() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("serve_snap_{}", std::process::id()));
+    let config = ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let server = Server::start(config.clone()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert!(is_ok(
+        &client.register("ex", "example1", None, None).unwrap()
+    ));
+    let cold = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&cold), "{cold:?}");
+    let bye = client.shutdown().unwrap();
+    assert!(is_ok(&bye), "{bye:?}");
+    assert!(field_u64(&bye, "snapshots_flushed").unwrap() >= 1);
+    server.join();
+    assert!(dir.join("ex.dpcache").is_file(), "flushed snapshot file");
+
+    // A new server process over the same snapshot dir: registering
+    // the same name reloads the namespace, and the first diagnosis
+    // is warm and bit-identical.
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let reg = client.register("ex", "example1", None, None).unwrap();
+    assert!(is_ok(&reg), "{reg:?}");
+    assert!(
+        field_u64(&reg, "snapshot_entries_reloaded").unwrap() > 0,
+        "{reg:?}"
+    );
+    let warm = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&warm), "{warm:?}");
+    assert_eq!(field_u64(&warm, "digest"), field_u64(&cold, "digest"));
+    assert!(field_u64(&warm, "warm_hits").unwrap() > 0);
+    stop(server, &mut client);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn draining_server_rejects_new_work_with_a_typed_error() {
+    let (server, mut client) = start_default();
+    let mut other = Client::connect(server.local_addr()).unwrap();
+    assert!(is_ok(&client.shutdown().unwrap()));
+    // The racing second connection either gets a typed
+    // `shutting_down` error or a clean close — never a hang or a
+    // protocol violation.
+    match other.request("{\"op\":\"register\",\"system\":\"x\",\"scenario\":\"example1\"}") {
+        Ok(v) => assert_eq!(error_code(&v).as_deref(), Some("shutting_down")),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::BrokenPipe
+            ),
+            "unexpected failure mode: {e:?}"
+        ),
+    }
+    server.join();
+}

@@ -251,19 +251,96 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Escape a string for embedding in a JSON document (adds the
+/// surrounding quotes). Shared with `dp_serve`'s wire protocol so
+/// both line formats escape identically.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_escaped(&mut out, s);
+    out
+}
+
 // ---------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------
 
 /// A parsed JSON value. Numbers keep their raw digit string so `u64`
 /// keys (content fingerprints) survive beyond 2⁵³.
-enum Json {
+///
+/// Public so other line-oriented JSON protocols in the workspace
+/// (`dp_serve`) can reuse the offline parser instead of hand-rolling
+/// a second one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number, kept as its raw digit string (exact for u64 keys).
     Num(String),
+    /// A string.
     Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+type Json = JsonValue;
+
+impl JsonValue {
+    /// Parse one JSON document, requiring it to span the whole input
+    /// (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser::new(input);
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing data after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on an object; `None` for other variants or a
+    /// missing key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The raw digit string of a number, parsed as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {

@@ -37,6 +37,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod replay;
 pub mod sink;
 pub mod tracer;
 pub mod tree;
@@ -45,8 +46,9 @@ pub use event::{
     BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintSpan, OracleQuerySpan, QueryKind,
     TraceRecord, SCHEMA_VERSION,
 };
-pub use json::{parse_jsonl, to_jsonl, ParseError};
+pub use json::{json_escape, parse_jsonl, to_jsonl, JsonValue, ParseError};
 pub use metrics::{LatencyHistogram, MetricsShard, QueryStat, RunMetrics, LATENCY_BOUNDS_NS};
+pub use replay::{replay_oracle_queries, replay_records, Replay};
 pub use sink::{Collector, JsonlSink, NullSink, TraceSink};
 pub use tracer::Tracer;
 pub use tree::{PartitionInfo, ProbeInfo, SearchTree, TreeNode};

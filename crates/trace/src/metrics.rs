@@ -141,6 +141,11 @@ pub struct RunMetrics {
     pub cache_hits: u64,
     /// Charged queries that evaluated the system.
     pub cache_misses: u64,
+    /// Charged queries served by cache entries injected **before the
+    /// run started** — a cross-run warm start (trace replay, snapshot
+    /// load, or a server-resident cache). Always ≤ `cache_hits`; zero
+    /// on cold runs.
+    pub warm_hits: u64,
     /// Speculative jobs issued (sync probes + detached pool jobs).
     pub speculative_issued: u64,
     /// Speculative evaluations completed by workers.

@@ -1,0 +1,210 @@
+//! Replaying a recorded JSONL trace stream.
+//!
+//! Every charged oracle query of a diagnosis run is recorded as an
+//! [`OracleQuerySpan`] carrying the content fingerprint of the
+//! queried dataset and the malfunction score the system returned.
+//! Because both are exact (`u64` fingerprints as raw digit strings,
+//! `f64` scores in shortest round-trip form), replaying a prior
+//! run's trace file reconstructs the fingerprint → score mapping
+//! **bit for bit** — the warm-start substrate of the `dp_serve`
+//! cross-run oracle cache.
+//!
+//! The reader is strict about schema: any record whose `"v"` field
+//! differs from this writer's [`SCHEMA_VERSION`] fails the replay
+//! with its line number (a forward-version file written by a newer
+//! build must never be half-understood into a cache). The one
+//! tolerated irregularity is a **truncated final line without a
+//! trailing newline** — the readable prefix a crashed run leaves
+//! behind — which is skipped rather than failing the whole file.
+
+use crate::event::{Event, OracleQuerySpan, TraceRecord, SCHEMA_VERSION};
+use crate::json::{parse_jsonl, ParseError};
+
+/// Outcome of replaying one trace stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Every oracle query of the run, in charge order (baselines
+    /// included — their scores are just as reusable).
+    pub queries: Vec<OracleQuerySpan>,
+    /// Records of other event kinds that were skipped.
+    pub skipped: usize,
+    /// Whether a truncated, unterminated final line was dropped (the
+    /// tail a crashed writer leaves behind).
+    pub truncated_tail: bool,
+}
+
+/// Replay a JSONL trace stream, extracting the oracle-query spans.
+///
+/// Strict on schema version: every parsed line must carry
+/// `"v": `[`SCHEMA_VERSION`] or the replay fails with the offending
+/// 1-based line number. A final line that does not end in `\n` and
+/// does not parse is treated as a crash-truncated tail and skipped
+/// (`truncated_tail` reports it); a *terminated* malformed line
+/// still fails.
+pub fn replay_oracle_queries(input: &str) -> Result<Replay, ParseError> {
+    let (body, tail) = match input.rfind('\n') {
+        Some(pos) => input.split_at(pos + 1),
+        None => ("", input),
+    };
+    let mut records = parse_jsonl(body)?;
+    let mut truncated_tail = false;
+    if !tail.trim().is_empty() {
+        // The unterminated tail: decode if whole, drop if truncated.
+        match parse_jsonl(tail) {
+            Ok(tail_records) => records.extend(tail_records),
+            Err(e) => {
+                // A complete-but-wrong-version tail is a version
+                // error, not truncation: refuse it like any other
+                // line so a forward-version file never half-loads.
+                if e.message.contains("schema version") {
+                    let lines = body.lines().count();
+                    return Err(ParseError {
+                        line: lines + e.line,
+                        message: e.message,
+                    });
+                }
+                truncated_tail = true;
+            }
+        }
+    }
+    Ok(collect_queries(records, truncated_tail))
+}
+
+/// Extract the oracle-query spans from already-decoded records (the
+/// in-memory `Collector` path; no version check needed — typed
+/// records are this build's schema by construction).
+pub fn replay_records(records: &[TraceRecord]) -> Replay {
+    collect_queries(records.to_vec(), false)
+}
+
+fn collect_queries(records: Vec<TraceRecord>, truncated_tail: bool) -> Replay {
+    let mut queries = Vec::new();
+    let mut skipped = 0usize;
+    for rec in records {
+        match rec.event {
+            Event::OracleQuery(span) => queries.push(span),
+            _ => skipped += 1,
+        }
+    }
+    Replay {
+        queries,
+        skipped,
+        truncated_tail,
+    }
+}
+
+/// Assert the stream's writer version matches this reader's — the
+/// check [`replay_oracle_queries`] applies per line, exposed for
+/// callers that pre-screen a file header cheaply.
+pub fn is_supported_version(v: u64) -> bool {
+    v == SCHEMA_VERSION as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DiagnosisSpan, QueryKind};
+    use crate::json::{record_to_json, to_jsonl};
+
+    fn query(seq: u64, fp: u64, score: f64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at_ns: seq,
+            event: Event::OracleQuery(OracleQuerySpan {
+                kind: if seq == 0 {
+                    QueryKind::Baseline
+                } else {
+                    QueryKind::Intervention
+                },
+                fingerprint: fp,
+                score,
+                cached: false,
+                speculative_hit: false,
+                latency_ns: 10,
+            }),
+        }
+    }
+
+    fn begin(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at_ns: 0,
+            event: Event::DiagnosisBegin(DiagnosisSpan {
+                algorithm: "greedy".into(),
+                system: "s".into(),
+                seed: 1,
+                threshold: 0.2,
+                num_threads: 1,
+                speculation_depth: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn extracts_queries_in_order_and_counts_skips() {
+        let records = vec![
+            begin(0),
+            query(1, 0xFEDC_BA98_7654_3210, 0.5),
+            query(2, 42, 0.125),
+        ];
+        let replay = replay_oracle_queries(&to_jsonl(&records)).unwrap();
+        assert_eq!(replay.queries.len(), 2);
+        assert_eq!(replay.queries[0].fingerprint, 0xFEDC_BA98_7654_3210);
+        assert_eq!(replay.queries[1].score.to_bits(), 0.125f64.to_bits());
+        assert_eq!(replay.skipped, 1);
+        assert!(!replay.truncated_tail);
+        assert_eq!(replay_records(&records), replay);
+    }
+
+    #[test]
+    fn rejects_a_forward_version_file() {
+        // A file written by a hypothetical v2 build: same shape, bumped
+        // schema version. The replay must refuse it wholesale — not
+        // guess at field meanings — and name the offending line.
+        let good = record_to_json(&query(0, 7, 0.25));
+        let forward = good.replacen("\"v\":1", "\"v\":2", 1);
+        let err = replay_oracle_queries(&format!("{forward}\n")).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("schema version 2"), "{err}");
+
+        // Mixed file: valid line then a forward-version line.
+        let err = replay_oracle_queries(&format!("{good}\n{forward}\n")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("schema version 2"), "{err}");
+
+        // Even as an unterminated tail, a complete forward-version
+        // record is a version error, not crash truncation.
+        let err = replay_oracle_queries(&format!("{good}\n{forward}")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("schema version 2"), "{err}");
+    }
+
+    #[test]
+    fn tolerates_a_crash_truncated_tail() {
+        let full = to_jsonl(&[query(0, 1, 0.5), query(1, 2, 0.75)]);
+        let cut = record_to_json(&query(2, 3, 0.875));
+        let truncated = format!("{full}{}", &cut[..cut.len() / 2]);
+        let replay = replay_oracle_queries(&truncated).unwrap();
+        assert_eq!(replay.queries.len(), 2, "prefix survives");
+        assert!(replay.truncated_tail);
+
+        // A terminated malformed line is still a hard error.
+        let bad = format!("{full}{}\n", &cut[..cut.len() / 2]);
+        assert!(replay_oracle_queries(&bad).is_err());
+    }
+
+    #[test]
+    fn unterminated_but_complete_tail_is_read() {
+        let mut text = to_jsonl(&[query(0, 1, 0.5)]);
+        text.push_str(&record_to_json(&query(1, 2, 0.75)));
+        let replay = replay_oracle_queries(&text).unwrap();
+        assert_eq!(replay.queries.len(), 2);
+        assert!(!replay.truncated_tail);
+    }
+
+    #[test]
+    fn version_guard() {
+        assert!(is_supported_version(SCHEMA_VERSION as u64));
+        assert!(!is_supported_version(SCHEMA_VERSION as u64 + 1));
+    }
+}
