@@ -210,7 +210,7 @@ mod tests {
             score,
             cached: false,
             speculative_hit: false,
-            latency_ns: 0,
+            latency_ns: Some(1),
         }
     }
 

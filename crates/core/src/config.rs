@@ -141,6 +141,43 @@ pub enum Lint {
     Prune,
 }
 
+/// How the speculation executor schedules lookahead work.
+///
+/// Either way the serial-replay charging discipline is untouched:
+/// speculation only warms the fingerprint cache, so explanations,
+/// scores, traces, and intervention counts are bit-identical across
+/// modes (asserted per cell by `tests/parallel_conformance.rs` and
+/// `tests/trace_parity.rs`). The mode changes *which* frames get
+/// pre-scored, never the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpeculationMode {
+    /// Every cold bisection node speculates exactly
+    /// `gt_speculation_depth` extra levels, and the detached pool
+    /// queue is unbounded unless [`PrismConfig::speculation_budget`]
+    /// says otherwise — the pre-adaptive behavior. The default.
+    #[default]
+    Static,
+    /// An adaptive controller picks the effective depth per cold
+    /// node, with `gt_speculation_depth` as the *cap*: it reads the
+    /// run's live [`dp_trace::RunMetrics`] latency histogram and
+    /// waste counters and speculates deep only when observed oracle
+    /// latency is high (deep lookahead pays off exactly when a query
+    /// costs much more than frame scoring). Also enforces a default
+    /// in-flight frame budget when none is configured, so a slow
+    /// oracle can never pile up unbounded speculative work.
+    Adaptive,
+}
+
+impl SpeculationMode {
+    /// The wire/CLI spelling (`"static"` / `"adaptive"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpeculationMode::Static => "static",
+            SpeculationMode::Adaptive => "adaptive",
+        }
+    }
+}
+
 /// Top-level configuration for a diagnosis run.
 #[derive(Debug, Clone)]
 pub struct PrismConfig {
@@ -179,12 +216,26 @@ pub struct PrismConfig {
     /// into the fingerprint cache: `0` overlaps only the node's own
     /// two halves (the pre-speculation behavior), `1` adds the four
     /// grandchildren, `2` the great-grandchildren, and so on
-    /// (`2^(d+2) − 2` candidate frames per cold node). The knob has
-    /// **no effect on results** — explanations, scores, traces, and
-    /// intervention counts are bit-identical at every depth and
-    /// thread count — only on wall clock and the speculative cache
-    /// counters ([`crate::CacheStats`]).
+    /// (`2^(d+2) − 2` candidate frames per cold node). Under
+    /// [`SpeculationMode::Static`] this is the exact depth; under
+    /// [`SpeculationMode::Adaptive`] it is the **cap** the controller
+    /// may choose up to. The knob has **no effect on results** —
+    /// explanations, scores, traces, and intervention counts are
+    /// bit-identical at every depth and thread count — only on wall
+    /// clock and the speculative cache counters
+    /// ([`crate::CacheStats`]).
     pub gt_speculation_depth: usize,
+    /// How the executor schedules speculative lookahead: fixed-depth
+    /// [`SpeculationMode::Static`] (the default) or the
+    /// latency-driven [`SpeculationMode::Adaptive`] controller.
+    pub speculation: SpeculationMode,
+    /// Hard bound on in-flight speculative frames (queued + being
+    /// scored) in the detached pool. When the bound is hit the
+    /// oldest queued frames are shed — never the search itself — so
+    /// a slow oracle cannot pile up unbounded speculative work.
+    /// `None` means unbounded in Static mode and a derived default
+    /// (`8 × num_threads`, minimum 32) in Adaptive mode.
+    pub speculation_budget: Option<usize>,
     /// Static analysis of the candidate PVT set before any oracle
     /// query (see [`Lint`]). Defaults to [`Lint::Report`].
     pub lint: Lint,
@@ -209,6 +260,8 @@ impl Default for PrismConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             gt_speculation_depth: 1,
+            speculation: SpeculationMode::default(),
+            speculation_budget: None,
             lint: Lint::default(),
             trace: dp_trace::TraceConfig::default(),
         }
@@ -257,5 +310,12 @@ mod tests {
     fn lint_defaults_to_report() {
         assert_eq!(PrismConfig::default().lint, Lint::Report);
         assert_eq!(Lint::default(), Lint::Report);
+    }
+
+    #[test]
+    fn speculation_defaults_to_static_and_unbounded() {
+        let c = PrismConfig::default();
+        assert_eq!(c.speculation, SpeculationMode::Static);
+        assert_eq!(c.speculation_budget, None);
     }
 }

@@ -215,7 +215,8 @@ pub fn explain_greedy_parallel(
         config.threshold,
         config.max_interventions,
         config.num_threads,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     let (pvts, stats) = discriminative_pvts_traced(
         d_pass,
@@ -254,7 +255,8 @@ pub fn explain_greedy_parallel_cached(
         config.max_interventions,
         config.num_threads,
         cache,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     let (pvts, stats) = discriminative_pvts_traced(
         d_pass,
@@ -284,7 +286,8 @@ pub fn explain_greedy_parallel_with_pvts(
         config.threshold,
         config.max_interventions,
         config.num_threads,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     run_greedy(&mut rt, d_fail, d_pass, pvts, config, tracer)
 }

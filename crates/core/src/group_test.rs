@@ -38,7 +38,7 @@ use crate::runtime::{
     intervene_traced, DetachedSpeculation, InterventionRuntime, ParOracle, Speculation,
 };
 use dp_frame::DataFrame;
-use dp_trace::{BisectionNodeSpan, Event, Tracer};
+use dp_trace::{BisectionNodeSpan, Event, SpeculationPlanSpan, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
@@ -145,7 +145,8 @@ pub fn explain_group_test_parallel(
         config.threshold,
         config.max_interventions,
         config.num_threads,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     let (pvt_vec, stats) = discriminative_pvts_traced(
         d_pass,
@@ -179,7 +180,8 @@ pub fn explain_group_test_parallel_cached(
         config.max_interventions,
         config.num_threads,
         cache,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     let (pvt_vec, stats) = discriminative_pvts_traced(
         d_pass,
@@ -210,7 +212,8 @@ pub fn explain_group_test_parallel_with_pvts(
         config.threshold,
         config.max_interventions,
         config.num_threads,
-    );
+    )
+    .with_speculation(config.speculation, config.speculation_budget);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer)
 }
@@ -374,27 +377,31 @@ fn sync_apply_job<'a>(ctx: &GtCtx<'_, 'a>, ids: &[usize], base: &'a DataFrame) -
 }
 
 /// Pre-bisect both halves of a cold node and plan the probe frames of
-/// the next `ctx.depth` levels of the recursion tree as **detached**
+/// the next `depth` levels of the recursion tree as **detached**
 /// cache-warming jobs, breadth-first (shallower probes are charged
 /// sooner, so they must leave the queue first) — the lookahead
-/// frontier of [`group_test_rec`]. Because partitioning and
-/// application both run on per-node derived streams, any descendant's
-/// candidate frame is computable here without replaying the serial
-/// decision history; whichever branches the serial order takes later
-/// find their oracle queries already warm (or in flight), and the
-/// rest is counted as speculative waste.
+/// frontier of [`group_test_rec`]. The depth comes from the
+/// runtime's [`InterventionRuntime::plan_speculation_depth`]: the
+/// configured value under static speculation, a latency-driven
+/// choice under adaptive. Because partitioning and application both
+/// run on per-node derived streams, any descendant's candidate frame
+/// is computable here without replaying the serial decision history;
+/// whichever branches the serial order takes later find their oracle
+/// queries already warm (or in flight), and the rest is counted as
+/// speculative waste.
 fn plan_frontier(
     ctx: &GtCtx<'_, '_>,
     x1: &[usize],
     x2: &[usize],
     base: &Arc<DataFrame>,
+    depth: usize,
 ) -> Vec<DetachedSpeculation> {
     let mut jobs = Vec::new();
     let mut queue: VecDeque<(Vec<usize>, usize)> = VecDeque::new();
     queue.push_back((x1.to_vec(), 0));
     queue.push_back((x2.to_vec(), 0));
     while let Some((ids, level)) = queue.pop_front() {
-        if level >= ctx.depth || ids.len() <= 1 {
+        if level >= depth || ids.len() <= 1 {
             continue;
         }
         let (a, b) = partition(ctx, &ids);
@@ -504,12 +511,30 @@ fn group_test_rec(
     let speculate_here = ctx.rt.speculation_width() > 1 && !x1.is_empty() && !x2.is_empty();
     let (d1, x2_speculated, child_covered) = if speculate_here {
         let child_covered = if covered == 0 {
-            if ctx.depth > 0 {
+            let plan = ctx.rt.plan_speculation_depth(ctx.depth);
+            let jobs = if plan.depth > 0 {
                 let base = Arc::new(d.clone());
-                ctx.rt
-                    .speculate_detached(plan_frontier(ctx, &x1, &x2, &base));
+                plan_frontier(ctx, &x1, &x2, &base, plan.depth)
+            } else {
+                Vec::new()
+            };
+            if ctx.tracer.enabled() {
+                let frames = jobs.len();
+                ctx.tracer.emit(|| {
+                    Event::SpeculationPlan(SpeculationPlanSpan {
+                        node,
+                        cap: plan.cap,
+                        depth: plan.depth,
+                        budget: plan.budget,
+                        mean_query_ns: plan.mean_query_ns,
+                        frames,
+                    })
+                });
             }
-            ctx.depth
+            if !jobs.is_empty() {
+                ctx.rt.speculate_detached(jobs);
+            }
+            plan.depth
         } else {
             covered - 1
         };

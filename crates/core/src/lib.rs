@@ -85,7 +85,7 @@ pub mod transform;
 pub mod violation;
 
 pub use cache::{ScoreCache, SnapshotError};
-pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig};
+pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig, SpeculationMode};
 pub use discovery::DiscoveryStats;
 pub use dp_lint::{Diagnostic, Diagnostics, RuleId, Severity};
 pub use dp_trace::{
@@ -107,6 +107,8 @@ pub use lint::lint_pvts;
 pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};
 pub use profile::{DependenceKind, OutlierSpec, Profile};
 pub use pvt::Pvt;
-pub use runtime::{par_map, InterventionRuntime, ParOracle, Speculated, Speculation};
+pub use runtime::{
+    par_map, InterventionRuntime, ParOracle, Speculated, Speculation, SpeculationPlan,
+};
 pub use transform::Transform;
 pub use violation::violation;

@@ -316,17 +316,22 @@ impl<'a> Oracle<'a> {
                 fingerprint: fp,
                 cached: true,
                 speculative_hit: false,
-                latency_ns: 0,
+                latency_ns: None,
             };
             return score;
         }
         let start = Instant::now();
         let score = sanitize(self.system.malfunction(df));
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        // Baselines are free of charge but their evaluations are real
+        // latency samples — often the *only* ones a fresh system has
+        // before the speculation controller first runs.
+        self.query_latency.record(latency_ns);
         self.last = QueryStat {
             fingerprint: fp,
             cached: false,
             speculative_hit: false,
-            latency_ns: start.elapsed().as_nanos() as u64,
+            latency_ns: Some(latency_ns),
         };
         self.cache.insert(fp, score);
         score
@@ -349,7 +354,7 @@ impl<'a> Oracle<'a> {
                 fingerprint: fp,
                 cached: true,
                 speculative_hit: false,
-                latency_ns: 0,
+                latency_ns: None,
             };
             return score;
         }
@@ -362,7 +367,7 @@ impl<'a> Oracle<'a> {
             fingerprint: fp,
             cached: false,
             speculative_hit: false,
-            latency_ns,
+            latency_ns: Some(latency_ns),
         };
         self.cache.insert(fp, score);
         score
@@ -456,6 +461,29 @@ mod tests {
         // A genuinely different dataset counts.
         oracle.intervene(&df(&[2]));
         assert_eq!(oracle.interventions, 1);
+    }
+
+    #[test]
+    fn cold_baseline_records_a_latency_sample() {
+        // Regression: the cold-baseline path used to skip
+        // `query_latency.record`, losing the first — often only —
+        // latency sample of a fresh system, which starved the
+        // adaptive speculation controller.
+        let mut system = |_: &DataFrame| 0.9;
+        let mut oracle = Oracle::new(&mut system, 0.2, 100);
+        oracle.baseline(&df(&[1, 2, 3]));
+        let m = oracle.run_metrics();
+        assert!(
+            m.query_latency.count >= 1,
+            "cold baseline must record into the latency histogram"
+        );
+        assert!(oracle.last_query().latency_ns.is_some());
+        // A warm (cached) baseline adds no sample and reports no
+        // latency at all — hits must never skew the mean query cost.
+        let before = oracle.run_metrics().query_latency.count;
+        oracle.baseline(&df(&[1, 2, 3]));
+        assert_eq!(oracle.run_metrics().query_latency.count, before);
+        assert_eq!(oracle.last_query().latency_ns, None);
     }
 
     #[test]

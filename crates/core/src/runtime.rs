@@ -44,6 +44,7 @@
 //! `gt_speculation_depth` in {0, 1, 2, 4}.
 
 use crate::cache::ScoreCache;
+use crate::config::SpeculationMode;
 use crate::error::Result;
 use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
@@ -130,6 +131,37 @@ pub struct DetachedSpeculation {
     pub rng: StdRng,
 }
 
+/// The speculation executor's decision for one cold bisection node:
+/// how many extra recursion levels to pre-score, and under what
+/// budget. Returned by
+/// [`InterventionRuntime::plan_speculation_depth`]; the group-testing
+/// recursion emits it as a `SpeculationPlan` trace event.
+///
+/// The plan only steers cache warming. Whatever depth it picks, the
+/// serial replay charges the identical query sequence, so
+/// explanations are bit-identical across plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationPlan {
+    /// The configured depth cap (`gt_speculation_depth`).
+    pub cap: usize,
+    /// Effective depth chosen (≤ `cap`).
+    pub depth: usize,
+    /// In-flight frame budget in force, if any.
+    pub budget: Option<usize>,
+    /// Mean observed cold-query latency the decision was based on,
+    /// in nanoseconds (`None` when no sample existed yet).
+    pub mean_query_ns: Option<u64>,
+}
+
+/// Upper bound on the frames a depth-`d` speculative frontier plans:
+/// the full binary pre-bisection tree holds 2^(d+2) − 2 nodes (see
+/// `group_test::plan_frontier`; small candidate sets plan fewer).
+fn frontier_frames(depth: usize) -> usize {
+    1usize
+        .checked_shl(depth as u32 + 2)
+        .map_or(usize::MAX, |v| v - 2)
+}
+
 /// The oracle abstraction the intervention algorithms run against.
 ///
 /// [`Oracle`] implements it serially (speculation only materializes,
@@ -156,6 +188,20 @@ pub trait InterventionRuntime {
     /// don't speculate: plan lazily exactly as the serial algorithm
     /// would).
     fn speculation_width(&self) -> usize;
+    /// Decide how deep to speculate at one cold group-testing node,
+    /// given the configured cap. The default — and the static
+    /// executor's behavior — is the cap itself; adaptive runtimes
+    /// read their live latency/waste metrics here. Must never exceed
+    /// `cap`, and must not affect charged queries (the plan only
+    /// steers cache warming).
+    fn plan_speculation_depth(&mut self, cap: usize) -> SpeculationPlan {
+        SpeculationPlan {
+            cap,
+            depth: cap,
+            budget: None,
+            mean_query_ns: None,
+        }
+    }
     /// Whether a score is acceptable (`m ≤ τ`).
     fn passes(&self, score: f64) -> bool;
     /// Whether the intervention budget is exhausted.
@@ -322,6 +368,15 @@ struct PoolState {
     /// Jobs enqueued or currently executing.
     pending: usize,
     shutdown: bool,
+    /// High-water mark of `pending` over the pool's lifetime.
+    peak_pending: usize,
+    /// Queued jobs shed by backpressure (oldest first) when an
+    /// enqueue would have pushed `pending` past the budget.
+    shed: u64,
+    /// Queued jobs discarded at settle/shutdown: the search
+    /// terminated before any worker started them, so they cost
+    /// nothing and are not waste.
+    discarded: u64,
 }
 
 /// Parallel intervention runtime: an [`Oracle`]-equivalent whose
@@ -344,6 +399,13 @@ pub struct ParOracle<'a> {
     /// Hard intervention cap.
     pub budget: usize,
     num_threads: usize,
+    /// How the speculation executor schedules lookahead (static
+    /// fixed-depth or the adaptive latency-driven controller).
+    speculation: SpeculationMode,
+    /// Caller-configured in-flight frame bound
+    /// (`PrismConfig::speculation_budget`); `None` falls back to the
+    /// mode's default (unbounded for Static, derived for Adaptive).
+    budget_override: Option<usize>,
     hits: usize,
     misses: usize,
     warm_hits: u64,
@@ -384,6 +446,8 @@ impl<'a> ParOracle<'a> {
             interventions: 0,
             budget,
             num_threads: num_threads.max(1),
+            speculation: SpeculationMode::Static,
+            budget_override: None,
             hits: 0,
             misses: 0,
             warm_hits: 0,
@@ -402,6 +466,30 @@ impl<'a> ParOracle<'a> {
             warm: HashSet::new(),
             pool: None,
             pool_workers: Vec::new(),
+        }
+    }
+
+    /// Configure the speculation executor: the scheduling mode and an
+    /// optional in-flight frame budget (see
+    /// [`crate::PrismConfig::speculation`] and
+    /// [`crate::PrismConfig::speculation_budget`]). Call before the
+    /// first speculation; returns `self` for chaining.
+    pub fn with_speculation(mut self, mode: SpeculationMode, budget: Option<usize>) -> Self {
+        self.speculation = mode;
+        self.budget_override = budget;
+        self
+    }
+
+    /// The in-flight frame bound actually in force: the caller's
+    /// override if set, otherwise unbounded in Static mode and
+    /// `8 × num_threads` (min 32) in Adaptive mode — enough frames to
+    /// keep every worker busy several waves ahead without letting a
+    /// slow oracle pile up unbounded work.
+    pub fn effective_budget(&self) -> Option<usize> {
+        match (self.budget_override, self.speculation) {
+            (Some(b), _) => Some(b.max(1)),
+            (None, SpeculationMode::Adaptive) => Some((8 * self.num_threads).max(32)),
+            (None, SpeculationMode::Static) => None,
         }
     }
 
@@ -468,6 +556,9 @@ impl<'a> ParOracle<'a> {
                 queue: VecDeque::new(),
                 pending: 0,
                 shutdown: false,
+                peak_pending: 0,
+                shed: 0,
+                discarded: 0,
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -523,13 +614,16 @@ impl<'a> ParOracle<'a> {
 
     /// Discard detached jobs nobody started yet (the replay is past
     /// the point of consuming them) and wait for the in-flight rest
-    /// to finish, so cache counters are read at quiescence.
+    /// to finish, so cache counters are read at quiescence. Discarded
+    /// jobs are counted ([`RunMetrics::speculative_discarded`]) but
+    /// are **not** waste — no worker ever evaluated them.
     fn settle_pool(&self) {
         if let Some(pool) = &self.pool {
             let mut state = pool.state.lock().expect("pool lock");
             let dropped = state.queue.len();
             state.queue.clear();
             state.pending -= dropped;
+            state.discarded += dropped as u64;
             while state.pending > 0 {
                 state = pool.idle.wait(state).expect("pool lock");
             }
@@ -558,7 +652,7 @@ impl<'a> ParOracle<'a> {
                     fingerprint: fp,
                     cached: true,
                     speculative_hit,
-                    latency_ns: 0,
+                    latency_ns: None,
                 };
                 return score;
             }
@@ -573,10 +667,21 @@ impl<'a> ParOracle<'a> {
             fingerprint: fp,
             cached: false,
             speculative_hit: false,
-            latency_ns,
+            latency_ns: Some(latency_ns),
         };
         self.cache.lock().expect("cache lock").map.insert(fp, score);
         score
+    }
+
+    /// Mean observed cold-query latency so far: the main thread's
+    /// charged-miss histogram merged with every worker shard's
+    /// speculative evaluations. `None` before the first sample.
+    fn observed_mean_query_ns(&self) -> Option<u64> {
+        let mut merged = self.query_latency;
+        for shard in self.sync_shards.iter().chain(self.pool_shards.iter()) {
+            merged.merge(&shard.snapshot());
+        }
+        (merged.count > 0).then(|| merged.mean_ns())
     }
 }
 
@@ -592,18 +697,23 @@ impl InterventionRuntime for ParOracle<'_> {
                 fingerprint: fp,
                 cached: true,
                 speculative_hit: false,
-                latency_ns: 0,
+                latency_ns: None,
             };
             return score;
         }
         self.ensure_workers(1);
         let start = Instant::now();
         let score = sanitize(self.workers[0].malfunction(df));
+        let latency_ns = start.elapsed().as_nanos() as u64;
+        // Baselines are free but their evaluations are real latency
+        // samples — often the only ones the adaptive controller has
+        // before the first cold node.
+        self.query_latency.record(latency_ns);
         self.last = QueryStat {
             fingerprint: fp,
             cached: false,
             speculative_hit: false,
-            latency_ns: start.elapsed().as_nanos() as u64,
+            latency_ns: Some(latency_ns),
         };
         self.cache.lock().expect("cache lock").map.insert(fp, score);
         score
@@ -683,16 +793,113 @@ impl InterventionRuntime for ParOracle<'_> {
             return;
         }
         self.speculative_issued += jobs.len() as u64;
+        let budget = self.effective_budget();
         let pool = self.ensure_pool();
         let mut state = pool.state.lock().expect("pool lock");
         state.pending += jobs.len();
         state.queue.extend(jobs);
+        // Hard backpressure: shed the *oldest* queued frames until
+        // in-flight work fits the budget again. Oldest frames belong
+        // to the shallowest (soonest-replayed) part of the frontier —
+        // the frames the serial replay is most likely to reach before
+        // a worker would, so shedding them costs the least cache
+        // warming. Jobs a worker already started cannot be shed, so
+        // `pending` is bounded by budget + worker count.
+        if let Some(budget) = budget {
+            while state.pending > budget {
+                let Some(_dropped) = state.queue.pop_front() else {
+                    break;
+                };
+                state.pending -= 1;
+                state.shed += 1;
+            }
+        }
+        state.peak_pending = state.peak_pending.max(state.pending);
         drop(state);
         pool.work.notify_all();
     }
 
     fn speculation_width(&self) -> usize {
         self.num_threads
+    }
+
+    /// The adaptive controller. Reads only *observed* state — the
+    /// merged latency histograms and the live waste counters — and
+    /// picks a depth within the cap:
+    ///
+    /// - no latency sample yet → a conservative depth 1 (the first
+    ///   cold node runs before any charged miss, but baselines have
+    ///   usually recorded by then);
+    /// - mean query < 100 µs → depth 0 (scoring overhead rivals the
+    ///   query itself; only the node's own halves overlap);
+    /// - < 1 ms → depth 1; ≥ 1 ms → depth 2. Deeper never pays: a
+    ///   depth-d frontier plans 2^(d+2)−2 frames of which the replay
+    ///   path consumes ~2 per level, and because every cold child
+    ///   re-plans its own frontier, shallow planning already keeps the
+    ///   pipeline one step ahead — extra depth only parks wasted
+    ///   frames in front of the next node's useful ones (measured:
+    ///   static depth 1–2 beats depth 4 on both gate workloads at
+    ///   10 ms/query);
+    /// - waste guard: until 16 speculative evaluations have completed
+    ///   the plan stays within depth 1 (escalate on evidence, not
+    ///   hope); after that, under two-fifths consumed backs the depth
+    ///   off one level (a fully-consumed depth-2 pipeline sits at
+    ///   ~0.43, so 0.4 fires exactly when depth 2 stops paying for
+    ///   itself);
+    /// - headroom clamp: the planned frontier (at most 2^(depth+2)−2
+    ///   frames) must fit the budget slots still free. Over-issuing
+    ///   would immediately shed the *previous* node's oldest frames —
+    ///   the ones the serial replay consumes next — converting cache
+    ///   warming into pure waste.
+    ///
+    /// In Static mode this returns the cap unchanged (parity with the
+    /// pre-adaptive executor).
+    fn plan_speculation_depth(&mut self, cap: usize) -> SpeculationPlan {
+        let budget = self.effective_budget();
+        if self.speculation == SpeculationMode::Static {
+            return SpeculationPlan {
+                cap,
+                depth: cap,
+                budget,
+                mean_query_ns: None,
+            };
+        }
+        let mean_query_ns = self.observed_mean_query_ns();
+        let mut depth = match mean_query_ns {
+            None => cap.min(1),
+            Some(ns) if ns < 100_000 => 0,
+            Some(ns) if ns < 1_000_000 => cap.min(1),
+            Some(_) => cap.min(2),
+        };
+        let evaluated: u64 = self
+            .sync_shards
+            .iter()
+            .chain(self.pool_shards.iter())
+            .map(|s| s.evaluated())
+            .sum();
+        if evaluated < 16 {
+            // No consumption track record yet: stay within one level
+            // until the pipeline has proven shallow frames get used.
+            depth = depth.min(1);
+        } else if self.speculative_used * 5 < evaluated * 2 {
+            depth = depth.saturating_sub(1);
+        }
+        if let Some(budget) = budget {
+            let pending = match &self.pool {
+                Some(pool) => pool.state.lock().expect("pool lock").pending,
+                None => 0,
+            };
+            let headroom = budget.saturating_sub(pending);
+            while depth > 0 && frontier_frames(depth) > headroom {
+                depth -= 1;
+            }
+        }
+        SpeculationPlan {
+            cap,
+            depth,
+            budget,
+            mean_query_ns,
+        }
     }
 
     fn passes(&self, score: f64) -> bool {
@@ -717,6 +924,13 @@ impl InterventionRuntime for ParOracle<'_> {
 
     fn run_metrics(&self) -> RunMetrics {
         self.settle_pool();
+        let (shed, discarded, peak) = match &self.pool {
+            Some(pool) => {
+                let state = pool.state.lock().expect("pool lock");
+                (state.shed, state.discarded, state.peak_pending as u64)
+            }
+            None => (0, 0, 0),
+        };
         let mut metrics = RunMetrics {
             baseline_queries: self.baseline_queries,
             charged_queries: self.interventions as u64,
@@ -726,6 +940,9 @@ impl InterventionRuntime for ParOracle<'_> {
             speculative_issued: self.speculative_issued,
             speculative_used: self.speculative_used,
             speculative_wasted: self.cache.lock().expect("cache lock").unconsumed.len() as u64,
+            speculative_shed: shed,
+            speculative_discarded: discarded,
+            peak_inflight: peak,
             query_latency: self.query_latency,
             ..RunMetrics::default()
         };
@@ -749,7 +966,9 @@ impl Drop for ParOracle<'_> {
         if let Some(pool) = &self.pool {
             let mut state = pool.state.lock().expect("pool lock");
             state.shutdown = true;
-            state.pending -= state.queue.len();
+            let dropped = state.queue.len();
+            state.pending -= dropped;
+            state.discarded += dropped as u64;
             state.queue.clear();
             if state.pending == 0 {
                 pool.idle.notify_all();
@@ -1029,6 +1248,196 @@ mod tests {
         let m = rt.run_metrics();
         assert_eq!((m.cache_hits, m.cache_misses, m.warm_hits), (3, 0, 3));
         assert_eq!(m.charged_queries, 3, "charging is per-ask, cache or not");
+    }
+
+    #[test]
+    fn par_oracle_cold_baseline_records_a_latency_sample() {
+        // Regression (mirror of the serial-oracle fix): the parallel
+        // runtime's cold-baseline path must also feed the latency
+        // histogram, or a fresh system reaches the first cold node
+        // with an empty histogram and the adaptive controller flies
+        // blind.
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 4);
+        rt.baseline(&df(&[1, 2]));
+        let m = rt.run_metrics();
+        assert!(m.query_latency.count >= 1);
+        assert!(rt.last_query().latency_ns.is_some());
+        // A cached repeat reports no latency at all.
+        rt.baseline(&df(&[1, 2]));
+        assert_eq!(rt.last_query().latency_ns, None);
+    }
+
+    #[test]
+    fn backpressure_sheds_oldest_and_bounds_inflight() {
+        use rand::SeedableRng;
+        use std::sync::Arc as StdArc;
+        // A slow oracle: each speculative evaluation blocks long
+        // enough that the enqueue bursts outpace the workers.
+        let calls = StdArc::new(AtomicUsize::new(0));
+        let c2 = StdArc::clone(&calls);
+        let factory = move || {
+            let c = StdArc::clone(&c2);
+            move |df: &DataFrame| {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                df.n_rows() as f64 / 10.0
+            }
+        };
+        let budget = 4usize;
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2)
+            .with_speculation(SpeculationMode::Adaptive, Some(budget));
+        assert_eq!(rt.effective_budget(), Some(budget));
+        // Three bursts of 8 jobs against a budget of 4: most of each
+        // burst must be shed, and in-flight work must never exceed
+        // budget + workers.
+        for burst in 0..3 {
+            let jobs: Vec<DetachedSpeculation> = (0..8)
+                .map(|i| DetachedSpeculation {
+                    pvts: Vec::new(),
+                    base: Arc::new(df(&[burst * 100 + i, burst * 100 + i + 1])),
+                    rng: StdRng::seed_from_u64(0),
+                })
+                .collect();
+            rt.speculate_detached(jobs);
+        }
+        let m = rt.run_metrics();
+        assert_eq!(m.speculative_issued, 24);
+        assert!(
+            m.speculative_shed > 0,
+            "a slow oracle under a budget of {budget} must shed: {m:?}"
+        );
+        assert!(
+            m.peak_inflight <= (budget + 2) as u64,
+            "peak in-flight {} exceeds budget {budget} + 2 workers",
+            m.peak_inflight
+        );
+        // Conservation: every issued job was evaluated, shed, or
+        // discarded at settle.
+        assert_eq!(
+            m.speculative_evaluated + m.speculative_shed + m.speculative_discarded,
+            m.speculative_issued,
+            "{m:?}"
+        );
+    }
+
+    #[test]
+    fn static_mode_without_budget_is_unbounded() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        let rt = ParOracle::new(&factory, 0.2, 100, 4);
+        assert_eq!(rt.effective_budget(), None);
+        let rt =
+            ParOracle::new(&factory, 0.2, 100, 4).with_speculation(SpeculationMode::Adaptive, None);
+        assert_eq!(
+            rt.effective_budget(),
+            Some(32),
+            "adaptive mode derives a default bound"
+        );
+    }
+
+    #[test]
+    fn settle_after_termination_counts_discards_not_waste() {
+        use rand::SeedableRng;
+        use std::sync::Arc as StdArc;
+        // Satellite audit: frames still queued when the search
+        // terminates (settle) were never evaluated — they must be
+        // reported as `speculative_discarded`, never as waste, and
+        // the pending accounting must balance so settle cannot hang
+        // or underflow.
+        let calls = StdArc::new(AtomicUsize::new(0));
+        let c2 = StdArc::clone(&calls);
+        let factory = move || {
+            let c = StdArc::clone(&c2);
+            move |df: &DataFrame| {
+                c.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                df.n_rows() as f64 / 10.0
+            }
+        };
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 2);
+        let jobs: Vec<DetachedSpeculation> = (0..32)
+            .map(|i| DetachedSpeculation {
+                pvts: Vec::new(),
+                base: Arc::new(df(&[i, i + 1, i + 2])),
+                rng: StdRng::seed_from_u64(0),
+            })
+            .collect();
+        rt.speculate_detached(jobs);
+        // Settle immediately: the two workers have started at most a
+        // couple of jobs; the rest of the queue must be discarded.
+        let m = rt.run_metrics();
+        assert_eq!(m.speculative_issued, 32);
+        assert!(m.speculative_discarded > 0, "{m:?}");
+        assert_eq!(
+            m.speculative_evaluated + m.speculative_shed + m.speculative_discarded,
+            32,
+            "{m:?}"
+        );
+        // Waste counts only *evaluated-but-unconsumed* frames.
+        assert_eq!(m.speculative_wasted, m.speculative_evaluated, "{m:?}");
+        assert_eq!(
+            calls.load(Ordering::SeqCst) as u64,
+            m.speculative_evaluated,
+            "discarded jobs must never have run the system"
+        );
+        // A second settle is stable (no double-discard of the same
+        // jobs, no underflow).
+        let again = rt.run_metrics();
+        assert_eq!(again.speculative_discarded, m.speculative_discarded);
+    }
+
+    #[test]
+    fn adaptive_plan_respects_cap_and_latency() {
+        let factory = || |df: &DataFrame| df.n_rows() as f64 / 10.0;
+        // Static mode: the plan is always the cap.
+        let mut rt = ParOracle::new(&factory, 0.2, 100, 4);
+        assert_eq!(rt.plan_speculation_depth(3).depth, 3);
+        // Adaptive, no samples yet: conservative depth 1.
+        let mut rt =
+            ParOracle::new(&factory, 0.2, 100, 4).with_speculation(SpeculationMode::Adaptive, None);
+        let plan = rt.plan_speculation_depth(4);
+        assert_eq!(plan.depth, 1);
+        assert_eq!(plan.cap, 4);
+        assert_eq!(plan.mean_query_ns, None);
+        // After observing sub-100µs queries: depth drops to 0 (the
+        // in-process system is far cheaper than frame scoring).
+        rt.baseline(&df(&[1]));
+        rt.intervene(&df(&[1, 2]));
+        let plan = rt.plan_speculation_depth(4);
+        assert!(plan.mean_query_ns.is_some());
+        if plan.mean_query_ns.unwrap() < 100_000 {
+            assert_eq!(plan.depth, 0, "{plan:?}");
+        }
+        assert!(plan.depth <= plan.cap);
+
+        // A slow oracle (≥ 1ms/query) tiers to depth 2, but without a
+        // speculative consumption track record (< 16 evaluations) the
+        // plan stays within depth 1 — escalate on evidence, not hope.
+        let slow_factory = || {
+            |df: &DataFrame| {
+                std::thread::sleep(std::time::Duration::from_millis(11));
+                df.n_rows() as f64 / 10.0
+            }
+        };
+        let mut rt = ParOracle::new(&slow_factory, 0.2, 100, 4)
+            .with_speculation(SpeculationMode::Adaptive, None);
+        rt.baseline(&df(&[1]));
+        rt.intervene(&df(&[1, 2]));
+        let plan = rt.plan_speculation_depth(4);
+        assert!(plan.mean_query_ns.unwrap() >= 10_000_000);
+        assert_eq!(plan.depth, 1, "no track record caps the plan at 1");
+        assert_eq!(plan.budget, Some(32));
+
+        // A tight budget override engages the headroom clamp: the
+        // depth-1 frontier (6 frames) cannot fit 4 free slots, so
+        // the plan steps down to depth 0.
+        let mut rt = ParOracle::new(&slow_factory, 0.2, 100, 4)
+            .with_speculation(SpeculationMode::Adaptive, Some(4));
+        rt.baseline(&df(&[1]));
+        rt.intervene(&df(&[1, 2]));
+        let plan = rt.plan_speculation_depth(4);
+        assert_eq!(plan.budget, Some(4));
+        assert_eq!(plan.depth, 0, "{plan:?}");
     }
 
     #[test]

@@ -88,6 +88,20 @@ impl Client {
         algo: &str,
         threads: Option<usize>,
     ) -> std::io::Result<JsonValue> {
+        self.diagnose_with(system, algo, threads, None, None)
+    }
+
+    /// `diagnose` with executor overrides: speculation `mode`
+    /// (`"static"`/`"adaptive"`) and in-flight speculative frame
+    /// `budget` for this one diagnosis.
+    pub fn diagnose_with(
+        &mut self,
+        system: &str,
+        algo: &str,
+        threads: Option<usize>,
+        mode: Option<&str>,
+        budget: Option<usize>,
+    ) -> std::io::Result<JsonValue> {
         let mut line = format!(
             "{{\"op\":\"diagnose\",\"system\":{},\"algo\":{}",
             json_escape(system),
@@ -95,6 +109,12 @@ impl Client {
         );
         if let Some(threads) = threads {
             line.push_str(&format!(",\"threads\":{threads}"));
+        }
+        if let Some(mode) = mode {
+            line.push_str(&format!(",\"mode\":{}", json_escape(mode)));
+        }
+        if let Some(budget) = budget {
+            line.push_str(&format!(",\"budget\":{budget}"));
         }
         line.push('}');
         self.request(&line)

@@ -19,6 +19,7 @@
 //! [`dp_trace::json_escape`], so both line formats in the workspace
 //! escape identically.
 
+use dataprism::SpeculationMode;
 use dp_trace::{json_escape, JsonValue};
 
 /// Hard cap on one request line, including the newline. Large enough
@@ -122,6 +123,13 @@ pub enum Request {
         algo: Algo,
         /// Worker-thread override (defaults to the scenario config).
         threads: Option<usize>,
+        /// Speculation-executor mode override
+        /// (`"static"`/`"adaptive"`; defaults to the server config).
+        mode: Option<SpeculationMode>,
+        /// In-flight speculative frame budget override for this
+        /// diagnosis (defaults to the namespace's slice of the
+        /// server-wide budget).
+        budget: Option<usize>,
     },
     /// Warm a system's cache namespace from a JSONL trace stream
     /// (the `--trace` output of a prior run), carried inline.
@@ -211,10 +219,23 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
                     ))
                 }
             };
+            let mode = match value.get("mode").and_then(|v| v.as_str()) {
+                None => None,
+                Some("static") => Some(SpeculationMode::Static),
+                Some("adaptive") => Some(SpeculationMode::Adaptive),
+                Some(other) => {
+                    return Err((
+                        ErrorCode::MalformedRequest,
+                        format!("unknown mode '{other}' (static|adaptive)"),
+                    ))
+                }
+            };
             Ok(Request::Diagnose {
                 system: field_str(&value, "system")?,
                 algo,
                 threads: field_opt_u64(&value, "threads")?.map(|v| v as usize),
+                mode,
+                budget: field_opt_u64(&value, "budget")?.map(|v| v as usize),
             })
         }
         "warm" => Ok(Request::Warm {
@@ -363,6 +384,8 @@ mod tests {
                 system: "inc".into(),
                 algo: Algo::Auto,
                 threads: Some(8),
+                mode: None,
+                budget: None,
             }
         );
         assert_eq!(
@@ -371,6 +394,21 @@ mod tests {
                 system: "inc".into(),
                 algo: Algo::Greedy,
                 threads: None,
+                mode: None,
+                budget: None,
+            }
+        );
+        assert_eq!(
+            parse_request(
+                "{\"op\":\"diagnose\",\"system\":\"inc\",\"mode\":\"adaptive\",\"budget\":16}"
+            )
+            .unwrap(),
+            Request::Diagnose {
+                system: "inc".into(),
+                algo: Algo::Greedy,
+                threads: None,
+                mode: Some(SpeculationMode::Adaptive),
+                budget: Some(16),
             }
         );
         assert!(matches!(
@@ -404,6 +442,10 @@ mod tests {
         let (code, _) =
             parse_request("{\"op\":\"diagnose\",\"system\":\"s\",\"threads\":-2}").unwrap_err();
         assert_eq!(code, ErrorCode::MalformedRequest);
+        let (code, msg) =
+            parse_request("{\"op\":\"diagnose\",\"system\":\"s\",\"mode\":\"turbo\"}").unwrap_err();
+        assert_eq!(code, ErrorCode::MalformedRequest);
+        assert!(msg.contains("static|adaptive"), "{msg}");
     }
 
     #[test]

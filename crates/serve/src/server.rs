@@ -21,7 +21,7 @@ use crate::protocol::{
     error_response, parse_request, Algo, ErrorCode, Reply, Request, MAX_REQUEST_BYTES,
 };
 use crate::registry::{lock_or_recover, Registry, SystemEntry};
-use dataprism::{DataPrism, ScoreCache};
+use dataprism::{DataPrism, ScoreCache, SpeculationMode};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +50,15 @@ pub struct ServeConfig {
     pub snapshot_dir: Option<PathBuf>,
     /// Hard cap on one request line.
     pub max_line_bytes: usize,
+    /// Speculation-executor mode applied to every diagnosis (a
+    /// per-request `mode` field overrides it).
+    pub speculation: SpeculationMode,
+    /// Server-wide bound on in-flight speculative frames, divided
+    /// evenly across the `max_inflight` admission slots so one slow
+    /// system's detached frontier cannot starve the other namespaces
+    /// of executor capacity. `None` leaves each diagnosis on the
+    /// mode's own default (unbounded Static, derived Adaptive).
+    pub speculation_budget: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +70,8 @@ impl Default for ServeConfig {
             budget_bytes: DEFAULT_BUDGET_BYTES,
             snapshot_dir: None,
             max_line_bytes: MAX_REQUEST_BYTES,
+            speculation: SpeculationMode::Static,
+            speculation_budget: None,
         }
     }
 }
@@ -455,7 +466,12 @@ fn handle_request(shared: &Shared, line: &str) -> (String, bool) {
             system,
             algo,
             threads,
-        } => (handle_diagnose(shared, &system, algo, threads), false),
+            mode,
+            budget,
+        } => (
+            handle_diagnose(shared, &system, algo, threads, mode, budget),
+            false,
+        ),
         Request::Warm { system, trace } => (handle_warm(shared, &system, &trace), false),
         Request::Snapshot { system } => (handle_snapshot(shared, &system), false),
         Request::Restore { system, snapshot } => {
@@ -518,7 +534,25 @@ fn handle_register(
         .finish()
 }
 
-fn handle_diagnose(shared: &Shared, system: &str, algo: Algo, threads: Option<usize>) -> String {
+/// The per-namespace slice of the server-wide speculative frame
+/// budget: every admitted diagnosis gets an equal share of the
+/// `max_inflight` slots' worth, so however slow one system's oracle
+/// is, its queued frontier is bounded independently of its
+/// neighbors'.
+fn namespace_budget(config: &ServeConfig) -> Option<usize> {
+    config
+        .speculation_budget
+        .map(|total| (total / config.max_inflight.max(1)).max(1))
+}
+
+fn handle_diagnose(
+    shared: &Shared,
+    system: &str,
+    algo: Algo,
+    threads: Option<usize>,
+    mode: Option<SpeculationMode>,
+    budget: Option<usize>,
+) -> String {
     let permit = match shared.admission.admit(&shared.shutting_down) {
         Admit::Permit(p) => p,
         Admit::Busy => {
@@ -548,6 +582,9 @@ fn handle_diagnose(shared: &Shared, system: &str, algo: Algo, threads: Option<us
     if let Some(t) = threads {
         config.num_threads = t.clamp(1, 64);
     }
+    let speculation = mode.unwrap_or(shared.config.speculation);
+    config.speculation = speculation;
+    config.speculation_budget = budget.or_else(|| namespace_budget(&shared.config));
     let prism = DataPrism::new(config);
     let result = match algo {
         Algo::Greedy => {
@@ -596,6 +633,9 @@ fn handle_diagnose(shared: &Shared, system: &str, algo: Algo, threads: Option<us
                 .u64("cache_hits", exp.metrics.cache_hits)
                 .u64("cache_misses", exp.metrics.cache_misses)
                 .u64("warm_hits", exp.metrics.warm_hits)
+                .str("speculation", speculation.as_str())
+                .u64("speculative_shed", exp.metrics.speculative_shed)
+                .u64("peak_inflight", exp.metrics.peak_inflight)
                 .usize("new_cache_entries", new_entries)
                 .usize("cache_entries", resident)
                 .u64("evictions", evictions)
@@ -693,6 +733,11 @@ fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
                 .usize("max_inflight", shared.config.max_inflight)
                 .usize("max_queue", shared.config.max_queue)
                 .usize("budget_bytes", shared.config.budget_bytes)
+                .str("speculation", shared.config.speculation.as_str())
+                .usize(
+                    "namespace_frame_budget",
+                    namespace_budget(&shared.config).unwrap_or(0),
+                )
                 .u64("requests", stats.requests)
                 .u64("protocol_errors", stats.protocol_errors)
                 .u64("busy_rejections", stats.busy_rejections)

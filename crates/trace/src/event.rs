@@ -14,7 +14,11 @@
 /// Version of the event schema. Bumped whenever a field or variant
 /// changes meaning; every JSONL line carries it as `"v"` and the
 /// parser rejects lines from other versions.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `OracleQuerySpan::latency_ns` became optional (absent for
+/// cache hits instead of a `0` sentinel) and the
+/// [`Event::SpeculationPlan`] controller event was added.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Whether an oracle query was a free baseline or a charged
 /// intervention.
@@ -93,8 +97,30 @@ pub struct OracleQuerySpan {
     /// The cache entry was produced by a speculative worker — the
     /// lookahead guessed this query right.
     pub speculative_hit: bool,
-    /// Wall time of the system evaluation (0 for cache hits).
-    pub latency_ns: u64,
+    /// Wall time of the system evaluation; `None` for cache hits
+    /// (no evaluation happened). Absent on the wire when `None`.
+    pub latency_ns: Option<u64>,
+}
+
+/// The adaptive speculation controller's decision at one cold
+/// bisection node: how deep to pre-bisect and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationPlanSpan {
+    /// Bisection node the plan applies to.
+    pub node: u64,
+    /// Configured depth cap (`gt_speculation_depth`).
+    pub cap: usize,
+    /// Depth the controller chose (≤ `cap`; equals `cap` under
+    /// static speculation).
+    pub depth: usize,
+    /// In-flight frame budget in force at plan time; `None` means
+    /// unbounded (static mode without a budget).
+    pub budget: Option<usize>,
+    /// Mean observed cold-query latency feeding the decision, in
+    /// nanoseconds; `None` when no sample existed yet.
+    pub mean_query_ns: Option<u64>,
+    /// Frames the resulting frontier enqueues.
+    pub frames: usize,
 }
 
 /// One node of the group-testing recursion (begin side; the end side
@@ -136,6 +162,9 @@ pub enum Event {
     },
     /// Entered a group-testing recursion node.
     BisectionNodeBegin(BisectionNodeSpan),
+    /// The speculation controller planned a lookahead frontier for a
+    /// cold bisection node (emitted before the frames are enqueued).
+    SpeculationPlan(SpeculationPlanSpan),
     /// The node's candidate set was bisected.
     BisectionPartition {
         /// Node id.

@@ -11,7 +11,7 @@
 
 use crate::event::{
     BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintSpan, OracleQuerySpan, QueryKind,
-    TraceRecord, SCHEMA_VERSION,
+    SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 use std::fmt;
 
@@ -174,7 +174,7 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             .f64("score", s.score)
             .bool("cached", s.cached)
             .bool("speculative_hit", s.speculative_hit)
-            .u64("latency_ns", s.latency_ns)
+            .opt_u64("latency_ns", s.latency_ns)
             .finish(),
         Event::GreedyPick {
             pvt,
@@ -192,6 +192,14 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             .opt_u64("parent", s.parent)
             .ids("candidates", &s.candidates)
             .usize("covered", s.covered)
+            .finish(),
+        Event::SpeculationPlan(s) => Obj::new(seq, at, "speculation_plan")
+            .u64("node", s.node)
+            .usize("cap", s.cap)
+            .usize("depth", s.depth)
+            .opt_u64("budget", s.budget.map(|b| b as u64))
+            .opt_u64("mean_query_ns", s.mean_query_ns)
+            .usize("frames", s.frames)
             .finish(),
         Event::BisectionPartition {
             node,
@@ -639,7 +647,7 @@ fn decode_record(line: &str) -> Result<TraceRecord, String> {
             score: f.f64("score")?,
             cached: f.bool("cached")?,
             speculative_hit: f.bool("speculative_hit")?,
-            latency_ns: f.u64("latency_ns")?,
+            latency_ns: f.opt_u64("latency_ns")?,
         }),
         "greedy_pick" => Event::GreedyPick {
             pvt: f.usize("pvt")?,
@@ -652,6 +660,14 @@ fn decode_record(line: &str) -> Result<TraceRecord, String> {
             parent: f.opt_u64("parent")?,
             candidates: f.ids("candidates")?,
             covered: f.usize("covered")?,
+        }),
+        "speculation_plan" => Event::SpeculationPlan(SpeculationPlanSpan {
+            node: f.u64("node")?,
+            cap: f.usize("cap")?,
+            depth: f.usize("depth")?,
+            budget: f.opt_u64("budget")?.map(|b| b as usize),
+            mean_query_ns: f.opt_u64("mean_query_ns")?,
+            frames: f.usize("frames")?,
         }),
         "partition" => Event::BisectionPartition {
             node: f.u64("node")?,
@@ -730,7 +746,7 @@ mod tests {
                     score: 0.1 + 0.2, // a non-shortest-decimal f64
                     cached: false,
                     speculative_hit: false,
-                    latency_ns: 123_456_789,
+                    latency_ns: Some(123_456_789),
                 }),
             },
             TraceRecord {
@@ -783,6 +799,31 @@ mod tests {
                     final_score: 0.0,
                 },
             },
+            TraceRecord {
+                seq: 7,
+                at_ns: 650,
+                event: Event::SpeculationPlan(SpeculationPlanSpan {
+                    node: 0,
+                    cap: 4,
+                    depth: 2,
+                    budget: Some(64),
+                    mean_query_ns: Some(12_000_000),
+                    frames: 14,
+                }),
+            },
+            TraceRecord {
+                seq: 8,
+                at_ns: 660,
+                event: Event::OracleQuery(OracleQuerySpan {
+                    kind: QueryKind::Intervention,
+                    fingerprint: 42,
+                    score: 0.0,
+                    cached: true,
+                    speculative_hit: true,
+                    // A cache hit: no latency sample at all.
+                    latency_ns: None,
+                }),
+            },
         ]
     }
 
@@ -803,27 +844,49 @@ mod tests {
 
     #[test]
     fn every_line_carries_the_schema_version() {
+        let prefix = format!("{{\"v\":{SCHEMA_VERSION},");
         let text = to_jsonl(&sample_records());
         for line in text.lines() {
-            assert!(line.starts_with("{\"v\":1,"), "{line}");
+            assert!(line.starts_with(&prefix), "{line}");
         }
     }
 
     #[test]
     fn rejects_other_schema_versions_with_line_numbers() {
         let good = record_to_json(&sample_records()[0]);
-        let bad = good.replacen("\"v\":1", "\"v\":2", 1);
+        let forward = SCHEMA_VERSION + 1;
+        let bad = good.replacen(
+            &format!("\"v\":{SCHEMA_VERSION}"),
+            &format!("\"v\":{forward}"),
+            1,
+        );
+        assert_ne!(good, bad, "version substitution must have happened");
         let err = parse_jsonl(&format!("{good}\n{bad}\n")).unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(err.message.contains("schema version 2"), "{err}");
+        assert!(
+            err.message.contains(&format!("schema version {forward}")),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_garbage_and_missing_fields() {
         assert!(parse_jsonl("not json\n").is_err());
-        assert!(parse_jsonl("{\"v\":1}\n").is_err());
-        let err = parse_jsonl("{\"v\":1,\"seq\":0,\"at_ns\":0,\"ev\":\"martian\"}\n").unwrap_err();
+        assert!(parse_jsonl(&format!("{{\"v\":{SCHEMA_VERSION}}}\n")).is_err());
+        let err = parse_jsonl(&format!(
+            "{{\"v\":{SCHEMA_VERSION},\"seq\":0,\"at_ns\":0,\"ev\":\"martian\"}}\n"
+        ))
+        .unwrap_err();
         assert!(err.message.contains("unknown event"), "{err}");
+    }
+
+    #[test]
+    fn cache_hits_omit_latency_on_the_wire() {
+        let records = sample_records();
+        let hit = record_to_json(&records[8]);
+        assert!(!hit.contains("latency_ns"), "{hit}");
+        let miss = record_to_json(&records[1]);
+        assert!(miss.contains("\"latency_ns\":123456789"), "{miss}");
     }
 
     #[test]

@@ -125,8 +125,11 @@ pub struct QueryStat {
     /// Whether the serving cache entry came from a speculative
     /// worker.
     pub speculative_hit: bool,
-    /// Wall time of the system evaluation (0 for cache hits).
-    pub latency_ns: u64,
+    /// Wall time of the system evaluation. `None` for cache hits:
+    /// no evaluation happened, so there is no latency sample — hit
+    /// queries must never be averaged into query cost (the adaptive
+    /// speculation controller reads that mean).
+    pub latency_ns: Option<u64>,
 }
 
 /// All counters and histograms of one diagnosis run, merged across
@@ -156,6 +159,18 @@ pub struct RunMetrics {
     /// Speculative evaluations never consumed (waste; counted at
     /// settle).
     pub speculative_wasted: u64,
+    /// Speculative jobs shed by pool backpressure before any worker
+    /// picked them up (oldest queued jobs dropped when the in-flight
+    /// budget was exceeded). Always ≤ `speculative_issued`.
+    pub speculative_shed: u64,
+    /// Speculative jobs still queued when the pool settled (the
+    /// search terminated before any worker could start them). Unlike
+    /// `speculative_wasted` these never cost an evaluation.
+    pub speculative_discarded: u64,
+    /// High-water mark of in-flight speculative frames (queued +
+    /// executing) over the run. With a configured budget this never
+    /// exceeds budget + worker count.
+    pub peak_inflight: u64,
     /// Attribute pairs the discovery independence pass considered.
     pub prefilter_pairs: u64,
     /// Pair tests the sketch pre-filter screened out.

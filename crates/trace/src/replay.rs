@@ -120,7 +120,7 @@ mod tests {
                 score,
                 cached: false,
                 speculative_hit: false,
-                latency_ns: 10,
+                latency_ns: Some(10),
             }),
         }
     }
@@ -158,25 +158,32 @@ mod tests {
 
     #[test]
     fn rejects_a_forward_version_file() {
-        // A file written by a hypothetical v2 build: same shape, bumped
-        // schema version. The replay must refuse it wholesale — not
-        // guess at field meanings — and name the offending line.
+        // A file written by a hypothetical newer build: same shape,
+        // bumped schema version. The replay must refuse it wholesale —
+        // not guess at field meanings — and name the offending line.
+        let next = SCHEMA_VERSION + 1;
         let good = record_to_json(&query(0, 7, 0.25));
-        let forward = good.replacen("\"v\":1", "\"v\":2", 1);
+        let forward = good.replacen(
+            &format!("\"v\":{SCHEMA_VERSION}"),
+            &format!("\"v\":{next}"),
+            1,
+        );
+        assert_ne!(good, forward, "version substitution must have happened");
+        let expected = format!("schema version {next}");
         let err = replay_oracle_queries(&format!("{forward}\n")).unwrap_err();
         assert_eq!(err.line, 1);
-        assert!(err.message.contains("schema version 2"), "{err}");
+        assert!(err.message.contains(&expected), "{err}");
 
         // Mixed file: valid line then a forward-version line.
         let err = replay_oracle_queries(&format!("{good}\n{forward}\n")).unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(err.message.contains("schema version 2"), "{err}");
+        assert!(err.message.contains(&expected), "{err}");
 
         // Even as an unterminated tail, a complete forward-version
         // record is a version error, not crash truncation.
         let err = replay_oracle_queries(&format!("{good}\n{forward}")).unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(err.message.contains("schema version 2"), "{err}");
+        assert!(err.message.contains(&expected), "{err}");
     }
 
     #[test]

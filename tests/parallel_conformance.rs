@@ -16,9 +16,12 @@
 use dataprism::report::markdown_report;
 use dataprism::{
     explain_greedy, explain_greedy_parallel, explain_group_test, explain_group_test_parallel,
-    fingerprint, Explanation, PartitionStrategy, PrismConfig, Result,
+    fingerprint, Explanation, PartitionStrategy, PrismConfig, Result, SpeculationMode, System,
+    SystemFactory,
 };
+use dp_frame::DataFrame;
 use dp_scenarios::{cardio, example1, ezgo, income, sensors, sentiment, synthetic, Scenario};
+use std::time::Duration;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 const DEPTHS: [usize; 4] = [0, 1, 2, 4];
@@ -316,6 +319,130 @@ fn parallel_runs_actually_speculate() {
         exp.cache.speculative > 0,
         "expected speculative work at 8 threads, got {:?}",
         exp.cache
+    );
+}
+
+#[test]
+fn adaptive_mode_is_bit_identical_to_static() {
+    // The adaptive executor changes *which* frames are pre-scored and
+    // how many may be in flight — never the serial replay — so every
+    // adaptive cell must reproduce the serial explanation bit-for-bit,
+    // with and without a (deliberately tight) frame budget.
+    for mut scenario in scenarios() {
+        let serial_gt = explain_group_test(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &scenario.config,
+            PartitionStrategy::MinBisection,
+        );
+        let serial_grd = explain_greedy(
+            scenario.system.as_mut(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &scenario.config,
+        );
+        for threads in [2, 8] {
+            for budget in [None, Some(4)] {
+                let mut config = scenario.config.clone();
+                config.num_threads = threads;
+                config.gt_speculation_depth = 2;
+                config.speculation = SpeculationMode::Adaptive;
+                config.speculation_budget = budget;
+                let par = explain_group_test_parallel(
+                    scenario.factory.as_ref(),
+                    &scenario.d_fail,
+                    &scenario.d_pass,
+                    &config,
+                    PartitionStrategy::MinBisection,
+                );
+                assert_identical(scenario.name, threads, &serial_gt, &par);
+            }
+        }
+        let mut config = scenario.config.clone();
+        config.num_threads = 8;
+        config.speculation = SpeculationMode::Adaptive;
+        config.speculation_budget = Some(4);
+        let par = explain_greedy_parallel(
+            scenario.factory.as_ref(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            &config,
+        );
+        assert_identical(scenario.name, 8, &serial_grd, &par);
+    }
+}
+
+/// Wraps a scenario factory so every system evaluation pays a fixed
+/// injected latency — a stand-in for the paper's expensive retraining
+/// pipelines.
+struct SlowFactory<'a> {
+    inner: &'a dyn SystemFactory,
+    delay: Duration,
+}
+
+struct SlowSystem {
+    inner: Box<dyn System + Send>,
+    delay: Duration,
+}
+
+impl System for SlowSystem {
+    fn malfunction(&mut self, df: &DataFrame) -> f64 {
+        std::thread::sleep(self.delay);
+        self.inner.malfunction(df)
+    }
+}
+
+impl SystemFactory for SlowFactory<'_> {
+    fn build(&self) -> Box<dyn System + Send> {
+        Box::new(SlowSystem {
+            inner: self.inner.build(),
+            delay: self.delay,
+        })
+    }
+}
+
+#[test]
+fn slow_oracle_keeps_inflight_frames_within_budget() {
+    // Backpressure end to end: with a slow oracle and a tight frame
+    // budget, in-flight speculative frames never exceed the bound
+    // (budget queued/executing plus at most one unsheddable frame per
+    // worker already mid-evaluation) and the explanation still
+    // matches the serial run bit-for-bit.
+    // (income rather than example1: group testing on example1 rejects
+    // A3, which would end the run before any speculation happens.)
+    let mut scenario = income::scenario_with_size(200, 7);
+    let serial = explain_group_test(
+        scenario.system.as_mut(),
+        &scenario.d_fail,
+        &scenario.d_pass,
+        &scenario.config,
+        PartitionStrategy::MinBisection,
+    );
+    let slow = SlowFactory {
+        inner: scenario.factory.as_ref(),
+        delay: Duration::from_millis(2),
+    };
+    let budget = 6;
+    let threads = 4;
+    let mut config = scenario.config.clone();
+    config.num_threads = threads;
+    config.gt_speculation_depth = 4;
+    config.speculation = SpeculationMode::Adaptive;
+    config.speculation_budget = Some(budget);
+    let par = explain_group_test_parallel(
+        &slow,
+        &scenario.d_fail,
+        &scenario.d_pass,
+        &config,
+        PartitionStrategy::MinBisection,
+    );
+    assert_identical(scenario.name, threads, &serial, &par);
+    let exp = par.unwrap();
+    assert!(
+        exp.metrics.peak_inflight <= (budget + threads) as u64,
+        "peak in-flight {} exceeded budget {budget} + {threads} workers",
+        exp.metrics.peak_inflight
     );
 }
 

@@ -306,6 +306,60 @@ fn daemon_round_trip_matches_in_process_diagnosis() {
 }
 
 #[test]
+fn daemon_adaptive_diagnosis_matches_static_digest() {
+    // The wire `mode`/`budget` overrides reach the executor: an
+    // adaptive diagnosis returns the static run's digest bit for bit,
+    // reports the mode it ran under, keeps its in-flight speculative
+    // frames within the requested bound, and the server's stats
+    // surface the per-namespace slice of the global frame budget.
+    let config = ServeConfig {
+        speculation_budget: Some(64),
+        ..ServeConfig::default()
+    };
+    let max_inflight = config.max_inflight;
+    let server = Server::start(config).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    assert!(is_ok(
+        &client.register("inc", "income", None, None).unwrap()
+    ));
+    let static_run = client.diagnose("inc", "group_test", Some(4)).unwrap();
+    assert!(is_ok(&static_run), "{static_run:?}");
+    let adaptive = client
+        .diagnose_with("inc", "group_test", Some(4), Some("adaptive"), Some(16))
+        .unwrap();
+    assert!(is_ok(&adaptive), "{adaptive:?}");
+    assert_eq!(
+        field_u64(&adaptive, "digest"),
+        field_u64(&static_run, "digest"),
+        "adaptive executor changed the explanation"
+    );
+    assert_eq!(
+        adaptive.get("speculation").and_then(|s| s.as_str()),
+        Some("adaptive")
+    );
+    assert!(
+        field_u64(&adaptive, "peak_inflight").unwrap() <= 16 + 4,
+        "{adaptive:?}"
+    );
+
+    let stats = client.stats(None).unwrap();
+    assert_eq!(
+        stats.get("speculation").and_then(|s| s.as_str()),
+        Some("static"),
+        "server default mode"
+    );
+    assert_eq!(
+        field_u64(&stats, "namespace_frame_budget"),
+        Some(64 / max_inflight as u64),
+        "{stats:?}"
+    );
+
+    assert!(is_ok(&client.shutdown().unwrap()));
+    server.join();
+}
+
+#[test]
 fn daemon_snapshot_restore_preserves_warmth() {
     let server = Server::start(ServeConfig::default()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();

@@ -17,7 +17,7 @@
 
 use dataprism::{
     explain_greedy_parallel, explain_group_test, explain_group_test_parallel, fingerprint,
-    Explanation, PartitionStrategy, PrismConfig, Result, SearchTree, TraceConfig,
+    Explanation, PartitionStrategy, PrismConfig, Result, SearchTree, SpeculationMode, TraceConfig,
 };
 use dp_scenarios::{cardio, example1, ezgo, income, sensors, sentiment, Scenario};
 use dp_trace::{parse_jsonl, to_jsonl, Event};
@@ -170,6 +170,62 @@ fn greedy_explanations_are_sink_invariant() {
 #[test]
 fn group_test_explanations_are_sink_invariant() {
     parity_matrix(Algo::Gt, "gt");
+}
+
+#[test]
+fn adaptive_mode_is_sink_invariant_and_plans_round_trip() {
+    // Adaptive cell of the parity matrix: with the adaptive executor
+    // on, every sink still returns the static off-run's explanation
+    // bit-for-bit, the collected stream carries the controller's
+    // `speculation_plan` decisions (depth never above the configured
+    // cap), and the records survive the JSONL round trip exactly.
+    for scenario in [
+        income::scenario_with_size(200, 7),
+        sensors::scenario_with_size(150, 4),
+    ] {
+        for threads in [2usize, 8] {
+            let cap = 2;
+            let mut config = scenario.config.clone();
+            config.num_threads = threads;
+            config.gt_speculation_depth = cap;
+            config.trace = TraceConfig::Off;
+            let static_off = run(Algo::Gt, &scenario, &config);
+
+            config.speculation = SpeculationMode::Adaptive;
+            let adaptive_off = run(Algo::Gt, &scenario, &config);
+            config.trace = TraceConfig::Collect;
+            let adaptive_collected = run(Algo::Gt, &scenario, &config);
+
+            let label = format!("{}/adaptive@{threads}t", scenario.name);
+            assert_same_outcome(&label, &static_off, &adaptive_off);
+            assert_same_outcome(&label, &static_off, &adaptive_collected);
+
+            let Ok(exp) = &adaptive_collected else {
+                continue;
+            };
+            let mut plans = 0;
+            for record in &exp.trace_records {
+                if let Event::SpeculationPlan(plan) = &record.event {
+                    plans += 1;
+                    assert_eq!(plan.cap, cap, "{label}: plan cap");
+                    assert!(
+                        plan.depth <= plan.cap,
+                        "{label}: controller chose depth {} above cap {}",
+                        plan.depth,
+                        plan.cap
+                    );
+                    assert!(plan.budget.is_some(), "{label}: adaptive runs are bounded");
+                }
+            }
+            assert!(plans > 0, "{label}: no controller decisions were traced");
+            let text = to_jsonl(&exp.trace_records);
+            assert_eq!(
+                parse_jsonl(&text).unwrap(),
+                exp.trace_records,
+                "{label}: speculation_plan records must round-trip"
+            );
+        }
+    }
 }
 
 #[test]
