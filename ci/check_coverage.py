@@ -2,8 +2,8 @@
 """Line-coverage ratchet gate for the analysis crates.
 
 Computes the aggregate line coverage over files under
-`crates/core/src/` and `crates/lint/src/` from a
-`cargo llvm-cov --json` export and compares it against the committed
+`crates/core/src/`, `crates/lint/src/`, and `crates/frame/src/` from
+a `cargo llvm-cov --json` export and compares it against the committed
 `ci/coverage-baseline.txt` — the single source of truth for the
 ratchet; there is no built-in fallback value:
 
@@ -29,7 +29,7 @@ import sys
 import tempfile
 
 SLACK = 2.0  # points above baseline before we nag to ratchet
-GATED_PREFIXES = ("crates/core/src/", "crates/lint/src/")
+GATED_PREFIXES = ("crates/core/src/", "crates/lint/src/", "crates/frame/src/")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 COV_COMMAND = [
     "cargo",
@@ -39,6 +39,8 @@ COV_COMMAND = [
     "dataprism",
     "-p",
     "dp-lint",
+    "-p",
+    "dp-frame",
     "-p",
     "dataprism-suite",
     "--json",

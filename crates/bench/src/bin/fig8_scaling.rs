@@ -8,12 +8,130 @@
 //! ~10⁴ seconds per run; this harness defaults to 20K so a full sweep
 //! finishes in minutes (`--full` raises the cap to 100K).
 //!
-//! Usage: `cargo run --release -p dp-bench --bin fig8_scaling [--full]`
+//! A third panel scales the *row count* to 10⁶ (10⁷ with `--full`),
+//! the regime where the copy-on-write chunked frame and the
+//! confidence-bounded sampled oracle matter.
+//!
+//! Usage: `cargo run --release -p dp-bench --bin fig8_scaling
+//! [--full] [--smoke]`
+//!
+//! `--smoke` skips the sweeps and runs the CI memory + sampling gate
+//! on one 10⁶-row cell instead:
+//!
+//! - the live intervention working set (base frame + one speculated
+//!   frame per PVT, exactly what the speculation layer holds in
+//!   flight) must occupy ≥ 5× less heap after chunk deduplication
+//!   than eager full copies would;
+//! - GRD and GT under `oracle_sampling: Bounded` must produce
+//!   explanations bit-identical (same [`Explanation::digest`]) to
+//!   the full-evaluation runs, while touching strictly fewer rows.
 
+use dataprism::{
+    explain_greedy_with_pvts, explain_group_test_with_pvts, Explanation, OracleSampling,
+    PartitionStrategy, PrismConfig,
+};
 use dp_bench::{format_row, run_synthetic, Technique};
-use dp_scenarios::synthetic::single_cause;
+use dp_frame::unique_heap_bytes;
+use dp_scenarios::synthetic::{conjunctive_cause_with_rows, single_cause, single_cause_with_rows};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The CI gate: one 10⁶-row single-cause cell, checked for the CoW
+/// working-set saving and for sampled-vs-full digest equality.
+fn smoke() {
+    let rows = 1_000_000;
+    // A 4-PVT conjunctive cause: minimality checking must drop-test
+    // non-prefix sub-compositions whose scores were never cached, so
+    // the sampled oracle gets unknown failing queries to settle.
+    let scenario = conjunctive_cause_with_rows(16, 8, 4, rows, 11);
+
+    // Memory gate. Materialize every candidate intervention the way
+    // the runtime does — `Transform::apply` clones the frame and
+    // copy-on-writes only the chunks it touches — and keep them all
+    // alive at once, the speculation layer's peak working set.
+    let mut rng = StdRng::seed_from_u64(scenario.config.seed);
+    let speculated: Vec<_> = scenario
+        .pvts
+        .iter()
+        .map(|p| p.apply(&scenario.d_fail, &mut rng).expect("pvt applies").0)
+        .collect();
+    let frames: Vec<&dp_frame::DataFrame> = std::iter::once(&scenario.d_fail)
+        .chain(&speculated)
+        .collect();
+    let cow = unique_heap_bytes(frames.iter().copied());
+    let eager: usize = frames.iter().map(|f| f.heap_bytes()).sum();
+    let factor = eager as f64 / cow as f64;
+    println!(
+        "memory gate: {rows} rows x 16 attrs, {} live interventions:\n\
+         cow working set {:.1} MiB vs eager copies {:.1} MiB ({factor:.1}x saved)",
+        speculated.len(),
+        cow as f64 / (1 << 20) as f64,
+        eager as f64 / (1 << 20) as f64,
+    );
+    assert!(
+        factor >= 5.0,
+        "CoW working set must be >= 5x smaller than eager copies (got {factor:.2}x)"
+    );
+
+    // Sampling gate: same cell, full evaluation vs confidence-bounded
+    // sampled oracle, for both techniques.
+    let sampled_config = |mut c: PrismConfig| {
+        c.oracle_sampling = OracleSampling::Bounded { confidence: 0.95 };
+        c
+    };
+    let grd = |config: &PrismConfig| -> Explanation {
+        explain_greedy_with_pvts(
+            &mut scenario.system.clone(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            scenario.pvts.clone(),
+            config,
+        )
+        .expect("greedy resolves")
+    };
+    let gt = |config: &PrismConfig| -> Explanation {
+        explain_group_test_with_pvts(
+            &mut scenario.system.clone(),
+            &scenario.d_fail,
+            &scenario.d_pass,
+            scenario.pvts.clone(),
+            config,
+            PartitionStrategy::MinBisection,
+        )
+        .expect("group test resolves")
+    };
+    for (name, run) in [
+        ("GRD", &grd as &dyn Fn(&PrismConfig) -> Explanation),
+        ("GT", &gt),
+    ] {
+        let full = run(&scenario.config);
+        let sampled = run(&sampled_config(scenario.config.clone()));
+        assert_eq!(
+            full.digest(),
+            sampled.digest(),
+            "{name}: sampled run must be bit-identical to full evaluation"
+        );
+        assert!(
+            sampled.metrics.sampled_queries > 0,
+            "{name}: the 10^6-row cell must actually settle queries on samples"
+        );
+        println!(
+            "sampling gate: {name}: digest match, {} interventions, \
+             {} settled on samples ({} escalated, {} sampled rows touched)",
+            sampled.interventions,
+            sampled.metrics.sampled_queries,
+            sampled.metrics.escalations,
+            sampled.metrics.rows_touched,
+        );
+    }
+    println!("fig8 memory + sampling gate: ok");
+}
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let full = std::env::args().any(|a| a == "--full");
     let seed = 11;
 
@@ -96,5 +214,46 @@ fn main() {
         );
         assert!(grd.resolved && gt.resolved, "scaling runs must resolve");
     }
+    println!("\nFig 8 (rows) — execution time vs #rows (16 attributes, 8 discriminative PVTs)\n");
+    println!(
+        "{}",
+        format_row(
+            &[
+                "#rows".into(),
+                "GRD seconds".into(),
+                "GT seconds".into(),
+                "GRD intervs".into(),
+                "GT intervs".into()
+            ],
+            &widths
+        )
+    );
+    let row_points: &[usize] = if full {
+        &[10_000, 100_000, 1_000_000, 10_000_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    for &rows in row_points {
+        let grd = run_synthetic(single_cause_with_rows(16, 8, rows, seed), Technique::Greedy);
+        let gt = run_synthetic(
+            single_cause_with_rows(16, 8, rows, seed),
+            Technique::GroupTest,
+        );
+        println!(
+            "{}",
+            format_row(
+                &[
+                    rows.to_string(),
+                    format!("{:.3}", grd.seconds),
+                    format!("{:.3}", gt.seconds),
+                    grd.interventions_cell(),
+                    gt.interventions_cell(),
+                ],
+                &widths
+            )
+        );
+        assert!(grd.resolved && gt.resolved, "scaling runs must resolve");
+    }
+
     println!("\npaper reference: both curves grow sub-linearly (their Fig 8, log-log)");
 }

@@ -41,7 +41,8 @@ use dataprism::{
 use dp_bench::format_row;
 use dp_frame::DataFrame;
 use dp_scenarios::synthetic::{
-    adversarial_rank, conjunctive_cause, single_cause, SyntheticScenario, SyntheticSystem,
+    adversarial_rank, conjunctive_cause, single_cause, single_cause_with_rows, SyntheticScenario,
+    SyntheticSystem,
 };
 use std::time::{Duration, Instant};
 
@@ -284,6 +285,14 @@ fn main() {
         // nodes, so the lookahead frontier is consumed nearly in
         // full — the regime where depth >= 2 shines.
         ("fig9c conj-8".into(), conjunctive_cause(64, 64, 8, 7)),
+        // 10^6 rows: the speculative frontier holds frames that are
+        // copy-on-write chunk-shared clones of D_fail, so deep
+        // lookahead stays memory-bounded even at dataset sizes where
+        // eager copies would not fit.
+        (
+            "fig8 rows=10^6".into(),
+            single_cause_with_rows(16, 8, 1_000_000, 11),
+        ),
     ];
 
     println!(

@@ -178,6 +178,40 @@ impl SpeculationMode {
     }
 }
 
+/// Confidence-bounded sampled oracle queries.
+///
+/// With sampling on, an oracle query may first estimate `m_S(D)` on a
+/// stratified row sample and **early-exit once the pass/fail decision
+/// at τ is statistically settled** (a Hoeffding bound at the
+/// configured confidence), escalating to the full dataset whenever
+/// the estimate sits inside the confidence band of τ. Only queries
+/// whose exact score is never consumed downstream (Make-Minimal's
+/// rejected drop candidates) are eligible, and a confidently *passing*
+/// estimate escalates too — a pass decision feeds the explanation's
+/// score — so explanations, traces, and intervention counts stay
+/// bit-for-bit identical to `Off` (`tests/sampled_oracle_differential.rs`
+/// asserts this across every scenario × algorithm × thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum OracleSampling {
+    /// Every query scores the full dataset (the pre-sampling
+    /// behavior). The default.
+    #[default]
+    Off,
+    /// Allow sampled early exits on decision-only queries.
+    Bounded {
+        /// Confidence level `1 − δ` of the Hoeffding settlement test,
+        /// e.g. `0.999`. Clamped into `[0.5, 1)` at use sites.
+        confidence: f64,
+    },
+}
+
+impl OracleSampling {
+    /// Whether sampling is enabled.
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, OracleSampling::Bounded { .. })
+    }
+}
+
 /// Top-level configuration for a diagnosis run.
 #[derive(Debug, Clone)]
 pub struct PrismConfig {
@@ -244,6 +278,12 @@ pub struct PrismConfig {
     /// ordered event stream — attaching one never changes the
     /// diagnosis (asserted by `tests/trace_parity.rs`).
     pub trace: dp_trace::TraceConfig,
+    /// Confidence-bounded sampled oracle queries (see
+    /// [`OracleSampling`]). Defaults to [`OracleSampling::Off`];
+    /// `Bounded` never changes the diagnosis, only how many rows
+    /// decision-only queries touch ([`dp_trace::RunMetrics`]'s
+    /// `sampled_queries` / `escalations` / `rows_touched`).
+    pub oracle_sampling: OracleSampling,
 }
 
 impl Default for PrismConfig {
@@ -264,6 +304,7 @@ impl Default for PrismConfig {
             speculation_budget: None,
             lint: Lint::default(),
             trace: dp_trace::TraceConfig::default(),
+            oracle_sampling: OracleSampling::default(),
         }
     }
 }
@@ -317,5 +358,13 @@ mod tests {
         let c = PrismConfig::default();
         assert_eq!(c.speculation, SpeculationMode::Static);
         assert_eq!(c.speculation_budget, None);
+    }
+
+    #[test]
+    fn oracle_sampling_defaults_off() {
+        let c = PrismConfig::default();
+        assert_eq!(c.oracle_sampling, OracleSampling::Off);
+        assert!(!c.oracle_sampling.is_enabled());
+        assert!(OracleSampling::Bounded { confidence: 0.999 }.is_enabled());
     }
 }

@@ -27,7 +27,7 @@ use crate::graph::PvtAttributeGraph;
 use crate::oracle::{CacheStats, Oracle, System, SystemFactory};
 use crate::pvt::Pvt;
 use crate::runtime::{
-    baseline_traced, intervene_traced, InterventionRuntime, ParOracle, Speculation,
+    baseline_traced, decide_traced, intervene_traced, InterventionRuntime, ParOracle, Speculation,
 };
 use dp_frame::DataFrame;
 use dp_trace::{DiagnosisSpan, Event, Tracer};
@@ -138,8 +138,12 @@ pub(crate) fn make_minimal(
         let mut dropped = false;
         for (offset, speculated) in spec.into_iter().enumerate() {
             let j = i + offset;
-            let s = intervene_traced(rt, &speculated.frame, tracer);
-            if rt.passes(s) {
+            // A rejected drop consumes only the verdict, never the
+            // score — the one call site where a confidence-bounded
+            // sampled FAIL may settle without a full evaluation.
+            let (passed, s) = decide_traced(rt, &speculated.frame, tracer);
+            if passed {
+                let s = s.expect("passing decisions always carry an exact score");
                 trace.push(TraceEvent::MinimalityDropped {
                     pvt_id: selected[j].id,
                 });
@@ -172,7 +176,8 @@ pub fn explain_greedy(
     config: &PrismConfig,
 ) -> Result<Explanation> {
     let tracer = make_tracer(config)?;
-    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions)
+        .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "greedy", &oracle, config, 1);
     // Lines 1–4: discriminative PVTs.
     let (pvts, stats) = discriminative_pvts_traced(d_pass, d_fail, &config.discovery, 1, &tracer);
@@ -194,7 +199,8 @@ pub fn explain_greedy_with_pvts(
     config: &PrismConfig,
 ) -> Result<Explanation> {
     let tracer = make_tracer(config)?;
-    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions)
+        .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "greedy", &oracle, config, 1);
     run_greedy(&mut oracle, d_fail, d_pass, pvts, config, tracer)
 }
@@ -216,7 +222,8 @@ pub fn explain_greedy_parallel(
         config.max_interventions,
         config.num_threads,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     let (pvts, stats) = discriminative_pvts_traced(
         d_pass,
@@ -256,7 +263,8 @@ pub fn explain_greedy_parallel_cached(
         config.num_threads,
         cache,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     let (pvts, stats) = discriminative_pvts_traced(
         d_pass,
@@ -287,7 +295,8 @@ pub fn explain_greedy_parallel_with_pvts(
         config.max_interventions,
         config.num_threads,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "greedy", &rt, config, config.num_threads);
     run_greedy(&mut rt, d_fail, d_pass, pvts, config, tracer)
 }

@@ -82,7 +82,8 @@ pub fn explain_group_test(
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
     let tracer = make_tracer(config)?;
-    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions)
+        .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "group_test", &oracle, config, 1);
     // Lines 1–4 of Alg 2.
     let (pvt_vec, stats) =
@@ -111,7 +112,8 @@ pub fn explain_group_test_with_pvts(
     strategy: PartitionStrategy,
 ) -> Result<Explanation> {
     let tracer = make_tracer(config)?;
-    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions);
+    let mut oracle = Oracle::new(system, config.threshold, config.max_interventions)
+        .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "group_test", &oracle, config, 1);
     run_group_test(
         &mut oracle,
@@ -146,7 +148,8 @@ pub fn explain_group_test_parallel(
         config.max_interventions,
         config.num_threads,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     let (pvt_vec, stats) = discriminative_pvts_traced(
         d_pass,
@@ -181,7 +184,8 @@ pub fn explain_group_test_parallel_cached(
         config.num_threads,
         cache,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     let (pvt_vec, stats) = discriminative_pvts_traced(
         d_pass,
@@ -213,7 +217,8 @@ pub fn explain_group_test_parallel_with_pvts(
         config.max_interventions,
         config.num_threads,
     )
-    .with_speculation(config.speculation, config.speculation_budget);
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
     emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
     run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer)
 }

@@ -85,12 +85,12 @@ pub mod transform;
 pub mod violation;
 
 pub use cache::{ScoreCache, SnapshotError};
-pub use config::{DiscoveryConfig, Lint, Prefilter, PrismConfig, SpeculationMode};
+pub use config::{DiscoveryConfig, Lint, OracleSampling, Prefilter, PrismConfig, SpeculationMode};
 pub use discovery::DiscoveryStats;
 pub use dp_lint::{Diagnostic, Diagnostics, RuleId, Severity};
 pub use dp_trace::{
-    Collector, Event, JsonlSink, LatencyHistogram, NullSink, QueryStat, RunMetrics, SearchTree,
-    TraceConfig, TraceRecord, TraceSink, Tracer,
+    Collector, Event, JsonlSink, LatencyHistogram, NullSink, QueryStat, RunMetrics,
+    SampledQuerySpan, SearchTree, TraceConfig, TraceRecord, TraceSink, Tracer,
 };
 pub use error::{PrismError, Result};
 pub use explanation::{Explanation, TraceEvent};

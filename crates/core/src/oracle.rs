@@ -13,8 +13,12 @@
 //! datasets concurrently into a shared fingerprint cache.
 
 use crate::cache::ScoreCache;
-use dp_frame::{Bitmap, ColumnData, DataFrame, Value};
-use dp_trace::{LatencyHistogram, QueryStat, RunMetrics};
+use crate::config::OracleSampling;
+use dp_frame::sample::stratified_sample_indices;
+use dp_frame::{Bitmap, Chunk, ColumnData, DataFrame, Value};
+use dp_trace::{LatencyHistogram, QueryStat, RunMetrics, SampledQuerySpan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -88,39 +92,57 @@ fn hash_valid_slots<T: Hash>(h: &mut DefaultHasher, tag: u8, values: &[T], valid
     }
 }
 
+/// Content hash of one storage chunk: validity words plus the typed
+/// buffer (placeholders under NULL slots masked out). This is the
+/// `compute` half of [`Chunk::cached_fingerprint`] — the hash policy
+/// lives here with the oracle, the cache lives with the storage.
+fn chunk_fingerprint(chunk: &Chunk) -> u64 {
+    let mut h = DefaultHasher::new();
+    // The bitmap's tail bits past `len` are canonically zero, so the
+    // word slice is safe to hash directly; it distinguishes NULL
+    // layouts that the value stream alone cannot.
+    chunk.validity().words().hash(&mut h);
+    match chunk.data() {
+        ColumnData::Int(v) => hash_valid_slots(&mut h, 1, v, chunk.validity()),
+        ColumnData::Bool(v) => hash_valid_slots(&mut h, 3, v, chunk.validity()),
+        ColumnData::Str(v) => hash_valid_slots(&mut h, 4, v, chunk.validity()),
+        ColumnData::Float(v) => {
+            2u8.hash(&mut h);
+            if chunk.validity().count_zeros() == 0 {
+                for x in v {
+                    x.to_bits().hash(&mut h);
+                }
+            } else {
+                for (i, x) in v.iter().enumerate() {
+                    if chunk.validity().get(i) {
+                        x.to_bits().hash(&mut h);
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Content fingerprint of a dataframe, hashing the raw typed column
 /// buffers and validity bitmaps directly — no per-cell [`Value`]
 /// boxing or string formatting. Collisions would only merge two
 /// intervention cache entries, never corrupt correctness-critical
 /// state.
+///
+/// Per-chunk hashes are memoized on the chunks themselves
+/// ([`Chunk::cached_fingerprint`]), so fingerprinting a transformed
+/// frame re-hashes only the chunks the transformation actually wrote
+/// — every chunk still shared with an already-fingerprinted frame is
+/// a single cached `u64` read.
 pub fn fingerprint(df: &DataFrame) -> u64 {
     let mut h = DefaultHasher::new();
     for col in df.columns() {
         col.name().hash(&mut h);
         col.dtype().hash(&mut h);
         col.len().hash(&mut h);
-        // The bitmap's tail bits past `len` are canonically zero, so
-        // the word slice is safe to hash directly; it distinguishes
-        // NULL layouts that the value stream alone cannot.
-        col.validity().words().hash(&mut h);
-        match col.data() {
-            ColumnData::Int(v) => hash_valid_slots(&mut h, 1, v, col.validity()),
-            ColumnData::Bool(v) => hash_valid_slots(&mut h, 3, v, col.validity()),
-            ColumnData::Str(v) => hash_valid_slots(&mut h, 4, v, col.validity()),
-            ColumnData::Float(v) => {
-                2u8.hash(&mut h);
-                if col.validity().count_zeros() == 0 {
-                    for x in v {
-                        x.to_bits().hash(&mut h);
-                    }
-                } else {
-                    for (i, x) in v.iter().enumerate() {
-                        if col.validity().get(i) {
-                            x.to_bits().hash(&mut h);
-                        }
-                    }
-                }
-            }
+        for chunk in col.chunks() {
+            chunk.cached_fingerprint(chunk_fingerprint).hash(&mut h);
         }
     }
     h.finish()
@@ -225,6 +247,140 @@ impl CacheStats {
     }
 }
 
+/// Datasets smaller than this are never worth sampling: the first
+/// probe (64 rows) plus the Hoeffding band would cover most of the
+/// data anyway, so the full evaluation is both cheaper and exact.
+const MIN_SAMPLED_ROWS: usize = 128;
+
+/// First sample size of the doubling schedule.
+const INITIAL_SAMPLE_ROWS: usize = 64;
+
+/// Contiguous row-range strata the sampled oracle draws from, so a
+/// sample covers the whole index range even when rows are ordered.
+const SAMPLE_STRATA: usize = 16;
+
+/// The confidence-bounded sampled decision procedure shared by the
+/// serial [`Oracle`] and [`crate::runtime::ParOracle`].
+///
+/// `try_settle` estimates `m_S(D)` on growing stratified row samples
+/// and settles the pass/fail verdict at τ once a two-sided Hoeffding
+/// bound puts the estimate confidently on the FAIL side:
+/// `est − τ > ε(n)` with `ε(n) = sqrt(ln(2/δ) / 2n)`, `δ = 1 −
+/// confidence`. Only FAIL verdicts ever settle — every consumer of a
+/// *passing* decision reads the exact score (the greedy loop composes
+/// it, Make-Minimal adopts it, reports print it), so confident
+/// passes, boundary cases, and exhausted schedules all escalate to a
+/// full evaluation and stay bit-identical to an unsampled run.
+pub(crate) struct SampledDecider {
+    mode: OracleSampling,
+    seed: u64,
+    /// Verdicts already settled on a sample, by dataset fingerprint:
+    /// `(estimate, rows)` of the settling probe. A repeated query
+    /// reuses the verdict without re-scoring any rows.
+    settled: HashMap<u64, (f64, u64)>,
+    /// Charged queries settled on a sample.
+    pub(crate) sampled_queries: u64,
+    /// Eligible queries that escalated to a full evaluation.
+    pub(crate) escalations: u64,
+    /// Rows actually scored by sampled probes.
+    pub(crate) rows_touched: u64,
+    /// Record of the most recent settled decision, for span emission.
+    pub(crate) last: Option<SampledQuerySpan>,
+}
+
+impl SampledDecider {
+    pub(crate) fn new(mode: OracleSampling, seed: u64) -> Self {
+        SampledDecider {
+            mode,
+            seed,
+            settled: HashMap::new(),
+            sampled_queries: 0,
+            escalations: 0,
+            rows_touched: 0,
+            last: None,
+        }
+    }
+
+    /// The configured confidence, clamped into a usable range
+    /// (δ must stay in `(0, 0.5]` for the bound to mean anything).
+    fn confidence(&self) -> Option<f64> {
+        match self.mode {
+            OracleSampling::Off => None,
+            OracleSampling::Bounded { confidence } => Some(confidence.clamp(0.5, 1.0 - 1e-9)),
+        }
+    }
+
+    /// Try to settle `df`'s verdict at `threshold` on stratified row
+    /// samples scored by `eval`. Returns `Some(false)` for a
+    /// confident FAIL (never `Some(true)`: passing decisions must
+    /// carry exact scores); `None` means the caller must evaluate in
+    /// full — sampling off, dataset too small, or escalation.
+    pub(crate) fn try_settle(
+        &mut self,
+        fp: u64,
+        df: &DataFrame,
+        threshold: f64,
+        eval: &mut dyn FnMut(&DataFrame) -> f64,
+    ) -> Option<bool> {
+        let confidence = self.confidence()?;
+        let total = df.n_rows();
+        if total < MIN_SAMPLED_ROWS {
+            return None;
+        }
+        if let Some(&(estimate, rows)) = self.settled.get(&fp) {
+            self.sampled_queries += 1;
+            self.last = Some(SampledQuerySpan {
+                fingerprint: fp,
+                estimate,
+                rows,
+                total_rows: total as u64,
+                confidence,
+            });
+            return Some(false);
+        }
+        let delta = 1.0 - confidence;
+        // Deterministic per-dataset stream: the same frame samples the
+        // same rows in every run and on every runtime.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ fp);
+        let mut n = INITIAL_SAMPLE_ROWS.min(total);
+        loop {
+            let idx = stratified_sample_indices(&mut rng, total, n, SAMPLE_STRATA)
+                .expect("sample size is bounded by the row count");
+            let sample = df.take(&idx).expect("sampled indices are in range");
+            let estimate = sanitize(eval(&sample));
+            self.rows_touched += n as u64;
+            let eps = ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt();
+            if estimate - threshold > eps {
+                self.sampled_queries += 1;
+                self.settled.insert(fp, (estimate, n as u64));
+                self.last = Some(SampledQuerySpan {
+                    fingerprint: fp,
+                    estimate,
+                    rows: n as u64,
+                    total_rows: total as u64,
+                    confidence,
+                });
+                return Some(false);
+            }
+            if threshold - estimate > eps {
+                // Confident PASS: the verdict is settled but the
+                // exact score is consumed downstream — escalate.
+                break;
+            }
+            if n * 2 <= total {
+                n *= 2;
+            } else {
+                // The estimate still sits inside the confidence band
+                // of τ with the schedule exhausted: the boundary case
+                // sampling must never decide.
+                break;
+            }
+        }
+        self.escalations += 1;
+        None
+    }
+}
+
 /// Intervention-counting, caching wrapper around a [`System`].
 pub struct Oracle<'a> {
     system: &'a mut dyn System,
@@ -250,6 +406,9 @@ pub struct Oracle<'a> {
     /// Fingerprints seeded from a cross-run [`ScoreCache`] before the
     /// run started, for [`RunMetrics::warm_hits`] accounting.
     warm: HashSet<u64>,
+    /// The confidence-bounded sampled decision procedure (inert under
+    /// [`OracleSampling::Off`], the default).
+    sampling: SampledDecider,
 }
 
 impl<'a> Oracle<'a> {
@@ -269,7 +428,16 @@ impl<'a> Oracle<'a> {
             cache: HashMap::new(),
             free: std::collections::HashSet::new(),
             warm: HashSet::new(),
+            sampling: SampledDecider::new(OracleSampling::Off, 0),
         }
+    }
+
+    /// Configure the sampled decision procedure (see
+    /// [`crate::PrismConfig::oracle_sampling`]); `seed` keys the
+    /// per-dataset sample streams. Returns `self` for chaining.
+    pub fn with_sampling(mut self, mode: OracleSampling, seed: u64) -> Self {
+        self.sampling = SampledDecider::new(mode, seed);
+        self
     }
 
     /// Like [`Oracle::new`], but seed the fingerprint cache from a
@@ -373,6 +541,50 @@ impl<'a> Oracle<'a> {
         score
     }
 
+    /// Decide whether `df` passes at τ, charging one intervention.
+    ///
+    /// With sampling off (the default) this is exactly
+    /// [`Oracle::intervene`] plus [`Oracle::passes`], and the exact
+    /// score is always returned. Under [`OracleSampling::Bounded`],
+    /// an uncached query may instead be settled as a confident FAIL
+    /// on stratified row samples ([`SampledDecider`]); those return
+    /// `(false, None)` without ever scoring the full dataset.
+    /// Decisions that pass — or sit inside the confidence band of τ —
+    /// escalate to a full evaluation, so a returned score is exact.
+    pub fn decide(&mut self, df: &DataFrame) -> (bool, Option<f64>) {
+        let fp = fingerprint(df);
+        let settled = if self.free.contains(&fp) || self.cache.contains_key(&fp) {
+            // The exact score is free or already paid for — sampling
+            // could only discard information.
+            None
+        } else {
+            let threshold = self.threshold;
+            let system = &mut *self.system;
+            self.sampling
+                .try_settle(fp, df, threshold, &mut |d| sanitize(system.malfunction(d)))
+        };
+        match settled {
+            Some(passes) => {
+                // The act of asking is still one intervention; the
+                // hit/miss split, score cache, and latency histogram
+                // describe full evaluations only and stay untouched.
+                self.interventions += 1;
+                (passes, None)
+            }
+            None => {
+                let score = self.intervene(df);
+                (self.passes(score), Some(score))
+            }
+        }
+    }
+
+    /// The sampled-decision record of the most recent
+    /// [`Oracle::decide`] that settled without an exact score, for
+    /// span emission.
+    pub fn last_sampled_query(&self) -> Option<SampledQuerySpan> {
+        self.sampling.last
+    }
+
     /// Whether a score is acceptable (`m ≤ τ`).
     pub fn passes(&self, score: f64) -> bool {
         score <= self.threshold
@@ -398,6 +610,9 @@ impl<'a> Oracle<'a> {
             cache_hits: self.hits as u64,
             cache_misses: self.misses as u64,
             warm_hits: self.warm_hits,
+            sampled_queries: self.sampling.sampled_queries,
+            escalations: self.sampling.escalations,
+            rows_touched: self.sampling.rows_touched,
             query_latency: self.query_latency,
             ..RunMetrics::default()
         }

@@ -44,14 +44,14 @@
 //! `gt_speculation_depth` in {0, 1, 2, 4}.
 
 use crate::cache::ScoreCache;
-use crate::config::SpeculationMode;
+use crate::config::{OracleSampling, SpeculationMode};
 use crate::error::Result;
-use crate::oracle::{sanitize, CacheStats, Oracle, System, SystemFactory};
+use crate::oracle::{sanitize, CacheStats, Oracle, SampledDecider, System, SystemFactory};
 use crate::pvt::{apply_composition, Pvt};
 use dp_frame::DataFrame;
 use dp_trace::{
     Event, LatencyHistogram, MetricsShard, OracleQuerySpan, QueryKind, QueryStat, RunMetrics,
-    Tracer,
+    SampledQuerySpan, Tracer,
 };
 use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -174,6 +174,25 @@ pub trait InterventionRuntime {
     /// Score a transformed dataset, charging one intervention (cached
     /// or not — an intervention is the act of asking).
     fn intervene(&mut self, df: &DataFrame) -> f64;
+    /// Decide whether a transformed dataset passes at τ, charging one
+    /// intervention. Returns the verdict plus the exact score when
+    /// one was computed — `None` only when a confidence-bounded
+    /// sampled decision settled without a full evaluation (possible
+    /// only under [`crate::PrismConfig::oracle_sampling`], and only
+    /// for FAIL verdicts: every passing decision carries its exact
+    /// score). The default always evaluates in full, so third-party
+    /// runtimes are parity-exact by construction.
+    fn decide(&mut self, df: &DataFrame) -> (bool, Option<f64>) {
+        let score = self.intervene(df);
+        (self.passes(score), Some(score))
+    }
+    /// The sampled-decision record of the most recent
+    /// [`InterventionRuntime::decide`] that settled without an exact
+    /// score, for span emission. The default (`None`) is for runtimes
+    /// that never sample.
+    fn last_sampled_query(&self) -> Option<SampledQuerySpan> {
+        None
+    }
     /// Materialize the given candidate datasets, and — in parallel
     /// runtimes — score them into the fingerprint cache without
     /// charging interventions.
@@ -264,6 +283,40 @@ pub(crate) fn intervene_traced<R: InterventionRuntime + ?Sized>(
     score
 }
 
+/// Decide one pass/fail verdict through `rt` and emit the matching
+/// event: an [`OracleQuerySpan`] when the decision computed an exact
+/// score, an [`Event::SampledQuery`] when it settled on a sample.
+pub(crate) fn decide_traced<R: InterventionRuntime + ?Sized>(
+    rt: &mut R,
+    df: &DataFrame,
+    tracer: &Tracer,
+) -> (bool, Option<f64>) {
+    let (passes, score) = rt.decide(df);
+    if tracer.enabled() {
+        match score {
+            Some(score) => {
+                let q = rt.last_query();
+                tracer.emit(|| {
+                    Event::OracleQuery(OracleQuerySpan {
+                        kind: QueryKind::Intervention,
+                        fingerprint: q.fingerprint,
+                        score,
+                        cached: q.cached,
+                        speculative_hit: q.speculative_hit,
+                        latency_ns: q.latency_ns,
+                    })
+                });
+            }
+            None => {
+                if let Some(span) = rt.last_sampled_query() {
+                    tracer.emit(|| Event::SampledQuery(span));
+                }
+            }
+        }
+    }
+    (passes, score)
+}
+
 /// Score a baseline through `rt` and emit the matching
 /// [`OracleQuerySpan`] event (kind [`QueryKind::Baseline`]).
 pub(crate) fn baseline_traced<R: InterventionRuntime + ?Sized>(
@@ -295,6 +348,14 @@ impl InterventionRuntime for Oracle<'_> {
 
     fn intervene(&mut self, df: &DataFrame) -> f64 {
         Oracle::intervene(self, df)
+    }
+
+    fn decide(&mut self, df: &DataFrame) -> (bool, Option<f64>) {
+        Oracle::decide(self, df)
+    }
+
+    fn last_sampled_query(&self) -> Option<SampledQuerySpan> {
+        Oracle::last_sampled_query(self)
     }
 
     fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>> {
@@ -426,6 +487,12 @@ pub struct ParOracle<'a> {
     /// entries never enter `unconsumed`: a warm start is not
     /// speculation and must not read as speculative waste.
     warm: HashSet<u64>,
+    /// The confidence-bounded sampled decision procedure (inert under
+    /// [`OracleSampling::Off`], the default). Sample probes are
+    /// scored synchronously on the primary worker; on parallel runs
+    /// speculation usually pre-scores candidate frames into the
+    /// shared cache first, making the sampler mostly a no-op there.
+    sampling: SampledDecider,
     pool: Option<Arc<Pool>>,
     pool_workers: Vec<pool_thread::JoinHandle<()>>,
 }
@@ -464,9 +531,18 @@ impl<'a> ParOracle<'a> {
             })),
             free: HashSet::new(),
             warm: HashSet::new(),
+            sampling: SampledDecider::new(OracleSampling::Off, 0),
             pool: None,
             pool_workers: Vec::new(),
         }
+    }
+
+    /// Configure the sampled decision procedure (see
+    /// [`crate::PrismConfig::oracle_sampling`]); `seed` keys the
+    /// per-dataset sample streams. Returns `self` for chaining.
+    pub fn with_sampling(mut self, mode: OracleSampling, seed: u64) -> Self {
+        self.sampling = SampledDecider::new(mode, seed);
+        self
     }
 
     /// Configure the speculation executor: the scheduling mode and an
@@ -727,6 +803,40 @@ impl InterventionRuntime for ParOracle<'_> {
         self.score(fp, df)
     }
 
+    fn decide(&mut self, df: &DataFrame) -> (bool, Option<f64>) {
+        let fp = crate::oracle::fingerprint(df);
+        let known =
+            self.free.contains(&fp) || self.cache.lock().expect("cache lock").map.contains_key(&fp);
+        let settled = if known {
+            // Speculation (or a warm start) already paid for the
+            // exact score — consume it through the normal charged
+            // path so hit/waste accounting stays truthful.
+            None
+        } else {
+            self.ensure_workers(1);
+            let threshold = self.threshold;
+            // Disjoint field borrows: the sample probes run on the
+            // primary worker while the decider tracks the schedule.
+            let worker = &mut self.workers[0];
+            self.sampling
+                .try_settle(fp, df, threshold, &mut |d| sanitize(worker.malfunction(d)))
+        };
+        match settled {
+            Some(passes) => {
+                self.interventions += 1;
+                (passes, None)
+            }
+            None => {
+                let score = self.intervene(df);
+                (self.passes(score), Some(score))
+            }
+        }
+    }
+
+    fn last_sampled_query(&self) -> Option<SampledQuerySpan> {
+        self.sampling.last
+    }
+
     fn speculate(&mut self, jobs: Vec<Speculation<'_>>) -> Result<Vec<Speculated>> {
         if self.num_threads <= 1 || jobs.len() <= 1 {
             // Serial mode (or nothing to overlap): materialize only,
@@ -943,6 +1053,9 @@ impl InterventionRuntime for ParOracle<'_> {
             speculative_shed: shed,
             speculative_discarded: discarded,
             peak_inflight: peak,
+            sampled_queries: self.sampling.sampled_queries,
+            escalations: self.sampling.escalations,
+            rows_touched: self.sampling.rows_touched,
             query_latency: self.query_latency,
             ..RunMetrics::default()
         };

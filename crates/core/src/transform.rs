@@ -229,6 +229,26 @@ impl Transform {
         }
     }
 
+    /// Whether an application writes *only* the columns named by
+    /// [`Transform::target_attributes`] — the write-set fact
+    /// `dp_lint`'s L4 side-effect check reasons with. True for every
+    /// transformation except the resampler, which rebuilds all
+    /// columns row-wise (its targets name the predicate's columns,
+    /// not its write set). `Conditional` inherits its inner repair's
+    /// classification.
+    ///
+    /// [`Transform::apply`] turns this fact into a debug-build
+    /// invariant: non-target columns of the output must still *share
+    /// chunk storage* with the input, i.e. copy-on-write must not
+    /// have cloned anything outside the write set.
+    pub fn writes_only_targets(&self) -> bool {
+        match self {
+            Transform::ResampleSelectivity { .. } => false,
+            Transform::Conditional { inner, .. } => inner.writes_only_targets(),
+            _ => true,
+        }
+    }
+
     /// Estimated fraction of tuples an application would modify,
     /// without applying (observation O3's coverage).
     pub fn coverage(&self, df: &DataFrame) -> f64 {
@@ -317,6 +337,20 @@ impl Transform {
     pub fn apply(&self, df: &DataFrame, rng: &mut StdRng) -> Result<(DataFrame, usize)> {
         let mut out = df.clone();
         let changed = self.apply_in_place(&mut out, rng)?;
+        #[cfg(debug_assertions)]
+        if self.writes_only_targets() {
+            let targets = self.target_attributes();
+            for col in df.columns() {
+                debug_assert!(
+                    targets.iter().any(|t| t == col.name())
+                        || out.column_shares_chunks(df, col.name()),
+                    "write-set violation: column {:?} is outside the transform's \
+                     target attributes {targets:?} but no longer shares chunk \
+                     storage with the input",
+                    col.name()
+                );
+            }
+        }
         Ok((out, changed))
     }
 

@@ -97,9 +97,86 @@ impl Bitmap {
         (0..self.len).map(move |i| self.get(i))
     }
 
-    /// Indices of set bits, ascending.
+    /// Indices of set bits, ascending. Word-wise: skips empty words
+    /// and peels set bits with `trailing_zeros`, so sparse masks
+    /// iterate in O(words + ones) rather than O(len).
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        // Tail bits beyond `len` are zero by invariant, so no bound
+        // check is needed on the emitted indices.
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Word-wise conjunction with an equal-length bitmap.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Word-wise disjunction with an equal-length bitmap.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Word-wise complement (restores the zero-tail invariant).
+    pub fn not(&self) -> Bitmap {
+        let mut out = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// `count_ones` of the conjunction, without materializing it.
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Append all bits of `other`. When `self.len` is word-aligned —
+    /// the case for concatenating full column chunks — this is a
+    /// plain word copy.
+    pub fn append(&mut self, other: &Bitmap) {
+        if self.len.is_multiple_of(64) {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+        } else {
+            for b in other.iter() {
+                self.push(b);
+            }
+        }
     }
 
     /// Keep only bits at positions where `keep[i]` is true, compacting.
@@ -190,5 +267,78 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let bm = Bitmap::with_value(3, true);
         bm.get(3);
+    }
+
+    /// Reference per-bit implementations for differential checks.
+    fn bitwise<F: Fn(bool, bool) -> bool>(a: &Bitmap, b: &Bitmap, f: F) -> Vec<bool> {
+        a.iter().zip(b.iter()).map(|(x, y)| f(x, y)).collect()
+    }
+
+    fn patterned(len: usize, stride: usize) -> Bitmap {
+        Bitmap::from_iter((0..len).map(|i| i % stride == 0))
+    }
+
+    #[test]
+    fn word_ops_match_bitwise_on_unaligned_lengths() {
+        // Lengths straddling word boundaries: 0, 1, 63, 64, 65, 127,
+        // 128, 130 — the not() tail masking is the risky case.
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let a = patterned(len, 3);
+            let b = patterned(len, 5);
+            assert_eq!(
+                a.and(&b).iter().collect::<Vec<_>>(),
+                bitwise(&a, &b, |x, y| x && y),
+                "and, len {len}"
+            );
+            assert_eq!(
+                a.or(&b).iter().collect::<Vec<_>>(),
+                bitwise(&a, &b, |x, y| x || y),
+                "or, len {len}"
+            );
+            assert_eq!(
+                a.not().iter().collect::<Vec<_>>(),
+                a.iter().map(|x| !x).collect::<Vec<_>>(),
+                "not, len {len}"
+            );
+            assert_eq!(
+                a.not().count_ones(),
+                len - a.count_ones(),
+                "tail, len {len}"
+            );
+            assert_eq!(
+                a.and_count(&b),
+                a.and(&b).count_ones(),
+                "and_count, len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_aligned_and_unaligned() {
+        for (left, right) in [(0usize, 5usize), (64, 64), (128, 1), (7, 130), (63, 65)] {
+            let a = patterned(left, 2);
+            let b = patterned(right, 3);
+            let mut out = a.clone();
+            out.append(&b);
+            let expect: Vec<bool> = a.iter().chain(b.iter()).collect();
+            assert_eq!(out.len(), left + right);
+            assert_eq!(out.iter().collect::<Vec<_>>(), expect, "{left}+{right}");
+            // The appended bitmap stays canonical: pushing after an
+            // append must behave, and words stay tail-masked.
+            let mut grown = out.clone();
+            grown.push(true);
+            assert!(grown.get(left + right));
+            assert_eq!(out.count_ones(), expect.iter().filter(|&&x| x).count());
+        }
+    }
+
+    #[test]
+    fn ones_skips_tail_bits_after_not() {
+        // not() of an all-true bitmap has zero ones, even with a
+        // partial final word — ones() must not emit tail indices.
+        let bm = Bitmap::with_value(70, true).not();
+        assert_eq!(bm.ones().count(), 0);
+        let empty = Bitmap::new();
+        assert_eq!(empty.ones().count(), 0);
     }
 }

@@ -1,12 +1,26 @@
 //! Typed column storage with validity bitmaps.
+//!
+//! Storage is *chunked and copy-on-write*: a column is a sequence of
+//! fixed-size [`Chunk`]s held behind [`std::sync::Arc`]s. Cloning a
+//! column — and therefore a whole [`crate::DataFrame`] — is
+//! O(#chunks) reference-count bumps, and writers clone only the
+//! chunks they actually modify (`Arc::make_mut`). A composed
+//! transformation that edits one attribute thus leaves every other
+//! column's chunks shared with the source frame, together with their
+//! cached content fingerprints (see [`Chunk::cached_fingerprint`]).
 
 use crate::bitmap::Bitmap;
 use crate::dtype::DType;
 use crate::error::{FrameError, Result};
 use crate::value::Value;
+use std::sync::{Arc, OnceLock};
 
-/// Physical storage of one column. Slots masked out by the validity
-/// bitmap hold an arbitrary placeholder (0 / 0.0 / false / "").
+/// Rows per storage chunk. A multiple of 64 so chunk validity bitmaps
+/// stay word-aligned and chunk masks concatenate word-wise.
+pub const CHUNK_ROWS: usize = 4096;
+
+/// Physical storage of one chunk of a column. Slots masked out by the
+/// validity bitmap hold an arbitrary placeholder (0 / 0.0 / false / "").
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
     /// `Int` columns.
@@ -28,59 +42,198 @@ impl ColumnData {
             ColumnData::Str(v) => v.len(),
         }
     }
+
+    fn empty(dtype: DType) -> ColumnData {
+        match dtype {
+            DType::Int => ColumnData::Int(Vec::new()),
+            DType::Float => ColumnData::Float(Vec::new()),
+            DType::Bool => ColumnData::Bool(Vec::new()),
+            DType::Categorical | DType::Text => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    /// Heap bytes held by the buffer (strings count their capacity).
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v
+                .iter()
+                .map(|s| std::mem::size_of::<String>() + s.capacity())
+                .sum(),
+        }
+    }
+}
+
+/// One fixed-size run of rows of a column: typed values plus their
+/// validity bitmap, plus a lazily computed content fingerprint.
+///
+/// All chunks of a column hold exactly [`CHUNK_ROWS`] rows except the
+/// last, which holds the remainder — so a row index maps to
+/// `(index / CHUNK_ROWS, index % CHUNK_ROWS)` without a lookup table.
+#[derive(Debug)]
+pub struct Chunk {
+    data: ColumnData,
+    validity: Bitmap,
+    /// Cached content fingerprint. Populated on first use by
+    /// [`Chunk::cached_fingerprint`]; every mutation path resets it.
+    fp: OnceLock<u64>,
+}
+
+impl Clone for Chunk {
+    fn clone(&self) -> Chunk {
+        Chunk {
+            data: self.data.clone(),
+            validity: self.validity.clone(),
+            // The clone holds identical contents, so the cached
+            // fingerprint transfers; mutators reset it after cloning.
+            fp: self.fp.clone(),
+        }
+    }
+}
+
+impl PartialEq for Chunk {
+    fn eq(&self, other: &Self) -> bool {
+        // The fingerprint cache is derived state: two chunks with
+        // equal contents are equal regardless of which has hashed.
+        self.data == other.data && self.validity == other.validity
+    }
+}
+
+impl Chunk {
+    fn new(data: ColumnData, validity: Bitmap) -> Chunk {
+        debug_assert_eq!(data.len(), validity.len());
+        Chunk {
+            data,
+            validity,
+            fp: OnceLock::new(),
+        }
+    }
+
+    /// Number of rows in this chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// True iff the chunk holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Typed value buffer. Slots masked out by the validity bitmap
+    /// hold arbitrary placeholders — pair with [`Chunk::validity`]
+    /// when reading.
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Validity bitmap (1 = valid, 0 = NULL).
+    #[inline]
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// The chunk's content fingerprint, computing it with `compute`
+    /// on first use and caching it for every later caller. The hash
+    /// policy lives with the caller (the oracle), the cache with the
+    /// storage: chunks shared between frames hash exactly once.
+    pub fn cached_fingerprint(&self, compute: impl FnOnce(&Chunk) -> u64) -> u64 {
+        *self.fp.get_or_init(|| compute(self))
+    }
+
+    /// Whether a fingerprint is currently cached (test introspection).
+    pub fn has_cached_fingerprint(&self) -> bool {
+        self.fp.get().is_some()
+    }
+
+    /// Approximate heap bytes held by this chunk's buffers.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes() + self.validity.words().len() * 8
+    }
 }
 
 /// A named, typed column: `D.A_j` in the paper's notation — the
-/// multiset of values all tuples take for attribute `A_j`.
+/// multiset of values all tuples take for attribute `A_j`, stored as
+/// copy-on-write [`Chunk`]s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     name: String,
     dtype: DType,
-    data: ColumnData,
-    validity: Bitmap,
+    len: usize,
+    chunks: Vec<Arc<Chunk>>,
+}
+
+/// Chunk the `(value, validity)` stream of a constructor into
+/// `CHUNK_ROWS`-sized chunks.
+fn build_chunks<T>(
+    values: Vec<Option<T>>,
+    mut admit: impl FnMut(&T) -> bool,
+    mut placeholder: impl FnMut() -> T,
+    wrap: impl Fn(Vec<T>) -> ColumnData,
+) -> (usize, Vec<Arc<Chunk>>) {
+    let len = values.len();
+    let mut chunks = Vec::with_capacity(len.div_ceil(CHUNK_ROWS));
+    let mut buf: Vec<T> = Vec::with_capacity(CHUNK_ROWS.min(len));
+    let mut validity = Bitmap::new();
+    for v in values {
+        match v {
+            Some(x) if admit(&x) => {
+                buf.push(x);
+                validity.push(true);
+            }
+            _ => {
+                buf.push(placeholder());
+                validity.push(false);
+            }
+        }
+        if buf.len() == CHUNK_ROWS {
+            chunks.push(Arc::new(Chunk::new(
+                wrap(std::mem::take(&mut buf)),
+                std::mem::take(&mut validity),
+            )));
+        }
+    }
+    if !buf.is_empty() {
+        chunks.push(Arc::new(Chunk::new(wrap(buf), validity)));
+    }
+    (len, chunks)
 }
 
 impl Column {
     /// Build an `Int` column; `None` entries become NULL.
     pub fn from_ints<S: Into<String>>(name: S, values: Vec<Option<i64>>) -> Self {
-        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
-        let data = values.into_iter().map(|v| v.unwrap_or(0)).collect();
+        let (len, chunks) = build_chunks(values, |_| true, || 0, ColumnData::Int);
         Column {
             name: name.into(),
             dtype: DType::Int,
-            data: ColumnData::Int(data),
-            validity,
+            len,
+            chunks,
         }
     }
 
     /// Build a `Float` column; `None` and NaN entries become NULL.
     pub fn from_floats<S: Into<String>>(name: S, values: Vec<Option<f64>>) -> Self {
-        let validity =
-            Bitmap::from_iter(values.iter().map(|v| matches!(v, Some(x) if !x.is_nan())));
-        let data = values
-            .into_iter()
-            .map(|v| match v {
-                Some(x) if !x.is_nan() => x,
-                _ => 0.0,
-            })
-            .collect();
+        let (len, chunks) = build_chunks(values, |x| !x.is_nan(), || 0.0, ColumnData::Float);
         Column {
             name: name.into(),
             dtype: DType::Float,
-            data: ColumnData::Float(data),
-            validity,
+            len,
+            chunks,
         }
     }
 
     /// Build a `Bool` column; `None` entries become NULL.
     pub fn from_bools<S: Into<String>>(name: S, values: Vec<Option<bool>>) -> Self {
-        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
-        let data = values.into_iter().map(|v| v.unwrap_or(false)).collect();
+        let (len, chunks) = build_chunks(values, |_| true, || false, ColumnData::Bool);
         Column {
             name: name.into(),
             dtype: DType::Bool,
-            data: ColumnData::Bool(data),
-            validity,
+            len,
+            chunks,
         }
     }
 
@@ -91,13 +244,12 @@ impl Column {
         values: Vec<Option<String>>,
     ) -> Self {
         assert!(dtype.is_string(), "from_strings requires a string dtype");
-        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
-        let data = values.into_iter().map(|v| v.unwrap_or_default()).collect();
+        let (len, chunks) = build_chunks(values, |_| true, String::new, ColumnData::Str);
         Column {
             name: name.into(),
             dtype,
-            data: ColumnData::Str(data),
-            validity,
+            len,
+            chunks,
         }
     }
 
@@ -116,17 +268,11 @@ impl Column {
 
     /// Empty column of the given type.
     pub fn empty<S: Into<String>>(name: S, dtype: DType) -> Self {
-        let data = match dtype {
-            DType::Int => ColumnData::Int(Vec::new()),
-            DType::Float => ColumnData::Float(Vec::new()),
-            DType::Bool => ColumnData::Bool(Vec::new()),
-            DType::Categorical | DType::Text => ColumnData::Str(Vec::new()),
-        };
         Column {
             name: name.into(),
             dtype,
-            data,
-            validity: Bitmap::new(),
+            len: 0,
+            chunks: Vec::new(),
         }
     }
 
@@ -162,54 +308,91 @@ impl Column {
         }
     }
 
-    /// Raw typed buffer backing this column. Slots masked out by the
-    /// validity bitmap hold arbitrary placeholders — pair with
-    /// [`Column::validity`] when reading.
+    /// The storage chunks backing this column, in row order. Every
+    /// chunk holds exactly [`CHUNK_ROWS`] rows except the last.
     #[inline]
-    pub fn data(&self) -> &ColumnData {
-        &self.data
+    pub fn chunks(&self) -> &[Arc<Chunk>] {
+        &self.chunks
     }
 
-    /// Validity bitmap (1 = valid, 0 = NULL).
-    #[inline]
-    pub fn validity(&self) -> &Bitmap {
-        &self.validity
+    /// Whether `self` and `other` are backed by exactly the same
+    /// chunk allocations (pointer equality, not value equality) —
+    /// i.e. a clone of `other` that no write has yet un-shared.
+    pub fn shares_chunks_with(&self, other: &Column) -> bool {
+        self.chunks.len() == other.chunks.len()
+            && self
+                .chunks
+                .iter()
+                .zip(&other.chunks)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
+    /// Approximate heap bytes of this column's buffers, counting
+    /// shared chunks at full size (the "eager copy" accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.heap_bytes()).sum()
+    }
+
+    /// The concatenated validity bitmap (1 = valid, 0 = NULL) over
+    /// all rows. Chunk bitmaps are word-aligned, so this is a word
+    /// copy, not a bit-by-bit rebuild.
+    pub fn validity_mask(&self) -> Bitmap {
+        let mut out = Bitmap::new();
+        for chunk in &self.chunks {
+            out.append(&chunk.validity);
+        }
+        out
     }
 
     /// Number of rows.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True iff zero rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 
     /// Number of NULL entries.
     pub fn null_count(&self) -> usize {
-        self.validity.count_zeros()
+        self.chunks.iter().map(|c| c.validity.count_zeros()).sum()
     }
 
     /// Whether row `index` is NULL.
     #[inline]
     pub fn is_null(&self, index: usize) -> bool {
-        !self.validity.get(index)
+        assert!(index < self.len, "row index {index} out of {}", self.len);
+        !self.chunks[index / CHUNK_ROWS]
+            .validity
+            .get(index % CHUNK_ROWS)
     }
 
     /// Value at `index` as a dynamically typed [`Value`].
     pub fn get(&self, index: usize) -> Value {
-        if !self.validity.get(index) {
+        assert!(index < self.len, "row index {index} out of {}", self.len);
+        let chunk = &self.chunks[index / CHUNK_ROWS];
+        let off = index % CHUNK_ROWS;
+        if !chunk.validity.get(off) {
             return Value::Null;
         }
-        match &self.data {
-            ColumnData::Int(v) => Value::Int(v[index]),
-            ColumnData::Float(v) => Value::Float(v[index]),
-            ColumnData::Bool(v) => Value::Bool(v[index]),
-            ColumnData::Str(v) => Value::Str(v[index].clone()),
+        match &chunk.data {
+            ColumnData::Int(v) => Value::Int(v[off]),
+            ColumnData::Float(v) => Value::Float(v[off]),
+            ColumnData::Bool(v) => Value::Bool(v[off]),
+            ColumnData::Str(v) => Value::Str(v[off].clone()),
         }
+    }
+
+    /// Unique access to the chunk holding row `index`, un-sharing it
+    /// if needed and resetting its cached fingerprint.
+    fn chunk_mut(&mut self, index: usize) -> (&mut Chunk, usize) {
+        let slot = &mut self.chunks[index / CHUNK_ROWS];
+        let chunk = Arc::make_mut(slot);
+        chunk.fp.take();
+        (chunk, index % CHUNK_ROWS)
     }
 
     /// Append a value, checking it against the dtype.
@@ -221,47 +404,60 @@ impl Column {
                 found: value.type_name().to_string(),
             });
         }
-        match (&mut self.data, value) {
-            (_, Value::Null) => {
-                match &mut self.data {
+        if self.chunks.last().is_none_or(|c| c.len() == CHUNK_ROWS) {
+            self.chunks.push(Arc::new(Chunk::new(
+                ColumnData::empty(self.dtype),
+                Bitmap::new(),
+            )));
+        }
+        let chunk = Arc::make_mut(self.chunks.last_mut().expect("chunk pushed above"));
+        chunk.fp.take();
+        match (&mut chunk.data, value) {
+            (data, Value::Null) => {
+                match data {
                     ColumnData::Int(v) => v.push(0),
                     ColumnData::Float(v) => v.push(0.0),
                     ColumnData::Bool(v) => v.push(false),
                     ColumnData::Str(v) => v.push(String::new()),
                 }
-                self.validity.push(false);
+                chunk.validity.push(false);
             }
             (ColumnData::Int(v), Value::Int(i)) => {
                 v.push(i);
-                self.validity.push(true);
+                chunk.validity.push(true);
             }
             (ColumnData::Float(v), Value::Float(x)) => {
                 v.push(x);
-                self.validity.push(true);
+                chunk.validity.push(true);
             }
             (ColumnData::Float(v), Value::Int(i)) => {
                 v.push(i as f64);
-                self.validity.push(true);
+                chunk.validity.push(true);
             }
             (ColumnData::Bool(v), Value::Bool(b)) => {
                 v.push(b);
-                self.validity.push(true);
+                chunk.validity.push(true);
             }
             (ColumnData::Str(v), Value::Str(s)) => {
                 v.push(s);
-                self.validity.push(true);
+                chunk.validity.push(true);
             }
             _ => unreachable!("admits() already filtered mismatches"),
         }
+        self.len += 1;
         Ok(())
     }
 
     /// Overwrite the value at `index` (same type rules as [`push`](Self::push)).
+    ///
+    /// Writing a value a slot already holds is a no-op that leaves
+    /// the chunk shared (copy-on-write never clones for an identical
+    /// write).
     pub fn set(&mut self, index: usize, value: Value) -> Result<()> {
-        if index >= self.len() {
+        if index >= self.len {
             return Err(FrameError::RowOutOfBounds {
                 index,
-                len: self.len(),
+                len: self.len,
             });
         }
         if !self.dtype.admits(&value) {
@@ -271,27 +467,50 @@ impl Column {
                 found: value.type_name().to_string(),
             });
         }
-        match (&mut self.data, value) {
-            (_, Value::Null) => self.validity.set(index, false),
+        // Skip the write (and the chunk un-sharing it would force)
+        // when the slot already holds the value. Floats compare by
+        // bit pattern so a -0.0 → 0.0 write still lands.
+        {
+            let chunk = &self.chunks[index / CHUNK_ROWS];
+            let off = index % CHUNK_ROWS;
+            let valid = chunk.validity.get(off);
+            let same = match (&chunk.data, &value) {
+                (_, Value::Null) => !valid,
+                (ColumnData::Int(v), Value::Int(i)) => valid && v[off] == *i,
+                (ColumnData::Float(v), Value::Float(x)) => valid && v[off].to_bits() == x.to_bits(),
+                (ColumnData::Float(v), Value::Int(i)) => {
+                    valid && v[off].to_bits() == (*i as f64).to_bits()
+                }
+                (ColumnData::Bool(v), Value::Bool(b)) => valid && v[off] == *b,
+                (ColumnData::Str(v), Value::Str(s)) => valid && v[off] == *s,
+                _ => false,
+            };
+            if same {
+                return Ok(());
+            }
+        }
+        let (chunk, off) = self.chunk_mut(index);
+        match (&mut chunk.data, value) {
+            (_, Value::Null) => chunk.validity.set(off, false),
             (ColumnData::Int(v), Value::Int(i)) => {
-                v[index] = i;
-                self.validity.set(index, true);
+                v[off] = i;
+                chunk.validity.set(off, true);
             }
             (ColumnData::Float(v), Value::Float(x)) => {
-                v[index] = x;
-                self.validity.set(index, true);
+                v[off] = x;
+                chunk.validity.set(off, true);
             }
             (ColumnData::Float(v), Value::Int(i)) => {
-                v[index] = i as f64;
-                self.validity.set(index, true);
+                v[off] = i as f64;
+                chunk.validity.set(off, true);
             }
             (ColumnData::Bool(v), Value::Bool(b)) => {
-                v[index] = b;
-                self.validity.set(index, true);
+                v[off] = b;
+                chunk.validity.set(off, true);
             }
             (ColumnData::Str(v), Value::Str(s)) => {
-                v[index] = s;
-                self.validity.set(index, true);
+                v[off] = s;
+                chunk.validity.set(off, true);
             }
             _ => unreachable!("admits() already filtered mismatches"),
         }
@@ -300,95 +519,141 @@ impl Column {
 
     /// Iterator over values as [`Value`]s (allocates for strings).
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
-        (0..self.len()).map(move |i| self.get(i))
+        (0..self.len).map(move |i| self.get(i))
     }
 
     /// Non-NULL values as `f64`, paired with their row indices.
     /// Empty for non-numeric columns.
     pub fn f64_values(&self) -> Vec<(usize, f64)> {
-        match &self.data {
-            ColumnData::Int(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.validity.get(*i))
-                .map(|(i, &x)| (i, x as f64))
-                .collect(),
-            ColumnData::Float(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.validity.get(*i))
-                .map(|(i, &x)| (i, x))
-                .collect(),
-            ColumnData::Bool(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.validity.get(*i))
-                .map(|(i, &b)| (i, b as u8 as f64))
-                .collect(),
-            ColumnData::Str(_) => Vec::new(),
+        let mut out = Vec::new();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let base = ci * CHUNK_ROWS;
+            match &chunk.data {
+                ColumnData::Int(v) => {
+                    out.extend(chunk.validity.ones().map(|off| (base + off, v[off] as f64)));
+                }
+                ColumnData::Float(v) => {
+                    out.extend(chunk.validity.ones().map(|off| (base + off, v[off])));
+                }
+                ColumnData::Bool(v) => {
+                    out.extend(
+                        chunk
+                            .validity
+                            .ones()
+                            .map(|off| (base + off, v[off] as u8 as f64)),
+                    );
+                }
+                ColumnData::Str(_) => return Vec::new(),
+            }
         }
+        out
     }
 
     /// Non-NULL string values paired with row indices; empty for
     /// non-string columns.
     pub fn str_values(&self) -> Vec<(usize, &str)> {
-        match &self.data {
-            ColumnData::Str(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| self.validity.get(*i))
-                .map(|(i, s)| (i, s.as_str()))
-                .collect(),
-            _ => Vec::new(),
+        let mut out = Vec::new();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let base = ci * CHUNK_ROWS;
+            match &chunk.data {
+                ColumnData::Str(v) => {
+                    out.extend(
+                        chunk
+                            .validity
+                            .ones()
+                            .map(|off| (base + off, v[off].as_str())),
+                    );
+                }
+                _ => return Vec::new(),
+            }
         }
+        out
     }
 
     /// Map every non-NULL numeric value through `f` in place.
     /// Returns the number of values changed (for transformation
     /// coverage accounting). No-op on non-numeric columns.
+    ///
+    /// Chunks are un-shared lazily, on the first row `f` actually
+    /// changes: a map that leaves a chunk untouched leaves it shared
+    /// with every other frame holding it.
     pub fn map_numeric_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) -> usize {
         let mut changed = 0;
-        match &mut self.data {
-            ColumnData::Float(v) => {
-                for (i, x) in v.iter_mut().enumerate() {
-                    if self.validity.get(i) {
-                        let y = f(*x);
-                        if y != *x {
-                            *x = y;
+        for slot in &mut self.chunks {
+            match &slot.data {
+                ColumnData::Float(_) => {
+                    for off in 0..slot.len() {
+                        if !slot.validity.get(off) {
+                            continue;
+                        }
+                        let ColumnData::Float(v) = &slot.data else {
+                            unreachable!("chunk variant fixed per column")
+                        };
+                        let x = v[off];
+                        let y = f(x);
+                        if y != x {
+                            let chunk = Arc::make_mut(slot);
+                            chunk.fp.take();
+                            let ColumnData::Float(v) = &mut chunk.data else {
+                                unreachable!("chunk variant fixed per column")
+                            };
+                            v[off] = y;
                             changed += 1;
                         }
                     }
                 }
-            }
-            ColumnData::Int(v) => {
-                for (i, x) in v.iter_mut().enumerate() {
-                    if self.validity.get(i) {
-                        let y = f(*x as f64).round() as i64;
-                        if y != *x {
-                            *x = y;
+                ColumnData::Int(_) => {
+                    for off in 0..slot.len() {
+                        if !slot.validity.get(off) {
+                            continue;
+                        }
+                        let ColumnData::Int(v) = &slot.data else {
+                            unreachable!("chunk variant fixed per column")
+                        };
+                        let x = v[off];
+                        let y = f(x as f64).round() as i64;
+                        if y != x {
+                            let chunk = Arc::make_mut(slot);
+                            chunk.fp.take();
+                            let ColumnData::Int(v) = &mut chunk.data else {
+                                unreachable!("chunk variant fixed per column")
+                            };
+                            v[off] = y;
                             changed += 1;
                         }
                     }
                 }
+                _ => break,
             }
-            _ => {}
         }
         changed
     }
 
     /// Map every non-NULL string value through `f` in place; returns
-    /// how many changed. No-op on non-string columns.
+    /// how many changed. No-op on non-string columns. Same lazy
+    /// un-sharing as [`Column::map_numeric_in_place`].
     pub fn map_str_in_place<F: FnMut(&str) -> Option<String>>(&mut self, mut f: F) -> usize {
         let mut changed = 0;
-        if let ColumnData::Str(v) = &mut self.data {
-            for (i, s) in v.iter_mut().enumerate() {
-                if self.validity.get(i) {
-                    if let Some(new) = f(s) {
-                        if new != *s {
-                            *s = new;
-                            changed += 1;
-                        }
-                    }
+        for slot in &mut self.chunks {
+            if !matches!(slot.data, ColumnData::Str(_)) {
+                break;
+            }
+            for off in 0..slot.len() {
+                if !slot.validity.get(off) {
+                    continue;
+                }
+                let ColumnData::Str(v) = &slot.data else {
+                    unreachable!("checked above")
+                };
+                let Some(new) = f(&v[off]) else { continue };
+                if new != v[off] {
+                    let chunk = Arc::make_mut(slot);
+                    chunk.fp.take();
+                    let ColumnData::Str(v) = &mut chunk.data else {
+                        unreachable!("checked above")
+                    };
+                    v[off] = new;
+                    changed += 1;
                 }
             }
         }
@@ -419,9 +684,33 @@ impl Column {
     /// sorted by value. Backs categorical domain discovery.
     pub fn value_counts(&self) -> Vec<(String, usize)> {
         let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
-        for i in 0..self.len() {
-            if !self.is_null(i) {
-                *counts.entry(self.get(i).to_string()).or_insert(0) += 1;
+        for chunk in &self.chunks {
+            match &chunk.data {
+                ColumnData::Str(v) => {
+                    for off in chunk.validity.ones() {
+                        match counts.get_mut(v[off].as_str()) {
+                            Some(c) => *c += 1,
+                            None => {
+                                counts.insert(v[off].clone(), 1);
+                            }
+                        }
+                    }
+                }
+                ColumnData::Int(v) => {
+                    for off in chunk.validity.ones() {
+                        *counts.entry(v[off].to_string()).or_insert(0) += 1;
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for off in chunk.validity.ones() {
+                        *counts.entry(format!("{}", v[off])).or_insert(0) += 1;
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    for off in chunk.validity.ones() {
+                        *counts.entry(v[off].to_string()).or_insert(0) += 1;
+                    }
+                }
             }
         }
         counts.into_iter().collect()
@@ -429,17 +718,43 @@ impl Column {
 
     /// Min and max over non-NULL numeric values.
     pub fn min_max(&self) -> Option<(f64, f64)> {
-        let vals = self.f64_values();
-        if vals.is_empty() {
-            return None;
-        }
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for (_, x) in vals {
-            lo = lo.min(x);
-            hi = hi.max(x);
+        let mut any = false;
+        for chunk in &self.chunks {
+            match &chunk.data {
+                ColumnData::Int(v) => {
+                    for off in chunk.validity.ones() {
+                        let x = v[off] as f64;
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                        any = true;
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for off in chunk.validity.ones() {
+                        let x = v[off];
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                        any = true;
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    for off in chunk.validity.ones() {
+                        let x = v[off] as u8 as f64;
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                        any = true;
+                    }
+                }
+                ColumnData::Str(_) => return None,
+            }
         }
-        Some((lo, hi))
+        if any {
+            Some((lo, hi))
+        } else {
+            None
+        }
     }
 }
 
@@ -571,5 +886,116 @@ mod tests {
         let col = Column::from_bools("b", vec![Some(true), None, Some(false)]);
         let vals = col.f64_values();
         assert_eq!(vals, vec![(0, 1.0), (2, 0.0)]);
+    }
+
+    // ------------------------------------------------------------
+    // Chunked / copy-on-write behavior
+    // ------------------------------------------------------------
+
+    /// A column long enough to span three chunks, with the last one
+    /// partial and NULLs sprinkled across chunk boundaries.
+    fn multi_chunk() -> Column {
+        let values: Vec<Option<i64>> = (0..2 * CHUNK_ROWS as i64 + 7)
+            .map(|i| if i % 97 == 0 { None } else { Some(i) })
+            .collect();
+        Column::from_ints("big", values)
+    }
+
+    #[test]
+    fn constructors_chunk_at_chunk_rows() {
+        let col = multi_chunk();
+        assert_eq!(col.chunks().len(), 3);
+        assert_eq!(col.chunks()[0].len(), CHUNK_ROWS);
+        assert_eq!(col.chunks()[1].len(), CHUNK_ROWS);
+        assert_eq!(col.chunks()[2].len(), 7);
+        assert_eq!(col.len(), 2 * CHUNK_ROWS + 7);
+        // Values and NULLs land at the right global indices.
+        assert_eq!(col.get(CHUNK_ROWS), Value::Int(CHUNK_ROWS as i64));
+        assert!(col.is_null(97 * 42));
+    }
+
+    #[test]
+    fn push_grows_the_last_chunk_only() {
+        let mut col = Column::empty("c", DType::Int);
+        for i in 0..CHUNK_ROWS as i64 + 1 {
+            col.push(Value::Int(i)).unwrap();
+        }
+        assert_eq!(col.chunks().len(), 2);
+        assert_eq!(col.chunks()[1].len(), 1);
+        assert_eq!(col.get(CHUNK_ROWS), Value::Int(CHUNK_ROWS as i64));
+    }
+
+    #[test]
+    fn clone_shares_chunks_until_written() {
+        let base = multi_chunk();
+        let mut copy = base.clone();
+        assert!(copy.shares_chunks_with(&base));
+        // A write to one row un-shares exactly that chunk.
+        copy.set(CHUNK_ROWS + 1, Value::Int(-1)).unwrap();
+        assert!(!copy.shares_chunks_with(&base));
+        assert!(Arc::ptr_eq(&base.chunks()[0], &copy.chunks()[0]));
+        assert!(!Arc::ptr_eq(&base.chunks()[1], &copy.chunks()[1]));
+        assert!(Arc::ptr_eq(&base.chunks()[2], &copy.chunks()[2]));
+        // The base is untouched.
+        assert_eq!(base.get(CHUNK_ROWS + 1), Value::Int(CHUNK_ROWS as i64 + 1));
+        assert_eq!(copy.get(CHUNK_ROWS + 1), Value::Int(-1));
+    }
+
+    #[test]
+    fn identical_set_does_not_unshare() {
+        let base = multi_chunk();
+        let mut copy = base.clone();
+        copy.set(5, Value::Int(5)).unwrap(); // already holds 5
+        copy.set(0, Value::Null).unwrap(); // index 0 is already NULL
+        assert!(copy.shares_chunks_with(&base));
+    }
+
+    #[test]
+    fn map_unshares_only_chunks_with_changes() {
+        let base = multi_chunk();
+        let mut copy = base.clone();
+        // Change only rows in the final partial chunk.
+        let cut = (2 * CHUNK_ROWS) as f64;
+        let changed = copy.map_numeric_in_place(|x| if x >= cut { -x } else { x });
+        assert!(changed > 0);
+        assert!(Arc::ptr_eq(&base.chunks()[0], &copy.chunks()[0]));
+        assert!(Arc::ptr_eq(&base.chunks()[1], &copy.chunks()[1]));
+        assert!(!Arc::ptr_eq(&base.chunks()[2], &copy.chunks()[2]));
+    }
+
+    #[test]
+    fn mutation_resets_cached_fingerprint() {
+        let base = multi_chunk();
+        let fp0 = base.chunks()[0].cached_fingerprint(|_| 0xABCD);
+        assert_eq!(fp0, 0xABCD);
+        let mut copy = base.clone();
+        // The clone carries the cache for shared chunks...
+        assert!(copy.chunks()[0].has_cached_fingerprint());
+        // ...but a write invalidates it on the written chunk only.
+        copy.set(0, Value::Int(123)).unwrap();
+        assert!(!copy.chunks()[0].has_cached_fingerprint());
+        assert!(base.chunks()[0].has_cached_fingerprint());
+    }
+
+    #[test]
+    fn all_null_column_roundtrips() {
+        let col = Column::from_ints("n", vec![None; CHUNK_ROWS + 3]);
+        assert_eq!(col.null_count(), CHUNK_ROWS + 3);
+        assert_eq!(col.f64_values(), Vec::new());
+        assert_eq!(col.value_counts(), Vec::new());
+        assert_eq!(col.min_max(), None);
+        let mask = col.validity_mask();
+        assert_eq!(mask.len(), CHUNK_ROWS + 3);
+        assert_eq!(mask.count_ones(), 0);
+    }
+
+    #[test]
+    fn validity_mask_concatenates_across_chunks() {
+        let col = multi_chunk();
+        let mask = col.validity_mask();
+        assert_eq!(mask.len(), col.len());
+        for i in 0..col.len() {
+            assert_eq!(mask.get(i), !col.is_null(i), "row {i}");
+        }
     }
 }

@@ -241,6 +241,43 @@ impl DataFrame {
         let idx: Vec<usize> = (0..self.n_rows().min(n)).collect();
         self.take(&idx).expect("indices in range")
     }
+
+    /// Approximate heap bytes of this frame's buffers, counting every
+    /// chunk at full size even when shared — i.e. what an eager
+    /// full-copy materialization of this frame would occupy.
+    pub fn heap_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.heap_bytes()).sum()
+    }
+
+    /// Whether the named column is backed by exactly the same chunk
+    /// allocations in `self` and `other` — true for columns a
+    /// copy-on-write clone has not yet written to.
+    pub fn column_shares_chunks(&self, other: &DataFrame, name: &str) -> bool {
+        match (self.column(name), other.column(name)) {
+            (Ok(a), Ok(b)) => a.shares_chunks_with(b),
+            _ => false,
+        }
+    }
+}
+
+/// Approximate heap bytes held by a set of frames *after* chunk
+/// deduplication: each distinct chunk allocation is counted once, no
+/// matter how many frames or columns share it. The gap between this
+/// and the sum of [`DataFrame::heap_bytes`] is exactly what
+/// copy-on-write saves.
+pub fn unique_heap_bytes<'a, I: IntoIterator<Item = &'a DataFrame>>(frames: I) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut total = 0usize;
+    for df in frames {
+        for col in df.columns() {
+            for chunk in col.chunks() {
+                if seen.insert(std::sync::Arc::as_ptr(chunk)) {
+                    total += chunk.heap_bytes();
+                }
+            }
+        }
+    }
+    total
 }
 
 impl fmt::Display for DataFrame {
@@ -375,6 +412,27 @@ mod tests {
         let dropped = df.drop_column("gender").unwrap();
         assert_eq!(dropped.name(), "gender");
         assert_eq!(df.n_cols(), 1);
+    }
+
+    #[test]
+    fn clone_shares_chunks_and_dedup_accounting_sees_it() {
+        let df = sample();
+        let copy = df.clone();
+        assert!(df.column_shares_chunks(&copy, "age"));
+        assert!(df.column_shares_chunks(&copy, "gender"));
+        // Two clones occupy one frame's worth of unique bytes.
+        let eager = df.heap_bytes() + copy.heap_bytes();
+        let unique = unique_heap_bytes([&df, &copy]);
+        assert_eq!(eager, 2 * unique);
+        // Writing one column un-shares only that column's chunks.
+        let mut written = copy.clone();
+        written
+            .column_mut("age")
+            .unwrap()
+            .set(0, Value::Int(99))
+            .unwrap();
+        assert!(!df.column_shares_chunks(&written, "age"));
+        assert!(df.column_shares_chunks(&written, "gender"));
     }
 
     #[test]

@@ -5,9 +5,21 @@
 //! grouped counts. Both are provided here without a general
 //! aggregation engine, which the paper does not require.
 
+use crate::column::ColumnData;
 use crate::error::Result;
 use crate::frame::DataFrame;
 use std::collections::BTreeMap;
+
+/// Render the cell at `off` exactly as `Value`'s `Display` would,
+/// without materializing a `Value` (strings borrow instead of clone).
+fn render_cell(data: &ColumnData, off: usize) -> std::borrow::Cow<'_, str> {
+    match data {
+        ColumnData::Int(v) => std::borrow::Cow::Owned(v[off].to_string()),
+        ColumnData::Float(v) => std::borrow::Cow::Owned(format!("{}", v[off])),
+        ColumnData::Bool(v) => std::borrow::Cow::Owned(v[off].to_string()),
+        ColumnData::Str(v) => std::borrow::Cow::Borrowed(v[off].as_str()),
+    }
+}
 
 /// A two-way contingency table over the distinct values of two
 /// columns. NULL cells are excluded (pairwise deletion).
@@ -24,29 +36,45 @@ pub struct ContingencyTable {
 
 impl ContingencyTable {
     /// Build from two columns of `df`.
+    ///
+    /// Chunk-wise: the two columns share chunk boundaries (both are
+    /// chunked at `CHUNK_ROWS`), so pairwise NULL deletion is a
+    /// validity-bitmap AND per chunk and cells are counted straight
+    /// off the typed buffers.
     pub fn from_frame(df: &DataFrame, a: &str, b: &str) -> Result<ContingencyTable> {
         let ca = df.column(a)?;
         let cb = df.column(b)?;
-        let mut cells: BTreeMap<(String, String), u64> = BTreeMap::new();
-        let mut row_set = std::collections::BTreeSet::new();
+        // value of `a` -> value of `b` -> count; nested so the hot
+        // loop looks up with borrowed strings and only allocates keys
+        // on first sight of a cell.
+        let mut cells: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
         let mut col_set = std::collections::BTreeSet::new();
-        for i in 0..df.n_rows() {
-            if ca.is_null(i) || cb.is_null(i) {
-                continue;
+        for (sa, sb) in ca.chunks().iter().zip(cb.chunks()) {
+            let both = sa.validity().and(sb.validity());
+            for off in both.ones() {
+                let va = render_cell(sa.data(), off);
+                let vb = render_cell(sb.data(), off);
+                if !cells.contains_key(va.as_ref()) {
+                    cells.insert(va.clone().into_owned(), BTreeMap::new());
+                }
+                let inner = cells.get_mut(va.as_ref()).expect("inserted above");
+                match inner.get_mut(vb.as_ref()) {
+                    Some(n) => *n += 1,
+                    None => {
+                        col_set.insert(vb.clone().into_owned());
+                        inner.insert(vb.into_owned(), 1);
+                    }
+                }
             }
-            let va = ca.get(i).to_string();
-            let vb = cb.get(i).to_string();
-            row_set.insert(va.clone());
-            col_set.insert(vb.clone());
-            *cells.entry((va, vb)).or_insert(0) += 1;
         }
-        let rows: Vec<String> = row_set.into_iter().collect();
+        let rows: Vec<String> = cells.keys().cloned().collect();
         let cols: Vec<String> = col_set.into_iter().collect();
         let mut counts = vec![vec![0u64; cols.len()]; rows.len()];
-        for ((va, vb), n) in cells {
-            let i = rows.binary_search(&va).expect("value in row set");
-            let j = cols.binary_search(&vb).expect("value in col set");
-            counts[i][j] = n;
+        for (i, (_, inner)) in cells.into_iter().enumerate() {
+            for (vb, n) in inner {
+                let j = cols.binary_search(&vb).expect("value in col set");
+                counts[i][j] = n;
+            }
         }
         Ok(ContingencyTable { rows, cols, counts })
     }
@@ -130,6 +158,41 @@ mod tests {
     fn group_counts_sorted() {
         let counts = group_counts(&df(), "high").unwrap();
         assert_eq!(counts, vec![("no".to_string(), 3), ("yes".to_string(), 3)]);
+    }
+
+    #[test]
+    fn contingency_spans_chunk_boundaries() {
+        use crate::column::CHUNK_ROWS;
+        let n = CHUNK_ROWS + 130;
+        let a: Vec<Option<String>> = (0..n)
+            .map(|i| match i % 5 {
+                0 => None,
+                j if j % 2 == 0 => Some("x".to_string()),
+                _ => Some("y".to_string()),
+            })
+            .collect();
+        let b: Vec<Option<i64>> = (0..n as i64).map(|i| Some(i % 3)).collect();
+        let d = DataFrame::from_columns(vec![
+            Column::from_strings("a", DType::Categorical, a.clone()),
+            Column::from_ints("b", b.clone()),
+        ])
+        .unwrap();
+        let t = ContingencyTable::from_frame(&d, "a", "b").unwrap();
+        // Row-at-a-time reference.
+        let mut expect: std::collections::BTreeMap<(String, String), u64> = Default::default();
+        for i in 0..n {
+            if let Some(va) = &a[i] {
+                *expect
+                    .entry((va.clone(), b[i].unwrap().to_string()))
+                    .or_insert(0) += 1;
+            }
+        }
+        assert_eq!(t.total(), expect.values().sum::<u64>());
+        for ((va, vb), cnt) in expect {
+            let i = t.rows.iter().position(|r| *r == va).unwrap();
+            let j = t.cols.iter().position(|c| *c == vb).unwrap();
+            assert_eq!(t.counts[i][j], cnt, "cell ({va}, {vb})");
+        }
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! - [`csv`] — CSV reader/writer with type inference, used by examples
 //!   so generated scenario data can be inspected on disk.
 //!
-//! The engine is deliberately eager and in-memory: the paper's
-//! interventions repeatedly *transform whole columns* of the failing
-//! dataset, so mutable typed vectors are the right storage.
+//! Storage is in-memory, chunked, and copy-on-write: a [`Column`] is
+//! a sequence of fixed-size [`Chunk`]s (`CHUNK_ROWS` rows) behind
+//! `Arc`s, so cloning a frame is O(#chunks) and the paper's
+//! interventions — which repeatedly transform a handful of columns of
+//! the failing dataset — un-share only the chunks they actually
+//! write. Unwritten chunks keep their cached content fingerprints,
+//! which the oracle's memoization reuses across interventions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,10 +46,10 @@ pub mod value;
 
 pub use bitmap::Bitmap;
 pub use builder::DataFrameBuilder;
-pub use column::{Column, ColumnData};
+pub use column::{Chunk, Column, ColumnData, CHUNK_ROWS};
 pub use dtype::DType;
 pub use error::{FrameError, Result};
-pub use frame::DataFrame;
+pub use frame::{unique_heap_bytes, DataFrame};
 pub use predicate::{CmpOp, Predicate};
 pub use schema::{Field, Schema};
 pub use value::Value;

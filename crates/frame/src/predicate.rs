@@ -6,6 +6,7 @@
 //! language and a vectorized evaluator producing a row mask.
 
 use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnData};
 use crate::error::Result;
 use crate::frame::DataFrame;
 use crate::value::Value;
@@ -143,38 +144,21 @@ impl Predicate {
     }
 
     /// Evaluate against every row, producing a selection mask.
+    ///
+    /// Vectorized: combinators run word-wise over bitmaps and atomic
+    /// comparisons run as typed loops over column chunks, matching
+    /// [`Predicate::matches_row`] (i.e. [`CmpOp::apply`] over
+    /// [`Value::total_cmp`]) bit for bit.
     pub fn evaluate(&self, df: &DataFrame) -> Result<Bitmap> {
         let n = df.n_rows();
         match self {
             Predicate::True => Ok(Bitmap::with_value(n, true)),
-            Predicate::Cmp { column, op, value } => {
-                let col = df.column(column)?;
-                Ok(Bitmap::from_iter(
-                    (0..n).map(|i| op.apply(&col.get(i), value)),
-                ))
-            }
-            Predicate::IsNull(column) => {
-                let col = df.column(column)?;
-                Ok(Bitmap::from_iter((0..n).map(|i| col.is_null(i))))
-            }
-            Predicate::IsNotNull(column) => {
-                let col = df.column(column)?;
-                Ok(Bitmap::from_iter((0..n).map(|i| !col.is_null(i))))
-            }
-            Predicate::And(a, b) => {
-                let ma = a.evaluate(df)?;
-                let mb = b.evaluate(df)?;
-                Ok(Bitmap::from_iter((0..n).map(|i| ma.get(i) && mb.get(i))))
-            }
-            Predicate::Or(a, b) => {
-                let ma = a.evaluate(df)?;
-                let mb = b.evaluate(df)?;
-                Ok(Bitmap::from_iter((0..n).map(|i| ma.get(i) || mb.get(i))))
-            }
-            Predicate::Not(p) => {
-                let m = p.evaluate(df)?;
-                Ok(Bitmap::from_iter((0..n).map(|i| !m.get(i))))
-            }
+            Predicate::Cmp { column, op, value } => Ok(eval_cmp(df.column(column)?, *op, value)),
+            Predicate::IsNull(column) => Ok(df.column(column)?.validity_mask().not()),
+            Predicate::IsNotNull(column) => Ok(df.column(column)?.validity_mask()),
+            Predicate::And(a, b) => Ok(a.evaluate(df)?.and(&b.evaluate(df)?)),
+            Predicate::Or(a, b) => Ok(a.evaluate(df)?.or(&b.evaluate(df)?)),
+            Predicate::Not(p) => Ok(p.evaluate(df)?.not()),
         }
     }
 
@@ -192,6 +176,87 @@ impl Predicate {
             Predicate::Not(p) => Ok(!p.matches_row(df, row)?),
         }
     }
+}
+
+/// How a chunk's cells compare against the literal, resolved once per
+/// chunk from the storage variant instead of per row through [`Value`].
+enum CmpMode<'a> {
+    /// Numeric cell vs numeric literal: `f64` total order.
+    Num(f64),
+    /// String cell vs string literal: lexicographic.
+    Str(&'a str),
+    /// Incomparable runtime types: [`Value::total_cmp`] falls back to
+    /// ordering by type name, which is constant across the chunk.
+    Fixed(std::cmp::Ordering),
+}
+
+/// Vectorized `column op literal` over the column's chunks. NULL
+/// cells (and a NULL literal) never match, mirroring [`CmpOp::apply`].
+fn eval_cmp(col: &Column, op: CmpOp, rhs: &Value) -> Bitmap {
+    use std::cmp::Ordering;
+    if rhs.is_null() {
+        return Bitmap::with_value(col.len(), false);
+    }
+    let keep = |ord: Ordering| match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    };
+    let mut out = Bitmap::new();
+    for chunk in col.chunks() {
+        let validity = chunk.validity();
+        let mode = match (chunk.data(), rhs) {
+            (ColumnData::Str(_), Value::Str(s)) => CmpMode::Str(s),
+            (ColumnData::Str(_), _) => CmpMode::Fixed("Str".cmp(rhs.type_name())),
+            (_, _) => match rhs.as_f64() {
+                Some(y) => CmpMode::Num(y),
+                // Numeric cell vs string literal: type-name order.
+                None => match chunk.data() {
+                    ColumnData::Int(_) => CmpMode::Fixed("Int".cmp(rhs.type_name())),
+                    ColumnData::Float(_) => CmpMode::Fixed("Float".cmp(rhs.type_name())),
+                    ColumnData::Bool(_) => CmpMode::Fixed("Bool".cmp(rhs.type_name())),
+                    ColumnData::Str(_) => unreachable!("handled above"),
+                },
+            },
+        };
+        match (chunk.data(), &mode) {
+            (ColumnData::Int(v), CmpMode::Num(y)) => {
+                for (off, x) in v.iter().enumerate() {
+                    out.push(validity.get(off) && keep((*x as f64).total_cmp(y)));
+                }
+            }
+            (ColumnData::Float(v), CmpMode::Num(y)) => {
+                for (off, x) in v.iter().enumerate() {
+                    out.push(validity.get(off) && keep(x.total_cmp(y)));
+                }
+            }
+            (ColumnData::Bool(v), CmpMode::Num(y)) => {
+                for (off, b) in v.iter().enumerate() {
+                    let x = *b as u8 as f64;
+                    out.push(validity.get(off) && keep(x.total_cmp(y)));
+                }
+            }
+            (ColumnData::Str(v), CmpMode::Str(s)) => {
+                for (off, x) in v.iter().enumerate() {
+                    out.push(validity.get(off) && keep(x.as_str().cmp(s)));
+                }
+            }
+            (_, CmpMode::Fixed(ord)) => {
+                // Constant verdict for every non-NULL cell: the chunk
+                // mask is either all-false or the validity bitmap.
+                if keep(*ord) {
+                    out.append(validity);
+                } else {
+                    out.append(&Bitmap::with_value(chunk.len(), false));
+                }
+            }
+            _ => unreachable!("mode matches the chunk's storage variant"),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Predicate {
@@ -302,5 +367,106 @@ mod tests {
     fn display_renders() {
         let p = Predicate::cmp("gender", CmpOp::Eq, "F").and(Predicate::cmp("age", CmpOp::Ge, 40));
         assert_eq!(p.to_string(), "(gender = F ∧ age >= 40)");
+    }
+
+    /// Differential check: the vectorized evaluator must agree with
+    /// the row-at-a-time reference on every row.
+    fn assert_matches_reference(d: &DataFrame, p: &Predicate) {
+        let m = p.evaluate(d).unwrap();
+        assert_eq!(m.len(), d.n_rows());
+        for i in 0..d.n_rows() {
+            assert_eq!(m.get(i), p.matches_row(d, i).unwrap(), "row {i} of {p}");
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_rowwise_across_chunk_boundaries() {
+        use crate::column::CHUNK_ROWS;
+        // Lengths around chunk and word boundaries, plus empty.
+        for len in [
+            0usize,
+            1,
+            63,
+            64,
+            65,
+            CHUNK_ROWS - 1,
+            CHUNK_ROWS,
+            CHUNK_ROWS + 5,
+        ] {
+            let ages: Vec<Option<i64>> = (0..len as i64)
+                .map(|i| if i % 7 == 0 { None } else { Some(i % 90) })
+                .collect();
+            let genders: Vec<Option<String>> = (0..len)
+                .map(|i| match i % 3 {
+                    0 => Some("F".to_string()),
+                    1 => Some("M".to_string()),
+                    _ => None,
+                })
+                .collect();
+            let d = DataFrame::from_columns(vec![
+                Column::from_ints("age", ages),
+                Column::from_strings("gender", DType::Categorical, genders),
+            ])
+            .unwrap();
+            for p in [
+                Predicate::True,
+                Predicate::cmp("age", CmpOp::Ge, 45),
+                Predicate::cmp("age", CmpOp::Lt, 10).or(Predicate::cmp("gender", CmpOp::Eq, "F")),
+                Predicate::cmp("gender", CmpOp::Eq, "F")
+                    .and(Predicate::cmp("age", CmpOp::Ge, 40))
+                    .not(),
+                Predicate::IsNull("age".into()),
+                Predicate::IsNotNull("gender".into()),
+                // Mismatched literal types: constant type-name order.
+                Predicate::cmp("age", CmpOp::Eq, "45"),
+                Predicate::cmp("gender", CmpOp::Lt, 3),
+                Predicate::cmp("age", CmpOp::Ne, "x"),
+                // NULL literal never matches.
+                Predicate::cmp("age", CmpOp::Eq, Value::Null),
+            ] {
+                assert_matches_reference(&d, &p);
+            }
+        }
+    }
+
+    #[test]
+    fn all_null_column_predicates() {
+        let d = DataFrame::from_columns(vec![Column::from_ints("x", vec![None; 70])]).unwrap();
+        let isnull = Predicate::IsNull("x".into()).evaluate(&d).unwrap();
+        assert_eq!(isnull.count_ones(), 70);
+        let cmp = Predicate::cmp("x", CmpOp::Le, 1_000_000)
+            .evaluate(&d)
+            .unwrap();
+        assert_eq!(cmp.count_ones(), 0);
+        assert_matches_reference(&d, &Predicate::cmp("x", CmpOp::Ne, 0));
+    }
+
+    #[test]
+    fn float_and_bool_fast_paths_match_reference() {
+        let d = DataFrame::from_columns(vec![
+            Column::from_floats(
+                "score",
+                (0..130)
+                    .map(|i| {
+                        if i % 11 == 0 {
+                            None
+                        } else {
+                            Some(i as f64 / 3.0 - 10.0)
+                        }
+                    })
+                    .collect(),
+            ),
+            Column::from_bools("flag", (0..130).map(|i| Some(i % 2 == 0)).collect()),
+        ])
+        .unwrap();
+        for p in [
+            Predicate::cmp("score", CmpOp::Gt, 0.0),
+            Predicate::cmp("score", CmpOp::Le, -5.0),
+            Predicate::cmp("flag", CmpOp::Eq, true),
+            Predicate::cmp("flag", CmpOp::Eq, 1),
+            Predicate::cmp("score", CmpOp::Eq, 7), // Int literal vs Float column
+        ] {
+            assert_matches_reference(&d, &p);
+        }
     }
 }

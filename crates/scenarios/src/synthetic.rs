@@ -332,6 +332,19 @@ const SPURIOUS_SEVERITY: f64 = 0.3;
 /// planted PVTs spread over `n_attributes` attributes
 /// (Fig 9(a)/(b), Fig 8).
 pub fn single_cause(n_attributes: usize, n_discriminative: usize, seed: u64) -> SyntheticScenario {
+    single_cause_with_rows(n_attributes, n_discriminative, 100, seed)
+}
+
+/// [`single_cause`] at an explicit row count: the Fig 8 row-scaling
+/// panel and the CI memory/sampling smoke run it at 10⁶–10⁷ rows,
+/// where copy-on-write chunk sharing and the confidence-bounded
+/// sampled oracle actually matter.
+pub fn single_cause_with_rows(
+    n_attributes: usize,
+    n_discriminative: usize,
+    n_rows: usize,
+    seed: u64,
+) -> SyntheticScenario {
     assert!(n_attributes >= 1 && n_discriminative >= 1);
     let mut plants = Vec::with_capacity(n_discriminative);
     plants.push(Plant {
@@ -354,7 +367,7 @@ pub fn single_cause(n_attributes: usize, n_discriminative: usize, seed: u64) -> 
         plants.push(Plant { attr, kind });
     }
     build(&SyntheticSpec {
-        n_rows: 100,
+        n_rows,
         n_attributes,
         plants,
         cause: vec![vec![0]],
@@ -368,6 +381,20 @@ pub fn conjunctive_cause(
     n_attributes: usize,
     n_discriminative: usize,
     size: usize,
+    seed: u64,
+) -> SyntheticScenario {
+    conjunctive_cause_with_rows(n_attributes, n_discriminative, size, 100, seed)
+}
+
+/// [`conjunctive_cause`] at an explicit row count (the CI
+/// memory/sampling smoke: a conjunctive explanation gives
+/// minimality checking unknown failing compositions to settle on
+/// samples).
+pub fn conjunctive_cause_with_rows(
+    n_attributes: usize,
+    n_discriminative: usize,
+    size: usize,
+    n_rows: usize,
     seed: u64,
 ) -> SyntheticScenario {
     assert!(size >= 1 && size <= n_discriminative && size <= n_attributes);
@@ -396,7 +423,7 @@ pub fn conjunctive_cause(
         plants.push(Plant { attr, kind });
     }
     build(&SyntheticSpec {
-        n_rows: 100,
+        n_rows,
         n_attributes,
         plants,
         cause: vec![(0..size).collect()],

@@ -18,7 +18,11 @@
 /// v2: `OracleQuerySpan::latency_ns` became optional (absent for
 /// cache hits instead of a `0` sentinel) and the
 /// [`Event::SpeculationPlan`] controller event was added.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the [`Event::SampledQuery`] event was added — a
+/// confidence-bounded oracle decision settled on a stratified row
+/// sample instead of the full dataset.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Whether an oracle query was a free baseline or a charged
 /// intervention.
@@ -102,6 +106,26 @@ pub struct OracleQuerySpan {
     pub latency_ns: Option<u64>,
 }
 
+/// One sampled oracle decision: a charged query whose pass/fail
+/// verdict at τ was settled on a stratified row sample at the
+/// configured confidence, without touching the full dataset. Queries
+/// that escalated to a full evaluation emit an ordinary
+/// [`Event::OracleQuery`] instead (their sample work is aggregated in
+/// `RunMetrics::escalations`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledQuerySpan {
+    /// Content fingerprint of the queried dataset.
+    pub fingerprint: u64,
+    /// Estimated malfunction score on the sample.
+    pub estimate: f64,
+    /// Rows the estimate scored.
+    pub rows: u64,
+    /// Rows of the full dataset the sample stands in for.
+    pub total_rows: u64,
+    /// Confidence level `1 − δ` of the Hoeffding settlement.
+    pub confidence: f64,
+}
+
 /// The adaptive speculation controller's decision at one cold
 /// bisection node: how deep to pre-bisect and why.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +173,10 @@ pub enum Event {
     Lint(LintSpan),
     /// An oracle query completed.
     OracleQuery(OracleQuerySpan),
+    /// A charged oracle decision was settled on a row sample (the
+    /// confidence-bounded sampled oracle; never emitted for queries
+    /// whose exact score is consumed downstream).
+    SampledQuery(SampledQuerySpan),
     /// Greedy decided on one candidate (Alg 1 lines 12–19).
     GreedyPick {
         /// Candidate PVT id.

@@ -11,7 +11,7 @@
 
 use crate::event::{
     BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintSpan, OracleQuerySpan, QueryKind,
-    SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
+    SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 use std::fmt;
 
@@ -175,6 +175,13 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             .bool("cached", s.cached)
             .bool("speculative_hit", s.speculative_hit)
             .opt_u64("latency_ns", s.latency_ns)
+            .finish(),
+        Event::SampledQuery(s) => Obj::new(seq, at, "sampled_query")
+            .u64("fingerprint", s.fingerprint)
+            .f64("estimate", s.estimate)
+            .u64("rows", s.rows)
+            .u64("total_rows", s.total_rows)
+            .f64("confidence", s.confidence)
             .finish(),
         Event::GreedyPick {
             pvt,
@@ -648,6 +655,13 @@ fn decode_record(line: &str) -> Result<TraceRecord, String> {
             cached: f.bool("cached")?,
             speculative_hit: f.bool("speculative_hit")?,
             latency_ns: f.opt_u64("latency_ns")?,
+        }),
+        "sampled_query" => Event::SampledQuery(SampledQuerySpan {
+            fingerprint: f.u64("fingerprint")?,
+            estimate: f.f64("estimate")?,
+            rows: f.u64("rows")?,
+            total_rows: f.u64("total_rows")?,
+            confidence: f.f64("confidence")?,
         }),
         "greedy_pick" => Event::GreedyPick {
             pvt: f.usize("pvt")?,

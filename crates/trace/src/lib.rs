@@ -44,7 +44,7 @@ pub mod tree;
 
 pub use event::{
     BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintSpan, OracleQuerySpan, QueryKind,
-    SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
+    SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 pub use json::{json_escape, parse_jsonl, to_jsonl, JsonValue, ParseError};
 pub use metrics::{LatencyHistogram, MetricsShard, QueryStat, RunMetrics, LATENCY_BOUNDS_NS};

@@ -185,6 +185,17 @@ pub struct RunMetrics {
     pub lint_infos: u64,
     /// Candidates the lint pass pruned before ranking.
     pub lint_pruned: u64,
+    /// Charged queries the sampled oracle settled on a stratified row
+    /// sample (confidence-bounded FAIL decisions that never touched
+    /// the full dataset). Zero with `oracle_sampling` off.
+    pub sampled_queries: u64,
+    /// Sampling-eligible queries whose estimate sat inside the
+    /// confidence band of τ (or confidently passed) and therefore
+    /// escalated to a full-dataset evaluation.
+    pub escalations: u64,
+    /// Rows actually scored by settled sampled queries — the work the
+    /// early exits paid instead of `sampled_queries × |D|`.
+    pub rows_touched: u64,
     /// Latency of charged cache-miss evaluations (main thread).
     pub query_latency: LatencyHistogram,
     /// Latency of speculative evaluations (worker shards).
@@ -207,7 +218,8 @@ impl RunMetrics {
         format!(
             "queries {} (hits {}, misses {}), baselines {}, \
              speculation {}/{}/{} issued/used/wasted, \
-             prefilter {}/{} screened/exact, lint {} pruned",
+             prefilter {}/{} screened/exact, lint {} pruned, \
+             sampling {}/{} settled/escalated",
             self.charged_queries,
             self.cache_hits,
             self.cache_misses,
@@ -218,6 +230,8 @@ impl RunMetrics {
             self.prefilter_screened,
             self.prefilter_exact,
             self.lint_pruned,
+            self.sampled_queries,
+            self.escalations,
         )
     }
 }

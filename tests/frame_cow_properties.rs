@@ -1,0 +1,382 @@
+//! Property tests locking down the copy-on-write chunked frame
+//! against an eager-materialization oracle:
+//!
+//! - any composed transform sequence applied to a CoW frame (whose
+//!   chunks are aliased by live clones, forcing the copy-on-write
+//!   path) is bit-identical — values, validity bitmaps, fingerprints,
+//!   contingency tables — to the same sequence applied to an eager
+//!   deep copy that shares no chunks (refcount-1, mutate-in-place
+//!   path);
+//! - the original frame and its clones are never corrupted by writes
+//!   through an overlay;
+//! - two overlays over the same shared chunks can be mutated
+//!   independently without leaking writes into each other or the base;
+//! - untouched columns keep sharing chunks with the base (the CoW
+//!   refactor's memory guarantee), while deep copies share none;
+//! - exact `CHUNK_ROWS` and bitmap-word boundary lengths round-trip.
+
+use dataprism::profile::OutlierSpec;
+use dataprism::transform::{ImputeStrategy, OutlierRepair, Transform};
+use dataprism::{fingerprint, fingerprint_reference};
+use dp_frame::groupby::ContingencyTable;
+use dp_frame::{CmpOp, Column, DType, DataFrame, Predicate, CHUNK_ROWS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic mixed-dtype frame: one column per storage dtype,
+/// with nulls sprinkled into each.
+fn build_frame(len: usize, seed: u64) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nums: Vec<Option<f64>> = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..5usize) == 0 {
+                None
+            } else {
+                Some(rng.gen_range(-100.0f64..100.0))
+            }
+        })
+        .collect();
+    let counts: Vec<Option<i64>> = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..7usize) == 0 {
+                None
+            } else {
+                Some(rng.gen_range(-50i64..50))
+            }
+        })
+        .collect();
+    let flags: Vec<Option<bool>> = (0..len)
+        .map(|_| match rng.gen_range(0..4usize) {
+            0 => None,
+            n => Some(n == 1),
+        })
+        .collect();
+    let cats = ["x", "y", "z", "w"];
+    let cat = |rng: &mut StdRng| -> Vec<Option<String>> {
+        (0..len)
+            .map(|_| match rng.gen_range(0..6usize) {
+                0 => None,
+                n => Some(cats[(n - 1) % cats.len()].to_string()),
+            })
+            .collect()
+    };
+    let cat_a = cat(&mut rng);
+    let cat_b = cat(&mut rng);
+    let texts: Vec<Option<String>> = (0..len)
+        .map(|_| {
+            if rng.gen_range(0..8usize) == 0 {
+                None
+            } else {
+                Some(format!("t{}", rng.gen_range(0..1000usize)))
+            }
+        })
+        .collect();
+    DataFrame::from_columns(vec![
+        Column::from_floats("num", nums),
+        Column::from_ints("count", counts),
+        Column::from_bools("flag", flags),
+        Column::from_strings("cat", DType::Categorical, cat_a),
+        Column::from_strings("cat2", DType::Categorical, cat_b),
+        Column::from_strings("txt", DType::Text, texts),
+    ])
+    .expect("mixed frame builds")
+}
+
+/// Rebuild `df` value-by-value: the eager-materialization oracle.
+/// The result holds refcount-1 chunks and shares nothing with `df`,
+/// so subsequent writes take the mutate-in-place fast path rather
+/// than copy-on-write.
+fn deep_copy(df: &DataFrame) -> DataFrame {
+    let cols = df
+        .columns()
+        .iter()
+        .map(|c| {
+            Column::from_values(
+                c.name(),
+                c.dtype(),
+                (0..c.len()).map(|i| c.get(i)).collect(),
+            )
+            .expect("deep copy preserves dtypes")
+        })
+        .collect();
+    DataFrame::from_columns(cols).expect("deep copy rebuilds")
+}
+
+fn shares_any_chunk(a: &Column, b: &Column) -> bool {
+    a.chunks()
+        .iter()
+        .any(|ca| b.chunks().iter().any(|cb| Arc::ptr_eq(ca, cb)))
+}
+
+fn assert_no_shared_chunks(a: &DataFrame, b: &DataFrame) {
+    for (ca, cb) in a.columns().iter().zip(b.columns()) {
+        assert!(
+            !shares_any_chunk(ca, cb),
+            "column {} unexpectedly shares a chunk",
+            ca.name()
+        );
+    }
+}
+
+/// Full bit-identity check: schema, per-cell values, validity
+/// bitmaps (word-for-word, via `Bitmap: PartialEq`), null counts,
+/// and both fingerprint implementations. NaN never reaches storage
+/// (it is normalized to NULL at column boundaries), so `Value`
+/// equality is exact.
+fn assert_bit_identical(a: &DataFrame, b: &DataFrame, what: &str) {
+    assert_eq!(a.schema(), b.schema(), "{what}: schema");
+    assert_eq!(a.n_rows(), b.n_rows(), "{what}: row count");
+    for (ca, cb) in a.columns().iter().zip(b.columns()) {
+        assert_eq!(
+            ca.validity_mask(),
+            cb.validity_mask(),
+            "{what}: validity bitmap of {}",
+            ca.name()
+        );
+        assert_eq!(
+            ca.null_count(),
+            cb.null_count(),
+            "{what}: null count of {}",
+            ca.name()
+        );
+        for i in 0..ca.len() {
+            assert_eq!(ca.get(i), cb.get(i), "{what}: {}[{i}]", ca.name());
+        }
+    }
+    assert_eq!(fingerprint(a), fingerprint(b), "{what}: fingerprint");
+    assert_eq!(
+        fingerprint_reference(a),
+        fingerprint_reference(b),
+        "{what}: reference fingerprint"
+    );
+}
+
+fn assert_same_contingency(a: &DataFrame, b: &DataFrame, what: &str) {
+    let ta = ContingencyTable::from_frame(a, "cat", "cat2").expect("contingency");
+    let tb = ContingencyTable::from_frame(b, "cat", "cat2").expect("contingency");
+    assert_eq!(ta, tb, "{what}: contingency table cat×cat2");
+}
+
+/// Pool of transforms covering deterministic single-column writes,
+/// null-flipping imputation, stochastic row resampling (rebuilds
+/// every column), and a conditional (masked) write.
+fn transform_pool() -> Vec<Transform> {
+    vec![
+        Transform::Winsorize {
+            attr: "num".into(),
+            lb: -25.0,
+            ub: 25.0,
+        },
+        Transform::LinearRescale {
+            attr: "num".into(),
+            lb: 0.0,
+            ub: 1.0,
+        },
+        Transform::Impute {
+            attr: "num".into(),
+            strategy: ImputeStrategy::Central,
+        },
+        Transform::Impute {
+            attr: "cat".into(),
+            strategy: ImputeStrategy::Mode,
+        },
+        Transform::ReplaceOutliers {
+            attr: "num".into(),
+            detector: OutlierSpec::ZScore(2.0),
+            strategy: OutlierRepair::Clamp,
+        },
+        Transform::ResampleSelectivity {
+            predicate: Predicate::cmp("cat", CmpOp::Eq, "x"),
+            theta: 0.4,
+        },
+        Transform::Conditional {
+            condition: Predicate::cmp("cat2", CmpOp::Eq, "y"),
+            inner: Box::new(Transform::Winsorize {
+                attr: "count".into(),
+                lb: -10.0,
+                ub: 10.0,
+            }),
+        },
+    ]
+}
+
+/// Draw a composition of 1–4 transforms from the pool.
+fn draw_composition(seed: u64) -> Vec<Transform> {
+    let pool = transform_pool();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=4usize);
+    (0..n)
+        .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+        .collect()
+}
+
+/// Apply `ts` sequentially, threading one seeded RNG so stochastic
+/// transforms draw identically on both sides of the differential.
+fn apply_seq(df: &DataFrame, ts: &[Transform], seed: u64) -> DataFrame {
+    let mut out = df.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for t in ts {
+        out = t.apply(&out, &mut rng).expect("transform applies").0;
+    }
+    out
+}
+
+proptest! {
+    // The core differential: composed transforms through the CoW
+    // path (chunks aliased by a live clone) equal the same
+    // composition through eagerly materialized refcount-1 chunks,
+    // and neither the base frame nor its clone is disturbed.
+    #[test]
+    fn composed_transforms_match_eager_materialization(
+        len in prop::sample::select(vec![1usize, 2, 63, 64, 65, 127, 128, 200, 300, 511]),
+        frame_seed in 0u64..1_000_000,
+        tf_seed in 0u64..1_000_000,
+        rng_seed in 0u64..1_000_000,
+    ) {
+        let base = build_frame(len, frame_seed);
+        let snapshot = deep_copy(&base);
+        // Keep a live alias so every chunk has refcount ≥ 2 and
+        // writes must copy-on-write rather than mutate in place.
+        let alias = base.clone();
+
+        let eager_input = deep_copy(&base);
+        assert_no_shared_chunks(&base, &eager_input);
+
+        let ts = draw_composition(tf_seed);
+        let cow_out = apply_seq(&base, &ts, rng_seed);
+        let eager_out = apply_seq(&eager_input, &ts, rng_seed);
+
+        assert_bit_identical(&cow_out, &eager_out, "cow vs eager");
+        assert_same_contingency(&cow_out, &eager_out, "cow vs eager");
+        // Writes through the overlays never leak into the base or
+        // its alias.
+        assert_bit_identical(&base, &snapshot, "base after transforms");
+        assert_bit_identical(&alias, &snapshot, "alias after transforms");
+    }
+
+    // Two overlays cloned from one base, mutated through different
+    // transform sequences, stay independent: each matches its own
+    // eager oracle and the base is untouched.
+    #[test]
+    fn aliased_overlays_mutate_independently(
+        len in prop::sample::select(vec![5usize, 64, 129, 300]),
+        frame_seed in 0u64..1_000_000,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let base = build_frame(len, frame_seed);
+        let snapshot = deep_copy(&base);
+
+        let ts_a = draw_composition(seed_a);
+        let ts_b = draw_composition(seed_b);
+
+        // Both overlays start as shallow clones sharing every chunk
+        // of `base`.
+        let out_a = apply_seq(&base, &ts_a, seed_a);
+        let out_b = apply_seq(&base, &ts_b, seed_b);
+
+        let want_a = apply_seq(&deep_copy(&base), &ts_a, seed_a);
+        let want_b = apply_seq(&deep_copy(&base), &ts_b, seed_b);
+
+        assert_bit_identical(&out_a, &want_a, "overlay A");
+        assert_bit_identical(&out_b, &want_b, "overlay B");
+        assert_bit_identical(&base, &snapshot, "base after both overlays");
+    }
+}
+
+/// Columns a transform does not target keep sharing chunks with the
+/// input frame — the memory guarantee that makes speculative
+/// interventions cheap — while the eager oracle shares none.
+#[test]
+fn untouched_columns_keep_sharing_chunks() {
+    let base = build_frame(300, 7);
+    let t = Transform::Winsorize {
+        attr: "num".into(),
+        lb: -10.0,
+        ub: 10.0,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let (out, changed) = t.apply(&base, &mut rng).expect("winsorize applies");
+    assert!(changed > 0, "fixture must actually write");
+    for name in ["count", "flag", "cat", "cat2", "txt"] {
+        assert!(
+            shares_any_chunk(base.column(name).unwrap(), out.column(name).unwrap()),
+            "untouched column {name} should still share chunks"
+        );
+    }
+    assert!(
+        !shares_any_chunk(base.column("num").unwrap(), out.column("num").unwrap()),
+        "written column must have been copied before mutation"
+    );
+    assert_bit_identical(&out, &apply_seq(&deep_copy(&base), &[t], 1), "cow vs eager");
+}
+
+/// Exact chunk-capacity and bitmap-word boundary lengths, pushed
+/// through a fixed composition that exercises every write path
+/// (masked write, null flip, full-row resample).
+#[test]
+fn chunk_boundary_lengths_roundtrip() {
+    let ts = vec![
+        Transform::Winsorize {
+            attr: "num".into(),
+            lb: -20.0,
+            ub: 20.0,
+        },
+        Transform::Impute {
+            attr: "num".into(),
+            strategy: ImputeStrategy::Central,
+        },
+        Transform::ResampleSelectivity {
+            predicate: Predicate::cmp("cat", CmpOp::Eq, "x"),
+            theta: 0.5,
+        },
+    ];
+    for len in [
+        CHUNK_ROWS - 1,
+        CHUNK_ROWS,
+        CHUNK_ROWS + 1,
+        CHUNK_ROWS + 63,
+        CHUNK_ROWS + 64,
+        2 * CHUNK_ROWS,
+        2 * CHUNK_ROWS + 1,
+    ] {
+        let base = build_frame(len, len as u64);
+        let snapshot = deep_copy(&base);
+        let alias = base.clone();
+        let cow_out = apply_seq(&base, &ts, 11);
+        let eager_out = apply_seq(&deep_copy(&base), &ts, 11);
+        assert_bit_identical(&cow_out, &eager_out, &format!("len {len}"));
+        assert_same_contingency(&cow_out, &eager_out, &format!("len {len}"));
+        assert_bit_identical(&base, &snapshot, &format!("base at len {len}"));
+        drop(alias);
+    }
+}
+
+/// Imputation flips validity bits in place; the CoW path must
+/// produce word-identical bitmaps to the eager path, and deep copies
+/// must reproduce validity exactly.
+#[test]
+fn validity_bitmaps_survive_imputation_and_deep_copy() {
+    let base = build_frame(CHUNK_ROWS + 100, 23);
+    let copy = deep_copy(&base);
+    for (ca, cb) in base.columns().iter().zip(copy.columns()) {
+        assert_eq!(ca.validity_mask(), cb.validity_mask(), "{}", ca.name());
+    }
+    let ts = vec![
+        Transform::Impute {
+            attr: "num".into(),
+            strategy: ImputeStrategy::Central,
+        },
+        Transform::Impute {
+            attr: "cat".into(),
+            strategy: ImputeStrategy::Mode,
+        },
+    ];
+    let cow_out = apply_seq(&base, &ts, 3);
+    let eager_out = apply_seq(&copy, &ts, 3);
+    assert_eq!(cow_out.column("num").unwrap().null_count(), 0);
+    assert_eq!(cow_out.column("cat").unwrap().null_count(), 0);
+    assert_bit_identical(&cow_out, &eager_out, "post-impute");
+}
