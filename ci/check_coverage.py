@@ -2,7 +2,8 @@
 """Line-coverage ratchet gate for the analysis crates.
 
 Computes the aggregate line coverage over files under
-`crates/core/src/`, `crates/lint/src/`, and `crates/frame/src/` from
+`crates/core/src/`, `crates/lint/src/`, `crates/frame/src/`,
+`crates/trace/src/`, and `crates/serve/src/` from
 a `cargo llvm-cov --json` export and compares it against the committed
 `ci/coverage-baseline.txt` — the single source of truth for the
 ratchet; there is no built-in fallback value:
@@ -29,7 +30,13 @@ import sys
 import tempfile
 
 SLACK = 2.0  # points above baseline before we nag to ratchet
-GATED_PREFIXES = ("crates/core/src/", "crates/lint/src/", "crates/frame/src/")
+GATED_PREFIXES = (
+    "crates/core/src/",
+    "crates/lint/src/",
+    "crates/frame/src/",
+    "crates/trace/src/",
+    "crates/serve/src/",
+)
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 COV_COMMAND = [
     "cargo",
@@ -41,6 +48,10 @@ COV_COMMAND = [
     "dp-lint",
     "-p",
     "dp-frame",
+    "-p",
+    "dp-trace",
+    "-p",
+    "dp-serve",
     "-p",
     "dataprism-suite",
     "--json",

@@ -314,9 +314,10 @@ pub(crate) fn run_greedy(
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
-    // Static L1–L5 analysis of the candidate set, before any oracle
+    // Static L1–L9 analysis of the candidate set, before any oracle
     // query; `Lint::Prune` drops provably futile candidates here.
-    let (lint, pvts) = crate::lint::lint_and_prune_traced(pvts, d_fail, config.lint, &tracer);
+    let (lint, pvts) =
+        crate::lint::lint_and_prune_traced(pvts, d_fail, config.lint, config.threshold, &tracer);
     if pvts.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -515,6 +516,8 @@ pub(crate) fn finish_run(
     metrics.lint_warnings = lint.count(dp_lint::Severity::Warn) as u64;
     metrics.lint_infos = lint.count(dp_lint::Severity::Info) as u64;
     metrics.lint_pruned = lint.pruned.len() as u64;
+    metrics.lint_subsumed = lint.subsumed.len() as u64;
+    metrics.lint_unreachable = lint.unreachable_ids().len() as u64;
     let cache = CacheStats::from_metrics(&metrics);
     let trace_records = tracer.finish();
     Ok(Explanation {

@@ -51,6 +51,15 @@ pub enum PartitionStrategy {
     MinBisection,
     /// Random balanced split (the GrpTest baseline \[21\]).
     Random,
+    /// Minimum bisection over the lint pass's L8 *conflict* graph:
+    /// edges connect candidate pairs **not** certified to commute, so
+    /// provably independent candidates are split apart (their probes
+    /// compose freely) while order-sensitive pairs stay in one half.
+    /// Falls back to the attribute-grouped partitioner above the
+    /// local-search limit. Without commutation facts (`Lint::Off`)
+    /// every pair counts as a conflict edge, and the local search
+    /// reduces to a balanced split of a complete graph.
+    CommuteAware,
 }
 
 struct GtCtx<'o, 'p> {
@@ -67,6 +76,13 @@ struct GtCtx<'o, 'p> {
     /// of the recursion tree each cold node pre-bisects and scores
     /// speculatively.
     depth: usize,
+    /// L8 fact table from the lint pass: candidate pairs `(lo, hi)`
+    /// whose transformations provably commute. Drives the commute
+    /// bonus on the speculation cap and the
+    /// [`PartitionStrategy::CommuteAware`] conflict graph. Empty under
+    /// `Lint::Off` — result-invisible either way, since speculation
+    /// only warms the cache and the partition strategy is explicit.
+    commuting: std::collections::HashSet<(usize, usize)>,
     /// Trace handle ([`dp_trace::Tracer`]); a no-op in the default
     /// off state. Node events are emitted here, on the main thread,
     /// in serial recursion order.
@@ -237,11 +253,12 @@ fn run_group_test(
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
-    // Static L1–L5 analysis of the candidate set, before any oracle
+    // Static L1–L9 analysis of the candidate set, before any oracle
     // query; `Lint::Prune` drops provably futile candidates here
     // (each one would otherwise inflate the A3 composition and every
     // bisection probe containing it).
-    let (lint, pvt_vec) = crate::lint::lint_and_prune_traced(pvt_vec, d_fail, config.lint, &tracer);
+    let (lint, pvt_vec) =
+        crate::lint::lint_and_prune_traced(pvt_vec, d_fail, config.lint, config.threshold, &tracer);
     if pvt_vec.is_empty() {
         return Err(PrismError::NoDiscriminativePvts);
     }
@@ -285,6 +302,7 @@ fn run_group_test(
         seed_order,
         seed: config.seed,
         depth: config.gt_speculation_depth,
+        commuting: lint.commuting.iter().copied().collect(),
         tracer: tracer.clone(),
     };
     let (repaired, selected_ids) = group_test_rec(
@@ -487,9 +505,17 @@ fn group_test_rec(
     if ctx.tracer.enabled() {
         // The cut size is only re-derivable (and cheap) where the
         // min-bisection local search enumerated the edges.
-        let cut_edges = (ctx.strategy == PartitionStrategy::MinBisection
-            && candidates.len() <= LOCAL_SEARCH_LIMIT)
-            .then(|| cut_size(&x1, &x2, |i, j| ctx.graph.dependent(i, j)));
+        let cut_edges = (candidates.len() <= LOCAL_SEARCH_LIMIT)
+            .then(|| match ctx.strategy {
+                PartitionStrategy::MinBisection => {
+                    Some(cut_size(&x1, &x2, |i, j| ctx.graph.dependent(i, j)))
+                }
+                PartitionStrategy::CommuteAware => Some(cut_size(&x1, &x2, |i, j| {
+                    !ctx.commuting.contains(&(i.min(j), i.max(j)))
+                })),
+                PartitionStrategy::Random => None,
+            })
+            .flatten();
         ctx.tracer.emit(|| Event::BisectionPartition {
             node,
             left: x1.clone(),
@@ -516,7 +542,15 @@ fn group_test_rec(
     let speculate_here = ctx.rt.speculation_width() > 1 && !x1.is_empty() && !x2.is_empty();
     let (d1, x2_speculated, child_covered) = if speculate_here {
         let child_covered = if covered == 0 {
-            let plan = ctx.rt.plan_speculation_depth(ctx.depth);
+            // L8 bonus: when every candidate pair at this node
+            // provably commutes, descendant probes compose in any
+            // order onto identical frames, so lookahead frames stay
+            // consumable one level deeper. The controller's headroom
+            // clamp still bounds in-flight frames by the budget, and
+            // speculation is result-invisible — only cache warmth
+            // changes.
+            let cap = ctx.depth + usize::from(all_pairs_commute(ctx, candidates));
+            let plan = ctx.rt.plan_speculation_depth(cap);
             let jobs = if plan.depth > 0 {
                 let base = Arc::new(d.clone());
                 plan_frontier(ctx, &x1, &x2, &base, plan.depth)
@@ -689,7 +723,47 @@ fn partition(ctx: &GtCtx<'_, '_>, candidates: &[usize]) -> (Vec<usize>, Vec<usiz
             min_bisection(&ordered, &edges, &mut rng)
         }
         PartitionStrategy::MinBisection => grouped_bisection(ctx, candidates),
+        PartitionStrategy::CommuteAware if candidates.len() <= LOCAL_SEARCH_LIMIT => {
+            // Conflict graph: an edge between every pair NOT
+            // certified commuting by lint (L8). Under `Lint::Off`
+            // no pair is certified, so every pair conflicts and the
+            // local search degenerates to keeping the benefit order
+            // intact — still a valid bisection.
+            let cand: std::collections::BTreeSet<usize> = candidates.iter().copied().collect();
+            let mut edges = Vec::new();
+            for (k, &i) in candidates.iter().enumerate() {
+                for &j in &candidates[k + 1..] {
+                    let key = (i.min(j), i.max(j));
+                    if !ctx.commuting.contains(&key) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let ordered: Vec<usize> = ctx
+                .seed_order
+                .iter()
+                .copied()
+                .filter(|id| cand.contains(id))
+                .collect();
+            min_bisection(&ordered, &edges, &mut rng)
+        }
+        PartitionStrategy::CommuteAware => grouped_bisection(ctx, candidates),
     }
+}
+
+/// True when every unordered pair of `candidates` is in the lint
+/// commutation table (L8). Vacuously false for singletons (no pair to
+/// certify ⇒ no reordering freedom to exploit) and skipped above the
+/// local-search limit where the quadratic check would not pay off.
+fn all_pairs_commute(ctx: &GtCtx<'_, '_>, candidates: &[usize]) -> bool {
+    if candidates.len() < 2 || candidates.len() > LOCAL_SEARCH_LIMIT {
+        return false;
+    }
+    candidates.iter().enumerate().all(|(k, &i)| {
+        candidates[k + 1..]
+            .iter()
+            .all(|&j| ctx.commuting.contains(&(i.min(j), i.max(j))))
+    })
 }
 
 /// Linear-time bisection that keeps PVTs sharing an attribute in the
@@ -848,6 +922,37 @@ mod tests {
             Err(PrismError::AssumptionViolated(_)) => {}
             Ok(exp) => panic!("expected A3 violation, got {exp}"),
             Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn commute_aware_partitioning_reaches_the_same_explanation() {
+        // CommuteAware bisects over the L8 *conflict* graph instead
+        // of G_PD, so split shapes may differ from MinBisection —
+        // but the diagnosis must still land on the same cause, and
+        // under `Lint::Off` (empty commutation table: every pair
+        // conflicts) the strategy must still terminate.
+        for lint in [crate::Lint::Report, crate::Lint::Off] {
+            let (pass, fail) = pass_fail();
+            let mut system = label_domain_system;
+            let config = PrismConfig {
+                lint,
+                ..PrismConfig::with_threshold(0.2)
+            };
+            let exp = explain_group_test(
+                &mut system,
+                &fail,
+                &pass,
+                &config,
+                PartitionStrategy::CommuteAware,
+            )
+            .unwrap();
+            assert!(exp.resolved, "{lint:?}");
+            assert!(
+                exp.contains_template("domain_cat(target)"),
+                "{lint:?}: {exp}"
+            );
+            assert_eq!(exp.final_score, 0.0);
         }
     }
 

@@ -23,7 +23,10 @@ use crate::profile::Profile;
 use crate::pvt::Pvt;
 use crate::transform::Transform;
 use dp_frame::DataFrame;
+use dp_lint::absint::{TransferOp, ValueRegion};
+use dp_lint::domains::{AbsCol, AbsState, Interval, SupportDom};
 use dp_lint::{AttrRequirement, CandidateFacts, Diagnostics, TypeClass, WriteTarget};
+use dp_stats::sketch::ColumnSummary;
 
 /// Typed attribute reads a profile performs when its violation is
 /// evaluated.
@@ -154,10 +157,128 @@ fn write_target(t: &Transform) -> Option<(String, WriteTarget)> {
     }
 }
 
-/// Lower one candidate PVT into the analyzer's fact record.
-fn candidate_facts(pvt: &Pvt, d_fail: &DataFrame) -> CandidateFacts {
+/// Seed the abstract-interpretation state exactly from `D_fail`: per
+/// column, the observed min/max hull (degrading to `Top` when any
+/// non-finite value was seen), the exact null fraction, and the
+/// distinct string support up to the summary cap. By construction the
+/// seeded state *contains* the concrete frame, the soundness
+/// precondition of every L6/L7/L9 certificate.
+pub fn seed_state(d_fail: &DataFrame) -> AbsState {
+    let mut state = AbsState::new();
+    for col in d_fail.columns() {
+        let s = ColumnSummary::build(col);
+        let nf = s.null_fraction();
+        let interval = if col.dtype().is_numeric() {
+            match (s.min, s.max, s.non_finite) {
+                (_, _, true) => Interval::Top,
+                (Some(lo), Some(hi), false) => Interval::range(lo, hi),
+                _ => Interval::Empty,
+            }
+        } else if col.dtype().is_string() {
+            // String columns hold no numeric values at all.
+            Interval::Empty
+        } else {
+            Interval::Top
+        };
+        let support = match s.support {
+            Some(values) => SupportDom::Set(values.into_iter().collect()),
+            None if col.dtype().is_string() => SupportDom::Top,
+            // Non-string columns hold no string values.
+            None if col.dtype().is_numeric() => SupportDom::Set(Default::default()),
+            None => SupportDom::Top,
+        };
+        state.set(
+            col.name(),
+            AbsCol {
+                interval,
+                null_lo: nf,
+                null_hi: nf,
+                support,
+            },
+        );
+    }
+    state
+}
+
+/// Lower a transformation chain into the analyzer's abstract transfer
+/// ops. Every transformation lowers (the stochastic ones to the
+/// `Top`-producing ops, which certify nothing but stay sound), and
+/// `Conditional` wraps its inner chain in `Guarded` — the abstract
+/// engine then joins the guarded effect with the identity, which is
+/// how L9 reaches exact no-ops hidden under a predicate.
+fn lower_transfer(t: &Transform) -> Vec<TransferOp> {
+    match t {
+        Transform::MapToDomain { attr, values } => vec![TransferOp::MapIntoDomain {
+            attr: attr.clone(),
+            values: values.clone(),
+        }],
+        Transform::LinearRescale { attr, lb, ub } => vec![TransferOp::AffineToRange {
+            attr: attr.clone(),
+            lb: *lb,
+            ub: *ub,
+        }],
+        Transform::Winsorize { attr, lb, ub } => vec![TransferOp::Clamp {
+            attr: attr.clone(),
+            lb: *lb,
+            ub: *ub,
+        }],
+        Transform::RepairText { attr, .. } => {
+            vec![TransferOp::RepairPattern { attr: attr.clone() }]
+        }
+        Transform::ReplaceOutliers { attr, .. } => {
+            vec![TransferOp::BoundOutliers { attr: attr.clone() }]
+        }
+        Transform::Impute { attr, .. } => vec![TransferOp::FillNulls { attr: attr.clone() }],
+        Transform::ResampleSelectivity { .. } => vec![TransferOp::ResampleRows],
+        Transform::BreakDependenceShuffle { b, .. } => {
+            vec![TransferOp::PermuteValues { attr: b.clone() }]
+        }
+        Transform::DecorrelateNoise { b, .. } | Transform::Residualize { b, .. } => {
+            vec![TransferOp::Perturb { attr: b.clone() }]
+        }
+        Transform::Conditional { inner, .. } => lower_transfer(inner)
+            .into_iter()
+            .map(|op| TransferOp::Guarded(Box::new(op)))
+            .collect(),
+    }
+}
+
+/// L6's syntactic function key: `Some` iff the transformation is
+/// deterministic, in which case equal keys mean the bit-identical
+/// pure function — interchangeable in *any* evaluation context, not
+/// just on `D_fail`.
+fn transform_key(t: &Transform) -> Option<String> {
+    t.is_deterministic().then(|| format!("{t:?}"))
+}
+
+/// The violated region of a profile constraining a single attribute,
+/// for the L7 τ-unreachability certificate. `None` for profiles whose
+/// violation is not a simple region-membership fraction (outlier
+/// refitting, selectivity, dependence) and for conditional profiles
+/// (the violation is computed over a data-dependent subset).
+fn profile_region(p: &Profile) -> Option<(String, ValueRegion)> {
+    match p {
+        Profile::DomainNumeric { attr, lb, ub } => {
+            Some((attr.clone(), ValueRegion::Range { lb: *lb, ub: *ub }))
+        }
+        Profile::DomainCategorical { attr, values } => {
+            Some((attr.clone(), ValueRegion::Domain(values.clone())))
+        }
+        Profile::Missing { attr, theta } => {
+            Some((attr.clone(), ValueRegion::NullFracAtMost(*theta)))
+        }
+        _ => None,
+    }
+}
+
+/// Lower one candidate PVT into the analyzer's fact record. Public
+/// so property tests can compare the lowered transfer chain's
+/// abstract post-state against the concrete [`Transform::apply`]
+/// result without re-implementing the lowering.
+pub fn candidate_facts(pvt: &Pvt, d_fail: &DataFrame) -> CandidateFacts {
     let mut facts = CandidateFacts::new(pvt.id, pvt.profile.template_key());
     let (t_reads, t_writes, rewrites_all) = transform_io(&pvt.transform);
+    facts.transform_reads = t_reads.iter().map(|r| r.attr.clone()).collect();
     facts.reads = profile_reads(&pvt.profile);
     facts.reads.extend(t_reads);
     facts.writes = t_writes;
@@ -167,15 +288,21 @@ fn candidate_facts(pvt: &Pvt, d_fail: &DataFrame) -> CandidateFacts {
     facts.coverage_on_fail = pvt.transform.coverage(d_fail);
     facts.coverage_is_exact = coverage_is_exact(&pvt.transform);
     facts.write_target = write_target(&pvt.transform);
+    facts.transfer = lower_transfer(&pvt.transform);
+    facts.transform_key = transform_key(&pvt.transform);
+    facts.profile_region = profile_region(&pvt.profile);
     facts
 }
 
-/// Run the full L1–L5 static analysis over a candidate PVT set
-/// against the failing dataset, before any oracle query.
-pub fn lint_pvts(pvts: &[Pvt], d_fail: &DataFrame) -> Diagnostics {
+/// Run the full L1–L9 static analysis over a candidate PVT set
+/// against the failing dataset, before any oracle query. `tau` is the
+/// run's acceptable-malfunction threshold (Definition 3), the margin
+/// the L7 unreachability certificate must clear.
+pub fn lint_pvts(pvts: &[Pvt], d_fail: &DataFrame, tau: f64) -> Diagnostics {
     let facts: Vec<CandidateFacts> = pvts.iter().map(|p| candidate_facts(p, d_fail)).collect();
     let edges = PvtAttributeGraph::new(pvts).dependency_edges();
-    dp_lint::analyze(&d_fail.schema(), &facts, &edges)
+    let state = seed_state(d_fail);
+    dp_lint::analyze(&d_fail.schema(), &state, tau, &facts, &edges)
 }
 
 /// [`lint_and_prune`] emitting a [`dp_trace::LintSpan`] event with
@@ -185,9 +312,10 @@ pub(crate) fn lint_and_prune_traced(
     pvts: Vec<Pvt>,
     d_fail: &DataFrame,
     mode: Lint,
+    tau: f64,
     tracer: &dp_trace::Tracer,
 ) -> (Diagnostics, Vec<Pvt>) {
-    let (diag, kept) = lint_and_prune(pvts, d_fail, mode);
+    let (diag, kept) = lint_and_prune(pvts, d_fail, mode, tau);
     tracer.emit(|| {
         dp_trace::Event::Lint(dp_trace::LintSpan {
             analyzed: diag.analyzed,
@@ -197,27 +325,68 @@ pub(crate) fn lint_and_prune_traced(
             pruned: diag.pruned.len(),
         })
     });
+    if diag.analyzed {
+        tracer.emit(|| {
+            dp_trace::Event::LintFact(dp_trace::LintFactSpan {
+                subsumption_classes: diag.equivalence.len(),
+                subsumed: diag.subsumed.len(),
+                unreachable: diag.unreachable_ids().len(),
+                commuting_pairs: diag.commuting.len(),
+                noop_certified: diag
+                    .for_rule(dp_lint::RuleId::AbstractNoOp)
+                    .iter()
+                    .map(|d| d.pvt_ids.len())
+                    .sum(),
+            })
+        });
+    }
     (diag, kept)
 }
 
 /// Apply the configured lint policy: analyze (unless `Off`) and, under
-/// `Prune`, drop the Error-level candidates before ranking, recording
-/// their ids in [`Diagnostics::pruned`].
+/// `Prune`, drop the Error-level candidates before ranking (recording
+/// their ids in [`Diagnostics::pruned`]) plus the non-representative
+/// members of each L6 equivalence class (recorded in
+/// [`Diagnostics::subsumed`]): the class applies one bit-identical
+/// pure function, so the lowest-id representative's query answers for
+/// every sibling — one oracle charge per class instead of one per
+/// member, with the explanation unchanged.
 pub(crate) fn lint_and_prune(
     pvts: Vec<Pvt>,
     d_fail: &DataFrame,
     mode: Lint,
+    tau: f64,
 ) -> (Diagnostics, Vec<Pvt>) {
     match mode {
         Lint::Off => (Diagnostics::default(), pvts),
-        Lint::Report => (lint_pvts(&pvts, d_fail), pvts),
+        Lint::Report => (lint_pvts(&pvts, d_fail, tau), pvts),
         Lint::Prune => {
-            let mut diag = lint_pvts(&pvts, d_fail);
+            let mut diag = lint_pvts(&pvts, d_fail, tau);
             let errors = diag.error_pvt_ids();
-            let (pruned, kept): (Vec<Pvt>, Vec<Pvt>) =
-                pvts.into_iter().partition(|p| errors.contains(&p.id));
-            diag.pruned = pruned.iter().map(|p| p.id).collect();
+            // The carrying representative is each class's lowest
+            // *surviving* member; when every member is an Error the
+            // whole class is pruned and nothing is subsumed.
+            let subsumed: std::collections::BTreeSet<usize> = diag
+                .equivalence
+                .iter()
+                .flat_map(|class| {
+                    class
+                        .iter()
+                        .copied()
+                        .filter(|id| !errors.contains(id))
+                        .skip(1)
+                })
+                .collect();
+            let (dropped, kept): (Vec<Pvt>, Vec<Pvt>) = pvts
+                .into_iter()
+                .partition(|p| errors.contains(&p.id) || subsumed.contains(&p.id));
+            diag.pruned = dropped
+                .iter()
+                .map(|p| p.id)
+                .filter(|id| errors.contains(id))
+                .collect();
             diag.pruned.sort_unstable();
+            diag.subsumed = subsumed.into_iter().collect();
             (diag, kept)
         }
     }
@@ -258,9 +427,15 @@ mod tests {
         }
     }
 
+    /// [`lint_pvts`] at the default τ, the margin the existing L1–L5
+    /// tests were written against.
+    fn lint_pvts_t(pvts: &[Pvt], d_fail: &DataFrame) -> Diagnostics {
+        lint_pvts(pvts, d_fail, 0.2)
+    }
+
     #[test]
     fn healthy_discovery_shaped_candidate_is_clean() {
-        let diag = lint_pvts(&[domain_pvt(0)], &d_fail());
+        let diag = lint_pvts_t(&[domain_pvt(0)], &d_fail());
         assert!(diag.analyzed);
         assert!(diag.is_clean(), "{:?}", diag.diagnostics);
     }
@@ -278,7 +453,7 @@ mod tests {
                 strategy: ImputeStrategy::Mode,
             },
         };
-        let diag = lint_pvts(&[pvt], &d_fail());
+        let diag = lint_pvts_t(&[pvt], &d_fail());
         assert!(!diag.for_rule(RuleId::SchemaTyping).is_empty());
         assert!(diag.error_pvt_ids().contains(&0));
     }
@@ -299,7 +474,7 @@ mod tests {
                 ub: 10.0,
             },
         };
-        let diag = lint_pvts(&[pvt], &d_fail());
+        let diag = lint_pvts_t(&[pvt], &d_fail());
         let l1 = diag.for_rule(RuleId::SchemaTyping);
         assert!(
             l1.iter()
@@ -324,7 +499,7 @@ mod tests {
                 ub: 100.0,
             },
         };
-        let diag = lint_pvts(&[pvt], &d_fail());
+        let diag = lint_pvts_t(&[pvt], &d_fail());
         assert!(!diag.for_rule(RuleId::TransformConsistency).is_empty());
         assert!(diag.error_pvt_ids().contains(&1));
     }
@@ -346,7 +521,7 @@ mod tests {
                 ub: 100.0,
             },
         };
-        let diag = lint_pvts(&[pvt], &d_fail());
+        let diag = lint_pvts_t(&[pvt], &d_fail());
         let l3 = diag.for_rule(RuleId::NoOpTransform);
         assert_eq!(l3.len(), 1);
         assert_eq!(l3[0].severity, Severity::Error);
@@ -371,7 +546,7 @@ mod tests {
                 ub: 15.0,
             },
         };
-        let diag = lint_pvts(&[pvt], &d_fail());
+        let diag = lint_pvts_t(&[pvt], &d_fail());
         let l3 = diag.for_rule(RuleId::NoOpTransform);
         assert_eq!(l3.len(), 1);
         assert_eq!(l3[0].severity, Severity::Warn);
@@ -394,7 +569,7 @@ mod tests {
             },
         };
         // [0,5] and [10,20] are disjoint target ranges on one column.
-        let diag = lint_pvts(&[mk(0, 0.0, 5.0), mk(1, 10.0, 20.0)], &d_fail());
+        let diag = lint_pvts_t(&[mk(0, 0.0, 5.0), mk(1, 10.0, 20.0)], &d_fail());
         let l4 = diag.for_rule(RuleId::WriteConflict);
         assert_eq!(l4.len(), 1);
         assert_eq!(l4[0].pvt_ids, vec![0, 1]);
@@ -418,7 +593,7 @@ mod tests {
         };
         // domain_pvt touches "target", `other` touches "len": two
         // disconnected components in G_PD.
-        let diag = lint_pvts(&[domain_pvt(0), other], &d_fail());
+        let diag = lint_pvts_t(&[domain_pvt(0), other], &d_fail());
         assert!(diag
             .for_rule(RuleId::GraphSanity)
             .iter()
@@ -440,7 +615,7 @@ mod tests {
                 ub: 100.0,
             },
         };
-        let (diag, kept) = lint_and_prune(vec![domain_pvt(0), noop], &d_fail(), Lint::Prune);
+        let (diag, kept) = lint_and_prune(vec![domain_pvt(0), noop], &d_fail(), Lint::Prune, 0.2);
         assert_eq!(diag.pruned, vec![1]);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].id, 0);
@@ -449,10 +624,10 @@ mod tests {
     #[test]
     fn off_and_report_keep_everything() {
         let pvts = vec![domain_pvt(0)];
-        let (diag, kept) = lint_and_prune(pvts.clone(), &d_fail(), Lint::Off);
+        let (diag, kept) = lint_and_prune(pvts.clone(), &d_fail(), Lint::Off, 0.2);
         assert!(!diag.analyzed);
         assert_eq!(kept.len(), 1);
-        let (diag, kept) = lint_and_prune(pvts, &d_fail(), Lint::Report);
+        let (diag, kept) = lint_and_prune(pvts, &d_fail(), Lint::Report, 0.2);
         assert!(diag.analyzed);
         assert!(diag.pruned.is_empty());
         assert_eq!(kept.len(), 1);
@@ -487,5 +662,178 @@ mod tests {
             facts.write_target,
             Some((ref a, WriteTarget::Range { .. })) if a == "len"
         ));
+        // Conditional transforms lower to Guarded transfer ops and
+        // the conditional profile yields no L7 region (the violation
+        // is computed on a data-dependent subset).
+        assert!(matches!(facts.transfer[..], [TransferOp::Guarded(_)]));
+        assert!(facts.profile_region.is_none());
+        assert!(facts.transform_key.is_some(), "winsorize is deterministic");
+    }
+
+    #[test]
+    fn seeded_state_contains_the_frame_exactly() {
+        let state = seed_state(&d_fail());
+        let len = state.col("len");
+        assert_eq!(len.interval, Interval::Range { lo: 3.0, hi: 15.0 });
+        assert_eq!((len.null_lo, len.null_hi), (0.0, 0.0));
+        assert_eq!(
+            len.support,
+            SupportDom::Set(Default::default()),
+            "numeric columns hold no string values"
+        );
+        let target = state.col("target");
+        assert_eq!(target.interval, Interval::Empty);
+        match &target.support {
+            SupportDom::Set(s) => {
+                assert_eq!(
+                    s.iter().cloned().collect::<Vec<_>>(),
+                    vec!["0".to_string(), "1".to_string(), "4".to_string()]
+                );
+            }
+            SupportDom::Top => panic!("small categorical support must be exact"),
+        }
+        // An unseeded column is unknown, not empty.
+        assert_eq!(state.col("absent"), dp_lint::domains::AbsCol::top());
+    }
+
+    #[test]
+    fn lowering_covers_every_transform_kind() {
+        let shuffle = Transform::BreakDependenceShuffle {
+            a: "len".into(),
+            b: "target".into(),
+            alpha: 0.1,
+        };
+        assert!(matches!(
+            lower_transfer(&shuffle)[..],
+            [TransferOp::PermuteValues { ref attr }] if attr == "target"
+        ));
+        assert!(transform_key(&shuffle).is_none(), "stochastic: no L6 key");
+        let resample = Transform::ResampleSelectivity {
+            predicate: dp_frame::Predicate::cmp("target", dp_frame::CmpOp::Eq, "1"),
+            theta: 0.5,
+        };
+        assert!(matches!(
+            lower_transfer(&resample)[..],
+            [TransferOp::ResampleRows]
+        ));
+        let impute = Transform::Impute {
+            attr: "len".into(),
+            strategy: ImputeStrategy::Mode,
+        };
+        assert!(matches!(
+            lower_transfer(&impute)[..],
+            [TransferOp::FillNulls { .. }]
+        ));
+        assert!(transform_key(&impute).is_some());
+    }
+
+    #[test]
+    fn identical_transforms_are_subsumed_under_prune() {
+        // Two healthy candidates applying the bit-identical transform
+        // (same key): one oracle charge, the lowest id carries it.
+        let (diag, kept) = lint_and_prune(
+            vec![domain_pvt(0), domain_pvt(1)],
+            &d_fail(),
+            Lint::Prune,
+            0.2,
+        );
+        assert_eq!(diag.equivalence, vec![vec![0, 1]]);
+        assert_eq!(diag.subsumed, vec![1]);
+        assert!(diag.pruned.is_empty(), "subsumption is not an Error prune");
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id, 0);
+        // Report mode surfaces the class but drops nothing.
+        let (diag, kept) = lint_and_prune(
+            vec![domain_pvt(0), domain_pvt(1)],
+            &d_fail(),
+            Lint::Report,
+            0.2,
+        );
+        assert_eq!(diag.equivalence, vec![vec![0, 1]]);
+        assert!(diag.subsumed.is_empty());
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn tau_unreachable_candidate_trips_l7() {
+        // Winsorize into [20, 30] can never move `len` back inside
+        // the profile's [0, 1] region: post-interval [20, 30] is
+        // disjoint and the column has no nulls, so the violation is
+        // pinned at 1 > τ.
+        let pvt = Pvt {
+            id: 6,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 1.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 20.0,
+                ub: 30.0,
+            },
+        };
+        let diag = lint_pvts_t(std::slice::from_ref(&pvt), &d_fail());
+        assert!(
+            !diag.for_rule(RuleId::TauUnreachable).is_empty(),
+            "{:?}",
+            diag.diagnostics
+        );
+        assert!(diag.unreachable_ids().contains(&6));
+        assert!(diag.error_pvt_ids().contains(&6), "L7 is prunable");
+    }
+
+    #[test]
+    fn disjoint_deterministic_candidates_commute() {
+        // domain_pvt writes "target", the winsorize writes "len":
+        // disjoint deterministic footprints certify the pair.
+        let other = Pvt {
+            id: 3,
+            profile: Profile::DomainNumeric {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+            transform: Transform::Winsorize {
+                attr: "len".into(),
+                lb: 0.0,
+                ub: 10.0,
+            },
+        };
+        let diag = lint_pvts_t(&[domain_pvt(0), other], &d_fail());
+        assert_eq!(diag.commuting, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn lint_fact_event_follows_lint_event() {
+        let tracer = dp_trace::Tracer::collect();
+        let (_diag, _kept) = lint_and_prune_traced(
+            vec![domain_pvt(0), domain_pvt(1)],
+            &d_fail(),
+            Lint::Prune,
+            0.2,
+            &tracer,
+        );
+        let records = tracer.finish();
+        let lint_at = records
+            .iter()
+            .position(|r| matches!(r.event, dp_trace::Event::Lint(_)))
+            .expect("lint event");
+        match &records[lint_at + 1].event {
+            dp_trace::Event::LintFact(f) => {
+                assert_eq!(f.subsumption_classes, 1);
+                assert_eq!(f.subsumed, 1);
+                assert_eq!(f.unreachable, 0);
+                assert_eq!(f.noop_certified, 0);
+            }
+            other => panic!("expected LintFact after Lint, got {other:?}"),
+        }
+        // Under Off no fact event is emitted.
+        let tracer = dp_trace::Tracer::collect();
+        let _ = lint_and_prune_traced(vec![domain_pvt(0)], &d_fail(), Lint::Off, 0.2, &tracer);
+        assert!(!tracer
+            .finish()
+            .iter()
+            .any(|r| matches!(r.event, dp_trace::Event::LintFact(_))));
     }
 }

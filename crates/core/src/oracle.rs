@@ -230,6 +230,11 @@ pub struct CacheStats {
     /// had to pay oracle queries for. Like `interventions`, invariant
     /// under the thread count.
     pub lint_pruned: usize,
+    /// Candidate PVTs merged into an L6 equivalence-class sibling
+    /// before ranking (`Lint::Prune` only): the class representative
+    /// carries the single oracle charge. Disjoint from `lint_pruned`
+    /// and, like it, invariant under the thread count.
+    pub lint_subsumed: usize,
 }
 
 impl CacheStats {
@@ -243,6 +248,7 @@ impl CacheStats {
             speculative_waste: m.speculative_wasted as usize,
             interventions: m.charged_queries as usize,
             lint_pruned: m.lint_pruned as usize,
+            lint_subsumed: m.lint_subsumed as usize,
         }
     }
 }

@@ -72,12 +72,25 @@ pub fn markdown_report(
     if lint.analyzed {
         let _ = writeln!(
             out,
-            "- lint: **{lint}**{}",
+            "- lint: **{lint}**{}{}",
             if explanation.cache.lint_pruned > 0 {
                 format!(
                     " — {} candidate{} pruned before ranking",
                     explanation.cache.lint_pruned,
                     if explanation.cache.lint_pruned == 1 {
+                        ""
+                    } else {
+                        "s"
+                    }
+                )
+            } else {
+                String::new()
+            },
+            if explanation.cache.lint_subsumed > 0 {
+                format!(
+                    " — {} candidate{} subsumed into equivalence-class representatives",
+                    explanation.cache.lint_subsumed,
+                    if explanation.cache.lint_subsumed == 1 {
                         ""
                     } else {
                         "s"

@@ -244,6 +244,7 @@ pub trait InterventionRuntime {
             speculative_evaluated: stats.speculative as u64,
             speculative_wasted: stats.speculative_waste as u64,
             lint_pruned: stats.lint_pruned as u64,
+            lint_subsumed: stats.lint_subsumed as u64,
             ..RunMetrics::default()
         }
     }

@@ -141,6 +141,23 @@ pub struct CandidateFacts {
     /// The attribute/region the transformation drives values toward,
     /// when it has a describable target (rule L4 input).
     pub write_target: Option<(String, WriteTarget)>,
+    /// Attributes the *transformation alone* reads (no profile
+    /// reads): the application-order footprint rule L8 intersects.
+    /// A subset of `reads`' attribute names.
+    pub transform_reads: Vec<String>,
+    /// The transformation chain lowered to abstract transfer ops
+    /// (rule L6/L7/L9 input). Empty when the bridge cannot lower the
+    /// transformation — the abstract rules then skip the candidate.
+    pub transfer: Vec<crate::absint::TransferOp>,
+    /// A structural key identifying the transformation *function*:
+    /// `Some` iff the transformation is deterministic, in which case
+    /// two candidates with equal keys apply the bit-identical pure
+    /// function in any context (rule L6's syntactic certificate).
+    pub transform_key: Option<String>,
+    /// The violated region of the candidate's own profile, when the
+    /// profile constrains a single attribute against a describable
+    /// region (rule L7 input).
+    pub profile_region: Option<(String, crate::absint::ValueRegion)>,
 }
 
 impl CandidateFacts {
@@ -158,6 +175,10 @@ impl CandidateFacts {
             coverage_on_fail: 1.0,
             coverage_is_exact: false,
             write_target: None,
+            transform_reads: Vec::new(),
+            transfer: Vec::new(),
+            transform_key: None,
+            profile_region: None,
         }
     }
 }

@@ -17,17 +17,31 @@
 //! | L3 | no-op/idempotence | Error/Warn | transforms fixing no violating tuples on `D_fail` (coverage 0) |
 //! | L4 | conflict detection | Warn | two candidates writing one attribute with incompatible targets |
 //! | L5 | graph sanity | Warn/Info | self-loops, dangling edges, cycles, disconnected components |
+//! | L6 | subsumption/equivalence | Info | candidate classes applying the bit-identical repair — one oracle charge per class |
+//! | L7 | τ-unreachability | Error | fixes that provably keep their own profile violated beyond the τ margin |
+//! | L8 | commutation/independence | Info | candidate pairs with disjoint deterministic footprints — a fact table for the planner |
+//! | L9 | abstract no-op | Error | transformation chains provably the identity on the observed abstract state |
+//!
+//! L1–L5 reason over per-candidate facts; L6–L9 run an
+//! abstract-interpretation pass ([`domains`], [`absint`]): per-column
+//! abstract states (numeric intervals, null-fraction bounds,
+//! categorical support sets) seeded exactly from `D_fail`, pushed
+//! through transfer functions that symbolically execute each
+//! transformation chain.
 //!
 //! The analyzer is deliberately decoupled from the runtime's
 //! `Profile`/`Transform` enums: callers lower each candidate into a
 //! [`CandidateFacts`] record and hand [`analyze`] the schema, the
-//! facts, and the dependency edges. Emitted diagnostics are sorted by
+//! seeded abstract state, the `τ` margin, the facts, and the
+//! dependency edges. Emitted diagnostics are sorted by
 //! `(rule, severity, pvt_ids, attr, message)` — a total, deterministic
 //! order, so reports and golden files are stable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod domains;
 mod facts;
 mod graph;
 mod rules;
@@ -35,7 +49,9 @@ mod rules;
 pub use facts::{AttrRequirement, CandidateFacts, TypeClass, WriteTarget};
 pub use graph::check_graph;
 pub use rules::{
-    check_noop, check_schema_typing, check_transform_consistency, check_write_conflicts,
+    check_abstract_noop, check_commutation, check_noop, check_schema_typing, check_subsumption,
+    check_tau_unreachable, check_transform_consistency, check_write_conflicts, CommutationResult,
+    SubsumptionResult,
 };
 
 use dp_frame::Schema;
@@ -78,10 +94,18 @@ pub enum RuleId {
     WriteConflict,
     /// L5 — dependency-graph sanity.
     GraphSanity,
+    /// L6 — subsumption/equivalence classes.
+    Subsumption,
+    /// L7 — τ-unreachability of the candidate's own profile.
+    TauUnreachable,
+    /// L8 — commutation/independence facts.
+    Commutation,
+    /// L9 — abstract no-op (fixpoint) detection.
+    AbstractNoOp,
 }
 
 impl RuleId {
-    /// The rule's short code, `"L1"` … `"L5"`.
+    /// The rule's short code, `"L1"` … `"L9"`.
     pub fn code(self) -> &'static str {
         match self {
             RuleId::SchemaTyping => "L1",
@@ -89,6 +113,10 @@ impl RuleId {
             RuleId::NoOpTransform => "L3",
             RuleId::WriteConflict => "L4",
             RuleId::GraphSanity => "L5",
+            RuleId::Subsumption => "L6",
+            RuleId::TauUnreachable => "L7",
+            RuleId::Commutation => "L8",
+            RuleId::AbstractNoOp => "L9",
         }
     }
 
@@ -100,6 +128,10 @@ impl RuleId {
             RuleId::NoOpTransform => "no-op transform",
             RuleId::WriteConflict => "write conflict",
             RuleId::GraphSanity => "graph sanity",
+            RuleId::Subsumption => "subsumption/equivalence",
+            RuleId::TauUnreachable => "tau-unreachability",
+            RuleId::Commutation => "commutation/independence",
+            RuleId::AbstractNoOp => "abstract no-op",
         }
     }
 }
@@ -149,6 +181,16 @@ pub struct Diagnostics {
     /// Ids of candidates dropped before ranking (`Lint::Prune` only),
     /// ascending. Empty under `Off`/`Report`.
     pub pruned: Vec<usize>,
+    /// L6 equivalence classes (size ≥ 2), each sorted ascending with
+    /// the representative first; classes sorted by representative.
+    pub equivalence: Vec<Vec<usize>>,
+    /// Ids dropped because an equivalence-class sibling already
+    /// carries their oracle charge (`Lint::Prune` only), ascending.
+    /// Disjoint from `pruned` (which holds the `Error`-level drops).
+    pub subsumed: Vec<usize>,
+    /// L8 fact table: every certified commuting candidate pair,
+    /// `(low id, high id)`, sorted.
+    pub commuting: Vec<(usize, usize)>,
 }
 
 impl Diagnostics {
@@ -179,6 +221,15 @@ impl Diagnostics {
     pub fn for_rule(&self, rule: RuleId) -> Vec<&Diagnostic> {
         self.diagnostics.iter().filter(|d| d.rule == rule).collect()
     }
+
+    /// All candidate ids with an L7 (τ-unreachability) finding.
+    pub fn unreachable_ids(&self) -> BTreeSet<usize> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::TauUnreachable)
+            .flat_map(|d| d.pvt_ids.iter().copied())
+            .collect()
+    }
 }
 
 impl fmt::Display for Diagnostics {
@@ -196,16 +247,24 @@ impl fmt::Display for Diagnostics {
         if !self.pruned.is_empty() {
             write!(f, ", {} pruned", self.pruned.len())?;
         }
+        if !self.subsumed.is_empty() {
+            write!(f, ", {} subsumed", self.subsumed.len())?;
+        }
         Ok(())
     }
 }
 
-/// Run every rule over the candidate facts, the schema, and the
-/// dependency edges. The returned diagnostics are deterministically
-/// ordered and `analyzed` is set; `pruned` is left empty (pruning is
-/// the runtime's decision, not the analyzer's).
+/// Run every rule over the candidate facts, the schema, the seeded
+/// abstract state of `D_fail`, the acceptable-malfunction margin
+/// `tau`, and the dependency edges. The returned diagnostics are
+/// deterministically ordered and `analyzed` is set; `pruned` and
+/// `subsumed` are left empty (pruning is the runtime's decision, not
+/// the analyzer's), while `equivalence` and `commuting` carry the
+/// L6/L8 fact tables.
 pub fn analyze(
     schema: &Schema,
+    state: &domains::AbsState,
+    tau: f64,
     candidates: &[CandidateFacts],
     edges: &[(usize, usize)],
 ) -> Diagnostics {
@@ -218,12 +277,21 @@ pub fn analyze(
     diagnostics.extend(rules::check_write_conflicts(candidates));
     let ids: Vec<usize> = candidates.iter().map(|c| c.id).collect();
     diagnostics.extend(graph::check_graph(&ids, edges));
+    let subsumption = rules::check_subsumption(state, candidates);
+    diagnostics.extend(subsumption.diagnostics);
+    diagnostics.extend(rules::check_tau_unreachable(state, tau, candidates));
+    let commutation = rules::check_commutation(candidates);
+    diagnostics.extend(commutation.diagnostics);
+    diagnostics.extend(rules::check_abstract_noop(state, candidates));
     diagnostics.sort();
     diagnostics.dedup();
     Diagnostics {
         analyzed: true,
         diagnostics,
         pruned: Vec::new(),
+        equivalence: subsumption.classes,
+        subsumed: Vec::new(),
+        commuting: commutation.pairs,
     }
 }
 
@@ -242,7 +310,7 @@ mod tests {
 
     #[test]
     fn empty_candidate_set_is_clean() {
-        let d = analyze(&schema(), &[], &[]);
+        let d = analyze(&schema(), &domains::AbsState::new(), 0.2, &[], &[]);
         assert!(d.analyzed);
         assert!(d.is_clean());
         assert!(d.error_pvt_ids().is_empty());
@@ -257,12 +325,18 @@ mod tests {
         c.reads.push(AttrRequirement::new("x", TypeClass::Numeric));
         c.writes.push(AttrRequirement::new("x", TypeClass::Numeric));
         c.profile_attributes = vec!["x".into()];
-        let d = analyze(&schema, std::slice::from_ref(&c), &[]);
+        let d = analyze(
+            &schema,
+            &domains::AbsState::new(),
+            0.2,
+            std::slice::from_ref(&c),
+            &[],
+        );
         assert!(d.is_clean(), "{:?}", d.diagnostics);
         // The same candidate against an empty requirement on a
         // missing column errors.
         c.reads.push(AttrRequirement::new("y", TypeClass::Any));
-        let d = analyze(&schema, &[c], &[]);
+        let d = analyze(&schema, &domains::AbsState::new(), 0.2, &[c], &[]);
         assert_eq!(d.count(Severity::Error), 1);
         assert_eq!(d.error_pvt_ids().into_iter().collect::<Vec<_>>(), vec![0]);
     }
@@ -287,8 +361,9 @@ mod tests {
             .writes
             .push(AttrRequirement::new("target", TypeClass::Textual));
         let candidates = vec![broken_schema, noop, disjoint];
-        let d1 = analyze(&schema(), &candidates, &[(1, 1)]);
-        let d2 = analyze(&schema(), &candidates, &[(1, 1)]);
+        let state = domains::AbsState::new();
+        let d1 = analyze(&schema(), &state, 0.2, &candidates, &[(1, 1)]);
+        let d2 = analyze(&schema(), &state, 0.2, &candidates, &[(1, 1)]);
         assert_eq!(d1, d2, "analysis is a pure function of its inputs");
         let rules: Vec<RuleId> = d1.diagnostics.iter().map(|d| d.rule).collect();
         let mut sorted = rules.clone();
@@ -317,11 +392,18 @@ mod tests {
             analyzed: true,
             diagnostics: vec![d],
             pruned: vec![2],
+            ..Default::default()
         };
         assert_eq!(
             diags.to_string(),
             "1 error(s) / 0 warning(s) / 0 info, 1 pruned"
         );
+        diags.subsumed = vec![5, 6];
+        assert_eq!(
+            diags.to_string(),
+            "1 error(s) / 0 warning(s) / 0 info, 1 pruned, 2 subsumed"
+        );
+        diags.subsumed.clear();
         diags.analyzed = false;
         assert_eq!(diags.to_string(), "lint off");
     }

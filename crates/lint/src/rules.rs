@@ -1,13 +1,19 @@
-//! Rules L1–L4: per-candidate and cross-candidate lints.
+//! Rules L1–L4 (per-candidate and cross-candidate fact lints) and
+//! L6–L9 (abstract-interpretation lints over the seeded state).
 //!
 //! Each rule is an individually testable function returning the
 //! diagnostics it found; [`crate::analyze`] composes them and imposes
 //! the deterministic global ordering.
 
+use crate::absint::{
+    apply_chain, chain_is_identity, chains_pointwise_equal, violation_unreachable,
+};
+use crate::domains::AbsState;
 use crate::facts::CandidateFacts;
 use crate::{Diagnostic, RuleId, Severity};
 use dp_frame::Schema;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// L1 — schema typing: every attribute the candidate reads or writes
 /// must exist in the schema, and its declared dtype must admit the
@@ -166,12 +172,269 @@ pub fn check_write_conflicts(candidates: &[CandidateFacts]) -> Vec<Diagnostic> {
     out
 }
 
+/// The result of the L6 subsumption pass: the diagnostics plus the
+/// machine-readable equivalence classes (each sorted ascending, the
+/// first member the representative).
+pub struct SubsumptionResult {
+    /// One `Info` diagnostic per class of size ≥ 2.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Equivalence classes of size ≥ 2, sorted by representative.
+    pub classes: Vec<Vec<usize>>,
+}
+
+/// L6 — subsumption/equivalence: candidates that provably apply the
+/// bit-identical repair are merged into one oracle charge per class.
+///
+/// Candidates are first grouped by the cheap filter — identical
+/// profile read-set and coinciding abstract post-state on it — then
+/// certified pairwise:
+///
+/// * **syntactic**: equal [`CandidateFacts::transform_key`]s mean the
+///   two candidates apply the literally identical deterministic
+///   function, interchangeable in *any* context. These classes are
+///   safe to collapse under pruning: every member produces the same
+///   frame, hence the same oracle score, wherever it is applied.
+/// * **semantic**: [`chains_pointwise_equal`] proves two
+///   syntactically different chains act identically on every frame
+///   the seeded state admits (e.g. clamps whose differing bounds are
+///   inactive on the observed interval). This holds on `D_fail`
+///   itself but not necessarily on intermediate frames of an
+///   iterative search, so these pairs are *reported* (`Info`) but
+///   never collapsed.
+///
+/// Severity is `Info` throughout: duplicates are not futile — one
+/// member of each class still deserves its oracle query.
+pub fn check_subsumption(state: &AbsState, candidates: &[CandidateFacts]) -> SubsumptionResult {
+    // Cheap grouping filter: profile read-set + abstract post-state
+    // projected onto it must coincide before any certificate runs.
+    let mut groups: BTreeMap<String, Vec<&CandidateFacts>> = BTreeMap::new();
+    for c in candidates {
+        if c.transfer.is_empty() || c.profile_attributes.is_empty() {
+            continue;
+        }
+        let post = apply_chain(state, &c.transfer);
+        let key = format!(
+            "{:?}|{:?}",
+            c.profile_attributes,
+            post.project(&c.profile_attributes)
+        );
+        groups.entry(key).or_default().push(c);
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        // Syntactic certificate: transform-key equality is an
+        // equivalence relation, so clustering by key is exact.
+        let mut by_key: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for c in members {
+            if let Some(key) = &c.transform_key {
+                by_key.entry(key.as_str()).or_default().push(c.id);
+            }
+        }
+        // Semantic certificate: report pointwise-equal pairs that the
+        // syntactic pass did not already put in one class.
+        for (i, a) in members.iter().enumerate() {
+            for b in members.iter().skip(i + 1) {
+                if a.transform_key.is_some() && a.transform_key == b.transform_key {
+                    continue;
+                }
+                if chains_pointwise_equal(state, &a.transfer, &b.transfer) {
+                    let mut ids = vec![a.id, b.id];
+                    ids.sort_unstable();
+                    diagnostics.push(Diagnostic {
+                        rule: RuleId::Subsumption,
+                        severity: Severity::Info,
+                        pvt_ids: ids,
+                        attr: a.profile_attributes.first().cloned(),
+                        message: format!(
+                            "{} and {} act bit-identically on every frame the observed \
+                             state admits (pointwise-equal on D_fail); equivalent there \
+                             but not collapsible mid-search",
+                            a.label, b.label
+                        ),
+                    });
+                }
+            }
+        }
+        for ids in by_key.into_values() {
+            let mut ids = ids;
+            ids.sort_unstable();
+            if ids.len() < 2 {
+                continue;
+            }
+            let rep = ids[0];
+            diagnostics.push(Diagnostic {
+                rule: RuleId::Subsumption,
+                severity: Severity::Info,
+                pvt_ids: ids.clone(),
+                attr: None,
+                message: format!(
+                    "candidates [{}] apply the identical deterministic transformation; \
+                     one oracle charge (representative #{rep}) decides the whole class",
+                    ids.iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+            classes.push(ids);
+        }
+    }
+    classes.sort();
+    SubsumptionResult {
+        diagnostics,
+        classes,
+    }
+}
+
+/// L7 — τ-unreachability: interval arithmetic on the candidate's own
+/// profile parameters proves the transformation can never move the
+/// violated parameter across the `tau` margin — on *any* frame the
+/// seeded state admits, the post-state keeps the profile violated
+/// beyond `tau`. An `Error`: like L2's provable inconsistency, the
+/// fix cannot discharge the violation it claims to repair, so the
+/// PVT is malformed and its oracle queries are certainly wasted.
+pub fn check_tau_unreachable(
+    state: &AbsState,
+    tau: f64,
+    candidates: &[CandidateFacts],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in candidates {
+        let Some((attr, region)) = &c.profile_region else {
+            continue;
+        };
+        if c.transfer.is_empty() {
+            continue;
+        }
+        let post = apply_chain(state, &c.transfer);
+        if violation_unreachable(&post, attr, region, tau) {
+            out.push(Diagnostic {
+                rule: RuleId::TauUnreachable,
+                severity: Severity::Error,
+                pvt_ids: vec![c.id],
+                attr: Some(attr.clone()),
+                message: format!(
+                    "{}: the abstract post-state of `{attr}` provably keeps the profile \
+                     violated beyond the τ = {tau} margin; the fix can never repair its \
+                     own profile",
+                    c.label
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The result of the L8 commutation pass: one summary diagnostic (to
+/// avoid O(m²) report flooding) plus the full fact table.
+pub struct CommutationResult {
+    /// At most one `Info` diagnostic summarizing the fact table.
+    pub diagnostics: Vec<Diagnostic>,
+    /// All certified commuting pairs, `(low id, high id)` sorted.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// L8 — commutation/independence: a candidate pair whose
+/// transformations are deterministic (the RNG stream cannot skew
+/// them), row-local (no resampling), and touch disjoint
+/// read/write footprints provably commutes —
+/// `t_b(t_a(d)) = t_a(t_b(d))` bit-for-bit on every frame. The fact
+/// table feeds the speculation planner (commuting frontiers stay
+/// useful deeper) and the commute-aware GT partitioner (conflict
+/// edges are the pairs *not* in the table).
+pub fn check_commutation(candidates: &[CandidateFacts]) -> CommutationResult {
+    fn footprint(c: &CandidateFacts) -> BTreeSet<&str> {
+        c.transform_reads
+            .iter()
+            .map(String::as_str)
+            .chain(c.writes.iter().map(|w| w.attr.as_str()))
+            .collect()
+    }
+    let mut pairs = Vec::new();
+    for (i, a) in candidates.iter().enumerate() {
+        if a.transform_key.is_none() || a.rewrites_all_attributes {
+            continue;
+        }
+        let fa = footprint(a);
+        let wa: BTreeSet<&str> = a.writes.iter().map(|w| w.attr.as_str()).collect();
+        for b in candidates.iter().skip(i + 1) {
+            if b.transform_key.is_none() || b.rewrites_all_attributes {
+                continue;
+            }
+            let fb = footprint(b);
+            let wb: BTreeSet<&str> = b.writes.iter().map(|w| w.attr.as_str()).collect();
+            if wa.is_disjoint(&fb) && wb.is_disjoint(&fa) {
+                let (lo, hi) = if a.id < b.id {
+                    (a.id, b.id)
+                } else {
+                    (b.id, a.id)
+                };
+                pairs.push((lo, hi));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    let diagnostics = if pairs.is_empty() {
+        Vec::new()
+    } else {
+        let total = candidates.len() * candidates.len().saturating_sub(1) / 2;
+        vec![Diagnostic {
+            rule: RuleId::Commutation,
+            severity: Severity::Info,
+            pvt_ids: Vec::new(),
+            attr: None,
+            message: format!(
+                "{} of {} candidate pairs provably commute (disjoint deterministic \
+                 read/write footprints); the fact table steers speculation depth and \
+                 commute-aware partitioning",
+                pairs.len(),
+                total
+            ),
+        }]
+    };
+    CommutationResult { diagnostics, pairs }
+}
+
+/// L9 — abstract no-op: fixpoint detection over the seeded state. A
+/// chain every step of which is provably the identity on the frames
+/// the state admits (winsorize inside the observed hull, domain map
+/// over a subset support, impute with a zero null fraction — also
+/// under conditional guards, where L3's exact-coverage whitelist
+/// cannot reach) returns `D_fail` bit-unchanged: an `Error`, the
+/// oracle query is certainly wasted.
+pub fn check_abstract_noop(state: &AbsState, candidates: &[CandidateFacts]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in candidates {
+        if chain_is_identity(state, &c.transfer) {
+            out.push(Diagnostic {
+                rule: RuleId::AbstractNoOp,
+                severity: Severity::Error,
+                pvt_ids: vec![c.id],
+                attr: c.writes.first().map(|w| w.attr.clone()),
+                message: format!(
+                    "{}: every step of the transformation is the identity on the \
+                     observed abstract state — applying it provably returns D_fail \
+                     unchanged",
+                    c.label
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::absint::{TransferOp, ValueRegion};
+    use crate::domains::{AbsCol, Interval, SupportDom};
     use crate::facts::{AttrRequirement, TypeClass, WriteTarget};
     use dp_frame::{DType, Field, Schema};
-    use std::collections::BTreeSet;
 
     fn schema() -> Schema {
         Schema::new(vec![
@@ -326,5 +589,168 @@ mod tests {
         let b = with_target(2, "age", WriteTarget::Range { lb: 5.0, ub: 60.0 });
         let c = with_target(3, "len", WriteTarget::Range { lb: 99.0, ub: 99.5 });
         assert!(check_write_conflicts(&[a, b, c]).is_empty());
+    }
+
+    // --- L6–L9 ---
+
+    fn seeded_state() -> AbsState {
+        let mut s = AbsState::new();
+        s.set(
+            "len",
+            AbsCol {
+                interval: Interval::range(3.0, 15.0),
+                null_lo: 0.0,
+                null_hi: 0.0,
+                support: SupportDom::Top,
+            },
+        );
+        s.set(
+            "target",
+            AbsCol {
+                interval: Interval::Empty,
+                null_lo: 0.0,
+                null_hi: 0.0,
+                support: SupportDom::Set(["0", "4"].iter().map(|s| s.to_string()).collect()),
+            },
+        );
+        s
+    }
+
+    fn clamp_candidate(
+        id: usize,
+        attr: &str,
+        lb: f64,
+        ub: f64,
+        key: Option<&str>,
+    ) -> CandidateFacts {
+        let mut c = CandidateFacts::new(id, format!("pvt{id}"));
+        c.profile_attributes = vec![attr.to_string()];
+        c.writes
+            .push(AttrRequirement::new(attr, TypeClass::Numeric));
+        c.transform_reads = vec![attr.to_string()];
+        c.transfer = vec![TransferOp::Clamp {
+            attr: attr.to_string(),
+            lb,
+            ub,
+        }];
+        c.transform_key = key.map(str::to_string);
+        c
+    }
+
+    #[test]
+    fn l6_collapses_identical_keys_and_reports_pointwise_pairs() {
+        // Two literal duplicates (same key) + one pointwise-equal
+        // variant (different key, bound inactive on [3, 15]).
+        let a = clamp_candidate(4, "len", 0.0, 20.0, Some("w(0,20)"));
+        let b = clamp_candidate(2, "len", 0.0, 20.0, Some("w(0,20)"));
+        let c = clamp_candidate(7, "len", 0.0, 25.0, Some("w(0,25)"));
+        let result = check_subsumption(&seeded_state(), &[a, b, c]);
+        assert_eq!(result.classes, vec![vec![2, 4]], "key class, sorted");
+        let class_diag = result
+            .diagnostics
+            .iter()
+            .find(|d| d.message.contains("identical deterministic"))
+            .expect("class diagnostic");
+        assert_eq!(class_diag.pvt_ids, vec![2, 4]);
+        assert_eq!(class_diag.severity, Severity::Info);
+        assert!(class_diag.message.contains("representative #2"));
+        // The pointwise pairs (2,7) and (4,7) are reported, not
+        // collapsed.
+        assert_eq!(
+            result
+                .diagnostics
+                .iter()
+                .filter(|d| d.message.contains("pointwise-equal"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn l6_requires_coinciding_post_states() {
+        // Same key shape but different post-intervals on the profile
+        // read-set: the grouping filter must keep them apart.
+        let a = clamp_candidate(0, "len", 0.0, 5.0, Some("w(0,5)"));
+        let b = clamp_candidate(1, "len", 0.0, 9.0, Some("w(0,9)"));
+        let result = check_subsumption(&seeded_state(), &[a, b]);
+        assert!(result.classes.is_empty());
+        assert!(result.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_nondeterministic_and_unlowered_candidates() {
+        let mut a = clamp_candidate(0, "len", 0.0, 20.0, None); // nondeterministic
+        let mut b = clamp_candidate(1, "len", 0.0, 20.0, None);
+        a.transform_key = None;
+        b.transform_key = None;
+        let result = check_subsumption(&seeded_state(), &[a, b]);
+        assert!(result.classes.is_empty());
+        // Pointwise equivalence still reports — the *chains* are
+        // equal regardless of determinism of the key.
+        let c = CandidateFacts::new(2, "unlowered");
+        assert!(check_subsumption(&seeded_state(), &[c.clone(), c])
+            .classes
+            .is_empty());
+    }
+
+    #[test]
+    fn l7_certifies_unreachable_regions() {
+        // Profile wants len ∈ [0, 1]; the fix clamps len into [5, 10]
+        // — provably still fully violated.
+        let mut c = clamp_candidate(3, "len", 5.0, 10.0, Some("w(5,10)"));
+        c.profile_region = Some(("len".to_string(), ValueRegion::Range { lb: 0.0, ub: 1.0 }));
+        let diags = check_tau_unreachable(&seeded_state(), 0.2, &[c]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].pvt_ids, vec![3]);
+        assert!(diags[0].message.contains("τ = 0.2"));
+        // A clamp into the admissible region is (correctly) not
+        // flagged.
+        let mut ok = clamp_candidate(4, "len", 0.0, 1.0, Some("w(0,1)"));
+        ok.profile_region = Some(("len".to_string(), ValueRegion::Range { lb: 0.0, ub: 1.0 }));
+        assert!(check_tau_unreachable(&seeded_state(), 0.2, &[ok]).is_empty());
+    }
+
+    #[test]
+    fn l8_certifies_disjoint_deterministic_pairs_only() {
+        let a = clamp_candidate(0, "len", 0.0, 5.0, Some("a"));
+        let b = clamp_candidate(1, "aux", 0.0, 5.0, Some("b"));
+        let c = clamp_candidate(2, "len", 1.0, 6.0, Some("c")); // conflicts with a
+        let mut shuffled = clamp_candidate(3, "other", 0.0, 5.0, None);
+        shuffled.transform_key = None; // nondeterministic
+        let mut resample = clamp_candidate(4, "fifth", 0.0, 5.0, Some("r"));
+        resample.rewrites_all_attributes = true;
+        let result = check_commutation(&[a, b, c, shuffled, resample]);
+        assert_eq!(result.pairs, vec![(0, 1), (1, 2)]);
+        assert_eq!(result.diagnostics.len(), 1, "one summary, not O(m²)");
+        assert_eq!(result.diagnostics[0].severity, Severity::Info);
+        assert!(result.diagnostics[0].message.contains("2 of 10"));
+        // No pairs → no diagnostic at all.
+        let lone = clamp_candidate(0, "len", 0.0, 5.0, Some("a"));
+        assert!(check_commutation(&[lone]).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn l9_certifies_identity_chains_as_error() {
+        // Clamp strictly containing the observed interval.
+        let noop = clamp_candidate(5, "len", 0.0, 20.0, Some("w(0,20)"));
+        let diags = check_abstract_noop(&seeded_state(), &[noop]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("identity on the"));
+        // Guarded identity: L3's whitelist cannot see through the
+        // guard, L9 can.
+        let mut guarded = CandidateFacts::new(6, "cond(len)");
+        guarded.transfer = vec![TransferOp::Guarded(Box::new(TransferOp::Clamp {
+            attr: "len".into(),
+            lb: 0.0,
+            ub: 20.0,
+        }))];
+        assert_eq!(check_abstract_noop(&seeded_state(), &[guarded]).len(), 1);
+        // An effective clamp is not flagged.
+        let effective = clamp_candidate(7, "len", 0.0, 5.0, Some("w(0,5)"));
+        assert!(check_abstract_noop(&seeded_state(), &[effective]).is_empty());
+        // An unlowered candidate (empty chain) is not flagged.
+        assert!(check_abstract_noop(&seeded_state(), &[CandidateFacts::new(8, "x")]).is_empty());
     }
 }

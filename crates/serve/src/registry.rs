@@ -54,6 +54,24 @@ pub struct SystemEntry {
     pub cache: LruScoreCache,
     /// Diagnoses completed against this system.
     pub diagnoses: u64,
+    /// Cumulative lint totals across this namespace's diagnoses
+    /// (zero when the registered config runs `Lint::Off`).
+    pub lint: LintTotals,
+}
+
+/// Running lint-pass totals for one namespace, folded in after every
+/// successful diagnosis so `stats` can report how much static
+/// analysis saved without replaying traces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LintTotals {
+    /// Error-severity candidates dropped before ranking (L1/L2/L7).
+    pub pruned: u64,
+    /// Candidates merged into equivalence-class representatives (L6).
+    pub subsumed: u64,
+    /// τ-unreachability certificates issued (L7).
+    pub unreachable: u64,
+    /// Candidate pairs certified commuting (L8).
+    pub commuting_pairs: u64,
 }
 
 /// Scenario keys `register` accepts.
@@ -129,6 +147,7 @@ impl Registry {
                     spec: Arc::clone(&spec),
                     cache: LruScoreCache::with_budget(self.budget_bytes),
                     diagnoses: 0,
+                    lint: LintTotals::default(),
                 }))
             })
             .clone();

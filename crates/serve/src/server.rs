@@ -608,8 +608,12 @@ fn handle_diagnose(
     // absorb them so the next attempt is warm.
     let absorbed = with_entry(shared, system, |entry| {
         let new_entries = entry.cache.absorb(&cache);
-        if result.is_ok() {
+        if let Ok(exp) = &result {
             entry.diagnoses += 1;
+            entry.lint.pruned += exp.lint.pruned.len() as u64;
+            entry.lint.subsumed += exp.lint.subsumed.len() as u64;
+            entry.lint.unreachable += exp.lint.unreachable_ids().len() as u64;
+            entry.lint.commuting_pairs += exp.lint.commuting.len() as u64;
         }
         (new_entries, entry.cache.len(), entry.cache.evictions)
     });
@@ -636,6 +640,13 @@ fn handle_diagnose(
                 .str("speculation", speculation.as_str())
                 .u64("speculative_shed", exp.metrics.speculative_shed)
                 .u64("peak_inflight", exp.metrics.peak_inflight)
+                .bool("lint_analyzed", exp.lint.analyzed)
+                .usize("lint_errors", exp.lint.count(dataprism::Severity::Error))
+                .usize("lint_warnings", exp.lint.count(dataprism::Severity::Warn))
+                .usize("lint_pruned", exp.lint.pruned.len())
+                .usize("lint_subsumed", exp.lint.subsumed.len())
+                .usize("lint_unreachable", exp.lint.unreachable_ids().len())
+                .usize("lint_commuting_pairs", exp.lint.commuting.len())
                 .usize("new_cache_entries", new_entries)
                 .usize("cache_entries", resident)
                 .u64("evictions", evictions)
@@ -710,9 +721,10 @@ fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
                 entry.cache.footprint_bytes(),
                 entry.cache.evictions,
                 entry.diagnoses,
+                entry.lint,
             )
         }) {
-            Ok((scenario, resident, capacity, footprint, evictions, diagnoses)) => {
+            Ok((scenario, resident, capacity, footprint, evictions, diagnoses, lint)) => {
                 Reply::ok("stats")
                     .str("system", name)
                     .str("scenario", &scenario)
@@ -721,6 +733,10 @@ fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
                     .usize("footprint_bytes", footprint)
                     .u64("evictions", evictions)
                     .u64("diagnoses", diagnoses)
+                    .u64("lint_pruned_total", lint.pruned)
+                    .u64("lint_subsumed_total", lint.subsumed)
+                    .u64("lint_unreachable_total", lint.unreachable)
+                    .u64("lint_commuting_pairs_total", lint.commuting_pairs)
                     .finish()
             }
             Err(resp) => resp,

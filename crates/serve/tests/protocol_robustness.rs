@@ -180,6 +180,46 @@ fn racing_clients_on_one_namespace_agree_bit_for_bit() {
 }
 
 #[test]
+fn diagnose_replies_and_stats_carry_lint_counters() {
+    let (server, mut client) = start_default();
+    assert!(is_ok(
+        &client.register("ex", "example1", None, None).unwrap()
+    ));
+    let v = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&v), "{v:?}");
+    // The bundled scenarios register with the default `Lint::Report`
+    // config, so every reply carries the analyzed lint block.
+    assert_eq!(v.get("lint_analyzed").and_then(|b| b.as_bool()), Some(true));
+    for field in [
+        "lint_errors",
+        "lint_warnings",
+        "lint_pruned",
+        "lint_subsumed",
+        "lint_unreachable",
+        "lint_commuting_pairs",
+    ] {
+        assert!(field_u64(&v, field).is_some(), "missing {field}: {v:?}");
+    }
+    // Report mode never prunes or subsumes — it only reports.
+    assert_eq!(field_u64(&v, "lint_pruned"), Some(0));
+    assert_eq!(field_u64(&v, "lint_subsumed"), Some(0));
+    let pairs = field_u64(&v, "lint_commuting_pairs").unwrap();
+
+    // Per-namespace stats accumulate the same totals across runs.
+    let v2 = client.diagnose("ex", "greedy", None).unwrap();
+    assert!(is_ok(&v2));
+    let stats = client.stats(Some("ex")).unwrap();
+    assert_eq!(field_u64(&stats, "lint_pruned_total"), Some(0));
+    assert_eq!(field_u64(&stats, "lint_subsumed_total"), Some(0));
+    assert_eq!(
+        field_u64(&stats, "lint_commuting_pairs_total"),
+        Some(2 * pairs),
+        "two identical diagnoses fold in twice: {stats:?}"
+    );
+    stop(server, &mut client);
+}
+
+#[test]
 fn admission_control_sheds_load_with_typed_busy_errors() {
     let server = Server::start(ServeConfig {
         max_inflight: 1,

@@ -49,6 +49,92 @@ pub const DEFAULT_BUCKETS: usize = 64;
 /// ulps — never by more than this.
 const R_FP_MARGIN: f64 = 1e-6;
 
+/// Distinct-value cap of [`ColumnSummary`]: a string column with more
+/// distinct values than this reports no support set (the abstract
+/// domain degrades to Top rather than carrying an unbounded set).
+pub const SUPPORT_CAP: usize = 64;
+
+/// Exact one-pass summary of a single column, the seeding input for
+/// abstract interpretation (dp_lint's `AbsState`): total rows, null
+/// count, the min/max hull of the finite numeric values, and the
+/// distinct string support up to [`SUPPORT_CAP`].
+///
+/// Unlike the dependence sketches above, nothing here is estimated —
+/// every field is exact over the column it summarizes, so an abstract
+/// state seeded from it *contains* the concrete column by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Total rows (including nulls).
+    pub rows: usize,
+    /// NULL count.
+    pub nulls: usize,
+    /// Smallest finite non-null numeric value, when any.
+    pub min: Option<f64>,
+    /// Largest finite non-null numeric value, when any.
+    pub max: Option<f64>,
+    /// Whether any non-null numeric value was NaN or infinite — the
+    /// min/max hull then does not bound the column and the interval
+    /// abstraction must degrade to Top.
+    pub non_finite: bool,
+    /// Sorted distinct non-null string values, present only for
+    /// string-typed columns with at most [`SUPPORT_CAP`] distinct
+    /// values.
+    pub support: Option<Vec<String>>,
+}
+
+impl ColumnSummary {
+    /// Summarize one column exactly.
+    pub fn build(col: &dp_frame::Column) -> Self {
+        let rows = col.len();
+        let nulls = col.null_count();
+        let (mut min, mut max, mut non_finite) = (None, None, false);
+        let mut support = None;
+        let dtype = col.dtype();
+        if dtype.is_numeric() {
+            let mut seen = 0usize;
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for (_, v) in col.f64_values() {
+                if v.is_finite() {
+                    seen += 1;
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                } else {
+                    non_finite = true;
+                }
+            }
+            if seen > 0 {
+                min = Some(lo);
+                max = Some(hi);
+            }
+        } else if dtype.is_string() {
+            let counts = col.value_counts();
+            if counts.len() <= SUPPORT_CAP {
+                let mut values: Vec<String> = counts.into_iter().map(|(v, _)| v).collect();
+                values.sort_unstable();
+                support = Some(values);
+            }
+        }
+        ColumnSummary {
+            rows,
+            nulls,
+            min,
+            max,
+            non_finite,
+            support,
+        }
+    }
+
+    /// Exact null fraction (`0.0` on an empty column).
+    pub fn null_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+}
+
 /// One-pass summary of a numeric column: moments, centered values,
 /// presence bitmap, and average-rank analogues for Spearman.
 #[derive(Debug, Clone)]
@@ -565,6 +651,58 @@ mod tests {
         // The upper envelope of an injective pair IS the exact test.
         let up = chi2_upper(&sa, &sb, 1.0);
         assert_eq!(up, est);
+    }
+
+    #[test]
+    fn column_summary_is_exact_on_numeric_columns() {
+        let col = Column::from_floats(
+            "x",
+            vec![Some(3.5), None, Some(-1.0), Some(9.25), None, Some(0.0)],
+        );
+        let s = ColumnSummary::build(&col);
+        assert_eq!((s.rows, s.nulls), (6, 2));
+        assert_eq!((s.min, s.max), (Some(-1.0), Some(9.25)));
+        assert!(!s.non_finite);
+        assert!(s.support.is_none());
+        assert!((s.null_fraction() - 2.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn column_summary_flags_non_finite_observations() {
+        // NaN becomes NULL at construction, but infinities are
+        // storable and must poison the hull.
+        let col = Column::from_floats("x", vec![Some(1.0), Some(f64::INFINITY), Some(2.0)]);
+        let s = ColumnSummary::build(&col);
+        assert!(s.non_finite, "∞ must poison the hull");
+        assert_eq!((s.min, s.max), (Some(1.0), Some(2.0)));
+        let empty = ColumnSummary::build(&Column::from_floats("x", vec![None, None]));
+        assert_eq!((empty.min, empty.max), (None, None));
+        assert!((empty.null_fraction() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn column_summary_caps_string_support() {
+        let col = Column::from_strings(
+            "c",
+            DType::Categorical,
+            vec![Some("b".into()), Some("a".into()), None, Some("b".into())],
+        );
+        let s = ColumnSummary::build(&col);
+        assert_eq!(
+            s.support,
+            Some(vec!["a".to_string(), "b".to_string()]),
+            "sorted distinct support"
+        );
+        assert_eq!(s.nulls, 1);
+        // Over the cap: no support set.
+        let wide = Column::from_strings(
+            "w",
+            DType::Text,
+            (0..SUPPORT_CAP + 1)
+                .map(|i| Some(format!("v{i:03}")))
+                .collect(),
+        );
+        assert!(ColumnSummary::build(&wide).support.is_none());
     }
 
     #[test]

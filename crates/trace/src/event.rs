@@ -22,7 +22,12 @@
 /// v3: the [`Event::SampledQuery`] event was added — a
 /// confidence-bounded oracle decision settled on a stratified row
 /// sample instead of the full dataset.
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: the [`Event::LintFact`] event was added — the abstract-
+/// interpretation fact counts (L6 subsumption classes, L7
+/// τ-unreachability drops, L8 commutation pairs, L9 no-op
+/// certificates) the lint pass derived before any oracle query.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Whether an oracle query was a free baseline or a charged
 /// intervention.
@@ -80,6 +85,23 @@ pub struct LintSpan {
     pub infos: usize,
     /// Candidates pruned before ranking (`Lint::Prune` only).
     pub pruned: usize,
+}
+
+/// The abstract-interpretation fact counts the lint pass derived (v4;
+/// emitted right after [`Event::Lint`] whenever the pass ran).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintFactSpan {
+    /// L6 equivalence classes of size ≥ 2.
+    pub subsumption_classes: usize,
+    /// Candidates whose oracle charge another class member carries
+    /// (`Lint::Prune` only; 0 under `Report`).
+    pub subsumed: usize,
+    /// Candidates with an L7 τ-unreachability certificate.
+    pub unreachable: usize,
+    /// L8 certified commuting candidate pairs.
+    pub commuting_pairs: usize,
+    /// Candidates with an L9 abstract no-op certificate.
+    pub noop_certified: usize,
 }
 
 /// One oracle query, with how the fingerprint cache served it.
@@ -171,6 +193,8 @@ pub enum Event {
     Discovery(DiscoverySpan),
     /// The lint pass completed.
     Lint(LintSpan),
+    /// The lint pass's abstract-interpretation fact counts (v4).
+    LintFact(LintFactSpan),
     /// An oracle query completed.
     OracleQuery(OracleQuerySpan),
     /// A charged oracle decision was settled on a row sample (the

@@ -10,8 +10,8 @@
 //! `parse_jsonl(to_jsonl(r)) == r` bit for bit.
 
 use crate::event::{
-    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintSpan, OracleQuerySpan, QueryKind,
-    SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
+    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintFactSpan, LintSpan,
+    OracleQuerySpan, QueryKind, SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 use std::fmt;
 
@@ -161,6 +161,13 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             .usize("warnings", s.warnings)
             .usize("infos", s.infos)
             .usize("pruned", s.pruned)
+            .finish(),
+        Event::LintFact(s) => Obj::new(seq, at, "lint_fact")
+            .usize("subsumption_classes", s.subsumption_classes)
+            .usize("subsumed", s.subsumed)
+            .usize("unreachable", s.unreachable)
+            .usize("commuting_pairs", s.commuting_pairs)
+            .usize("noop_certified", s.noop_certified)
             .finish(),
         Event::OracleQuery(s) => Obj::new(seq, at, "oracle_query")
             .str(
@@ -644,6 +651,13 @@ fn decode_record(line: &str) -> Result<TraceRecord, String> {
             infos: f.usize("infos")?,
             pruned: f.usize("pruned")?,
         }),
+        "lint_fact" => Event::LintFact(LintFactSpan {
+            subsumption_classes: f.usize("subsumption_classes")?,
+            subsumed: f.usize("subsumed")?,
+            unreachable: f.usize("unreachable")?,
+            commuting_pairs: f.usize("commuting_pairs")?,
+            noop_certified: f.usize("noop_certified")?,
+        }),
         "oracle_query" => Event::OracleQuery(OracleQuerySpan {
             kind: match f.str("kind")?.as_str() {
                 "baseline" => QueryKind::Baseline,
@@ -836,6 +850,17 @@ mod tests {
                     speculative_hit: true,
                     // A cache hit: no latency sample at all.
                     latency_ns: None,
+                }),
+            },
+            TraceRecord {
+                seq: 9,
+                at_ns: 700,
+                event: Event::LintFact(LintFactSpan {
+                    subsumption_classes: 2,
+                    subsumed: 3,
+                    unreachable: 1,
+                    commuting_pairs: 12,
+                    noop_certified: 1,
                 }),
             },
         ]

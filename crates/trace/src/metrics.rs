@@ -185,6 +185,12 @@ pub struct RunMetrics {
     pub lint_infos: u64,
     /// Candidates the lint pass pruned before ranking.
     pub lint_pruned: u64,
+    /// Candidates dropped because an L6 equivalence-class sibling
+    /// already carries their oracle charge (`Lint::Prune` only;
+    /// disjoint from `lint_pruned`).
+    pub lint_subsumed: u64,
+    /// Candidates with an L7 τ-unreachability certificate.
+    pub lint_unreachable: u64,
     /// Charged queries the sampled oracle settled on a stratified row
     /// sample (confidence-bounded FAIL decisions that never touched
     /// the full dataset). Zero with `oracle_sampling` off.
@@ -218,7 +224,7 @@ impl RunMetrics {
         format!(
             "queries {} (hits {}, misses {}), baselines {}, \
              speculation {}/{}/{} issued/used/wasted, \
-             prefilter {}/{} screened/exact, lint {} pruned, \
+             prefilter {}/{} screened/exact, lint {}/{} pruned/subsumed, \
              sampling {}/{} settled/escalated",
             self.charged_queries,
             self.cache_hits,
@@ -230,6 +236,7 @@ impl RunMetrics {
             self.prefilter_screened,
             self.prefilter_exact,
             self.lint_pruned,
+            self.lint_subsumed,
             self.sampled_queries,
             self.escalations,
         )
