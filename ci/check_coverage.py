@@ -3,7 +3,8 @@
 
 Computes the aggregate line coverage over files under
 `crates/core/src/`, `crates/lint/src/`, `crates/frame/src/`,
-`crates/trace/src/`, and `crates/serve/src/` from
+`crates/trace/src/`, `crates/serve/src/`, `crates/stats/src/`, and
+`crates/monitor/src/` from
 a `cargo llvm-cov --json` export and compares it against the committed
 `ci/coverage-baseline.txt` — the single source of truth for the
 ratchet; there is no built-in fallback value:
@@ -36,6 +37,8 @@ GATED_PREFIXES = (
     "crates/frame/src/",
     "crates/trace/src/",
     "crates/serve/src/",
+    "crates/stats/src/",
+    "crates/monitor/src/",
 )
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 COV_COMMAND = [
@@ -52,6 +55,10 @@ COV_COMMAND = [
     "dp-trace",
     "-p",
     "dp-serve",
+    "-p",
+    "dp-stats",
+    "-p",
+    "dp-monitor",
     "-p",
     "dataprism-suite",
     "--json",

@@ -267,15 +267,19 @@ pub fn discover_profiles_stats(
         };
         let num = |f: &dp_frame::Field| f.dtype.is_numeric();
         if cfg.indep_chi2 && cat(i, fa) && cat(j, fb) {
-            // Only injectively coded pairs are screened: their
+            // Only order-preservingly coded pairs are screened: their
             // sketched χ² is bit-identical to the exact test, so
             // "insignificant" here is exactly the condition under
-            // which `dependence` returns 0.
+            // which `dependence` returns 0. (`is_exact` is weaker —
+            // collision-free hashing matches only up to summation
+            // order, which is not good enough for parity.)
             let screened = sketches.as_ref().is_some_and(|s| {
                 let (Some(sa), Some(sb)) = (&s.categorical[i], &s.categorical[j]) else {
                     return false;
                 };
-                sa.is_exact() && sb.is_exact() && !sketch::chi2_estimate(sa, sb).significant(0.05)
+                sa.is_order_preserving()
+                    && sb.is_order_preserving()
+                    && !sketch::chi2_estimate(sa, sb).significant(0.05)
             });
             let alpha = if screened {
                 counters.chi2_screened.fetch_add(1, Ordering::Relaxed);

@@ -217,6 +217,35 @@ pub fn explain_group_test_parallel_cached(
     Ok(exp)
 }
 
+/// [`explain_group_test_parallel_cached`] with a caller-supplied
+/// candidate set: the warm-cache runtime, but discovery is skipped —
+/// the monitor's targeted re-diagnosis hands in only the drifted
+/// profiles' candidates and still reuses the namespace cache.
+pub fn explain_group_test_parallel_cached_with_pvts(
+    factory: &dyn SystemFactory,
+    d_fail: &DataFrame,
+    d_pass: &DataFrame,
+    pvt_vec: Vec<Pvt>,
+    config: &PrismConfig,
+    strategy: PartitionStrategy,
+    cache: &mut crate::cache::ScoreCache,
+) -> Result<Explanation> {
+    let tracer = make_tracer(config)?;
+    let mut rt = ParOracle::with_warm_cache(
+        factory,
+        config.threshold,
+        config.max_interventions,
+        config.num_threads,
+        cache,
+    )
+    .with_speculation(config.speculation, config.speculation_budget)
+    .with_sampling(config.oracle_sampling, config.seed);
+    emit_begin(&tracer, "group_test", &rt, config, config.num_threads);
+    let result = run_group_test(&mut rt, d_fail, d_pass, pvt_vec, config, strategy, tracer);
+    cache.absorb(&rt.export_cache());
+    result
+}
+
 /// [`explain_group_test_with_pvts`] on the parallel runtime.
 pub fn explain_group_test_parallel_with_pvts(
     factory: &dyn SystemFactory,

@@ -97,11 +97,13 @@ pub use explanation::{Explanation, TraceEvent};
 pub use facade::DataPrism;
 pub use greedy::{
     explain_greedy, explain_greedy_parallel, explain_greedy_parallel_cached,
-    explain_greedy_parallel_with_pvts, explain_greedy_with_pvts,
+    explain_greedy_parallel_cached_with_pvts, explain_greedy_parallel_with_pvts,
+    explain_greedy_with_pvts,
 };
 pub use group_test::{
     explain_group_test, explain_group_test_parallel, explain_group_test_parallel_cached,
-    explain_group_test_parallel_with_pvts, explain_group_test_with_pvts, PartitionStrategy,
+    explain_group_test_parallel_cached_with_pvts, explain_group_test_parallel_with_pvts,
+    explain_group_test_with_pvts, PartitionStrategy,
 };
 pub use lint::lint_pvts;
 pub use oracle::{fingerprint, fingerprint_reference, CacheStats, Oracle, System, SystemFactory};

@@ -1,0 +1,37 @@
+//! Monitoring knobs, deliberately few: the diagnosis side is
+//! configured by the [`dataprism::PrismConfig`] the watcher carries.
+
+/// Configuration of the continuous-monitoring loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Drift threshold `τ_drift`: a profile whose violation over the
+    /// current window exceeds this is *drifted* and seeds the
+    /// targeted re-diagnosis. Violation scores live in `[0, 1]`, so
+    /// so does the threshold.
+    pub tau_drift: f64,
+    /// Sliding-window length in batches. Drift is scored over the
+    /// most recent `window_batches` batches only — detection lag is
+    /// therefore bounded by the window, not by stream length (a
+    /// disconnect injected mid-stream is never diluted by an
+    /// arbitrarily long clean prefix).
+    pub window_batches: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            tau_drift: 0.1,
+            window_batches: 2,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Default config with the given drift threshold.
+    pub fn with_tau(tau_drift: f64) -> Self {
+        MonitorConfig {
+            tau_drift,
+            ..MonitorConfig::default()
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Drift scoring: the passing-run profile set replayed against a
+//! sliding window of the live stream.
+//!
+//! The score of profile `P` over window `W` is exactly the paper's
+//! violation function `V(W, P) ∈ [0, 1]` — the same quantity batch
+//! diagnosis uses to decide discriminativeness — so a drifted profile
+//! is by construction a candidate the offline pipeline would also
+//! consider. Before touching rows, each profile is screened against
+//! the window's merged [`ColumnSummary`]s: a summary that *proves*
+//! the violation is zero (null fraction under θ, hull inside the
+//! domain interval, support inside the domain set) settles the score
+//! without scanning the window.
+
+use dataprism::{violation, Profile};
+use dp_frame::DataFrame;
+use dp_stats::sketch::ColumnSummary;
+use dp_trace::{DriftScoreSpan, Event, Tracer};
+
+/// One profile's drift verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftScore {
+    /// Index of the profile in the watcher's baseline profile set.
+    pub profile: usize,
+    /// Violation of the profile over the current window, in `[0, 1]`.
+    pub score: f64,
+    /// Whether the sketch screen proved the score zero without
+    /// scanning the window rows.
+    pub screened: bool,
+    /// Whether `score > τ_drift`.
+    pub drifted: bool,
+}
+
+/// The outcome of one drift check over the current window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// One entry per baseline profile, in baseline order.
+    pub scores: Vec<DriftScore>,
+    /// Rows in the scored window.
+    pub window_rows: u64,
+    /// The `τ_drift` the verdicts were taken against.
+    pub threshold: f64,
+}
+
+impl DriftReport {
+    /// Indices of the drifted profiles, in baseline order.
+    pub fn drifted(&self) -> Vec<usize> {
+        self.scores
+            .iter()
+            .filter(|s| s.drifted)
+            .map(|s| s.profile)
+            .collect()
+    }
+
+    /// Whether any profile drifted past the threshold.
+    pub fn any_drifted(&self) -> bool {
+        self.scores.iter().any(|s| s.drifted)
+    }
+
+    /// How many profiles the sketch screen settled without a scan.
+    pub fn screened(&self) -> usize {
+        self.scores.iter().filter(|s| s.screened).count()
+    }
+}
+
+/// Scores a window of live data against a fixed baseline profile
+/// set. Stateless between checks — the state (window, sketches)
+/// lives in the [`crate::Watcher`].
+#[derive(Debug, Clone)]
+pub struct DriftScorer {
+    profiles: Vec<Profile>,
+    tau_drift: f64,
+}
+
+impl DriftScorer {
+    /// A scorer over the given baseline profiles and threshold.
+    pub fn new(profiles: Vec<Profile>, tau_drift: f64) -> Self {
+        DriftScorer {
+            profiles,
+            tau_drift,
+        }
+    }
+
+    /// The baseline profile set, in discovery order. [`DriftScore`]
+    /// and [`DriftReport`] indices refer to this slice.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// The configured `τ_drift`.
+    pub fn tau_drift(&self) -> f64 {
+        self.tau_drift
+    }
+
+    /// Score every baseline profile against the window. `window` is
+    /// `None` before any batch arrived (all scores are then zero);
+    /// `summaries` are the window's per-column merged summaries used
+    /// by the screen. Emits one `drift_score` trace event per
+    /// profile.
+    pub fn score(
+        &self,
+        window: Option<&DataFrame>,
+        summaries: &[(String, ColumnSummary)],
+        tracer: &Tracer,
+    ) -> DriftReport {
+        let window_rows = window.map_or(0, |f| f.n_rows()) as u64;
+        let mut scores = Vec::with_capacity(self.profiles.len());
+        for (i, profile) in self.profiles.iter().enumerate() {
+            let (score, screened) = match window {
+                None => (0.0, true),
+                Some(frame) => {
+                    if provably_zero(profile, summaries) {
+                        (0.0, true)
+                    } else {
+                        (violation(frame, profile), false)
+                    }
+                }
+            };
+            let drifted = score > self.tau_drift;
+            tracer.emit(|| {
+                Event::DriftScore(DriftScoreSpan {
+                    profile: i,
+                    score,
+                    threshold: self.tau_drift,
+                    drifted,
+                    screened,
+                })
+            });
+            scores.push(DriftScore {
+                profile: i,
+                score,
+                screened,
+                drifted,
+            });
+        }
+        DriftReport {
+            scores,
+            window_rows,
+            threshold: self.tau_drift,
+        }
+    }
+}
+
+/// Whether the window's summaries *prove* `violation(window, p) == 0`
+/// — sound, never complete: a `false` only means the screen cannot
+/// tell and the exact violation must be computed.
+///
+/// The three screens mirror the violation formulas exactly:
+/// - `Missing`: violation is `max(0, (nulls/rows − θ)/(1 − θ))`, zero
+///   iff the null fraction is within θ — which the summary carries.
+/// - `DomainNumeric`: violation counts values outside `[lb, ub]`.
+///   With no non-finite values, the summary hull bounds every value,
+///   so hull ⊆ `[lb, ub]` (or an all-null column) proves zero. NaN
+///   never compares outside the interval, but a NaN-poisoned hull no
+///   longer bounds ±∞, so `non_finite` disables the screen.
+/// - `DomainCategorical`: violation counts values outside the set
+///   `S`; support ⊆ `S` proves zero (support is exact when present).
+fn provably_zero(profile: &Profile, summaries: &[(String, ColumnSummary)]) -> bool {
+    let of = |attr: &str| summaries.iter().find(|(n, _)| n == attr).map(|(_, s)| s);
+    match profile {
+        Profile::Missing { attr, theta } => of(attr).is_some_and(|s| s.null_fraction() <= *theta),
+        Profile::DomainNumeric { attr, lb, ub } => of(attr).is_some_and(|s| {
+            !s.non_finite
+                && match (s.min, s.max) {
+                    (Some(lo), Some(hi)) => *lb <= lo && hi <= *ub,
+                    // No finite values and no non-finite ones: every
+                    // row is NULL, nothing can fall outside.
+                    _ => true,
+                }
+        }),
+        Profile::DomainCategorical { attr, values } => of(attr).is_some_and(|s| {
+            s.support
+                .as_ref()
+                .is_some_and(|sup| sup.iter().all(|v| values.contains(v)))
+        }),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frame::{Column, DType};
+
+    fn summaries_of(df: &DataFrame) -> Vec<(String, ColumnSummary)> {
+        df.columns()
+            .iter()
+            .map(|c| (c.name().to_string(), ColumnSummary::build(c)))
+            .collect()
+    }
+
+    fn frame(vals: &[Option<f64>]) -> DataFrame {
+        DataFrame::from_columns(vec![Column::from_floats("x", vals.to_vec())]).unwrap()
+    }
+
+    #[test]
+    fn screens_agree_with_violation() {
+        let df = frame(&[Some(1.0), Some(2.0), None, Some(3.0)]);
+        let summaries = summaries_of(&df);
+        // In-domain: screened, and the violation really is zero.
+        let inside = Profile::DomainNumeric {
+            attr: "x".into(),
+            lb: 0.0,
+            ub: 5.0,
+        };
+        assert!(provably_zero(&inside, &summaries));
+        assert_eq!(violation(&df, &inside), 0.0);
+        // Out-of-domain: not screened.
+        let outside = Profile::DomainNumeric {
+            attr: "x".into(),
+            lb: 0.0,
+            ub: 2.5,
+        };
+        assert!(!provably_zero(&outside, &summaries));
+        // Missing under / over threshold.
+        let lax = Profile::Missing {
+            attr: "x".into(),
+            theta: 0.5,
+        };
+        let strict = Profile::Missing {
+            attr: "x".into(),
+            theta: 0.1,
+        };
+        assert!(provably_zero(&lax, &summaries));
+        assert_eq!(violation(&df, &lax), 0.0);
+        assert!(!provably_zero(&strict, &summaries));
+    }
+
+    #[test]
+    fn non_finite_disables_the_numeric_screen() {
+        let df = frame(&[Some(1.0), Some(f64::INFINITY)]);
+        let summaries = summaries_of(&df);
+        let p = Profile::DomainNumeric {
+            attr: "x".into(),
+            lb: 0.0,
+            ub: 5.0,
+        };
+        // +∞ falls outside [0, 5]: the screen must not claim zero.
+        assert!(!provably_zero(&p, &summaries));
+        assert!(violation(&df, &p) > 0.0);
+    }
+
+    #[test]
+    fn categorical_screen_requires_support_inside_the_set() {
+        let df = DataFrame::from_columns(vec![Column::from_strings(
+            "c",
+            DType::Categorical,
+            vec![Some("a".into()), Some("b".into()), None],
+        )])
+        .unwrap();
+        let summaries = summaries_of(&df);
+        let inside = Profile::DomainCategorical {
+            attr: "c".into(),
+            values: ["a", "b", "z"].iter().map(|s| s.to_string()).collect(),
+        };
+        let outside = Profile::DomainCategorical {
+            attr: "c".into(),
+            values: ["a"].iter().map(|s| s.to_string()).collect(),
+        };
+        assert!(provably_zero(&inside, &summaries));
+        assert_eq!(violation(&df, &inside), 0.0);
+        assert!(!provably_zero(&outside, &summaries));
+        assert!(violation(&df, &outside) > 0.0);
+    }
+
+    #[test]
+    fn scorer_reports_in_baseline_order_and_counts_screens() {
+        let df = frame(&[Some(10.0), Some(20.0)]);
+        let summaries = summaries_of(&df);
+        let scorer = DriftScorer::new(
+            vec![
+                Profile::DomainNumeric {
+                    attr: "x".into(),
+                    lb: 0.0,
+                    ub: 100.0,
+                },
+                Profile::DomainNumeric {
+                    attr: "x".into(),
+                    lb: 0.0,
+                    ub: 15.0,
+                },
+            ],
+            0.1,
+        );
+        let report = scorer.score(Some(&df), &summaries, &Tracer::off());
+        assert_eq!(report.scores.len(), 2);
+        assert_eq!(report.window_rows, 2);
+        assert!(report.scores[0].screened && report.scores[0].score == 0.0);
+        assert!(!report.scores[1].screened);
+        assert!((report.scores[1].score - 0.5).abs() < 1e-12);
+        assert_eq!(report.drifted(), vec![1]);
+        assert_eq!(report.screened(), 1);
+    }
+
+    #[test]
+    fn empty_window_scores_zero_everywhere() {
+        let scorer = DriftScorer::new(
+            vec![Profile::Missing {
+                attr: "x".into(),
+                theta: 0.0,
+            }],
+            0.1,
+        );
+        let report = scorer.score(None, &[], &Tracer::off());
+        assert_eq!(report.window_rows, 0);
+        assert!(!report.any_drifted());
+        assert!(report.scores[0].screened);
+    }
+}

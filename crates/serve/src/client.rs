@@ -160,6 +160,60 @@ impl Client {
         ))
     }
 
+    /// `watch`: start continuous monitoring of a system.
+    pub fn watch(
+        &mut self,
+        system: &str,
+        tau: Option<f64>,
+        window: Option<usize>,
+    ) -> std::io::Result<JsonValue> {
+        let mut line = format!("{{\"op\":\"watch\",\"system\":{}", json_escape(system));
+        if let Some(tau) = tau {
+            line.push_str(&format!(",\"tau\":{tau:?}"));
+        }
+        if let Some(window) = window {
+            line.push_str(&format!(",\"window\":{window}"));
+        }
+        line.push('}');
+        self.request(&line)
+    }
+
+    /// `ingest`: append one CSV batch to a watched system's stream.
+    pub fn ingest(&mut self, system: &str, rows_csv: &str) -> std::io::Result<JsonValue> {
+        self.request(&format!(
+            "{{\"op\":\"ingest\",\"system\":{},\"rows_csv\":{}}}",
+            json_escape(system),
+            json_escape(rows_csv)
+        ))
+    }
+
+    /// `drift`: score the watched window; with `diagnose`, escalate
+    /// drifted profiles into a targeted re-diagnosis
+    /// (`algo` = `"greedy"` or `"group_test"`).
+    pub fn drift(
+        &mut self,
+        system: &str,
+        diagnose: bool,
+        algo: &str,
+    ) -> std::io::Result<JsonValue> {
+        self.request(&format!(
+            "{{\"op\":\"drift\",\"system\":{},\"diagnose\":{diagnose},\"algo\":{}}}",
+            json_escape(system),
+            json_escape(algo)
+        ))
+    }
+
+    /// `metrics`: the Prometheus text-format scrape body.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        let v = self.request("{\"op\":\"metrics\"}")?;
+        v.get("body")
+            .and_then(|s| s.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing body field")
+            })
+    }
+
     /// `stats`, server-wide or for one system.
     pub fn stats(&mut self, system: Option<&str>) -> std::io::Result<JsonValue> {
         match system {

@@ -25,7 +25,14 @@
 //! * [`lru`] — the budgeted LRU each namespace runs under.
 //! * [`server`] — accept loop, admission control, graceful shutdown
 //!   with snapshot flush/reload.
+//! * [`prom`] — the Prometheus text-format scrape behind `metrics`.
 //! * [`client`] — a minimal blocking client (CLI + tests).
+//!
+//! Beyond one-shot diagnosis, a namespace can be put under
+//! **continuous monitoring** (`watch` → `ingest` → `drift`): the
+//! server keeps `dp_monitor` live sketches over the appended batches
+//! and escalates drifted profiles into a targeted re-diagnosis that
+//! reuses the namespace's warm cache.
 //!
 //! Quick tour (in-process):
 //!
@@ -51,6 +58,7 @@
 
 pub mod client;
 pub mod lru;
+pub mod prom;
 pub mod protocol;
 pub mod registry;
 pub mod server;

@@ -49,6 +49,11 @@ pub enum ErrorCode {
     BadTrace,
     /// `restore` payload was not a readable cache snapshot.
     BadSnapshot,
+    /// `ingest` payload was not readable CSV for the watched schema.
+    BadBatch,
+    /// `ingest`/`drift` against a system with no active watcher
+    /// (send `watch` first).
+    NotWatching,
     /// The diagnosis itself returned an error (assumption violated,
     /// budget exhausted, bad inputs). Deterministic: warm or cold,
     /// the same request fails the same way.
@@ -69,6 +74,8 @@ impl ErrorCode {
             ErrorCode::Busy => "busy",
             ErrorCode::BadTrace => "bad_trace",
             ErrorCode::BadSnapshot => "bad_snapshot",
+            ErrorCode::BadBatch => "bad_batch",
+            ErrorCode::NotWatching => "not_watching",
             ErrorCode::DiagnosisFailed => "diagnosis_failed",
             ErrorCode::ShuttingDown => "shutting_down",
         }
@@ -152,11 +159,45 @@ pub enum Request {
         /// shutdown flush).
         snapshot: String,
     },
+    /// Start continuous monitoring of a system: discover the
+    /// baseline profile set from its passing dataset and set up live
+    /// sketches. Re-watching resets the stream (the namespace's
+    /// cumulative drift totals survive).
+    Watch {
+        /// Registered system name.
+        system: String,
+        /// Drift threshold `τ_drift` override (default 0.1).
+        tau: Option<f64>,
+        /// Scoring-window length in batches (default 2).
+        window: Option<usize>,
+    },
+    /// Append one batch of rows (inline CSV, header row required,
+    /// columns as the watched schema) to a watched system's stream.
+    Ingest {
+        /// Registered system name.
+        system: String,
+        /// CSV text of the batch.
+        rows_csv: String,
+    },
+    /// Score the watched window against the baseline profiles;
+    /// optionally escalate drifted profiles into a targeted
+    /// re-diagnosis on the spot.
+    Drift {
+        /// Registered system name.
+        system: String,
+        /// Run the targeted re-diagnosis when anything drifts.
+        diagnose: bool,
+        /// Algorithm for the escalation (greedy/group_test).
+        algo: Algo,
+    },
     /// Server and per-system counters.
     Stats {
         /// Restrict to one system (all systems when absent).
         system: Option<String>,
     },
+    /// Prometheus text-format scrape of server, namespace, and
+    /// monitoring counters.
+    Metrics,
     /// Graceful shutdown: drain, flush snapshots, exit.
     Shutdown,
 }
@@ -180,6 +221,18 @@ fn field_opt_u64(obj: &JsonValue, key: &str) -> Result<Option<u64>, (ErrorCode, 
             (
                 ErrorCode::MalformedRequest,
                 format!("field '{key}' is not an unsigned integer"),
+            )
+        }),
+    }
+}
+
+fn field_opt_f64(obj: &JsonValue, key: &str) -> Result<Option<f64>, (ErrorCode, String)> {
+    match obj.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+            (
+                ErrorCode::MalformedRequest,
+                format!("field '{key}' is not a number"),
             )
         }),
     }
@@ -249,6 +302,42 @@ pub fn parse_request(line: &str) -> Result<Request, (ErrorCode, String)> {
             system: field_str(&value, "system")?,
             snapshot: field_str(&value, "snapshot")?,
         }),
+        "watch" => Ok(Request::Watch {
+            system: field_str(&value, "system")?,
+            tau: field_opt_f64(&value, "tau")?,
+            window: field_opt_u64(&value, "window")?.map(|v| v as usize),
+        }),
+        "ingest" => Ok(Request::Ingest {
+            system: field_str(&value, "system")?,
+            rows_csv: field_str(&value, "rows_csv")?,
+        }),
+        "drift" => {
+            let algo = match value.get("algo").and_then(|v| v.as_str()) {
+                None | Some("greedy") => Algo::Greedy,
+                Some("group_test") => Algo::GroupTest,
+                Some(other) => {
+                    return Err((
+                        ErrorCode::MalformedRequest,
+                        format!("unknown algo '{other}' (greedy|group_test)"),
+                    ))
+                }
+            };
+            let diagnose = match value.get("diagnose") {
+                None | Some(JsonValue::Null) => false,
+                Some(v) => v.as_bool().ok_or_else(|| {
+                    (
+                        ErrorCode::MalformedRequest,
+                        "field 'diagnose' is not a bool".to_string(),
+                    )
+                })?,
+            };
+            Ok(Request::Drift {
+                system: field_str(&value, "system")?,
+                diagnose,
+                algo,
+            })
+        }
+        "metrics" => Ok(Request::Metrics),
         "stats" => Ok(Request::Stats {
             system: match value.get("system") {
                 None | Some(JsonValue::Null) => None,
@@ -423,6 +512,68 @@ mod tests {
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn parses_the_monitoring_ops() {
+        assert_eq!(
+            parse_request("{\"op\":\"watch\",\"system\":\"inc\",\"tau\":0.25,\"window\":3}")
+                .unwrap(),
+            Request::Watch {
+                system: "inc".into(),
+                tau: Some(0.25),
+                window: Some(3),
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"watch\",\"system\":\"inc\"}").unwrap(),
+            Request::Watch {
+                system: "inc".into(),
+                tau: None,
+                window: None,
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"ingest\",\"system\":\"inc\",\"rows_csv\":\"a,b\\n1,2\\n\"}")
+                .unwrap(),
+            Request::Ingest {
+                system: "inc".into(),
+                rows_csv: "a,b\n1,2\n".into(),
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"drift\",\"system\":\"inc\"}").unwrap(),
+            Request::Drift {
+                system: "inc".into(),
+                diagnose: false,
+                algo: Algo::Greedy,
+            }
+        );
+        assert_eq!(
+            parse_request(
+                "{\"op\":\"drift\",\"system\":\"inc\",\"diagnose\":true,\"algo\":\"group_test\"}"
+            )
+            .unwrap(),
+            Request::Drift {
+                system: "inc".into(),
+                diagnose: true,
+                algo: Algo::GroupTest,
+            }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        // Auto has a greedy fallback path a drift escalation does not
+        // need; it is rejected rather than silently remapped.
+        let (code, _) =
+            parse_request("{\"op\":\"drift\",\"system\":\"s\",\"algo\":\"auto\"}").unwrap_err();
+        assert_eq!(code, ErrorCode::MalformedRequest);
+        let (code, _) =
+            parse_request("{\"op\":\"watch\",\"system\":\"s\",\"tau\":\"hot\"}").unwrap_err();
+        assert_eq!(code, ErrorCode::MalformedRequest);
+        let (code, _) = parse_request("{\"op\":\"ingest\",\"system\":\"s\"}").unwrap_err();
+        assert_eq!(code, ErrorCode::MalformedRequest);
     }
 
     #[test]

@@ -57,6 +57,27 @@ pub struct SystemEntry {
     /// Cumulative lint totals across this namespace's diagnoses
     /// (zero when the registered config runs `Lint::Off`).
     pub lint: LintTotals,
+    /// The live stream watcher, installed by `watch`. `None` until a
+    /// client opts in to continuous monitoring.
+    pub watcher: Option<dp_monitor::Watcher>,
+    /// Cumulative monitoring totals. Unlike the watcher's own
+    /// `RunMetrics` — which describe only the current stream — these
+    /// survive a re-`watch`, mirroring how the cache survives
+    /// re-registration.
+    pub drift: DriftTotals,
+}
+
+/// Running continuous-monitoring totals for one namespace.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DriftTotals {
+    /// Row batches folded into live sketches.
+    pub batches_ingested: u64,
+    /// Rows across all ingested batches.
+    pub rows_ingested: u64,
+    /// Drift checks scored against the baseline profiles.
+    pub checks: u64,
+    /// Drift checks that crossed τ_drift.
+    pub triggers: u64,
 }
 
 /// Running lint-pass totals for one namespace, folded in after every
@@ -148,6 +169,8 @@ impl Registry {
                     cache: LruScoreCache::with_budget(self.budget_bytes),
                     diagnoses: 0,
                     lint: LintTotals::default(),
+                    watcher: None,
+                    drift: DriftTotals::default(),
                 }))
             })
             .clone();

@@ -17,11 +17,17 @@
 //!   tick, and flushes each cache namespace to a reloadable snapshot
 //!   file before the server exits.
 
+use crate::prom::{self, NamespaceScrape, ServerScrape};
 use crate::protocol::{
     error_response, parse_request, Algo, ErrorCode, Reply, Request, MAX_REQUEST_BYTES,
 };
 use crate::registry::{lock_or_recover, Registry, SystemEntry};
-use dataprism::{DataPrism, ScoreCache, SpeculationMode};
+use dataprism::{
+    explain_greedy_parallel_cached_with_pvts, explain_group_test_parallel_cached_with_pvts,
+    DataPrism, PartitionStrategy, ScoreCache, SpeculationMode,
+};
+use dp_monitor::{MonitorConfig, Watcher};
+use dp_trace::Tracer;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -477,7 +483,19 @@ fn handle_request(shared: &Shared, line: &str) -> (String, bool) {
         Request::Restore { system, snapshot } => {
             (handle_restore(shared, &system, &snapshot), false)
         }
+        Request::Watch {
+            system,
+            tau,
+            window,
+        } => (handle_watch(shared, &system, tau, window), false),
+        Request::Ingest { system, rows_csv } => (handle_ingest(shared, &system, &rows_csv), false),
+        Request::Drift {
+            system,
+            diagnose,
+            algo,
+        } => (handle_drift(shared, &system, diagnose, algo), false),
         Request::Stats { system } => (handle_stats(shared, system.as_deref()), false),
+        Request::Metrics => (handle_metrics(shared), false),
         Request::Shutdown => {
             let flushed = initiate_shutdown(shared);
             (
@@ -711,6 +729,262 @@ fn handle_restore(shared: &Shared, system: &str, snapshot: &str) -> String {
     }
 }
 
+fn handle_watch(shared: &Shared, system: &str, tau: Option<f64>, window: Option<usize>) -> String {
+    let tau = tau.unwrap_or(MonitorConfig::default().tau_drift);
+    if !tau.is_finite() || tau < 0.0 {
+        return error_response(
+            ErrorCode::MalformedRequest,
+            &format!("tau must be a finite non-negative number, got {tau}"),
+        );
+    }
+    let window = window
+        .unwrap_or(MonitorConfig::default().window_batches)
+        .max(1);
+    // Copy the spec pointer out, then discover the baseline outside
+    // the namespace lock (profile discovery scans the whole passing
+    // dataset).
+    let spec = match with_entry(shared, system, |entry| Arc::clone(&entry.spec)) {
+        Ok(spec) => spec,
+        Err(resp) => return resp,
+    };
+    let watcher = Watcher::new(
+        spec.d_pass.clone(),
+        spec.config.clone(),
+        MonitorConfig {
+            tau_drift: tau,
+            window_batches: window,
+        },
+    );
+    let profiles = watcher.profiles().len();
+    match with_entry(shared, system, |entry| entry.watcher = Some(watcher)) {
+        Ok(()) => Reply::ok("watch")
+            .str("system", system)
+            .usize("profiles", profiles)
+            .f64_exact("tau", tau)
+            .usize("window", window)
+            .finish(),
+        Err(resp) => resp,
+    }
+}
+
+fn handle_ingest(shared: &Shared, system: &str, rows_csv: &str) -> String {
+    // Parse against the watched schema outside the namespace lock —
+    // the CSV can be most of a request line.
+    let spec = match with_entry(shared, system, |entry| {
+        entry.watcher.is_some().then(|| Arc::clone(&entry.spec))
+    }) {
+        Ok(Some(spec)) => spec,
+        Ok(None) => return not_watching(system),
+        Err(resp) => return resp,
+    };
+    let fields: Vec<(&str, dp_frame::DType)> = spec
+        .d_pass
+        .columns()
+        .iter()
+        .map(|c| (c.name(), c.dtype()))
+        .collect();
+    let batch = match dp_frame::csv::read_csv_with_schema(rows_csv.as_bytes(), &fields) {
+        Ok(b) => b,
+        Err(e) => return error_response(ErrorCode::BadBatch, &e.to_string()),
+    };
+    let batch_rows = batch.n_rows() as u64;
+    let ingested = with_entry(shared, system, |entry| {
+        let Some(watcher) = entry.watcher.as_mut() else {
+            return Err(not_watching(system));
+        };
+        watcher
+            .ingest(batch, &Tracer::off())
+            .map_err(|e| error_response(ErrorCode::BadBatch, &e.to_string()))?;
+        entry.drift.batches_ingested += 1;
+        entry.drift.rows_ingested += batch_rows;
+        Ok((
+            watcher.batches(),
+            watcher.rows(),
+            watcher.window_frame().map(|w| w.n_rows()).unwrap_or(0),
+        ))
+    });
+    match ingested {
+        Ok(Ok((batches, rows, window_rows))) => Reply::ok("ingest")
+            .str("system", system)
+            .u64("batches", batches)
+            .u64("rows_total", rows)
+            .usize("window_rows", window_rows)
+            .finish(),
+        Ok(Err(resp)) | Err(resp) => resp,
+    }
+}
+
+fn not_watching(system: &str) -> String {
+    error_response(
+        ErrorCode::NotWatching,
+        &format!("system '{system}' has no active watcher; send watch first"),
+    )
+}
+
+fn handle_drift(shared: &Shared, system: &str, diagnose: bool, algo: Algo) -> String {
+    // Phase 1, under the namespace lock: score the window, fold the
+    // cumulative totals, and — when escalating — copy out everything
+    // the re-diagnosis needs so the evaluation itself runs unlocked.
+    let checked = with_entry(shared, system, |entry| {
+        let Some(watcher) = entry.watcher.as_mut() else {
+            return Err(not_watching(system));
+        };
+        let report = watcher.check_drift(&Tracer::off());
+        entry.drift.checks += 1;
+        if report.any_drifted() {
+            entry.drift.triggers += 1;
+        }
+        let escalation = if diagnose && report.any_drifted() {
+            let drifted = report.drifted();
+            let pvts = watcher.candidates(&drifted);
+            match (watcher.window_frame(), pvts.is_empty()) {
+                (Some(window), false) => Some((
+                    Arc::clone(&entry.spec),
+                    entry.cache.to_score_cache(),
+                    window,
+                    pvts,
+                )),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        Ok((report, escalation))
+    });
+    let (report, escalation) = match checked {
+        Ok(Ok(v)) => v,
+        Ok(Err(resp)) | Err(resp) => return resp,
+    };
+    let drifted = report.drifted();
+    let max_score = report.scores.iter().map(|s| s.score).fold(0.0f64, f64::max);
+    let reply = Reply::ok("drift")
+        .str("system", system)
+        .usize("profiles", report.scores.len())
+        .ids("drifted", &drifted)
+        .f64_exact("max_score", max_score)
+        .f64_exact("threshold", report.threshold)
+        .usize("screened", report.screened())
+        .u64("window_rows", report.window_rows);
+    let Some((spec, mut cache, window, pvts)) = escalation else {
+        return reply.bool("diagnosed", false).finish();
+    };
+    // Phase 2: the targeted re-diagnosis is a full system evaluation,
+    // so it pays the same admission toll as `diagnose`.
+    let permit = match shared.admission.admit(&shared.shutting_down) {
+        Admit::Permit(p) => p,
+        Admit::Busy => {
+            bump(shared, |s| s.busy_rejections += 1);
+            return error_response(
+                ErrorCode::Busy,
+                &format!(
+                    "{} diagnoses in flight and {} queued; retry later",
+                    shared.config.max_inflight, shared.config.max_queue
+                ),
+            );
+        }
+        Admit::ShuttingDown => {
+            return error_response(ErrorCode::ShuttingDown, "server is draining")
+        }
+    };
+    let candidates = pvts.len();
+    let mut config = spec.config.clone();
+    config.speculation = shared.config.speculation;
+    config.speculation_budget = namespace_budget(&shared.config);
+    let result = match algo {
+        Algo::GroupTest => explain_group_test_parallel_cached_with_pvts(
+            &*spec.factory,
+            &window,
+            &spec.d_pass,
+            pvts,
+            &config,
+            PartitionStrategy::MinBisection,
+            &mut cache,
+        ),
+        // `Algo::Auto` is rejected at parse time for drift requests.
+        _ => explain_greedy_parallel_cached_with_pvts(
+            &*spec.factory,
+            &window,
+            &spec.d_pass,
+            pvts,
+            &config,
+            &mut cache,
+        ),
+    };
+    drop(permit);
+    let absorbed = with_entry(shared, system, |entry| {
+        let new_entries = entry.cache.absorb(&cache);
+        if result.is_ok() {
+            entry.diagnoses += 1;
+        }
+        (new_entries, entry.cache.len())
+    });
+    let (new_entries, resident) = match absorbed {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match result {
+        Ok(exp) => {
+            bump(shared, |s| s.diagnoses_ok += 1);
+            reply
+                .bool("diagnosed", true)
+                .str("algo", algo.as_str())
+                .usize("candidates", candidates)
+                .u64("digest", exp.digest())
+                .ids("pvt_ids", &exp.pvt_ids())
+                .usize("interventions", exp.interventions)
+                .bool("resolved", exp.resolved)
+                .f64_exact("initial_score", exp.initial_score)
+                .f64_exact("final_score", exp.final_score)
+                .u64("charged_queries", exp.metrics.charged_queries)
+                .u64("warm_hits", exp.metrics.warm_hits)
+                .usize("new_cache_entries", new_entries)
+                .usize("cache_entries", resident)
+                .finish()
+        }
+        Err(e) => {
+            bump(shared, |s| s.diagnoses_err += 1);
+            error_response(ErrorCode::DiagnosisFailed, &e.to_string())
+        }
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> String {
+    let names = shared.registry.names();
+    let server = {
+        let stats = lock_or_recover(&shared.stats);
+        ServerScrape {
+            requests: stats.requests,
+            protocol_errors: stats.protocol_errors,
+            busy_rejections: stats.busy_rejections,
+            diagnoses_ok: stats.diagnoses_ok,
+            diagnoses_err: stats.diagnoses_err,
+            systems: names.len(),
+        }
+    };
+    let mut namespaces = Vec::with_capacity(names.len());
+    for name in names {
+        let scrape = with_entry(shared, &name, |entry| NamespaceScrape {
+            name: name.clone(),
+            cache_entries: entry.cache.len(),
+            evictions: entry.cache.evictions,
+            diagnoses: entry.diagnoses,
+            lint: entry.lint,
+            drift: entry.drift,
+            watching: entry.watcher.is_some(),
+            ingest_latency: entry.watcher.as_ref().map(|w| w.metrics().ingest_latency),
+        });
+        // A name can vanish between `names()` and the lookup
+        // (deregistration does not exist today, but the scrape must
+        // not 500 if it ever does).
+        if let Ok(scrape) = scrape {
+            namespaces.push(scrape);
+        }
+    }
+    Reply::ok("metrics")
+        .str("body", &prom::render(&server, &namespaces))
+        .finish()
+}
+
 fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
     match system {
         Some(name) => match with_entry(shared, name, |entry| {
@@ -722,23 +996,38 @@ fn handle_stats(shared: &Shared, system: Option<&str>) -> String {
                 entry.cache.evictions,
                 entry.diagnoses,
                 entry.lint,
+                entry.watcher.is_some(),
+                entry.drift,
             )
         }) {
-            Ok((scenario, resident, capacity, footprint, evictions, diagnoses, lint)) => {
-                Reply::ok("stats")
-                    .str("system", name)
-                    .str("scenario", &scenario)
-                    .usize("cache_entries", resident)
-                    .usize("cache_capacity", capacity)
-                    .usize("footprint_bytes", footprint)
-                    .u64("evictions", evictions)
-                    .u64("diagnoses", diagnoses)
-                    .u64("lint_pruned_total", lint.pruned)
-                    .u64("lint_subsumed_total", lint.subsumed)
-                    .u64("lint_unreachable_total", lint.unreachable)
-                    .u64("lint_commuting_pairs_total", lint.commuting_pairs)
-                    .finish()
-            }
+            Ok((
+                scenario,
+                resident,
+                capacity,
+                footprint,
+                evictions,
+                diagnoses,
+                lint,
+                watching,
+                drift,
+            )) => Reply::ok("stats")
+                .str("system", name)
+                .str("scenario", &scenario)
+                .usize("cache_entries", resident)
+                .usize("cache_capacity", capacity)
+                .usize("footprint_bytes", footprint)
+                .u64("evictions", evictions)
+                .u64("diagnoses", diagnoses)
+                .u64("lint_pruned_total", lint.pruned)
+                .u64("lint_subsumed_total", lint.subsumed)
+                .u64("lint_unreachable_total", lint.unreachable)
+                .u64("lint_commuting_pairs_total", lint.commuting_pairs)
+                .bool("watching", watching)
+                .u64("batches_ingested_total", drift.batches_ingested)
+                .u64("rows_ingested_total", drift.rows_ingested)
+                .u64("drift_checks_total", drift.checks)
+                .u64("drift_triggers_total", drift.triggers)
+                .finish(),
             Err(resp) => resp,
         },
         None => {

@@ -1,0 +1,213 @@
+//! Property tests pinning the sketch merge algebra:
+//!
+//! - `merge` is commutative and associative for [`NumericSketch`],
+//!   [`CategoricalSketch`], and [`ColumnSummary`];
+//! - (build on chunk A) ⊕ (build on chunk B) is **bit-for-bit** the
+//!   build over A∥B, for arbitrary chunkings — including empty
+//!   chunks, all-null columns, and NaN/∞ payloads;
+//! - fingerprints (bit-exact state digests) are what's compared, so
+//!   a merge that differs anywhere — moments, centered arrays,
+//!   ranks, bitmaps, key tables, bucket decisions — fails.
+//!
+//! Together with `tests/monitor_conformance.rs` this is the headline
+//! invariant of the streaming monitor: an incrementally-maintained
+//! sketch is indistinguishable from a from-scratch rebuild.
+
+use dp_stats::sketch::{CategoricalSketch, ColumnSummary, NumericSketch, DEFAULT_BUCKETS};
+use proptest::prelude::*;
+
+/// Numeric payloads: ordinary finite values plus the awkward ones
+/// (NaN, ±∞, signed zeros) and NULLs.
+fn numeric_cell() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        6 => (-100.0f64..100.0).prop_map(Some),
+        1 => Just(None),
+        1 => prop::sample::select(vec![
+            Some(f64::NAN),
+            Some(f64::INFINITY),
+            Some(f64::NEG_INFINITY),
+            Some(0.0),
+            Some(-0.0),
+        ]),
+    ]
+}
+
+/// Categorical payloads over a domain two chunks rarely cover alike.
+fn categorical_cell() -> impl Strategy<Value = Option<&'static str>> {
+    prop::sample::select(vec![
+        None,
+        Some("alpha"),
+        Some("beta"),
+        Some("gamma"),
+        Some("delta"),
+        Some("epsilon"),
+        Some("zeta"),
+    ])
+}
+
+/// Two cut points partitioning `len` rows into three chunks.
+fn cuts(len: usize, a: f64, b: f64) -> (usize, usize) {
+    let i = (a * (len + 1) as f64) as usize;
+    let j = (b * (len + 1) as f64) as usize;
+    (i.min(j).min(len), i.max(j).min(len))
+}
+
+fn numeric_chunk(cells: &[Option<f64>], lo: usize, hi: usize) -> NumericSketch {
+    let pairs: Vec<(usize, f64)> = cells[lo..hi]
+        .iter()
+        .enumerate()
+        .filter_map(|(k, v)| v.map(|x| (lo + k, x)))
+        .collect();
+    NumericSketch::build_at(lo, hi - lo, &pairs)
+}
+
+fn numeric_whole(cells: &[Option<f64>]) -> NumericSketch {
+    numeric_chunk(cells, 0, cells.len())
+}
+
+fn categorical_chunk(cells: &[Option<&str>], lo: usize, hi: usize) -> CategoricalSketch {
+    CategoricalSketch::from_values_at(lo, &cells[lo..hi], DEFAULT_BUCKETS)
+}
+
+fn summary_chunk(cells: &[Option<f64>], lo: usize, hi: usize) -> ColumnSummary {
+    ColumnSummary::build(&dp_frame::Column::from_floats("x", cells[lo..hi].to_vec()))
+}
+
+fn summary_of_strings(cells: &[Option<&str>], lo: usize, hi: usize) -> ColumnSummary {
+    ColumnSummary::build(&dp_frame::Column::from_strings(
+        "c",
+        dp_frame::DType::Categorical,
+        cells[lo..hi]
+            .iter()
+            .map(|v| v.map(str::to_string))
+            .collect(),
+    ))
+}
+
+proptest! {
+    #[test]
+    fn numeric_merge_equals_rebuild_bit_for_bit(
+        cells in prop::collection::vec(numeric_cell(), 0..=160),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (i, j) = cuts(cells.len(), a, b);
+        let whole = numeric_whole(&cells);
+        let (ca, cb, cc) = (
+            numeric_chunk(&cells, 0, i),
+            numeric_chunk(&cells, i, j),
+            numeric_chunk(&cells, j, cells.len()),
+        );
+        // Chunked rebuild identity.
+        let merged = ca.merge(&cb).merge(&cc);
+        prop_assert_eq!(merged.fingerprint(), whole.fingerprint());
+        // Commutativity (bit-for-bit, any operand order).
+        prop_assert_eq!(
+            ca.merge(&cb).fingerprint(),
+            cb.merge(&ca).fingerprint()
+        );
+        // Associativity.
+        prop_assert_eq!(
+            ca.merge(&cb).merge(&cc).fingerprint(),
+            ca.merge(&cb.merge(&cc)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn categorical_keyed_merge_equals_rebuild_bit_for_bit(
+        cells in prop::collection::vec(categorical_cell(), 0..=160),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (i, j) = cuts(cells.len(), a, b);
+        let whole = categorical_chunk(&cells, 0, cells.len());
+        let (ca, cb, cc) = (
+            categorical_chunk(&cells, 0, i),
+            categorical_chunk(&cells, i, j),
+            categorical_chunk(&cells, j, cells.len()),
+        );
+        let merged = ca.merge(&cb).merge(&cc);
+        prop_assert_eq!(merged.fingerprint(), whole.fingerprint());
+        prop_assert_eq!(
+            ca.merge(&cb).fingerprint(),
+            cb.merge(&ca).fingerprint()
+        );
+        prop_assert_eq!(
+            ca.merge(&cb).merge(&cc).fingerprint(),
+            ca.merge(&cb.merge(&cc)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn summary_merge_equals_rebuild_numeric(
+        cells in prop::collection::vec(numeric_cell(), 0..=160),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (i, j) = cuts(cells.len(), a, b);
+        let whole = summary_chunk(&cells, 0, cells.len());
+        let (sa, sb, sc) = (
+            summary_chunk(&cells, 0, i),
+            summary_chunk(&cells, i, j),
+            summary_chunk(&cells, j, cells.len()),
+        );
+        let merged = sa.merge(&sb).merge(&sc);
+        prop_assert_eq!(merged.fingerprint(), whole.fingerprint());
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(
+            sa.merge(&sb).fingerprint(),
+            sb.merge(&sa).fingerprint()
+        );
+        prop_assert_eq!(
+            sa.merge(&sb).merge(&sc).fingerprint(),
+            sa.merge(&sb.merge(&sc)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn summary_merge_equals_rebuild_categorical(
+        cells in prop::collection::vec(categorical_cell(), 0..=160),
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (i, j) = cuts(cells.len(), a, b);
+        let whole = summary_of_strings(&cells, 0, cells.len());
+        let merged = summary_of_strings(&cells, 0, i)
+            .merge(&summary_of_strings(&cells, i, j))
+            .merge(&summary_of_strings(&cells, j, cells.len()));
+        prop_assert_eq!(merged.fingerprint(), whole.fingerprint());
+        prop_assert_eq!(&merged, &whole);
+    }
+}
+
+/// The satellite's named edge cases, pinned deterministically on top
+/// of the generated coverage.
+#[test]
+fn all_null_and_nan_payload_chunks_merge_exactly() {
+    // All-null column.
+    let nulls: Vec<Option<f64>> = vec![None; 96];
+    let whole = numeric_whole(&nulls);
+    let merged = numeric_chunk(&nulls, 0, 40).merge(&numeric_chunk(&nulls, 40, 96));
+    assert_eq!(merged.fingerprint(), whole.fingerprint());
+    assert_eq!(merged.count(), 0);
+    let s = summary_chunk(&nulls, 0, 40).merge(&summary_chunk(&nulls, 40, 96));
+    assert_eq!(s, summary_chunk(&nulls, 0, 96));
+    assert!((s.null_fraction() - 1.0).abs() < 1e-15);
+
+    // NaN-payload column: every stored value is NaN (absent to the
+    // sketch, non-finite to the summary's hull).
+    let nans: Vec<Option<f64>> = (0..64)
+        .map(|i| if i % 3 == 0 { None } else { Some(f64::NAN) })
+        .collect();
+    let whole = numeric_whole(&nans);
+    let merged = numeric_chunk(&nans, 0, 21).merge(&numeric_chunk(&nans, 21, 64));
+    assert_eq!(merged.fingerprint(), whole.fingerprint());
+    assert_eq!(merged.count(), 0);
+    assert!(!merged.is_exact());
+
+    // All-null categorical chunks (empty key tables).
+    let empty: Vec<Option<&str>> = vec![None; 50];
+    let whole = categorical_chunk(&empty, 0, 50);
+    let merged = categorical_chunk(&empty, 0, 17).merge(&categorical_chunk(&empty, 17, 50));
+    assert_eq!(merged.fingerprint(), whole.fingerprint());
+}

@@ -27,7 +27,13 @@
 /// interpretation fact counts (L6 subsumption classes, L7
 /// τ-unreachability drops, L8 commutation pairs, L9 no-op
 /// certificates) the lint pass derived before any oracle query.
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: the continuous-monitoring events were added —
+/// [`Event::SketchMerge`] (a batch was folded into the live
+/// per-column sketches), [`Event::DriftScore`] (one profile's drift
+/// score against the live window), and [`Event::MonitorTrigger`]
+/// (drift past τ_drift escalated to a targeted re-diagnosis).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Whether an oracle query was a free baseline or a charged
 /// intervention.
@@ -184,6 +190,49 @@ pub struct BisectionNodeSpan {
     pub covered: usize,
 }
 
+/// One ingested batch folded into a watcher's live sketches (v5).
+/// Emitted once per batch; the per-column merges it stands for are
+/// bit-identical to rebuilding the sketches over the whole stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchMergeSpan {
+    /// Columns whose summaries were merged.
+    pub columns: usize,
+    /// Rows in the ingested batch.
+    pub batch_rows: u64,
+    /// Rows of the stream after the merge.
+    pub total_rows: u64,
+    /// Batches ingested so far (this one included).
+    pub batches: u64,
+}
+
+/// One passing-run profile scored against the live drift window (v5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftScoreSpan {
+    /// Index of the profile in the watcher's baseline profile set.
+    pub profile: usize,
+    /// The drift score — the profile's violation over the window.
+    pub score: f64,
+    /// The violation threshold τ_drift in force.
+    pub threshold: f64,
+    /// Whether the score exceeded τ_drift.
+    pub drifted: bool,
+    /// Whether the sketch screen proved the score zero without
+    /// touching rows.
+    pub screened: bool,
+}
+
+/// A drift check crossed τ_drift and the watcher escalated to a
+/// targeted re-diagnosis seeded with only the drifted profiles (v5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorTriggerSpan {
+    /// Indices of the drifted profiles (ascending baseline order).
+    pub drifted: Vec<usize>,
+    /// Candidate PVTs the drifted profiles expanded into.
+    pub candidates: usize,
+    /// Rows of the drift window handed to the diagnosis as `D_fail`.
+    pub window_rows: u64,
+}
+
 /// One event of the trace stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -260,6 +309,13 @@ pub enum Event {
         /// The dropped PVT id.
         pvt: usize,
     },
+    /// A batch was folded into a watcher's live sketches (v5).
+    SketchMerge(SketchMergeSpan),
+    /// One profile's drift score against the live window (v5).
+    DriftScore(DriftScoreSpan),
+    /// Drift crossed τ_drift; a targeted re-diagnosis was seeded with
+    /// the drifted profiles (v5).
+    MonitorTrigger(MonitorTriggerSpan),
     /// The run ended (always the last record of a completed run).
     DiagnosisEnd {
         /// Whether the final score is at or below τ.

@@ -10,8 +10,9 @@
 //! `parse_jsonl(to_jsonl(r)) == r` bit for bit.
 
 use crate::event::{
-    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintFactSpan, LintSpan,
-    OracleQuerySpan, QueryKind, SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
+    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, DriftScoreSpan, Event, LintFactSpan, LintSpan,
+    MonitorTriggerSpan, OracleQuerySpan, QueryKind, SampledQuerySpan, SketchMergeSpan,
+    SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 use std::fmt;
 
@@ -249,6 +250,24 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             .finish(),
         Event::MinimalityDrop { pvt } => Obj::new(seq, at, "minimality_drop")
             .usize("pvt", *pvt)
+            .finish(),
+        Event::SketchMerge(s) => Obj::new(seq, at, "sketch_merge")
+            .usize("columns", s.columns)
+            .u64("batch_rows", s.batch_rows)
+            .u64("total_rows", s.total_rows)
+            .u64("batches", s.batches)
+            .finish(),
+        Event::DriftScore(s) => Obj::new(seq, at, "drift_score")
+            .usize("profile", s.profile)
+            .f64("score", s.score)
+            .f64("threshold", s.threshold)
+            .bool("drifted", s.drifted)
+            .bool("screened", s.screened)
+            .finish(),
+        Event::MonitorTrigger(s) => Obj::new(seq, at, "monitor_trigger")
+            .ids("drifted", &s.drifted)
+            .usize("candidates", s.candidates)
+            .u64("window_rows", s.window_rows)
             .finish(),
         Event::DiagnosisEnd {
             resolved,
@@ -719,6 +738,24 @@ fn decode_record(line: &str) -> Result<TraceRecord, String> {
         "minimality_drop" => Event::MinimalityDrop {
             pvt: f.usize("pvt")?,
         },
+        "sketch_merge" => Event::SketchMerge(SketchMergeSpan {
+            columns: f.usize("columns")?,
+            batch_rows: f.u64("batch_rows")?,
+            total_rows: f.u64("total_rows")?,
+            batches: f.u64("batches")?,
+        }),
+        "drift_score" => Event::DriftScore(DriftScoreSpan {
+            profile: f.usize("profile")?,
+            score: f.f64("score")?,
+            threshold: f.f64("threshold")?,
+            drifted: f.bool("drifted")?,
+            screened: f.bool("screened")?,
+        }),
+        "monitor_trigger" => Event::MonitorTrigger(MonitorTriggerSpan {
+            drifted: f.ids("drifted")?,
+            candidates: f.usize("candidates")?,
+            window_rows: f.u64("window_rows")?,
+        }),
         "diagnosis_end" => Event::DiagnosisEnd {
             resolved: f.bool("resolved")?,
             interventions: f.usize("interventions")?,
@@ -861,6 +898,36 @@ mod tests {
                     unreachable: 1,
                     commuting_pairs: 12,
                     noop_certified: 1,
+                }),
+            },
+            TraceRecord {
+                seq: 10,
+                at_ns: 710,
+                event: Event::SketchMerge(SketchMergeSpan {
+                    columns: 6,
+                    batch_rows: 50,
+                    total_rows: 350,
+                    batches: 7,
+                }),
+            },
+            TraceRecord {
+                seq: 11,
+                at_ns: 720,
+                event: Event::DriftScore(DriftScoreSpan {
+                    profile: 4,
+                    score: 0.1 + 0.2, // a non-shortest-decimal f64
+                    threshold: 0.1,
+                    drifted: true,
+                    screened: false,
+                }),
+            },
+            TraceRecord {
+                seq: 12,
+                at_ns: 730,
+                event: Event::MonitorTrigger(MonitorTriggerSpan {
+                    drifted: vec![2, 4],
+                    candidates: 3,
+                    window_rows: 100,
                 }),
             },
         ]

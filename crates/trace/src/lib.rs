@@ -43,8 +43,9 @@ pub mod tracer;
 pub mod tree;
 
 pub use event::{
-    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, Event, LintFactSpan, LintSpan,
-    OracleQuerySpan, QueryKind, SampledQuerySpan, SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
+    BisectionNodeSpan, DiagnosisSpan, DiscoverySpan, DriftScoreSpan, Event, LintFactSpan, LintSpan,
+    MonitorTriggerSpan, OracleQuerySpan, QueryKind, SampledQuerySpan, SketchMergeSpan,
+    SpeculationPlanSpan, TraceRecord, SCHEMA_VERSION,
 };
 pub use json::{json_escape, parse_jsonl, to_jsonl, JsonValue, ParseError};
 pub use metrics::{LatencyHistogram, MetricsShard, QueryStat, RunMetrics, LATENCY_BOUNDS_NS};

@@ -206,6 +206,18 @@ pub struct RunMetrics {
     pub query_latency: LatencyHistogram,
     /// Latency of speculative evaluations (worker shards).
     pub speculative_latency: LatencyHistogram,
+    /// Row batches folded into a watcher's live sketches (continuous
+    /// monitoring; zero in batch diagnosis runs).
+    pub batches_ingested: u64,
+    /// Rows across all ingested batches.
+    pub rows_ingested: u64,
+    /// Drift checks run against the passing-run profile set.
+    pub drift_checks: u64,
+    /// Drift checks whose score crossed τ_drift (each escalates to a
+    /// targeted re-diagnosis).
+    pub drift_triggers: u64,
+    /// Latency of batch ingests (sketch builds + merges).
+    pub ingest_latency: LatencyHistogram,
 }
 
 impl RunMetrics {
